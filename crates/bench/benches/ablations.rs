@@ -1,0 +1,19 @@
+//! Criterion bench: ablation-sweep generators (they drive circuit-level
+//! models, so their cost matters for interactive exploration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ham_core::ablation::{block_size_ablation, multistage_ablation};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("block_size_sweep_8", |b| {
+        b.iter(|| block_size_ablation(std::hint::black_box(8)))
+    });
+    group.bench_function("multistage_sweep_10k", |b| {
+        b.iter(|| multistage_ablation(std::hint::black_box(10_000), 14, &[1, 2, 4, 7, 14, 28]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

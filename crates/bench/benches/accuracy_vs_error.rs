@@ -1,0 +1,34 @@
+//! Criterion bench: distorted-search cost as error injection grows (the
+//! kernel behind the Fig. 1 sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_core::explore::random_memory;
+use hdc::distortion::ErrorModel;
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_distorted_search(c: &mut Criterion) {
+    let memory = random_memory(21, 10_000, 11);
+    let mut rng = StdRng::seed_from_u64(4);
+    let query = memory
+        .row(ClassId(5))
+        .unwrap()
+        .with_flipped_bits(3_000, &mut rng);
+
+    let mut group = c.benchmark_group("accuracy_vs_error");
+    for error in [0usize, 1_000, 3_000] {
+        group.bench_with_input(BenchmarkId::new("excluded_bits", error), &error, |b, &e| {
+            let mut distorter = DistanceDistorter::new(ErrorModel::ExcludedBits(e), 1);
+            b.iter(|| {
+                memory
+                    .search_distorted(std::hint::black_box(&query), &mut distorter)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distorted_search);
+criterion_main!(benches);

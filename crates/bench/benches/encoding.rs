@@ -1,0 +1,32 @@
+//! Criterion bench: the trigram text encoder — the other half of the HD
+//! pipeline feeding the associative memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdc::prelude::*;
+use langid::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encoding(c: &mut Criterion) {
+    let europe = SyntheticEurope::new(42);
+    let mut rng = StdRng::seed_from_u64(8);
+    let sentence = europe
+        .model(LanguageId::new(2).unwrap())
+        .sentence(180, &mut rng);
+
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Bytes(sentence.len() as u64));
+    for dim in [2_000usize, 10_000] {
+        let encoder =
+            NGramEncoder::new(3, ItemMemory::new(Dimension::new(dim).unwrap(), 42)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("trigram_sentence", dim),
+            &encoder,
+            |b, enc| b.iter(|| enc.encode_text(std::hint::black_box(&sentence))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the raw HD operation kernels at `D = 10,000`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ham_core::rham::RHam;
+use hdc::ops::{bind, permute};
+use hdc::prelude::*;
+
+fn bench_ops(c: &mut Criterion) {
+    let dim = Dimension::new(10_000).unwrap();
+    let a = Hypervector::random(dim, 1);
+    let b = Hypervector::random(dim, 2);
+
+    let mut group = c.benchmark_group("hdc_ops");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("hamming", |bch| {
+        bch.iter(|| std::hint::black_box(&a).hamming(std::hint::black_box(&b)))
+    });
+    group.bench_function("bind", |bch| {
+        bch.iter(|| bind(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    group.bench_function("permute", |bch| {
+        bch.iter(|| permute(std::hint::black_box(&a), 1))
+    });
+    group.bench_function("bundle_accumulate", |bch| {
+        let mut bundler = Bundler::new(dim);
+        bch.iter(|| bundler.accumulate(std::hint::black_box(&a)))
+    });
+    group.bench_function("block_distances", |bch| {
+        bch.iter(|| RHam::block_distances(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: simulated-search runtime vs class count (the
+//! software-side mirror of paper Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ham_core::explore::{build, random_memory, DesignKind};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_class_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_classes");
+    for classes in [6usize, 25, 100] {
+        let memory = random_memory(classes, 10_000, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let query = memory
+            .row(ClassId(classes / 2))
+            .unwrap()
+            .with_flipped_bits(2_500, &mut rng);
+        group.throughput(Throughput::Elements(classes as u64));
+        for kind in [DesignKind::Digital, DesignKind::Resistive] {
+            let design = build(kind, &memory).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), classes),
+                &design,
+                |b, d| b.iter(|| d.search(std::hint::black_box(&query)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_class_scaling);
+criterion_main!(benches);

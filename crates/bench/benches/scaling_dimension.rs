@@ -1,0 +1,33 @@
+//! Criterion bench: simulated-search runtime vs dimensionality (the
+//! software-side mirror of paper Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ham_core::explore::{build, random_memory, DesignKind};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dimension_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_dimension");
+    for dim in [512usize, 2_048, 10_000] {
+        let memory = random_memory(21, dim, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let query = memory
+            .row(ClassId(3))
+            .unwrap()
+            .with_flipped_bits(dim / 4, &mut rng);
+        group.throughput(Throughput::Elements(dim as u64 * 21));
+        for kind in [DesignKind::Digital, DesignKind::Analog] {
+            let design = build(kind, &memory).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), dim),
+                &design,
+                |b, d| b.iter(|| d.search(std::hint::black_box(&query)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimension_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: software search-kernel throughput of the three HAM
+//! models and the exact reference at the paper's operating point
+//! (`C = 21`, `D = 10,000`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_core::explore::{build, random_memory, DesignKind};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search(c: &mut Criterion) {
+    let memory = random_memory(21, 10_000, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let query = memory
+        .row(ClassId(7))
+        .unwrap()
+        .with_flipped_bits(3_000, &mut rng);
+
+    let mut group = c.benchmark_group("search_kernels");
+    group.bench_function("exact_reference", |b| {
+        b.iter(|| memory.search(std::hint::black_box(&query)).unwrap())
+    });
+    for kind in DesignKind::ALL {
+        let design = build(kind, &memory).unwrap();
+        group.bench_with_input(BenchmarkId::new("design", kind.name()), &design, |b, d| {
+            b.iter(|| d.search(std::hint::black_box(&query)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! `ham-experiments` — regenerates every table and figure of the HPCA'17
+//! HAM paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! ham-experiments [--quick] [--out DIR] [ids…]
+//! ```
+//!
+//! With no ids, all experiments run. Ids: `fig1 table1 table2 fig4 fig5
+//! fig7 table3 fig9 fig10 fig11 fig12 fig13`. `--quick` runs the
+//! accuracy experiments at a reduced scale (`D = 2,000`, 5 sentences per
+//! language); the cost-model experiments are always exact. JSON dumps go
+//! to `--out` (default `results/`).
+
+use std::path::PathBuf;
+
+use ham_bench::context::{Workload, WorkloadScale};
+use ham_bench::exp;
+use ham_bench::report::Report;
+
+const ALL_IDS: [&str; 16] = [
+    "fig1", "table1", "table2", "fig4", "fig5", "fig7", "table3", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "ablations", "equivalence", "retraining", "operating_points",
+];
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: ham-experiments [--quick] [--out DIR] [ids…]");
+                println!("ids: {}", ALL_IDS.join(" "));
+                return;
+            }
+            id => ids.push(id.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id {id}; known: {}", ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let scale = if quick {
+        WorkloadScale::Quick
+    } else {
+        WorkloadScale::Full
+    };
+    // The trained language workload is only built when an accuracy
+    // experiment asks for it (fig1/fig13 share it; table3 retrains per D).
+    let needs_workload = ids
+        .iter()
+        .any(|id| matches!(id.as_str(), "fig1" | "fig13" | "equivalence" | "operating_points"));
+    let workload: Option<Workload> = needs_workload.then(|| {
+        eprintln!(
+            "[setup] training the {}-dimensional language workload…",
+            scale.dim()
+        );
+        Workload::build(scale)
+    });
+
+    let mut reports: Vec<Report> = Vec::new();
+    for id in &ids {
+        eprintln!("[run] {id}");
+        let report = match id.as_str() {
+            "fig1" => exp::fig1::run(workload.as_ref().expect("built above")),
+            "table1" => exp::table1::run(),
+            "table2" => exp::table2::run(),
+            "fig4" => exp::fig4::run(),
+            "fig5" => exp::fig5::run(),
+            "fig7" => exp::fig7::run(),
+            "table3" => exp::table3::run(scale),
+            "fig9" => exp::fig9::run(),
+            "fig10" => exp::fig10::run(),
+            "fig11" => exp::fig11::run(),
+            "fig12" => exp::fig12::run(),
+            "ablations" => exp::ablations::run(),
+            "equivalence" => exp::equivalence::run(workload.as_ref().expect("built above")),
+            "retraining" => exp::retraining::run(scale),
+            "operating_points" => {
+                exp::operating_points::run(workload.as_ref().expect("built above"))
+            }
+            "fig13" => exp::fig13::run(workload.as_ref().expect("built above")),
+            _ => unreachable!("ids validated above"),
+        };
+        println!("{}", report.render());
+        reports.push(report);
+    }
+
+    for report in &reports {
+        if let Err(e) = report.dump_json(&out_dir) {
+            eprintln!("warning: could not write {}/{}.json: {e}", out_dir.display(), report.id);
+        }
+    }
+    eprintln!("[done] {} experiment(s); JSON in {}", reports.len(), out_dir.display());
+}

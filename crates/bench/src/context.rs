@@ -1,0 +1,157 @@
+//! Shared experiment workload: the trained language classifier and the
+//! encoded test queries, built once and reused by every accuracy
+//! experiment.
+
+use hdc::prelude::*;
+use langid::prelude::*;
+
+/// How big to make the language workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadScale {
+    /// Paper-scale operating point: `D = 10,000`, 50 test sentences per
+    /// language (1,050 decisions), 20,000 training characters.
+    Full,
+    /// A fast scale for smoke tests: `D = 2,000`, 5 sentences per
+    /// language.
+    Quick,
+}
+
+impl WorkloadScale {
+    /// The hypervector dimensionality.
+    pub fn dim(self) -> usize {
+        match self {
+            WorkloadScale::Full => 10_000,
+            WorkloadScale::Quick => 2_000,
+        }
+    }
+
+    /// Training characters per language.
+    pub fn train_chars(self) -> usize {
+        match self {
+            WorkloadScale::Full => 20_000,
+            WorkloadScale::Quick => 8_000,
+        }
+    }
+
+    /// Test sentences per language.
+    pub fn test_sentences(self) -> usize {
+        match self {
+            WorkloadScale::Full => 50,
+            WorkloadScale::Quick => 5,
+        }
+    }
+}
+
+/// The trained workload: classifier + pre-encoded test queries.
+#[derive(Debug)]
+pub struct Workload {
+    classifier: LanguageClassifier,
+    queries: Vec<(LanguageId, Hypervector)>,
+    scale: WorkloadScale,
+    seed: u64,
+}
+
+impl Workload {
+    /// The seed every experiment's workload derives from.
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// Trains the classifier and encodes the test corpus at the given
+    /// scale (and [`Workload::DEFAULT_SEED`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails (cannot happen for the built-in specs).
+    pub fn build(scale: WorkloadScale) -> Self {
+        Workload::build_with(scale, Self::DEFAULT_SEED, scale.dim())
+    }
+
+    /// Trains at an explicit seed and dimensionality (Table III retrains
+    /// per `D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails (cannot happen for valid dimensions).
+    pub fn build_with(scale: WorkloadScale, seed: u64, dim: usize) -> Self {
+        let spec = CorpusSpec::new(seed)
+            .train_chars(scale.train_chars())
+            .test_sentences(scale.test_sentences());
+        let config = ClassifierConfig::new(dim).expect("nonzero dimension");
+        let classifier =
+            LanguageClassifier::train(&config, &spec.training_set()).expect("training succeeds");
+        let queries = langid::eval::encode_corpus(&classifier, &spec.test_set());
+        Workload {
+            classifier,
+            queries,
+            scale,
+            seed,
+        }
+    }
+
+    /// The trained classifier.
+    pub fn classifier(&self) -> &LanguageClassifier {
+        &self.classifier
+    }
+
+    /// The pre-encoded `(truth, query)` pairs.
+    pub fn queries(&self) -> &[(LanguageId, Hypervector)] {
+        &self.queries
+    }
+
+    /// The scale this workload was built at.
+    pub fn scale(&self) -> WorkloadScale {
+        self.scale
+    }
+
+    /// The corpus seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Micro-averaged accuracy of an arbitrary per-query searcher over the
+    /// pre-encoded queries.
+    pub fn accuracy_with<F>(&self, mut searcher: F) -> f64
+    where
+        F: FnMut(&Hypervector) -> ClassId,
+    {
+        let correct = self
+            .queries
+            .iter()
+            .filter(|(truth, q)| self.classifier.language_of(searcher(q)) == *truth)
+            .count();
+        correct as f64 / self.queries.len().max(1) as f64
+    }
+
+    /// Accuracy of the exact software search (the reference point).
+    pub fn exact_accuracy(&self) -> f64 {
+        self.accuracy_with(|q| self.classifier.memory().search(q).expect("search succeeds").class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workload_trains_and_classifies() {
+        let w = Workload::build(WorkloadScale::Quick);
+        assert_eq!(w.queries().len(), 21 * 5);
+        assert_eq!(w.scale(), WorkloadScale::Quick);
+        assert_eq!(w.seed(), Workload::DEFAULT_SEED);
+        let acc = w.exact_accuracy();
+        assert!(acc > 0.6, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn accuracy_with_constant_searcher_is_chance() {
+        let w = Workload::build(WorkloadScale::Quick);
+        let acc = w.accuracy_with(|_| ClassId(0));
+        assert!((acc - 1.0 / 21.0).abs() < 0.01, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn scales_expose_parameters() {
+        assert_eq!(WorkloadScale::Full.dim(), 10_000);
+        assert_eq!(WorkloadScale::Quick.test_sentences(), 5);
+        assert!(WorkloadScale::Full.train_chars() > WorkloadScale::Quick.train_chars());
+    }
+}

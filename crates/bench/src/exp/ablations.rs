@@ -1,0 +1,113 @@
+//! **Ablations** — re-deriving the paper's design choices from the models
+//! (not a paper figure; DESIGN.md §3 extension).
+//!
+//! * Why R-HAM blocks are 4 bits wide;
+//! * why A-HAM needs *many short* stages (and why 2 long stages are a
+//!   trap);
+//! * why D-HAM compares with a tree rather than a chain.
+
+use ham_core::ablation::{
+    block_size_ablation, comparator_ablation, multistage_ablation, recommended_block_size,
+};
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// Serializable snapshot of all three ablations.
+#[derive(Debug, Clone, Serialize)]
+pub struct Ablations {
+    /// `(block bits, resolvable levels, overscale-safe, switching)` rows.
+    pub block_size: Vec<(usize, usize, bool, f64)>,
+    /// `(stages, min detectable, energy pJ)` rows at D = 10,000 / 14 bits.
+    pub multistage: Vec<(usize, usize, f64)>,
+    /// `(classes, tree stages, chain stages)` rows.
+    pub comparator: Vec<(usize, usize, usize)>,
+}
+
+/// Computes all three ablations.
+pub fn sweep() -> Ablations {
+    Ablations {
+        block_size: block_size_ablation(8)
+            .into_iter()
+            .map(|r| (r.block_bits, r.resolvable_nominal, r.overscale_safe, r.switching_activity))
+            .collect(),
+        multistage: multistage_ablation(10_000, 14, &[1, 2, 4, 7, 10, 14, 20, 28])
+            .into_iter()
+            .map(|r| (r.stages, r.min_detectable, r.energy.get()))
+            .collect(),
+        comparator: comparator_ablation(&[2, 6, 21, 50, 100])
+            .into_iter()
+            .map(|r| (r.classes, r.tree_stages, r.chain_stages))
+            .collect(),
+    }
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("ablations", "design-choice ablations (extension)");
+    let data = sweep();
+
+    report.row("R-HAM block size (paper chooses 4):");
+    report.row(format!(
+        "  {:>6} {:>12} {:>16} {:>11}",
+        "bits", "resolvable", "overscale-safe", "switching"
+    ));
+    for (bits, resolvable, safe, switching) in &data.block_size {
+        report.row(format!(
+            "  {:>6} {:>12} {:>16} {:>10.1}%",
+            bits,
+            resolvable,
+            safe,
+            switching * 100.0
+        ));
+    }
+    report.row(format!(
+        "  model recommendation: {} bits",
+        recommended_block_size(8)
+    ));
+
+    report.row("A-HAM stage count at D = 10,000, 14-bit LTAs (paper chooses 14):");
+    report.row(format!(
+        "  {:>8} {:>16} {:>12}",
+        "stages", "min detectable", "energy (pJ)"
+    ));
+    for (stages, md, energy) in &data.multistage {
+        report.row(format!("  {stages:>8} {md:>16} {energy:>12.1}"));
+    }
+
+    report.row("D-HAM comparator organization (paper chooses the tree):");
+    report.row(format!(
+        "  {:>8} {:>12} {:>13}",
+        "classes", "tree stages", "chain stages"
+    ));
+    for (classes, tree, chain) in &data.comparator {
+        report.row(format!("  {classes:>8} {tree:>12} {chain:>13}"));
+    }
+
+    report.set_data(&data);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_report_covers_all_three_studies() {
+        let r = run();
+        assert_eq!(r.id, "ablations");
+        let text = r.render();
+        assert!(text.contains("block size"));
+        assert!(text.contains("stage count"));
+        assert!(text.contains("comparator"));
+        assert!(text.contains("recommendation: 4 bits"));
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let data = sweep();
+        assert_eq!(data.block_size.len(), 8);
+        assert_eq!(data.multistage.len(), 8);
+        assert_eq!(data.comparator.len(), 5);
+    }
+}

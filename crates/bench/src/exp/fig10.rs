@@ -1,0 +1,114 @@
+//! **Fig. 10** — energy, search delay and energy-delay product vs number
+//! of classes (`C = 6 … 100`) at `D = 10,000`.
+//!
+//! Paper growth factors over the 16.6× class range: D-HAM 12.6× energy /
+//! 3.5× delay, R-HAM 11.4× / 3.4×, A-HAM 15.9× / 4.4× — A-HAM is the most
+//! sensitive to `C` because its LTA tree dominates both metrics.
+
+use ham_core::explore::{class_sweep, DesignKind, SweepPoint};
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// The class grid of the figure.
+pub fn classes() -> Vec<usize> {
+    vec![6, 12, 25, 50, 100]
+}
+
+/// One design's series over the grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// The design.
+    pub design: String,
+    /// `(C, energy pJ, delay ns, EDP pJ·ns)` rows.
+    pub points: Vec<(usize, f64, f64, f64)>,
+    /// Energy growth factor across the grid.
+    pub energy_growth: f64,
+    /// Delay growth factor across the grid.
+    pub delay_growth: f64,
+}
+
+fn to_series(points: &[SweepPoint], kind: DesignKind) -> Series {
+    let rows: Vec<(usize, f64, f64, f64)> = points
+        .iter()
+        .filter(|p| p.kind == kind)
+        .map(|p| {
+            (
+                p.classes,
+                p.cost.energy.get(),
+                p.cost.delay.get(),
+                p.cost.edp().get(),
+            )
+        })
+        .collect();
+    Series {
+        design: kind.name().to_owned(),
+        energy_growth: rows.last().unwrap().1 / rows[0].1,
+        delay_growth: rows.last().unwrap().2 / rows[0].2,
+        points: rows,
+    }
+}
+
+/// Computes the three series at `D = 10,000`.
+pub fn sweep() -> Vec<Series> {
+    let points = class_sweep(&classes(), 10_000, 0xF170);
+    DesignKind::ALL
+        .iter()
+        .map(|&k| to_series(&points, k))
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig10", "impact of scaling C (D = 10,000)");
+    let series = sweep();
+    report.row(format!(
+        "{:>8} {:>8} {:>14} {:>12} {:>16}",
+        "design", "C", "energy (pJ)", "delay (ns)", "EDP (pJ·ns)"
+    ));
+    for s in &series {
+        for (c, e, t, edp) in &s.points {
+            report.row(format!(
+                "{:>8} {:>8} {:>14.2} {:>12.2} {:>16.1}",
+                s.design, c, e, t, edp
+            ));
+        }
+        report.row(format!(
+            "{:>8} growth over the range: {:.1}× energy, {:.1}× delay",
+            s.design, s.energy_growth, s.delay_growth
+        ));
+    }
+    report.row("paper growth: D-HAM 12.6×/3.5×, R-HAM 11.4×/3.4×, A-HAM 15.9×/4.4×".to_owned());
+    report.set_data(&series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aham_is_most_class_sensitive() {
+        let series = sweep();
+        let find = |name: &str| series.iter().find(|s| s.design == name).unwrap();
+        let dham = find("D-HAM");
+        let rham = find("R-HAM");
+        let aham = find("A-HAM");
+        // Paper: A-HAM's energy grows fastest with C; R-HAM slowest.
+        assert!(aham.energy_growth > dham.energy_growth);
+        assert!(aham.energy_growth > rham.energy_growth);
+        // All energy growth factors are order ~10–20×.
+        for s in [&dham, &rham, &aham] {
+            assert!((8.0..25.0).contains(&s.energy_growth), "{} {}", s.design, s.energy_growth);
+        }
+        // Delays grow by a few ×.
+        for s in [&dham, &rham, &aham] {
+            assert!((1.2..6.0).contains(&s.delay_growth), "{} {}", s.design, s.delay_growth);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() > 15);
+    }
+}

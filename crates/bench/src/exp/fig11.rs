@@ -1,0 +1,118 @@
+//! **Fig. 11** — energy-delay product of the HAMs, normalized to the
+//! unapproximated D-HAM, as the tolerated error in the distance grows
+//! (`C = 100`, `D = 10,000`).
+//!
+//! Paper headline: at the maximum-accuracy budget (1,000 bits) R-HAM is
+//! 7.3× and A-HAM 746× below D-HAM; at the moderate budget (3,000 bits)
+//! 9.6× and 1347×, with A-HAM gaining 2.4× from the max → moderate switch
+//! (R-HAM 1.4×).
+
+use ham_core::explore::{edp_vs_error, ErrorSweepPoint};
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// The error grid of the figure.
+pub fn errors() -> Vec<usize> {
+    (0..=8).map(|i| i * 500).collect()
+}
+
+/// One reported point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    /// Tolerated error, bits.
+    pub error_bits: usize,
+    /// D-HAM EDP normalized to the baseline D-HAM.
+    pub dham: f64,
+    /// R-HAM normalized EDP.
+    pub rham: f64,
+    /// A-HAM normalized EDP.
+    pub aham: f64,
+}
+
+impl From<&ErrorSweepPoint> for Point {
+    fn from(p: &ErrorSweepPoint) -> Self {
+        Point {
+            error_bits: p.error_bits,
+            dham: p.dham_normalized_edp(),
+            rham: p.rham_normalized_edp(),
+            aham: p.aham_normalized_edp(),
+        }
+    }
+}
+
+/// Computes the normalized-EDP curves.
+pub fn sweep() -> Vec<Point> {
+    edp_vs_error(&errors(), 100, 10_000, 0xF171)
+        .iter()
+        .map(Point::from)
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig11", "energy-delay of the HAMs vs tolerated distance error");
+    let points = sweep();
+    report.row(format!(
+        "{:>12} {:>10} {:>10} {:>12}",
+        "error(bits)", "D-HAM", "R-HAM", "A-HAM"
+    ));
+    for p in &points {
+        report.row(format!(
+            "{:>12} {:>10.3} {:>10.4} {:>12.6}",
+            p.error_bits, p.dham, p.rham, p.aham
+        ));
+    }
+    let at = |e: usize| points.iter().find(|p| p.error_bits == e).unwrap();
+    report.row(format!(
+        "max accuracy (1,000 bits): R-HAM {:.1}× (paper 7.3×), A-HAM {:.0}× (paper 746×)",
+        1.0 / at(1_000).rham,
+        1.0 / at(1_000).aham
+    ));
+    report.row(format!(
+        "moderate accuracy (3,000 bits): R-HAM {:.1}× (paper 9.6×), A-HAM {:.0}× (paper 1347×)",
+        1.0 / at(3_000).rham,
+        1.0 / at(3_000).aham
+    ));
+    report.set_data(&points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_ratios() {
+        let points = sweep();
+        let at = |e: usize| points.iter().find(|p| p.error_bits == e).unwrap();
+        let max_r = 1.0 / at(1_000).rham;
+        let max_a = 1.0 / at(1_000).aham;
+        let mod_r = 1.0 / at(3_000).rham;
+        let mod_a = 1.0 / at(3_000).aham;
+        assert!((6.3..8.3).contains(&max_r), "R-HAM max {max_r}");
+        assert!((650.0..850.0).contains(&max_a), "A-HAM max {max_a}");
+        assert!((8.2..11.2).contains(&mod_r), "R-HAM moderate {mod_r}");
+        assert!((1_100.0..1_600.0).contains(&mod_a), "A-HAM moderate {mod_a}");
+        // Max → moderate improvement steps (paper: 1.4× and 2.4×).
+        let r_step = at(1_000).rham / at(3_000).rham;
+        let a_step = at(1_000).aham / at(3_000).aham;
+        assert!((1.1..1.8).contains(&r_step), "R-HAM step {r_step}");
+        assert!((1.4..2.9).contains(&a_step), "A-HAM step {a_step}");
+    }
+
+    #[test]
+    fn curves_are_monotone_nonincreasing() {
+        let points = sweep();
+        for w in points.windows(2) {
+            assert!(w[1].dham <= w[0].dham + 1e-12);
+            assert!(w[1].rham <= w[0].rham + 1e-12);
+            assert!(w[1].aham <= w[0].aham + 1e-12);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() >= 12);
+    }
+}

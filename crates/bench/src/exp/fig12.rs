@@ -1,0 +1,92 @@
+//! **Fig. 12** — area comparison of the three HAMs at `D = 10,000`,
+//! `C = 100`.
+//!
+//! Paper: R-HAM is 1.4× and A-HAM 3× smaller than D-HAM; the LTA blocks
+//! occupy 69% of the A-HAM area.
+
+use ham_core::explore::{build, random_memory, DesignKind};
+use ham_core::tech::TechnologyModel;
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// One design's area row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// The design.
+    pub design: String,
+    /// Total area, mm².
+    pub area_mm2: f64,
+    /// Area relative to D-HAM (D-HAM = 1.0).
+    pub vs_dham: f64,
+}
+
+/// Computes the comparison at the paper's configuration.
+pub fn rows() -> Vec<Row> {
+    let memory = random_memory(100, 10_000, 0xF172);
+    let areas: Vec<(String, f64)> = DesignKind::ALL
+        .iter()
+        .map(|&k| {
+            let design = build(k, &memory).expect("memory nonempty");
+            (k.name().to_owned(), design.cost().area.get())
+        })
+        .collect();
+    let dham_area = areas[0].1;
+    areas
+        .into_iter()
+        .map(|(design, area_mm2)| Row {
+            design,
+            area_mm2,
+            vs_dham: area_mm2 / dham_area,
+        })
+        .collect()
+}
+
+/// The LTA fraction of the A-HAM area.
+pub fn aham_lta_fraction() -> f64 {
+    let t = TechnologyModel::hpca17();
+    let lta = t.aham_lta_area(100, 14);
+    let total = t.aham_cam_area(100, 10_000) + lta;
+    lta / total
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig12", "area comparison between the HAMs (D = 10,000, C = 100)");
+    report.row(format!("{:>8} {:>12} {:>10}", "design", "area (mm²)", "vs D-HAM"));
+    let rows = rows();
+    for r in &rows {
+        report.row(format!(
+            "{:>8} {:>12.1} {:>9.2}×",
+            r.design, r.area_mm2, 1.0 / r.vs_dham
+        ));
+    }
+    report.row(format!(
+        "A-HAM LTA fraction: {:.0}% (paper: 69%)",
+        aham_lta_fraction() * 100.0
+    ));
+    report.row("paper: R-HAM 1.4× and A-HAM 3× smaller than D-HAM".to_owned());
+    report.set_data(&rows);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_paper() {
+        let rows = rows();
+        assert_eq!(rows[0].design, "D-HAM");
+        let r_ratio = 1.0 / rows[1].vs_dham;
+        let a_ratio = 1.0 / rows[2].vs_dham;
+        assert!((1.2..1.6).contains(&r_ratio), "R-HAM ratio {r_ratio}");
+        assert!((2.5..3.5).contains(&a_ratio), "A-HAM ratio {a_ratio}");
+        assert!((aham_lta_fraction() - 0.69).abs() < 0.05);
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() >= 6);
+    }
+}

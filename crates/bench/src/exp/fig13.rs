@@ -1,0 +1,152 @@
+//! **Fig. 13** — impact of process and voltage variation on A-HAM's
+//! minimum detectable Hamming distance, with the moderate-accuracy border.
+//!
+//! Paper anchors: at nominal LTA supply the moderate-accuracy border is
+//! crossed beyond ≈15% process variation (≈10% at 5% supply droop, ≈5% at
+//! 10% droop); at 35% process variation the classification accuracy is
+//! 94.3 / 92.1 / 89.2 % for nominal / 5% / 10% voltage variation.
+
+use circuit_sim::montecarlo::VariationModel;
+use ham_core::aham::AHam;
+use ham_core::model::HamDesign;
+use serde::Serialize;
+
+use crate::context::Workload;
+use crate::exp::fig7::LANGUAGE_MARGIN_BORDER;
+use crate::report::Report;
+
+/// One point of the variation study.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    /// 3σ process variation fraction.
+    pub process_3sigma: f64,
+    /// Supply-variation fraction of the 1.8 V LTA rail.
+    pub voltage_fraction: f64,
+    /// Resulting minimum detectable distance at `D = 10,000`.
+    pub min_detectable: usize,
+}
+
+/// The process-variation grid.
+pub fn process_grid() -> Vec<f64> {
+    (0..=7).map(|i| i as f64 * 0.05).collect()
+}
+
+/// The three supply-droop curves of the figure.
+pub const VOLTAGE_POINTS: [f64; 3] = [0.0, 0.05, 0.10];
+
+/// Computes the resolution surface.
+pub fn sweep() -> Vec<Point> {
+    let resolution = circuit_sim::analog::ResolutionModel::recommended(10_000);
+    let mut out = Vec::new();
+    for &vv in &VOLTAGE_POINTS {
+        for &pv in &process_grid() {
+            let md = resolution.min_detectable_with_variation(VariationModel::new(pv, vv));
+            out.push(Point {
+                process_3sigma: pv,
+                voltage_fraction: vv,
+                min_detectable: md,
+            });
+        }
+    }
+    out
+}
+
+/// The measured classification accuracy of A-HAM under a variation model,
+/// over a trained workload.
+pub fn accuracy_under_variation(workload: &Workload, variation: VariationModel) -> f64 {
+    let aham = AHam::new(workload.classifier().memory())
+        .expect("classifier has classes")
+        .with_variation(variation);
+    workload.accuracy_with(|q| aham.search(q).expect("search succeeds").class)
+}
+
+/// Runs the experiment and formats the report.
+pub fn run(workload: &Workload) -> Report {
+    let mut report = Report::new(
+        "fig13",
+        "process/voltage variation vs A-HAM minimum detectable distance",
+    );
+    let points = sweep();
+    report.row(format!(
+        "{:>12} {:>12} {:>14} {:>8}",
+        "process 3σ", "voltage var", "min detectable", "border"
+    ));
+    for p in &points {
+        let marker = if p.min_detectable > LANGUAGE_MARGIN_BORDER {
+            "over"
+        } else {
+            "ok"
+        };
+        report.row(format!(
+            "{:>11.0}% {:>11.0}% {:>14} {:>8}",
+            p.process_3sigma * 100.0,
+            p.voltage_fraction * 100.0,
+            p.min_detectable,
+            marker
+        ));
+    }
+    // Accuracy at the paper's worst-case corner.
+    let accs: Vec<(f64, f64)> = VOLTAGE_POINTS
+        .iter()
+        .map(|&vv| {
+            (
+                vv,
+                accuracy_under_variation(workload, VariationModel::new(0.35, vv)),
+            )
+        })
+        .collect();
+    for (vv, acc) in &accs {
+        report.row(format!(
+            "accuracy at 35% process variation, {:.0}% voltage variation: {:.1}%",
+            vv * 100.0,
+            acc * 100.0
+        ));
+    }
+    report.row("paper: 94.3% / 92.1% / 89.2% at nominal / 5% / 10% voltage variation".to_owned());
+    report.set_data(&(points, accs));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::WorkloadScale;
+
+    #[test]
+    fn borders_match_paper() {
+        let points = sweep();
+        let md = |pv: f64, vv: f64| {
+            points
+                .iter()
+                .find(|p| (p.process_3sigma - pv).abs() < 1e-9 && (p.voltage_fraction - vv).abs() < 1e-9)
+                .unwrap()
+                .min_detectable
+        };
+        // Nominal voltage: over the border beyond ≈15% process variation.
+        assert!(md(0.15, 0.0) <= LANGUAGE_MARGIN_BORDER + 2);
+        assert!(md(0.20, 0.0) > LANGUAGE_MARGIN_BORDER);
+        // 5% droop: border at ≈10%; 10% droop: border at ≈5%.
+        assert!(md(0.10, 0.05) <= LANGUAGE_MARGIN_BORDER + 3);
+        assert!(md(0.15, 0.05) > LANGUAGE_MARGIN_BORDER);
+        assert!(md(0.05, 0.10) <= LANGUAGE_MARGIN_BORDER + 3);
+        assert!(md(0.10, 0.10) > LANGUAGE_MARGIN_BORDER);
+        // Monotone in both axes.
+        assert!(md(0.35, 0.10) > md(0.35, 0.0));
+        assert!(md(0.35, 0.0) > md(0.0, 0.0));
+    }
+
+    #[test]
+    fn accuracy_degrades_with_variation() {
+        let w = Workload::build(WorkloadScale::Quick);
+        let nominal = accuracy_under_variation(&w, VariationModel::NOMINAL);
+        let worst = accuracy_under_variation(&w, VariationModel::new(0.35, 0.10));
+        assert!(worst <= nominal);
+    }
+
+    #[test]
+    fn report_renders() {
+        let w = Workload::build(WorkloadScale::Quick);
+        let r = run(&w);
+        assert!(r.rows.len() > 25);
+    }
+}

@@ -1,0 +1,122 @@
+//! **Fig. 5** — R-HAM relative energy saving: structured sampling (turning
+//! blocks off) versus distributed voltage overscaling, as a function of
+//! the tolerated error in the distance metric.
+//!
+//! Paper anchors: at the maximum-accuracy budget (1,000 bits) sampling
+//! saves 9% (250 blocks off) while overscaling saves almost 2× more
+//! (1,000 blocks at 0.78 V); at the moderate budget, 22% (750 blocks) vs
+//! ≈50% (all 2,500 blocks).
+
+use ham_core::explore::random_memory;
+use ham_core::rham::{RHam, BLOCK_BITS};
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// One point of the saving curves.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    /// Tolerated error in the distance, bits.
+    pub error_bits: usize,
+    /// Relative crossbar energy saving from sampling alone.
+    pub sampling: f64,
+    /// Relative crossbar energy saving from voltage overscaling alone.
+    pub overscaling: f64,
+}
+
+/// Sweeps the two techniques over an error grid.
+pub fn sweep() -> Vec<Point> {
+    let memory = random_memory(100, 10_000, 0xF165);
+    let base = RHam::new(&memory).expect("memory nonempty");
+    let blocks = base.total_blocks();
+    (0..=5)
+        .map(|i| {
+            let error_bits = i * 500;
+            // Sampling: an excluded block forfeits up to 4 bits of
+            // distance, so e bits of budget turn off e/4 blocks.
+            let excluded = (error_bits / BLOCK_BITS).min(blocks - 1);
+            let sampling = base
+                .clone()
+                .with_excluded_blocks(excluded)
+                .relative_cam_energy_saving();
+            // Overscaling: each 0.78 V block tolerates one bit of error.
+            let overscaled = error_bits.min(blocks);
+            let overscaling = base
+                .clone()
+                .with_overscaled_blocks(overscaled)
+                .relative_cam_energy_saving();
+            Point {
+                error_bits,
+                sampling,
+                overscaling,
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "fig5",
+        "R-HAM energy saving: structured sampling vs distributed voltage overscaling",
+    );
+    report.row(format!(
+        "{:>12} {:>12} {:>14}",
+        "error(bits)", "sampling", "overscaling"
+    ));
+    let points = sweep();
+    for p in &points {
+        report.row(format!(
+            "{:>12} {:>11.1}% {:>13.1}%",
+            p.error_bits,
+            p.sampling * 100.0,
+            p.overscaling * 100.0
+        ));
+    }
+    report.row("paper anchors: 9% vs ~18% at 1,000 bits; 22% vs ~50% at the moderate point".to_owned());
+    report.set_data(&points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overscaling_beats_sampling_everywhere() {
+        let points = sweep();
+        for p in points.iter().skip(1) {
+            assert!(
+                p.overscaling > 1.5 * p.sampling,
+                "at {} bits: {} vs {}",
+                p.error_bits,
+                p.overscaling,
+                p.sampling
+            );
+        }
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        let points = sweep();
+        let at_1000 = points.iter().find(|p| p.error_bits == 1_000).unwrap();
+        assert!((at_1000.sampling - 0.10).abs() < 0.02, "sampling {}", at_1000.sampling);
+        assert!((at_1000.overscaling - 0.20).abs() < 0.03, "vos {}", at_1000.overscaling);
+        let at_2500 = points.iter().find(|p| p.error_bits == 2_500).unwrap();
+        assert!((at_2500.overscaling - 0.50).abs() < 0.02, "vos all {}", at_2500.overscaling);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let points = sweep();
+        for w in points.windows(2) {
+            assert!(w[1].sampling >= w[0].sampling);
+            assert!(w[1].overscaling >= w[0].overscaling);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() >= 7);
+    }
+}

@@ -1,0 +1,115 @@
+//! **Fig. 7** — minimum detectable Hamming distance of A-HAM vs
+//! dimensionality, single-stage and multistage.
+//!
+//! Paper anchors: one-bit resolution up to `D = 512`; 43 bits at
+//! `D = 10,000` single-stage; 14 bits at `D = 10,000` with 14 stages and
+//! 14-bit LTAs; the ≈22-bit minimum inter-language margin is the border
+//! below which no misclassification is imposed.
+
+use circuit_sim::analog::ResolutionModel;
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// The paper's observed minimum distance between any two learned language
+/// hypervectors — A-HAM resolution below this border costs no accuracy.
+pub const LANGUAGE_MARGIN_BORDER: usize = 22;
+
+/// One point of the resolution curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Dimensionality `D`.
+    pub dim: usize,
+    /// Minimum detectable distance with a single 10-bit stage.
+    pub single_stage: usize,
+    /// Stages of the recommended multistage configuration.
+    pub stages: usize,
+    /// LTA bits of the recommended configuration.
+    pub lta_bits: u32,
+    /// Minimum detectable distance of the recommended configuration.
+    pub multistage: usize,
+}
+
+/// The dimension grid of the figure.
+pub fn dims() -> Vec<usize> {
+    vec![64, 128, 256, 512, 1_024, 2_048, 4_096, 10_000]
+}
+
+/// Computes the curve.
+pub fn sweep() -> Vec<Point> {
+    dims()
+        .into_iter()
+        .map(|dim| {
+            let single = ResolutionModel::new(dim, 1, 10);
+            let multi = ResolutionModel::recommended(dim);
+            Point {
+                dim,
+                single_stage: single.min_detectable_distance(),
+                stages: multi.stages(),
+                lta_bits: multi.lta_bits(),
+                multistage: multi.min_detectable_distance(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig7", "minimum detectable distance in A-HAM");
+    report.row(format!(
+        "{:>8} {:>14} {:>8} {:>6} {:>12}",
+        "D", "single-stage", "stages", "bits", "multistage"
+    ));
+    let points = sweep();
+    for p in &points {
+        report.row(format!(
+            "{:>8} {:>14} {:>8} {:>6} {:>12}",
+            p.dim, p.single_stage, p.stages, p.lta_bits, p.multistage
+        ));
+    }
+    report.row(format!(
+        "misclassification border (min inter-language margin): {LANGUAGE_MARGIN_BORDER} bits"
+    ));
+    report.row("paper anchors: 1 @ D<=512; 43 @ D=10,000 single-stage; 14 @ 14 stages/14 bits".to_owned());
+    report.set_data(&points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let points = sweep();
+        for p in &points {
+            if p.dim <= 512 {
+                assert_eq!(p.single_stage, 1, "D = {}", p.dim);
+                assert_eq!(p.multistage, 1, "D = {}", p.dim);
+            }
+        }
+        let top = points.last().unwrap();
+        assert_eq!(top.dim, 10_000);
+        assert!((40..=46).contains(&top.single_stage), "{}", top.single_stage);
+        assert_eq!(top.stages, 14);
+        assert_eq!(top.lta_bits, 14);
+        assert!((12..=16).contains(&top.multistage), "{}", top.multistage);
+        // The multistage configuration stays below the misclassification
+        // border at every D.
+        assert!(points.iter().all(|p| p.multistage < LANGUAGE_MARGIN_BORDER));
+    }
+
+    #[test]
+    fn curves_are_monotone_in_dimension() {
+        let points = sweep();
+        for w in points.windows(2) {
+            assert!(w[1].single_stage >= w[0].single_stage);
+            assert!(w[1].multistage >= w[0].multistage);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() >= 10);
+    }
+}

@@ -1,0 +1,115 @@
+//! **Fig. 9** — energy, search delay and energy-delay product vs
+//! dimensionality (`D = 512 … 10,000`) at `C = 21`.
+//!
+//! Paper growth factors over the 20× dimension range: D-HAM 8.3× energy /
+//! 2.2× delay, R-HAM 8.2× / 2.0×, A-HAM 1.9× / 1.7× — A-HAM scales by far
+//! the most gently because only its LTA resolution grows with `D`.
+
+use ham_core::explore::{dimension_sweep, DesignKind, SweepPoint};
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// The dimension grid of the figure.
+pub fn dims() -> Vec<usize> {
+    vec![512, 1_000, 2_000, 4_000, 10_000]
+}
+
+/// One design's series over the grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// The design.
+    pub design: String,
+    /// `(D, energy pJ, delay ns, EDP pJ·ns)` rows.
+    pub points: Vec<(usize, f64, f64, f64)>,
+    /// Energy growth factor across the grid.
+    pub energy_growth: f64,
+    /// Delay growth factor across the grid.
+    pub delay_growth: f64,
+}
+
+fn to_series(points: &[SweepPoint], kind: DesignKind) -> Series {
+    let rows: Vec<(usize, f64, f64, f64)> = points
+        .iter()
+        .filter(|p| p.kind == kind)
+        .map(|p| {
+            (
+                p.dim,
+                p.cost.energy.get(),
+                p.cost.delay.get(),
+                p.cost.edp().get(),
+            )
+        })
+        .collect();
+    let energy_growth = rows.last().unwrap().1 / rows[0].1;
+    let delay_growth = rows.last().unwrap().2 / rows[0].2;
+    Series {
+        design: kind.name().to_owned(),
+        points: rows,
+        energy_growth,
+        delay_growth,
+    }
+}
+
+/// Computes the three series at `C = 21`.
+pub fn sweep() -> Vec<Series> {
+    let points = dimension_sweep(&dims(), 21, 0xF169);
+    DesignKind::ALL
+        .iter()
+        .map(|&k| to_series(&points, k))
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("fig9", "impact of scaling D (C = 21)");
+    let series = sweep();
+    report.row(format!(
+        "{:>8} {:>8} {:>14} {:>12} {:>16}",
+        "design", "D", "energy (pJ)", "delay (ns)", "EDP (pJ·ns)"
+    ));
+    for s in &series {
+        for (d, e, t, edp) in &s.points {
+            report.row(format!(
+                "{:>8} {:>8} {:>14.2} {:>12.2} {:>16.1}",
+                s.design, d, e, t, edp
+            ));
+        }
+        report.row(format!(
+            "{:>8} growth over the range: {:.1}× energy, {:.1}× delay",
+            s.design, s.energy_growth, s.delay_growth
+        ));
+    }
+    report.row("paper growth: D-HAM 8.3×/2.2×, R-HAM 8.2×/2.0×, A-HAM 1.9×/1.7×".to_owned());
+    report.set_data(&series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_growth_shapes() {
+        let series = sweep();
+        let find = |name: &str| series.iter().find(|s| s.design == name).unwrap();
+        let dham = find("D-HAM");
+        let rham = find("R-HAM");
+        let aham = find("A-HAM");
+        // A-HAM grows most gently; D-HAM and R-HAM grow near-linearly.
+        assert!(aham.energy_growth < 4.0, "A-HAM energy {}", aham.energy_growth);
+        assert!(aham.delay_growth < 2.0, "A-HAM delay {}", aham.delay_growth);
+        assert!(dham.energy_growth > 2.0 * aham.energy_growth);
+        assert!(rham.energy_growth > 2.0 * aham.energy_growth);
+        // At every D, EDP ordering holds: A < R < D.
+        for i in 0..dham.points.len() {
+            assert!(aham.points[i].3 < rham.points[i].3);
+            assert!(rham.points[i].3 < dham.points[i].3);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().rows.len() > 15);
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod equivalence;
+pub mod operating_points;
+pub mod retraining;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,170 @@
+//! **Operating points** (extension) — the paper's bottom line, measured
+//! end to end: for every design and approximation setting, the
+//! classification accuracy *and* the energy-delay product, on the same
+//! trained workload. This ties Fig. 1 (what accuracy an error budget
+//! costs) to Fig. 11 (what EDP that budget buys) in one table.
+
+use ham_core::aham::AHam;
+use ham_core::dham::DHam;
+use ham_core::model::HamDesign;
+use ham_core::rham::RHam;
+use serde::Serialize;
+
+use crate::context::Workload;
+use crate::report::Report;
+
+/// One operating point.
+#[derive(Debug, Clone, Serialize)]
+pub struct OperatingPoint {
+    /// The design name.
+    pub design: String,
+    /// The approximation setting.
+    pub setting: String,
+    /// Measured classification accuracy.
+    pub accuracy: f64,
+    /// Energy-delay product, pJ·ns.
+    pub edp: f64,
+    /// EDP improvement over the unapproximated D-HAM.
+    pub edp_gain: f64,
+}
+
+/// Builds the operating-point menu over a trained workload.
+pub fn sweep(workload: &Workload) -> Vec<OperatingPoint> {
+    let memory = workload.classifier().memory();
+    let dim = memory.dim().get();
+    let blocks = dim.div_ceil(4);
+
+    let designs: Vec<(String, Box<dyn HamDesign>)> = vec![
+        (
+            "full precision".into(),
+            Box::new(DHam::new(memory).expect("memory nonempty")) as Box<dyn HamDesign>,
+        ),
+        (
+            "sampling d = 0.9·D".into(),
+            Box::new(DHam::with_sampling(memory, dim * 9 / 10).expect("valid sampling")),
+        ),
+        (
+            "sampling d = 0.7·D".into(),
+            Box::new(DHam::with_sampling(memory, dim * 7 / 10).expect("valid sampling")),
+        ),
+        (
+            "nominal voltage".into(),
+            Box::new(RHam::new(memory).expect("memory nonempty")),
+        ),
+        (
+            "40% blocks overscaled".into(),
+            Box::new(
+                RHam::new(memory)
+                    .expect("memory nonempty")
+                    .with_overscaled_blocks(blocks * 2 / 5),
+            ),
+        ),
+        (
+            "all blocks overscaled".into(),
+            Box::new(
+                RHam::new(memory)
+                    .expect("memory nonempty")
+                    .with_overscaled_blocks(blocks),
+            ),
+        ),
+        (
+            "max-accuracy LTA".into(),
+            Box::new(AHam::new(memory).expect("memory nonempty")),
+        ),
+        (
+            "moderate LTA (−3 bits)".into(),
+            Box::new({
+                let max = AHam::new(memory).expect("memory nonempty");
+                let bits = max.lta_bits().saturating_sub(3).max(8);
+                max.with_lta_bits(bits)
+            }),
+        ),
+    ];
+
+    let baseline_edp = designs[0].1.cost().edp().get();
+    designs
+        .into_iter()
+        .map(|(setting, design)| {
+            let accuracy =
+                workload.accuracy_with(|q| design.search(q).expect("search succeeds").class);
+            let edp = design.cost().edp().get();
+            OperatingPoint {
+                design: design.name().to_owned(),
+                setting,
+                accuracy,
+                edp,
+                edp_gain: baseline_edp / edp,
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run(workload: &Workload) -> Report {
+    let mut report = Report::new(
+        "operating_points",
+        "accuracy vs energy-delay across every approximation knob (extension)",
+    );
+    report.row(format!(
+        "{:>8} {:>24} {:>10} {:>14} {:>10}",
+        "design", "setting", "accuracy", "EDP (pJ·ns)", "gain"
+    ));
+    let points = sweep(workload);
+    for p in &points {
+        report.row(format!(
+            "{:>8} {:>24} {:>9.1}% {:>14.1} {:>9.1}×",
+            p.design,
+            p.setting,
+            p.accuracy * 100.0,
+            p.edp,
+            p.edp_gain
+        ));
+    }
+    report.set_data(&points);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::WorkloadScale;
+
+    #[test]
+    fn menu_shape_and_tradeoffs() {
+        let workload = Workload::build(WorkloadScale::Quick);
+        let points = sweep(&workload);
+        assert_eq!(points.len(), 8);
+        let exact = workload.exact_accuracy();
+        // Every knob keeps accuracy within a few points of exact…
+        for p in &points {
+            assert!(
+                exact - p.accuracy < 0.08,
+                "{} / {}: accuracy {} vs exact {exact}",
+                p.design,
+                p.setting,
+                p.accuracy
+            );
+            assert!(p.edp_gain >= 0.99, "gains are relative to the worst point");
+        }
+        // …and the EDP ordering across designs holds.
+        let gain = |design: &str, setting: &str| {
+            points
+                .iter()
+                .find(|p| p.design == design && p.setting.contains(setting))
+                .map(|p| p.edp_gain)
+                .expect("point exists")
+        };
+        assert!(gain("R-HAM", "all blocks") > gain("R-HAM", "nominal"));
+        assert!(gain("A-HAM", "moderate") > gain("A-HAM", "max-accuracy"));
+        assert!(gain("A-HAM", "max-accuracy") > gain("R-HAM", "all blocks"));
+        assert!(gain("D-HAM", "0.7") > gain("D-HAM", "0.9"));
+    }
+
+    #[test]
+    fn report_renders() {
+        let workload = Workload::build(WorkloadScale::Quick);
+        let r = run(&workload);
+        assert_eq!(r.id, "operating_points");
+        assert_eq!(r.rows.len(), 9);
+    }
+}

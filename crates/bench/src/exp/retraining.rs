@@ -1,0 +1,109 @@
+//! **Retraining** (extension) — single-pass learning (the paper's
+//! baseline) versus perceptron-style retraining, across dimensionalities.
+//! Retraining pays off most where the single-pass bundle saturates
+//! (small `D`), and never costs the hardware anything: the refined rows
+//! are plain hypervectors.
+
+use langid::prelude::*;
+use langid::retrain::{retrain, RetrainOptions};
+use serde::Serialize;
+
+use crate::context::{Workload, WorkloadScale};
+use crate::report::Report;
+
+/// One comparison row.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Row {
+    /// Dimensionality `D`.
+    pub dim: usize,
+    /// Single-pass (paper baseline) accuracy.
+    pub baseline: f64,
+    /// Accuracy after retraining.
+    pub retrained: f64,
+    /// Training-chunk error rate of the final replay epoch.
+    pub final_train_error: f64,
+}
+
+/// The dimension grid (trimmed at quick scale).
+pub fn dims(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![500, 2_000]
+    } else {
+        vec![500, 1_000, 2_000, 10_000]
+    }
+}
+
+/// Runs the comparison.
+pub fn sweep(scale: WorkloadScale) -> Vec<Row> {
+    let spec = CorpusSpec::new(Workload::DEFAULT_SEED)
+        .train_chars(scale.train_chars())
+        .test_sentences(scale.test_sentences());
+    let train = spec.training_set();
+    let test = spec.test_set();
+    dims(scale == WorkloadScale::Quick)
+        .into_iter()
+        .map(|dim| {
+            let config = ClassifierConfig::new(dim).expect("nonzero dimension");
+            let baseline = LanguageClassifier::train(&config, &train).expect("training succeeds");
+            let baseline_acc = evaluate(&baseline, &test).expect("evaluation succeeds").accuracy();
+            let (refined, report) =
+                retrain(&config, &train, &RetrainOptions::default()).expect("retraining succeeds");
+            let retrained_acc = evaluate(&refined, &test).expect("evaluation succeeds").accuracy();
+            Row {
+                dim,
+                baseline: baseline_acc,
+                retrained: retrained_acc,
+                final_train_error: report.final_error_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run(scale: WorkloadScale) -> Report {
+    let mut report = Report::new("retraining", "single-pass vs retrained classifier (extension)");
+    report.row(format!(
+        "{:>8} {:>10} {:>10} {:>18}",
+        "D", "baseline", "retrained", "final train error"
+    ));
+    let rows = sweep(scale);
+    for r in &rows {
+        report.row(format!(
+            "{:>8} {:>9.1}% {:>9.1}% {:>17.1}%",
+            r.dim,
+            r.baseline * 100.0,
+            r.retrained * 100.0,
+            r.final_train_error * 100.0
+        ));
+    }
+    report.set_data(&rows);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retraining_never_collapses_and_helps_when_saturated() {
+        let rows = sweep(WorkloadScale::Quick);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.retrained >= r.baseline - 0.05,
+                "D = {}: retrained {} vs baseline {}",
+                r.dim,
+                r.retrained,
+                r.baseline
+            );
+            assert!(r.final_train_error <= 0.5);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(WorkloadScale::Quick);
+        assert_eq!(r.id, "retraining");
+        assert!(r.rows.len() >= 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! **Table I** — energy and area partitioning of D-HAM at `C = 100` for
+//! `D = 10,000` and the sampled `d = 9,000 / 7,000` design points.
+
+use ham_core::dham::DHam;
+use ham_core::explore::random_memory;
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// One Table I row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Sampled dimensions `d`.
+    pub d: usize,
+    /// CAM-array area, mm².
+    pub cam_area_mm2: f64,
+    /// Counters + comparators area, mm².
+    pub logic_area_mm2: f64,
+    /// CAM-array energy, pJ.
+    pub cam_energy_pj: f64,
+    /// Counters + comparators energy, pJ.
+    pub logic_energy_pj: f64,
+}
+
+/// Computes the three Table I rows.
+pub fn rows() -> Vec<Row> {
+    let memory = random_memory(100, 10_000, 0x7AB1E1);
+    [10_000usize, 9_000, 7_000]
+        .iter()
+        .map(|&d| {
+            let dham = DHam::with_sampling(&memory, d).expect("valid sampling");
+            let (cam_e, logic_e) = dham.energy_breakdown();
+            let (cam_a, logic_a) = dham.area_breakdown();
+            Row {
+                d,
+                cam_area_mm2: cam_a.get(),
+                logic_area_mm2: logic_a.get(),
+                cam_energy_pj: cam_e.get(),
+                logic_energy_pj: logic_e.get(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("table1", "energy and area partitioning for D-HAM (C = 100)");
+    let rows = rows();
+    report.row(format!(
+        "{:>8} {:>28} {:>12} {:>12}",
+        "d", "module", "area (mm²)", "energy (pJ)"
+    ));
+    // Paper values for side-by-side comparison.
+    let paper = [
+        (10_000, 15.2, 10.9, 4_976.9, 1_178.2),
+        (9_000, 13.7, 10.2, 4_479.2, 1_131.1),
+        (7_000, 10.6, 8.3, 3_483.8, 883.6),
+    ];
+    for (row, p) in rows.iter().zip(paper) {
+        report.row(format!(
+            "{:>8} {:>28} {:>12.1} {:>12.1}   (paper: {:.1} mm², {:.1} pJ)",
+            row.d, "CAM array", row.cam_area_mm2, row.cam_energy_pj, p.1, p.3
+        ));
+        report.row(format!(
+            "{:>8} {:>28} {:>12.1} {:>12.1}   (paper: {:.1} mm², {:.1} pJ)",
+            "", "counters and comparators", row.logic_area_mm2, row.logic_energy_pj, p.2, p.4
+        ));
+    }
+    report.set_data(&rows);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_reproduce_paper_within_five_percent() {
+        let rows = rows();
+        let paper = [
+            (10_000usize, 15.2, 10.9, 4_976.9, 1_178.2),
+            (9_000, 13.7, 10.2, 4_479.2, 1_131.1),
+            (7_000, 10.6, 8.3, 3_483.8, 883.6),
+        ];
+        for (row, p) in rows.iter().zip(paper) {
+            assert_eq!(row.d, p.0);
+            assert!((row.cam_area_mm2 - p.1).abs() / p.1 < 0.05, "cam area d={}", p.0);
+            assert!((row.logic_area_mm2 - p.2).abs() / p.2 < 0.08, "logic area d={}", p.0);
+            assert!((row.cam_energy_pj - p.3).abs() / p.3 < 0.02, "cam energy d={}", p.0);
+            assert!((row.logic_energy_pj - p.4).abs() / p.4 < 0.06, "logic energy d={}", p.0);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert_eq!(r.id, "table1");
+        assert_eq!(r.rows.len(), 7);
+    }
+}

@@ -1,0 +1,72 @@
+//! **Table II** — average switching activity of D-HAM and R-HAM for block
+//! sizes 1–4 bits.
+
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// One Table II row.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Row {
+    /// Block size in bits.
+    pub block_bits: usize,
+    /// R-HAM thermometer-code activity.
+    pub rham: f64,
+    /// D-HAM XOR-array activity.
+    pub dham: f64,
+}
+
+/// Computes the four rows.
+pub fn rows() -> Vec<Row> {
+    ham_core::switching::table2()
+        .into_iter()
+        .map(|(b, r, d)| Row {
+            block_bits: b,
+            rham: r,
+            dham: d,
+        })
+        .collect()
+}
+
+/// Runs the experiment and formats the report.
+pub fn run() -> Report {
+    let mut report = Report::new("table2", "average switching activity of D-HAM and R-HAM");
+    let paper_rham = [0.25, 0.214, 0.183, 0.136];
+    report.row(format!(
+        "{:>10} {:>10} {:>10} {:>14}",
+        "block", "R-HAM", "D-HAM", "paper R-HAM"
+    ));
+    for (row, paper) in rows().iter().zip(paper_rham) {
+        report.row(format!(
+            "{:>9}b {:>9.1}% {:>9.1}% {:>13.1}%",
+            row.block_bits,
+            row.rham * 100.0,
+            row.dham * 100.0,
+            paper * 100.0
+        ));
+    }
+    report.set_data(&rows());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_paper_exactly() {
+        let rows = rows();
+        assert!((rows[0].rham - 0.25).abs() < 1e-9, "1-bit row");
+        assert!((rows[3].rham - 0.136).abs() < 0.002, "4-bit row");
+        for r in &rows {
+            assert_eq!(r.dham, 0.25);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.data.is_array());
+    }
+}

@@ -1,0 +1,94 @@
+//! Experiment reports: printable rows plus a JSON series dump.
+
+use serde::Serialize;
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id ("fig1", "table2", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Paper-style output rows, ready to print.
+    pub rows: Vec<String>,
+    /// The raw data series (regenerable record for EXPERIMENTS.md).
+    pub data: serde_json::Value,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            rows: Vec::new(),
+            data: serde_json::Value::Null,
+        }
+    }
+
+    /// Adds one output row.
+    pub fn row(&mut self, line: impl Into<String>) {
+        self.rows.push(line.into());
+    }
+
+    /// Attaches the raw data series.
+    pub fn set_data<T: Serialize>(&mut self, data: &T) {
+        self.data = serde_json::to_value(data).unwrap_or(serde_json::Value::Null);
+    }
+
+    /// Renders the report as printable text.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} — {} ===\n", self.id, self.title);
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON dump under `dir/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn dump_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_title_and_rows() {
+        let mut r = Report::new("figx", "test figure");
+        r.row("row one");
+        r.row(format!("row {}", 2));
+        let text = r.render();
+        assert!(text.contains("figx"));
+        assert!(text.contains("test figure"));
+        assert!(text.contains("row one"));
+        assert!(text.contains("row 2"));
+    }
+
+    #[test]
+    fn data_round_trips() {
+        let mut r = Report::new("t", "t");
+        r.set_data(&vec![(1usize, 2.0f64)]);
+        assert!(r.data.is_array());
+    }
+
+    #[test]
+    fn dump_json_writes_file() {
+        let dir = std::env::temp_dir().join("hdham-report-test");
+        let mut r = Report::new("dump", "dump test");
+        r.row("x");
+        r.dump_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("dump.json")).unwrap();
+        assert!(content.contains("dump test"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,557 @@
+//! The current-domain search path of A-HAM.
+//!
+//! A-HAM holds every match line at a fixed voltage with a stabilizer; the
+//! current drawn through the stabilizer is then *linear* in the number of
+//! mismatched cells — up to a droop term that grows with the segment
+//! length, because the summing node's series resistance steals headroom.
+//! Mirrored copies of the per-row currents feed a binary tree of
+//! Loser-Takes-All (LTA) blocks that outputs the row with the minimum
+//! current, i.e. the minimum Hamming distance.
+//!
+//! Three nonidealities set the *minimum detectable distance* (paper
+//! Fig. 7):
+//!
+//! 1. **Current droop** — `I(k) = k·I₁ / (1 + k·L/κ)` for a segment of `L`
+//!    cells compresses the top of the transfer curve, so adjacent large
+//!    distances produce nearly equal currents.
+//! 2. **LTA quantization** — an LTA with `b` bits of resolution cannot
+//!    separate currents closer than `I_fullscale / 2^b`. Resolutions above
+//!    10 bits are only effective when the segment is short enough for the
+//!    stabilizer to actually hold the ML voltage (≈ 700 cells).
+//! 3. **Mirror accumulation** — the multistage technique splits a row into
+//!    `N` segments and sums their currents with mirrors; each extra mirror
+//!    contributes random gain error that accumulates as `√(N−1)`.
+//!
+//! Process and voltage variation widen the LTA input-referred offset and
+//! further degrade the detectable distance (paper Fig. 13); see
+//! [`ResolutionModel::min_detectable_with_variation`].
+
+use crate::device::{Memristor, TransistorCorner};
+use crate::montecarlo::VariationModel;
+use crate::units::Amps;
+
+/// Current-droop constant κ, in cell²: `I(k) = k·I₁ / (1 + k·L/κ)`.
+///
+/// Fitted to the paper's Fig. 7 anchor "a single-stage 10-bit A-HAM at
+/// D = 10,000 detects a minimum Hamming distance of 43 bits".
+const KAPPA: f64 = 2.938e7;
+
+/// One-sigma relative gain error of a partial-current summing mirror.
+///
+/// Fitted to the paper's Fig. 7 anchor "14 stages with 14-bit LTAs reach a
+/// minimum detectable distance of 14 bits at D = 10,000".
+const MIRROR_SIGMA_REL: f64 = 5.1e-3;
+
+/// Longest segment (cells) the ML stabilizer can hold at a fixed voltage;
+/// beyond this, LTA resolutions above [`MAX_UNSTABLE_BITS`] stop helping
+/// (the paper: "the ML voltage cannot be fixed during the search operation
+/// for the large dimensions … even using the LTA with higher resolution
+/// (>10 bits) cannot provide the acceptable accuracy").
+const STABLE_SEGMENT: usize = 715;
+
+/// Effective LTA resolution cap for unstabilized (long) segments.
+const MAX_UNSTABLE_BITS: u32 = 10;
+
+/// Distance-units-per-unit-process-sigma degradation of the LTA offset,
+/// fitted to Fig. 13's moderate-accuracy border: ≈ 15% process variation at
+/// the nominal 1.8 V LTA supply pushes the detectable distance past the
+/// ≈ 22-bit inter-language margin.
+const VARIATION_DISTANCE_GAIN: f64 = 53.3;
+
+/// Voltage-variation amplification `1 / (1 − 20/3 · vv)`, fitted to the
+/// Fig. 13 borders (5% droop halves, 10% droop thirds the tolerable
+/// process variation).
+const VOLTAGE_SENSITIVITY: f64 = 20.0 / 3.0;
+
+/// The match-line stabilizer of one A-HAM segment: holds the ML voltage and
+/// reports the total mismatch current.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::analog::MlStabilizer;
+/// use circuit_sim::device::{Memristor, TransistorCorner};
+///
+/// let st = MlStabilizer::new(700, Memristor::high_r_on(), TransistorCorner::tsmc45_tt());
+/// let i1 = st.current(1.0);
+/// let i2 = st.current(2.0);
+/// // Nearly linear for small distances on a short segment.
+/// assert!((i2.get() / i1.get() - 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlStabilizer {
+    segment_cells: usize,
+    i_unit: Amps,
+}
+
+impl MlStabilizer {
+    /// Creates the stabilizer for a segment of `segment_cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_cells == 0`.
+    pub fn new(segment_cells: usize, device: Memristor, corner: TransistorCorner) -> Self {
+        assert!(segment_cells > 0, "a segment needs at least one cell");
+        MlStabilizer {
+            segment_cells,
+            i_unit: corner.v_dd / device.r_on,
+        }
+    }
+
+    /// Number of cells in the stabilized segment.
+    pub fn segment_cells(&self) -> usize {
+        self.segment_cells
+    }
+
+    /// The per-mismatch unit current `I₁ = V_DD / R_ON`.
+    pub fn unit_current(&self) -> Amps {
+        self.i_unit
+    }
+
+    /// Total stabilizer current for `mismatches` mismatched cells
+    /// (fractional values permitted — the resolution solver treats the
+    /// transfer curve as continuous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mismatches` is negative or exceeds the segment size.
+    pub fn current(&self, mismatches: f64) -> Amps {
+        assert!(
+            (0.0..=self.segment_cells as f64).contains(&mismatches),
+            "mismatch count {mismatches} outside segment of {} cells",
+            self.segment_cells
+        );
+        let droop = 1.0 + mismatches * self.segment_cells as f64 / KAPPA;
+        self.i_unit * (mismatches / droop)
+    }
+
+    /// The full-scale current (every cell mismatched).
+    pub fn full_scale(&self) -> Amps {
+        self.current(self.segment_cells as f64)
+    }
+
+    /// Linearity of the transfer curve at full scale: `I(L) / (L·I₁)`,
+    /// 1.0 means no droop.
+    pub fn linearity(&self) -> f64 {
+        self.full_scale().get() / (self.i_unit.get() * self.segment_cells as f64)
+    }
+}
+
+/// One Loser-Takes-All block: outputs the smaller of two input currents,
+/// with a finite resolution below which inputs are indistinguishable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LtaComparator {
+    resolution_bits: u32,
+    full_scale: Amps,
+}
+
+impl LtaComparator {
+    /// Creates a comparator with `resolution_bits` of resolution over the
+    /// given full-scale input current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_bits == 0` or the full scale is not positive.
+    pub fn new(resolution_bits: u32, full_scale: Amps) -> Self {
+        assert!(resolution_bits > 0, "resolution must be at least one bit");
+        assert!(full_scale.get() > 0.0, "full scale must be positive");
+        LtaComparator {
+            resolution_bits,
+            full_scale,
+        }
+    }
+
+    /// The configured resolution in bits.
+    pub fn resolution_bits(&self) -> u32 {
+        self.resolution_bits
+    }
+
+    /// The smallest current difference the block resolves,
+    /// `I_fs / 2^bits`.
+    pub fn threshold(&self) -> Amps {
+        self.full_scale / 2f64.powi(self.resolution_bits as i32)
+    }
+
+    /// Whether the two inputs are reliably distinguishable.
+    pub fn can_distinguish(&self, a: Amps, b: Amps) -> bool {
+        (a - b).abs() >= self.threshold()
+    }
+
+    /// Returns the index (0 or 1) of the losing (smaller) input. When the
+    /// difference is below the resolution threshold the comparison is
+    /// *unresolved* and the block's bias deterministically keeps input 0 —
+    /// the tie-window behaviour that costs A-HAM accuracy at high `D`.
+    pub fn loser(&self, a: Amps, b: Amps) -> usize {
+        // An unresolved comparison (difference below the threshold) keeps
+        // input 0 — the same outcome as a genuine win by input 0, but for
+        // a different physical reason.
+        if self.can_distinguish(a, b) && a > b {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// The binary LTA tree that reduces `C` row currents to the minimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LtaTree {
+    comparator: LtaComparator,
+}
+
+impl LtaTree {
+    /// Creates the tree from its per-node comparator.
+    pub fn new(comparator: LtaComparator) -> Self {
+        LtaTree { comparator }
+    }
+
+    /// The per-node comparator.
+    pub fn comparator(&self) -> LtaComparator {
+        self.comparator
+    }
+
+    /// Number of LTA blocks needed for `classes` rows (`C − 1`).
+    pub fn block_count(classes: usize) -> usize {
+        classes.saturating_sub(1)
+    }
+
+    /// Tree depth for `classes` rows (`⌈log₂C⌉` comparison stages).
+    pub fn depth(classes: usize) -> usize {
+        if classes <= 1 {
+            0
+        } else {
+            (usize::BITS - (classes - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Tournament reduction: the index of the winning (minimum-current)
+    /// row. Unresolved comparisons keep the earlier row, mirroring the
+    /// deterministic bias of [`LtaComparator::loser`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents` is empty.
+    pub fn find_min(&self, currents: &[Amps]) -> usize {
+        assert!(!currents.is_empty(), "the LTA tree needs at least one row");
+        let mut round: Vec<usize> = (0..currents.len()).collect();
+        while round.len() > 1 {
+            let mut next = Vec::with_capacity(round.len().div_ceil(2));
+            for pair in round.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                } else {
+                    let winner =
+                        pair[self.comparator.loser(currents[pair[0]], currents[pair[1]])];
+                    next.push(winner);
+                }
+            }
+            round = next;
+        }
+        round[0]
+    }
+}
+
+/// The end-to-end distance-resolution model of an A-HAM configuration:
+/// dimension `D` split into `stages` segments, summed with mirrors, and
+/// compared by `bits`-bit LTAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolutionModel {
+    dimension: usize,
+    stages: usize,
+    lta_bits: u32,
+}
+
+impl ResolutionModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `stages > dimension`.
+    pub fn new(dimension: usize, stages: usize, lta_bits: u32) -> Self {
+        assert!(dimension > 0, "dimension must be nonzero");
+        assert!(stages > 0, "stage count must be nonzero");
+        assert!(lta_bits > 0, "LTA resolution must be nonzero");
+        assert!(stages <= dimension, "more stages than dimensions");
+        ResolutionModel {
+            dimension,
+            stages,
+            lta_bits,
+        }
+    }
+
+    /// The hypervector dimensionality `D`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of search stages `N`.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Cells per segment, `⌈D/N⌉`.
+    pub fn segment_cells(&self) -> usize {
+        self.dimension.div_ceil(self.stages)
+    }
+
+    /// The nominal LTA resolution in bits.
+    pub fn lta_bits(&self) -> u32 {
+        self.lta_bits
+    }
+
+    /// The *effective* LTA resolution: capped at 10 bits when the segment
+    /// is too long for the stabilizer to hold the ML voltage.
+    pub fn effective_bits(&self) -> u32 {
+        if self.segment_cells() > STABLE_SEGMENT {
+            self.lta_bits.min(MAX_UNSTABLE_BITS)
+        } else {
+            self.lta_bits
+        }
+    }
+
+    /// Normalized total current at row distance `d` (unit: `I₁`).
+    fn current(&self, d: f64) -> f64 {
+        let segment = self.segment_cells() as f64;
+        let per_stage = d / self.stages as f64;
+        let droop = 1.0 + per_stage * segment / KAPPA;
+        self.stages as f64 * per_stage / droop
+    }
+
+    /// The minimum Hamming-distance difference the configuration reliably
+    /// detects between any two rows (paper Fig. 7).
+    pub fn min_detectable_distance(&self) -> usize {
+        self.min_detectable_with_variation(VariationModel::NOMINAL)
+    }
+
+    /// The minimum detectable distance under process/voltage variation
+    /// (paper Fig. 13). Variation widens the LTA's input-referred offset;
+    /// the fitted behavioural law adds
+    /// `53.3 · σ₃ / (1 − 20/3 · v)` distance units for a 3σ process
+    /// fraction `σ₃` and supply-variation fraction `v`.
+    pub fn min_detectable_with_variation(&self, variation: VariationModel) -> usize {
+        let d_max = self.dimension as f64;
+        let full_scale = self.current(d_max);
+        let quant = full_scale / 2f64.powi(self.effective_bits() as i32);
+        let segment_fs = self.current(d_max) / self.stages as f64;
+        let mirrors = (self.stages - 1) as f64;
+        let mirror_err = MIRROR_SIGMA_REL * mirrors.sqrt() * segment_fs;
+        let threshold = quant + mirror_err;
+
+        // The transfer curve is concave, so the hardest-to-separate pair of
+        // distances sits at the top of the range: find the smallest Δ with
+        // I(D) − I(D−Δ) ≥ threshold.
+        let mut delta = self.dimension;
+        let mut lo = 1usize;
+        let mut hi = self.dimension;
+        while lo <= hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.current(d_max) - self.current(d_max - mid as f64) >= threshold {
+                delta = mid;
+                hi = mid - 1;
+            } else {
+                lo = mid + 1;
+            }
+        }
+
+        let sigma3 = variation.process_3sigma;
+        let vv = variation.voltage_fraction;
+        let denom = (1.0 - VOLTAGE_SENSITIVITY * vv).max(0.1);
+        let variation_term = (VARIATION_DISTANCE_GAIN * sigma3 / denom).ceil() as usize;
+        (delta + variation_term).min(self.dimension)
+    }
+
+    /// The configuration the paper's design-space exploration would pick
+    /// for a given dimension: segments short enough to stabilize
+    /// (≈ 700 cells) and the LTA resolution annotated on Fig. 7's top axis.
+    pub fn recommended(dimension: usize) -> Self {
+        assert!(dimension > 0, "dimension must be nonzero");
+        let stages = dimension.div_ceil(STABLE_SEGMENT).max(1);
+        let bits = match dimension {
+            0..=1_024 => 10,
+            1_025..=2_048 => 11,
+            2_049..=4_096 => 12,
+            4_097..=8_192 => 13,
+            _ => 14,
+        };
+        ResolutionModel::new(dimension, stages, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Volts;
+
+    fn amps(v: f64) -> Amps {
+        Amps::new(v)
+    }
+
+    #[test]
+    fn stabilizer_is_linear_for_short_segments() {
+        let st = MlStabilizer::new(
+            64,
+            Memristor::high_r_on(),
+            TransistorCorner::tsmc45_tt(),
+        );
+        assert!(st.linearity() > 0.99);
+        let i3 = st.current(3.0).get();
+        let i1 = st.current(1.0).get();
+        assert!((i3 / i1 - 3.0).abs() < 0.02);
+        assert_eq!(st.segment_cells(), 64);
+        assert!((st.unit_current().as_micros() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stabilizer_droops_on_long_segments() {
+        let long = MlStabilizer::new(
+            10_000,
+            Memristor::high_r_on(),
+            TransistorCorner::tsmc45_tt(),
+        );
+        assert!(long.linearity() < 0.5, "linearity = {}", long.linearity());
+        // Monotone but compressive at the top.
+        let low_gap = long.current(101.0).get() - long.current(100.0).get();
+        let high_gap = long.current(9_999.0).get() - long.current(9_998.0).get();
+        assert!(low_gap > 5.0 * high_gap);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn stabilizer_rejects_overfull_counts() {
+        let st = MlStabilizer::new(4, Memristor::high_r_on(), TransistorCorner::tsmc45_tt());
+        st.current(5.0);
+    }
+
+    #[test]
+    fn comparator_threshold_scales_with_bits() {
+        let c10 = LtaComparator::new(10, amps(1.0));
+        let c14 = LtaComparator::new(14, amps(1.0));
+        assert!((c10.threshold().get() - 1.0 / 1024.0).abs() < 1e-12);
+        assert!(c14.threshold() < c10.threshold());
+        assert_eq!(c14.resolution_bits(), 14);
+    }
+
+    #[test]
+    fn comparator_resolves_and_biases() {
+        let c = LtaComparator::new(10, amps(1.0));
+        assert!(c.can_distinguish(amps(0.5), amps(0.6)));
+        assert!(!c.can_distinguish(amps(0.5), amps(0.5001)));
+        assert_eq!(c.loser(amps(0.2), amps(0.8)), 0);
+        assert_eq!(c.loser(amps(0.8), amps(0.2)), 1);
+        // Unresolved comparisons keep the first input.
+        assert_eq!(c.loser(amps(0.5001), amps(0.5)), 0);
+    }
+
+    #[test]
+    fn tree_finds_the_minimum_current() {
+        let tree = LtaTree::new(LtaComparator::new(12, amps(1.0)));
+        let rows: Vec<Amps> = [0.9, 0.3, 0.7, 0.05, 0.8].iter().map(|&v| amps(v)).collect();
+        assert_eq!(tree.find_min(&rows), 3);
+        assert_eq!(tree.find_min(&[amps(0.4)]), 0);
+    }
+
+    #[test]
+    fn tree_tie_window_keeps_earlier_row() {
+        let tree = LtaTree::new(LtaComparator::new(4, amps(1.0)));
+        // 0.50 vs 0.51 differ by less than 1/16: unresolved, row 0 wins
+        // even though row 1 is actually smaller.
+        assert_eq!(tree.find_min(&[amps(0.51), amps(0.50)]), 0);
+    }
+
+    #[test]
+    fn tree_shape_counts() {
+        assert_eq!(LtaTree::block_count(21), 20);
+        assert_eq!(LtaTree::block_count(1), 0);
+        assert_eq!(LtaTree::depth(1), 0);
+        assert_eq!(LtaTree::depth(2), 1);
+        assert_eq!(LtaTree::depth(21), 5);
+        assert_eq!(LtaTree::depth(100), 7);
+    }
+
+    #[test]
+    fn fig7_anchor_single_stage_10k() {
+        // Paper: single-stage, 10-bit LTA, D = 10,000 → 43 bits.
+        let m = ResolutionModel::new(10_000, 1, 10);
+        let md = m.min_detectable_distance();
+        assert!((40..=46).contains(&md), "min detectable = {md}");
+    }
+
+    #[test]
+    fn fig7_anchor_multistage_10k() {
+        // Paper: 14 stages, 14-bit LTA, D = 10,000 → 14 bits.
+        let m = ResolutionModel::new(10_000, 14, 14);
+        let md = m.min_detectable_distance();
+        assert!((12..=16).contains(&md), "min detectable = {md}");
+    }
+
+    #[test]
+    fn fig7_anchor_small_dimensions_resolve_one_bit() {
+        // Paper: D ≤ 512 reaches a minimum detectable distance of 1.
+        for d in [64, 128, 256, 512] {
+            let m = ResolutionModel::new(d, 1, 10);
+            assert_eq!(m.min_detectable_distance(), 1, "D = {d}");
+        }
+    }
+
+    #[test]
+    fn min_detectable_grows_with_dimension() {
+        let mut prev = 0;
+        for d in [256, 512, 1_024, 2_048, 4_096, 10_000] {
+            let md = ResolutionModel::new(d, 1, 10).min_detectable_distance();
+            assert!(md >= prev, "monotone in D: {md} < {prev}");
+            prev = md;
+        }
+        assert!(prev >= 40);
+    }
+
+    #[test]
+    fn high_resolution_lta_is_capped_on_unstable_segments() {
+        // > 10 bits only helps once the row is split into short segments.
+        let single = ResolutionModel::new(10_000, 1, 14);
+        assert_eq!(single.effective_bits(), 10);
+        let multi = ResolutionModel::new(10_000, 14, 14);
+        assert_eq!(multi.effective_bits(), 14);
+        assert!(multi.min_detectable_distance() < single.min_detectable_distance());
+    }
+
+    #[test]
+    fn recommended_configs_match_fig7_annotations() {
+        let r10k = ResolutionModel::recommended(10_000);
+        assert_eq!(r10k.stages(), 14);
+        assert_eq!(r10k.lta_bits(), 14);
+        let r512 = ResolutionModel::recommended(512);
+        assert_eq!(r512.stages(), 1);
+        assert_eq!(r512.lta_bits(), 10);
+        assert_eq!(r512.min_detectable_distance(), 1);
+    }
+
+    #[test]
+    fn variation_widens_min_detectable() {
+        let m = ResolutionModel::recommended(10_000);
+        let base = m.min_detectable_distance();
+        let p15 = m.min_detectable_with_variation(VariationModel::new(0.15, 0.0));
+        let p35 = m.min_detectable_with_variation(VariationModel::new(0.35, 0.0));
+        let p35v5 = m.min_detectable_with_variation(VariationModel::new(0.35, 0.05));
+        let p35v10 = m.min_detectable_with_variation(VariationModel::new(0.35, 0.10));
+        assert!(base < p15 && p15 < p35 && p35 < p35v5 && p35v5 < p35v10);
+        // Fig 13 border: ≈15% process variation at nominal voltage sits at
+        // the ≈22-bit inter-language margin.
+        assert!((20..=24).contains(&p15), "border = {p15}");
+        // Fig 13 worst case: 35% PV with 10% VV far exceeds the margin.
+        assert!(p35v10 > 34, "worst case = {p35v10}");
+    }
+
+    #[test]
+    fn variation_never_exceeds_dimension() {
+        let m = ResolutionModel::new(64, 1, 10);
+        let md = m.min_detectable_with_variation(VariationModel::new(0.35, 0.10));
+        assert!(md <= 64);
+    }
+
+    #[test]
+    fn lta_supply_droop_points() {
+        // The paper's Fig. 13 voltage-variation points on the 1.8 V rail.
+        let v5 = VariationModel::new(0.0, 0.05).droop_supply(Volts::new(1.8));
+        assert!((v5.get() - 1.71).abs() < 1e-9);
+    }
+}

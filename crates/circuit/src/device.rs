@@ -1,0 +1,174 @@
+//! Device parameter sets: memristors and transistor corners.
+//!
+//! The paper cites two memristor operating points:
+//!
+//! * a *standard crossbar* device for R-HAM storage (large `R_OFF/R_ON`
+//!   ratio for sense margin, paper refs 21/22/28);
+//! * a *high-`R_ON`* device (`R_ON ≈ 500 kΩ`, `R_OFF ≈ 100 GΩ`, paper
+//!   refs 23/25) used to slow and linearize the match-line discharge in the
+//!   4-bit R-HAM blocks and to limit A-HAM discharge current.
+
+use crate::units::{Farads, Ohms, Volts};
+
+/// A two-state resistive memory element.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::device::Memristor;
+///
+/// let m = Memristor::high_r_on();
+/// assert!(m.off_on_ratio() > 1e4, "enough sense margin");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Memristor {
+    /// Low-resistance (ON) state.
+    pub r_on: Ohms,
+    /// High-resistance (OFF) state.
+    pub r_off: Ohms,
+}
+
+impl Memristor {
+    /// The standard crossbar device used by the baseline R-HAM array:
+    /// `R_ON = 50 kΩ`, `R_OFF = 50 MΩ` (typical HfOx corner, paper refs
+    /// 21/22).
+    pub fn standard_crossbar() -> Self {
+        Memristor {
+            r_on: Ohms::from_kilos(50.0),
+            r_off: Ohms::new(50e6),
+        }
+    }
+
+    /// The high-`R_ON` device of paper refs 23/25:
+    /// `R_ON ≈ 500 kΩ`, `R_OFF ≈ 100 GΩ`. Slows the discharge for uniform
+    /// block timing (R-HAM) and keeps A-HAM discharge currents small.
+    pub fn high_r_on() -> Self {
+        Memristor {
+            r_on: Ohms::from_kilos(500.0),
+            r_off: Ohms::from_gigas(100.0),
+        }
+    }
+
+    /// Creates a device from explicit resistances.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < r_on < r_off`.
+    pub fn new(r_on: Ohms, r_off: Ohms) -> Self {
+        assert!(r_on.get() > 0.0, "R_ON must be positive");
+        assert!(r_off.get() > r_on.get(), "R_OFF must exceed R_ON");
+        Memristor { r_on, r_off }
+    }
+
+    /// The `R_OFF / R_ON` ratio that sets the sense margin.
+    pub fn off_on_ratio(&self) -> f64 {
+        self.r_off / self.r_on
+    }
+
+    /// The device with both resistances scaled by `factor` — the handle the
+    /// Monte-Carlo variation model uses.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Memristor {
+            r_on: self.r_on * factor,
+            r_off: self.r_off * factor,
+        }
+    }
+}
+
+/// A 45 nm transistor operating corner for the behavioural models.
+///
+/// Only the parameters that enter the behavioural equations are kept:
+/// nominal threshold voltage, saturation voltage, and the per-cell
+/// match-line capacitance contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorCorner {
+    /// Nominal threshold voltage.
+    pub v_th: Volts,
+    /// Drain saturation voltage: below this drain bias the access device
+    /// leaves saturation and its current collapses toward the triode line.
+    pub v_dsat: Volts,
+    /// Match-line capacitance added per CAM cell (junction + wire).
+    pub c_cell: Farads,
+    /// Nominal supply voltage of the array.
+    pub v_dd: Volts,
+}
+
+impl TransistorCorner {
+    /// The paper's digital corner: TSMC 45 nm, TT, 1 V, 25 °C.
+    pub fn tsmc45_tt() -> Self {
+        TransistorCorner {
+            v_th: Volts::from_millis(450.0),
+            v_dsat: Volts::from_millis(250.0),
+            c_cell: Farads::from_femtos(1.2),
+            v_dd: Volts::new(1.0),
+        }
+    }
+
+    /// The corner with the supply overscaled to the given voltage (paper:
+    /// 0.78 V for ≤ 1 bit of block error, 0.72 V for ≤ 2 bits).
+    pub fn with_supply(&self, v_dd: Volts) -> Self {
+        TransistorCorner { v_dd, ..*self }
+    }
+
+    /// The corner with threshold voltage shifted by `delta` — the handle the
+    /// Monte-Carlo variation model uses.
+    pub fn with_vth_shift(&self, delta: Volts) -> Self {
+        TransistorCorner {
+            v_th: self.v_th + delta,
+            ..*self
+        }
+    }
+}
+
+impl Default for TransistorCorner {
+    fn default() -> Self {
+        TransistorCorner::tsmc45_tt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_magnitudes() {
+        let std = Memristor::standard_crossbar();
+        assert!((std.r_on.get() - 5e4).abs() < 1.0);
+        assert!(std.off_on_ratio() >= 1e3);
+
+        let high = Memristor::high_r_on();
+        assert!((high.r_on.get() - 5e5).abs() < 1.0);
+        assert!((high.r_off.get() - 1e11).abs() < 1.0);
+        assert!(high.off_on_ratio() > 1e5);
+    }
+
+    #[test]
+    fn scaled_moves_both_states() {
+        let m = Memristor::high_r_on().scaled(1.1);
+        assert!((m.r_on.get() - 5.5e5).abs() < 1.0);
+        assert!((m.off_on_ratio() - Memristor::high_r_on().off_on_ratio()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "R_OFF must exceed R_ON")]
+    fn inverted_resistances_rejected() {
+        Memristor::new(Ohms::from_kilos(100.0), Ohms::from_kilos(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "R_ON must be positive")]
+    fn zero_r_on_rejected() {
+        Memristor::new(Ohms::new(0.0), Ohms::from_kilos(50.0));
+    }
+
+    #[test]
+    fn corner_adjustments() {
+        let c = TransistorCorner::tsmc45_tt();
+        assert_eq!(c, TransistorCorner::default());
+        let over = c.with_supply(Volts::from_millis(780.0));
+        assert!((over.v_dd.get() - 0.78).abs() < 1e-12);
+        assert_eq!(over.v_th, c.v_th);
+        let shifted = c.with_vth_shift(Volts::from_millis(45.0));
+        assert!((shifted.v_th.get() - 0.495).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Behavioural circuit simulation substrate for the resistive and analog
+//! hyperdimensional associative memories (R-HAM / A-HAM) of the HPCA'17
+//! paper.
+//!
+//! The paper characterizes its R-HAM and A-HAM designs with HSPICE in a
+//! 45 nm technology. This crate replaces HSPICE with *behavioural* device
+//! models that reproduce the circuit-level mechanisms the designs exploit:
+//!
+//! * [`matchline`] — the RC discharge of a CAM match line through the
+//!   mismatched cells, including the *current-saturation* nonlinearity that
+//!   limits how many mismatches a long row can distinguish (paper Fig. 4).
+//! * [`sense`] — staggered sense amplifiers that translate discharge timing
+//!   into a thermometer-coded block distance, and the effect of voltage
+//!   overscaling on read errors.
+//! * [`analog`] — the current-domain path of A-HAM: match-line stabilizer,
+//!   current mirrors, and the Loser-Takes-All comparator whose finite
+//!   resolution sets the minimum detectable Hamming distance (Fig. 7).
+//! * [`montecarlo`] — Gaussian process/voltage variation sampling used for
+//!   the paper's 5,000-run LTA variation study (Fig. 13).
+//! * [`device`] and [`units`] — the shared parameter and unit vocabulary.
+//!
+//! # Example: match-line discharge saturates with distance
+//!
+//! ```
+//! use circuit_sim::matchline::MatchLine;
+//! use circuit_sim::device::Memristor;
+//!
+//! // A 10-bit row, as in paper Fig. 4(a).
+//! let ml = MatchLine::new(10, Memristor::standard_crossbar());
+//! let t1 = ml.discharge_time(1).expect("one mismatch discharges");
+//! let t2 = ml.discharge_time(2).expect("two mismatches discharge");
+//! let t4 = ml.discharge_time(4).expect("four mismatches discharge");
+//! let t5 = ml.discharge_time(5).expect("five mismatches discharge");
+//!
+//! // The first mismatch matters much more than the fifth.
+//! let early_gap = t1.as_nanos() - t2.as_nanos();
+//! let late_gap = t4.as_nanos() - t5.as_nanos();
+//! assert!(early_gap > 3.0 * late_gap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analog;
+pub mod crossbar;
+pub mod device;
+pub mod matchline;
+pub mod montecarlo;
+pub mod sense;
+pub mod transient;
+pub mod units;
+
+pub use crate::analog::{LtaComparator, LtaTree, MlStabilizer};
+pub use crate::crossbar::{Crossbar, Endurance, WriteScheme};
+pub use crate::device::{Memristor, TransistorCorner};
+pub use crate::matchline::{MatchLine, Waveform};
+pub use crate::montecarlo::{GaussianSampler, VariationModel};
+pub use crate::sense::{SenseChain, ThermometerCode};
+pub use crate::transient::NonlinearMl;
+pub use crate::units::{Amps, Farads, Ohms, Seconds, Volts};

@@ -1,0 +1,412 @@
+//! Match-line (ML) discharge transients.
+//!
+//! In a resistive CAM row every mismatched cell opens a discharge path from
+//! the precharged ML to ground. The ML therefore discharges faster the more
+//! mismatches the row has — *timing encodes Hamming distance* (paper
+//! Fig. 4). Two effects limit how much distance the timing can resolve:
+//!
+//! 1. **Current saturation.** The discharge paths share the ML's series
+//!    (driver + wire) resistance. One mismatch sees `R_s + R_ON`; `k`
+//!    mismatches see `R_s + R_ON/k`, which converges to `R_s` — so the
+//!    first mismatch changes the discharge time far more than the fifth
+//!    (Fig. 4(a): distances 4 and 5 are nearly indistinguishable on a
+//!    10-bit row).
+//! 2. **Timing jitter.** Sense-amplifier sampling uncertainty grows as the
+//!    supply is overscaled (alpha-power gate overdrive), which is why the
+//!    0.78 V blocks of R-HAM accept up to one bit of distance error
+//!    (Fig. 4(c)).
+//!
+//! Splitting the row into 4-bit blocks built from high-`R_ON` devices makes
+//! `R_ON/k ≫ R_s` for every `k ≤ 4`, restoring distinguishable — nearly
+//! uniform — discharge steps (Fig. 4(b)).
+
+use crate::device::{Memristor, TransistorCorner};
+use crate::units::{Farads, Ohms, Seconds, Volts};
+
+/// Per-cell ML wire resistance: the series term that causes current
+/// saturation on long rows (45 nm M3-class wire, behavioural value).
+const R_WIRE_PER_CELL: f64 = 600.0; // ohms
+/// ML driver (precharge/keeper path) resistance.
+const R_DRIVER: f64 = 2_000.0; // ohms
+/// Sense threshold as a fraction of the precharge voltage.
+const SENSE_FRACTION: f64 = 0.5;
+/// Base one-sigma sampling jitter of the sense path at nominal supply.
+const JITTER_SIGMA_NOMINAL: f64 = 10e-12; // seconds
+/// Alpha-power exponent for the jitter growth under voltage overscaling.
+const ALPHA_POWER: f64 = 2.0;
+/// Sense-amplifier aperture: the fixed minimum timing separation the
+/// latch can discriminate, independent of jitter. Together with the
+/// 1/k(k+1) gap shrinkage this is what caps usable R-HAM blocks at 4 bits
+/// (the paper: "the maximum size of a block can be 4 bits").
+const SA_APERTURE: f64 = 90e-12; // seconds
+
+/// A precharged CAM match line with a configurable number of cells.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::matchline::MatchLine;
+/// use circuit_sim::device::Memristor;
+///
+/// // The paper's 4-bit R-HAM block uses high-R_ON devices.
+/// let block = MatchLine::new(4, Memristor::high_r_on());
+/// // All four distances separate cleanly at nominal voltage.
+/// assert_eq!(block.max_resolvable_distance(block.corner().v_dd, 3.0), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchLine {
+    cells: usize,
+    device: Memristor,
+    corner: TransistorCorner,
+}
+
+impl MatchLine {
+    /// Creates a match line of `cells` CAM cells at the default 45 nm
+    /// corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn new(cells: usize, device: Memristor) -> Self {
+        MatchLine::with_corner(cells, device, TransistorCorner::default())
+    }
+
+    /// Creates a match line at an explicit transistor corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn with_corner(cells: usize, device: Memristor, corner: TransistorCorner) -> Self {
+        assert!(cells > 0, "a match line needs at least one cell");
+        MatchLine {
+            cells,
+            device,
+            corner,
+        }
+    }
+
+    /// Number of cells on the row.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The resistive device the cells are built from.
+    pub fn device(&self) -> Memristor {
+        self.device
+    }
+
+    /// The transistor corner in use.
+    pub fn corner(&self) -> TransistorCorner {
+        self.corner
+    }
+
+    /// Returns a copy of this match line with an overscaled supply.
+    pub fn with_supply(&self, v_dd: Volts) -> Self {
+        MatchLine {
+            corner: self.corner.with_supply(v_dd),
+            ..self.clone()
+        }
+    }
+
+    /// Total ML capacitance (per-cell junction/wire contributions).
+    pub fn capacitance(&self) -> Farads {
+        self.corner.c_cell * self.cells as f64
+    }
+
+    /// Series resistance of the discharge path shared by all cells.
+    pub fn series_resistance(&self) -> Ohms {
+        Ohms::new(R_DRIVER + R_WIRE_PER_CELL * self.cells as f64)
+    }
+
+    /// Effective discharge resistance with `mismatches` open paths:
+    /// `R_s + R_ON/k` (or the leakage path `R_s + R_OFF/cells` at `k = 0`).
+    pub fn effective_resistance(&self, mismatches: usize) -> Ohms {
+        let parallel = if mismatches == 0 {
+            self.device.r_off / self.cells as f64
+        } else {
+            self.device.r_on / mismatches as f64
+        };
+        self.series_resistance() + parallel
+    }
+
+    /// ML voltage at time `t` after evaluation starts with `mismatches`
+    /// active discharge paths (single-pole RC response).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mismatches > cells`.
+    pub fn voltage_at(&self, mismatches: usize, t: Seconds) -> Volts {
+        assert!(
+            mismatches <= self.cells,
+            "cannot mismatch {mismatches} of {} cells",
+            self.cells
+        );
+        let tau = self.effective_resistance(mismatches) * self.capacitance();
+        self.corner.v_dd * (-t.get() / tau.get()).exp()
+    }
+
+    /// Time for the ML to fall to the sense threshold with `mismatches`
+    /// active paths. Returns `None` for a fully matching row, whose only
+    /// discharge path is `R_OFF` leakage — the sense window is chosen well
+    /// inside the leakage hold time, so a match never crosses the
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mismatches > cells`.
+    pub fn discharge_time(&self, mismatches: usize) -> Option<Seconds> {
+        assert!(
+            mismatches <= self.cells,
+            "cannot mismatch {mismatches} of {} cells",
+            self.cells
+        );
+        if mismatches == 0 {
+            return None;
+        }
+        let tau = self.effective_resistance(mismatches) * self.capacitance();
+        // t = τ · ln(V0 / Vsense); with Vsense = f·V0 the ratio is constant.
+        Some(Seconds::new(tau.get() * (1.0 / SENSE_FRACTION).ln()))
+    }
+
+    /// The leakage hold time of a fully matching row (time for `R_OFF`
+    /// leakage alone to pull the ML to the sense threshold). Sampling must
+    /// finish well before this.
+    pub fn leakage_hold_time(&self) -> Seconds {
+        let tau = self.effective_resistance(0) * self.capacitance();
+        Seconds::new(tau.get() * (1.0 / SENSE_FRACTION).ln())
+    }
+
+    /// Timing gap between adjacent distances, `t(k) − t(k+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k + 1 > cells`.
+    pub fn adjacent_gap(&self, k: usize) -> Seconds {
+        assert!(k >= 1, "gaps start at distance 1");
+        let a = self.discharge_time(k).expect("k >= 1 discharges");
+        let b = self.discharge_time(k + 1).expect("k+1 <= cells discharges");
+        a - b
+    }
+
+    /// One-sigma sense-path timing jitter at supply `v_dd`. Grows as the
+    /// inverse alpha-power of the gate overdrive, which is what voltage
+    /// overscaling trades for energy.
+    pub fn timing_jitter_sigma(&self, v_dd: Volts) -> Seconds {
+        let nominal_od = TransistorCorner::default().v_dd - self.corner.v_th;
+        let od = (v_dd - self.corner.v_th).max(Volts::from_millis(50.0));
+        Seconds::new(JITTER_SIGMA_NOMINAL * (nominal_od / od).powf(ALPHA_POWER))
+    }
+
+    /// Largest distance `k` such that every adjacent gap `t(i) − t(i+1)` for
+    /// `i < k` exceeds the sense-amplifier aperture plus `n_sigma` sigmas
+    /// of timing jitter at supply `v_dd` — i.e. the number of distinct
+    /// distances this row can reliably report.
+    pub fn max_resolvable_distance(&self, v_dd: Volts, n_sigma: f64) -> usize {
+        let sigma = self.timing_jitter_sigma(v_dd);
+        let threshold = SA_APERTURE + n_sigma * sigma.get();
+        let mut k = 1;
+        while k < self.cells {
+            if self.adjacent_gap(k).get() < threshold {
+                return k;
+            }
+            k += 1;
+        }
+        self.cells
+    }
+
+    /// Samples the full discharge transient for plotting (paper Fig. 4).
+    ///
+    /// The waveform spans `[0, t_end]` with `steps + 1` evenly spaced
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `mismatches > cells`.
+    pub fn waveform(&self, mismatches: usize, t_end: Seconds, steps: usize) -> Waveform {
+        assert!(steps > 0, "a waveform needs at least one step");
+        let mut samples = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let t = Seconds::new(t_end.get() * i as f64 / steps as f64);
+            samples.push((t, self.voltage_at(mismatches, t)));
+        }
+        Waveform { samples }
+    }
+}
+
+/// A sampled voltage-vs-time transient.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    samples: Vec<(Seconds, Volts)>,
+}
+
+impl Waveform {
+    /// The `(time, voltage)` samples in time order.
+    pub fn samples(&self) -> &[(Seconds, Volts)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` for an empty waveform.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// First sample time at which the voltage is at or below `threshold`,
+    /// if the waveform crosses it.
+    pub fn time_to_cross(&self, threshold: Volts) -> Option<Seconds> {
+        self.samples
+            .iter()
+            .find(|(_, v)| *v <= threshold)
+            .map(|(t, _)| *t)
+    }
+
+    /// The final sampled voltage, if any.
+    pub fn final_voltage(&self) -> Option<Volts> {
+        self.samples.last().map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ten_bit_row() -> MatchLine {
+        MatchLine::new(10, Memristor::standard_crossbar())
+    }
+
+    fn four_bit_block() -> MatchLine {
+        MatchLine::new(4, Memristor::high_r_on())
+    }
+
+    #[test]
+    fn more_mismatches_discharge_faster() {
+        let ml = ten_bit_row();
+        let mut prev = ml.discharge_time(1).unwrap();
+        for k in 2..=10 {
+            let t = ml.discharge_time(k).unwrap();
+            assert!(t < prev, "t({k}) must be below t({})", k - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn matching_row_holds_precharge() {
+        let ml = ten_bit_row();
+        assert!(ml.discharge_time(0).is_none());
+        // Leakage hold time dwarfs the slowest mismatch discharge.
+        let slowest = ml.discharge_time(1).unwrap();
+        assert!(ml.leakage_hold_time().get() > 50.0 * slowest.get());
+    }
+
+    #[test]
+    fn current_saturation_compresses_late_gaps() {
+        // Fig 4(a): on a 10-bit row the 4→5 step is much smaller than 1→2.
+        let ml = ten_bit_row();
+        let early = ml.adjacent_gap(1);
+        let late = ml.adjacent_gap(4);
+        assert!(
+            early.get() > 3.0 * late.get(),
+            "early {early:?} vs late {late:?}"
+        );
+    }
+
+    #[test]
+    fn four_bit_high_ron_block_resolves_all_distances() {
+        // Fig 4(b): the 4-bit block distinguishes every distance 0..=4.
+        let block = four_bit_block();
+        assert_eq!(block.max_resolvable_distance(Volts::new(1.0), 3.0), 4);
+    }
+
+    #[test]
+    fn ten_bit_standard_row_cannot_resolve_all_distances() {
+        let ml = ten_bit_row();
+        let resolvable = ml.max_resolvable_distance(Volts::new(1.0), 3.0);
+        assert!(resolvable < 6, "10-bit rows saturate, got {resolvable}");
+    }
+
+    #[test]
+    fn high_ron_slows_the_search() {
+        // The paper's stated cost of the high-R_ON device: slower search.
+        let std = MatchLine::new(4, Memristor::standard_crossbar());
+        let high = four_bit_block();
+        assert!(high.discharge_time(1).unwrap() > std.discharge_time(1).unwrap());
+    }
+
+    #[test]
+    fn overscaling_increases_jitter() {
+        let block = four_bit_block();
+        let nominal = block.timing_jitter_sigma(Volts::new(1.0));
+        let overscaled = block.timing_jitter_sigma(Volts::from_millis(780.0));
+        assert!(overscaled.get() > 1.5 * nominal.get());
+    }
+
+    #[test]
+    fn overscaled_block_loses_at_most_one_level() {
+        // Fig 4(c): at 0.78 V the block still separates distances, but with
+        // shrunken margins — at 3 sigma it must resolve at least 3 of 4
+        // levels and may confuse adjacent ones (≤ 1 bit error).
+        let block = four_bit_block().with_supply(Volts::from_millis(780.0));
+        let resolvable = block.max_resolvable_distance(Volts::from_millis(780.0), 3.0);
+        assert!(resolvable >= 3, "resolvable = {resolvable}");
+        // Two-level steps stay safe: gap over two distances ≫ jitter.
+        let sigma = block.timing_jitter_sigma(Volts::from_millis(780.0));
+        let two_step = block.discharge_time(1).unwrap() - block.discharge_time(3).unwrap();
+        assert!(two_step.get() > 4.0 * sigma.get());
+    }
+
+    #[test]
+    fn voltage_at_decays_from_supply() {
+        let ml = ten_bit_row();
+        let v0 = ml.voltage_at(3, Seconds::new(0.0));
+        assert!((v0.get() - 1.0).abs() < 1e-12);
+        let later = ml.voltage_at(3, Seconds::from_nanos(1.0));
+        assert!(later < v0);
+    }
+
+    #[test]
+    fn waveform_crosses_threshold_at_discharge_time() {
+        let ml = four_bit_block();
+        let t_exact = ml.discharge_time(2).unwrap();
+        let wf = ml.waveform(2, Seconds::new(t_exact.get() * 2.0), 4_000);
+        let crossed = wf.time_to_cross(Volts::new(0.5)).unwrap();
+        let rel_err = (crossed.get() - t_exact.get()).abs() / t_exact.get();
+        assert!(rel_err < 0.01, "rel err = {rel_err}");
+    }
+
+    #[test]
+    fn waveform_accessors() {
+        let ml = four_bit_block();
+        let wf = ml.waveform(1, Seconds::from_nanos(1.0), 10);
+        assert_eq!(wf.len(), 11);
+        assert!(!wf.is_empty());
+        assert!(wf.final_voltage().unwrap() < Volts::new(1.0));
+        assert!(Waveform::default().is_empty());
+        assert!(Waveform::default().time_to_cross(Volts::new(0.5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        MatchLine::new(0, Memristor::standard_crossbar());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mismatch")]
+    fn too_many_mismatches_rejected() {
+        ten_bit_row().discharge_time(11);
+    }
+
+    #[test]
+    fn effective_resistance_shrinks_with_mismatches() {
+        let ml = ten_bit_row();
+        assert!(ml.effective_resistance(1) > ml.effective_resistance(2));
+        assert!(ml.effective_resistance(2) > ml.effective_resistance(10));
+        // And converges toward the series term.
+        let r10 = ml.effective_resistance(10);
+        assert!(r10.get() < ml.series_resistance().get() + ml.device().r_on.get() / 9.0);
+    }
+}

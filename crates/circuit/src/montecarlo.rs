@@ -1,0 +1,269 @@
+//! Monte-Carlo variation sampling.
+//!
+//! The paper evaluates the LTA blocks "considering 10% process variations on
+//! threshold voltage and transistor size, using 5000 Monte Carlo
+//! simulations", and sweeps 3σ process variation from 0 to 35% with 5% and
+//! 10% supply droop for Fig. 13. [`GaussianSampler`] provides reproducible
+//! standard-normal draws (Box–Muller over the `rand` StdRng) and
+//! [`VariationModel`] turns the paper's "(3σ = x%)" convention into
+//! per-sample device parameter multipliers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::units::Volts;
+
+/// A seeded standard-normal sampler (Box–Muller transform).
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::montecarlo::GaussianSampler;
+///
+/// let mut g = GaussianSampler::new(42);
+/// let mean: f64 = (0..10_000).map(|_| g.sample()).sum::<f64>() / 10_000.0;
+/// assert!(mean.abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a seed; the same seed replays the same draws.
+    pub fn new(seed: u64) -> Self {
+        GaussianSampler {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal draw, `N(0, 1)`.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = loop {
+            let u: f64 = self.rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A draw from `N(mean, sigma²)`.
+    pub fn sample_with(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.sample()
+    }
+}
+
+/// The paper's variation convention: Gaussian device parameters with a
+/// given `3σ` fraction of the nominal value, plus a deterministic supply
+/// droop.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::montecarlo::{GaussianSampler, VariationModel};
+/// use circuit_sim::units::Volts;
+///
+/// // 35% 3σ process variation, 10% supply variation on a 1.8 V LTA rail.
+/// let v = VariationModel::new(0.35, 0.10);
+/// let supply = v.droop_supply(Volts::new(1.8));
+/// assert!(supply < Volts::new(1.8));
+///
+/// let mut g = GaussianSampler::new(1);
+/// let sample = v.sample_parameters(&mut g);
+/// assert!(sample.vth_multiplier > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// 3σ process variation as a fraction of the nominal parameter value
+    /// (0.35 = the paper's worst case).
+    pub process_3sigma: f64,
+    /// Supply-voltage variation as a fraction of nominal (0.05 or 0.10 in
+    /// the paper's Fig. 13).
+    pub voltage_fraction: f64,
+}
+
+/// One Monte-Carlo sample of the varied device parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParameterSample {
+    /// Multiplier on the transistor threshold voltage.
+    pub vth_multiplier: f64,
+    /// Multiplier on the transistor length (≈ current drive inverse).
+    pub length_multiplier: f64,
+    /// Multiplier on resistive device values.
+    pub resistance_multiplier: f64,
+}
+
+impl VariationModel {
+    /// The nominal (variation-free) model.
+    pub const NOMINAL: VariationModel = VariationModel {
+        process_3sigma: 0.0,
+        voltage_fraction: 0.0,
+    };
+
+    /// Creates a model from the paper's `(3σ process, supply droop)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is negative or ≥ 1.
+    pub fn new(process_3sigma: f64, voltage_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&process_3sigma),
+            "process 3-sigma fraction out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&voltage_fraction),
+            "voltage fraction out of range"
+        );
+        VariationModel {
+            process_3sigma,
+            voltage_fraction,
+        }
+    }
+
+    /// One-sigma fraction of the process distribution.
+    pub fn process_sigma(&self) -> f64 {
+        self.process_3sigma / 3.0
+    }
+
+    /// The drooped supply: `V · (1 − voltage_fraction)`.
+    pub fn droop_supply(&self, nominal: Volts) -> Volts {
+        nominal * (1.0 - self.voltage_fraction)
+    }
+
+    /// Draws one parameter sample. Multipliers are clamped to ±3σ — the
+    /// conventional sign-off corner — and kept strictly positive.
+    pub fn sample_parameters(&self, g: &mut GaussianSampler) -> ParameterSample {
+        let sigma = self.process_sigma();
+        let mut draw = || {
+            let z = g.sample().clamp(-3.0, 3.0);
+            (1.0 + sigma * z).max(0.05)
+        };
+        ParameterSample {
+            vth_multiplier: draw(),
+            length_multiplier: draw(),
+            resistance_multiplier: draw(),
+        }
+    }
+
+    /// Runs `samples` Monte-Carlo draws of `f` and returns the worst (max)
+    /// of the produced metric — the paper reports worst-case detectable
+    /// distance across 5,000 runs.
+    pub fn worst_case<F>(&self, samples: usize, seed: u64, mut f: F) -> f64
+    where
+        F: FnMut(ParameterSample) -> f64,
+    {
+        let mut g = GaussianSampler::new(seed);
+        let mut worst = f64::NEG_INFINITY;
+        for _ in 0..samples {
+            let s = self.sample_parameters(&mut g);
+            worst = worst.max(f(s));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = GaussianSampler::new(7);
+        let n = 40_000;
+        let draws: Vec<f64> = (0..n).map(|_| g.sample()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn gaussian_is_reproducible() {
+        let mut a = GaussianSampler::new(5);
+        let mut b = GaussianSampler::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn sample_with_scales_and_shifts() {
+        let mut g = GaussianSampler::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| g.sample_with(5.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn nominal_model_is_inert() {
+        let v = VariationModel::NOMINAL;
+        let mut g = GaussianSampler::new(1);
+        let s = v.sample_parameters(&mut g);
+        assert_eq!(s.vth_multiplier, 1.0);
+        assert_eq!(s.length_multiplier, 1.0);
+        assert_eq!(s.resistance_multiplier, 1.0);
+        assert_eq!(v.droop_supply(Volts::new(1.8)), Volts::new(1.8));
+    }
+
+    #[test]
+    fn droop_matches_paper_points() {
+        let five = VariationModel::new(0.0, 0.05);
+        assert!((five.droop_supply(Volts::new(1.8)).get() - 1.71).abs() < 1e-12);
+        let ten = VariationModel::new(0.0, 0.10);
+        assert!((ten.droop_supply(Volts::new(1.8)).get() - 1.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_multipliers_stay_positive_and_bounded() {
+        let v = VariationModel::new(0.35, 0.10);
+        let mut g = GaussianSampler::new(3);
+        for _ in 0..5_000 {
+            let s = v.sample_parameters(&mut g);
+            for m in [s.vth_multiplier, s.length_multiplier, s.resistance_multiplier] {
+                assert!(m > 0.0);
+                assert!(m <= 1.0 + 0.35 + 1e-9, "clamped at +3 sigma");
+                assert!(m >= 1.0 - 0.35 - 1e-9, "clamped at −3 sigma");
+            }
+        }
+    }
+
+    #[test]
+    fn variation_spread_grows_with_sigma() {
+        let narrow = VariationModel::new(0.05, 0.0);
+        let wide = VariationModel::new(0.35, 0.0);
+        let spread = |v: &VariationModel| {
+            let mut g = GaussianSampler::new(9);
+            let xs: Vec<f64> = (0..2_000)
+                .map(|_| v.sample_parameters(&mut g).vth_multiplier)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(spread(&wide) > 10.0 * spread(&narrow));
+    }
+
+    #[test]
+    fn worst_case_finds_the_maximum() {
+        let v = VariationModel::new(0.30, 0.0);
+        let worst = v.worst_case(1_000, 13, |s| s.vth_multiplier);
+        assert!(worst > 1.15, "3-sigma tail should be visited: {worst}");
+        assert!(worst <= 1.30 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fraction_rejected() {
+        VariationModel::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Staggered sense amplifiers and the non-binary (thermometer) block code.
+//!
+//! R-HAM senses each 4-bit block with four sense amplifiers whose clocks are
+//! staggered by small buffer delays (paper Fig. 3(c)): amplifier *j* samples
+//! the match line at a time chosen between the discharge times of distances
+//! `j − 1` and `j`, so it fires exactly when the block distance is ≥ *j*.
+//! The four outputs form a *thermometer code* of the block distance — e.g.
+//! distance 3 reads `1110`, distance 4 reads `1111` — which toggles far
+//! fewer wires between consecutive searches than a dense binary count
+//! (paper Table II).
+
+use crate::matchline::MatchLine;
+use crate::montecarlo::GaussianSampler;
+use crate::units::Seconds;
+
+/// A thermometer-coded block distance: `level` ones followed by zeros on
+/// `width` output lines.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::sense::ThermometerCode;
+///
+/// let three = ThermometerCode::new(3, 4);
+/// assert_eq!(three.lines(), vec![true, true, true, false]);
+/// assert_eq!(three.to_distance(), 3);
+/// // Adjacent distances differ on exactly one line.
+/// let four = ThermometerCode::new(4, 4);
+/// assert_eq!(three.toggled_lines(&four), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThermometerCode {
+    level: usize,
+    width: usize,
+}
+
+impl ThermometerCode {
+    /// Creates the code for a block distance of `level` on `width` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > width`.
+    pub fn new(level: usize, width: usize) -> Self {
+        assert!(level <= width, "level {level} exceeds width {width}");
+        ThermometerCode { level, width }
+    }
+
+    /// The encoded block distance.
+    pub fn to_distance(self) -> usize {
+        self.level
+    }
+
+    /// Number of output lines.
+    pub fn width(self) -> usize {
+        self.width
+    }
+
+    /// The line values, most-significant (earliest-firing) amplifier first.
+    pub fn lines(self) -> Vec<bool> {
+        (0..self.width).map(|i| i < self.level).collect()
+    }
+
+    /// Number of lines that toggle when this code is replaced by `other` —
+    /// the switching-activity kernel of Table II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn toggled_lines(self, other: &ThermometerCode) -> usize {
+        assert_eq!(self.width, other.width, "code widths differ");
+        self.level.abs_diff(other.level)
+    }
+
+    /// Number of lines that rise (0 → 1) when this code is replaced by
+    /// `other`. Dynamic energy is dominated by rising transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn rising_lines(self, other: &ThermometerCode) -> usize {
+        assert_eq!(self.width, other.width, "code widths differ");
+        other.level.saturating_sub(self.level)
+    }
+}
+
+/// The staggered sense-amplifier chain of one R-HAM block.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::matchline::MatchLine;
+/// use circuit_sim::device::Memristor;
+/// use circuit_sim::sense::SenseChain;
+///
+/// let block = MatchLine::new(4, Memristor::high_r_on());
+/// let chain = SenseChain::tuned(&block);
+/// for d in 0..=4 {
+///     assert_eq!(chain.read_exact(d).to_distance(), d);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseChain {
+    /// Sampling instants; amplifier `j` (1-based) samples at `taps[j−1]`
+    /// and fires when the ML has crossed the sense threshold by then.
+    taps: Vec<Seconds>,
+    /// Discharge time per distance (index = distance − 1), kept for the
+    /// noisy read model.
+    discharge: Vec<Seconds>,
+    /// One-sigma relative timing uncertainty of a read (ML + clock).
+    sigma_rel: f64,
+}
+
+impl SenseChain {
+    /// Builds the chain with each tap at the geometric midpoint between the
+    /// discharge times of adjacent distances, the "tuned buffer delay" of
+    /// the paper. The first tap sits between `t(1)` and the leakage hold
+    /// time.
+    pub fn tuned(block: &MatchLine) -> Self {
+        let width = block.cells();
+        let discharge: Vec<Seconds> = (1..=width)
+            .map(|k| block.discharge_time(k).expect("k >= 1 discharges"))
+            .collect();
+        let mut taps = Vec::with_capacity(width);
+        for j in 1..=width {
+            let upper = if j == 1 {
+                // A matching row holds the ML for orders of magnitude
+                // longer; sampling at 2·t(1) is safely inside that window.
+                Seconds::new(discharge[0].get() * 2.0)
+            } else {
+                discharge[j - 2]
+            };
+            let lower = discharge[j - 1];
+            taps.push(Seconds::new((upper.get() * lower.get()).sqrt()));
+        }
+        let sigma = block.timing_jitter_sigma(block.corner().v_dd);
+        // Normalize jitter to the fastest discharge so reads of every
+        // distance see comparable relative uncertainty.
+        let sigma_rel = sigma.get() / discharge[width - 1].get();
+        SenseChain {
+            taps,
+            discharge,
+            sigma_rel,
+        }
+    }
+
+    /// Number of sense amplifiers (= block width).
+    pub fn width(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The sampling instants, earliest-fired last (tap 1 first).
+    pub fn taps(&self) -> &[Seconds] {
+        &self.taps
+    }
+
+    /// The relative one-sigma read uncertainty this chain was tuned at.
+    pub fn sigma_rel(&self) -> f64 {
+        self.sigma_rel
+    }
+
+    /// Noise-free read: maps a true block distance to its thermometer code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance > width`.
+    pub fn read_exact(&self, distance: usize) -> ThermometerCode {
+        assert!(
+            distance <= self.width(),
+            "distance {distance} exceeds block width {}",
+            self.width()
+        );
+        ThermometerCode::new(distance, self.width())
+    }
+
+    /// Read with timing noise: the ML crossing time is perturbed by the
+    /// chain's relative jitter, so adjacent distances can be confused when
+    /// margins shrink (voltage overscaling). A matching row (`distance ==
+    /// 0`) never fires any amplifier — leakage margins are enormous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance > width`.
+    pub fn read_noisy(&self, distance: usize, noise: &mut GaussianSampler) -> ThermometerCode {
+        assert!(
+            distance <= self.width(),
+            "distance {distance} exceeds block width {}",
+            self.width()
+        );
+        if distance == 0 {
+            return ThermometerCode::new(0, self.width());
+        }
+        let nominal = self.discharge[distance - 1];
+        // The chain is designed with a deterministic guard band: supply and
+        // clock noise are bounded (the paper sizes the sense circuitry for
+        // 10% variation), so the effective jitter distribution is a
+        // truncated Gaussian. The ±2.5σ clamp is what restricts an
+        // overscaled block to at most one level of read error.
+        let z = noise.sample().clamp(-2.5, 2.5);
+        let crossing = nominal.get() * (1.0 + self.sigma_rel * z);
+        let level = self
+            .taps
+            .iter()
+            .filter(|tap| crossing <= tap.get())
+            .count();
+        ThermometerCode::new(level.min(self.width()), self.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Memristor;
+    use crate::units::Volts;
+
+    fn block() -> MatchLine {
+        MatchLine::new(4, Memristor::high_r_on())
+    }
+
+    #[test]
+    fn thermometer_code_shape() {
+        let c = ThermometerCode::new(2, 4);
+        assert_eq!(c.lines(), vec![true, true, false, false]);
+        assert_eq!(c.to_distance(), 2);
+        assert_eq!(c.width(), 4);
+        assert_eq!(ThermometerCode::new(0, 4).lines(), vec![false; 4]);
+        assert_eq!(ThermometerCode::new(4, 4).lines(), vec![true; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn overfull_code_rejected() {
+        ThermometerCode::new(5, 4);
+    }
+
+    #[test]
+    fn thermometer_toggles_match_paper_example() {
+        // Paper: binary 0011 → 0100 toggles 3 wires; thermometer
+        // 1110 → 1111 toggles 1.
+        let three = ThermometerCode::new(3, 4);
+        let four = ThermometerCode::new(4, 4);
+        assert_eq!(three.toggled_lines(&four), 1);
+        assert_eq!(three.rising_lines(&four), 1);
+        assert_eq!(four.rising_lines(&three), 0);
+        let zero = ThermometerCode::new(0, 4);
+        assert_eq!(zero.toggled_lines(&four), 4);
+    }
+
+    #[test]
+    fn tuned_taps_are_interleaved_with_discharge_times() {
+        let b = block();
+        let chain = SenseChain::tuned(&b);
+        assert_eq!(chain.width(), 4);
+        let t: Vec<f64> = (1..=4)
+            .map(|k| b.discharge_time(k).unwrap().get())
+            .collect();
+        let taps = chain.taps();
+        // tap_j falls strictly between t(j) and t(j−1).
+        for j in 1..=4 {
+            assert!(taps[j - 1].get() > t[j - 1]);
+            if j >= 2 {
+                assert!(taps[j - 1].get() < t[j - 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_reads_round_trip_all_distances() {
+        let chain = SenseChain::tuned(&block());
+        for d in 0..=4 {
+            assert_eq!(chain.read_exact(d).to_distance(), d);
+        }
+    }
+
+    #[test]
+    fn noisy_reads_at_nominal_voltage_are_exact() {
+        let chain = SenseChain::tuned(&block());
+        let mut noise = GaussianSampler::new(42);
+        for d in 0..=4 {
+            for _ in 0..200 {
+                assert_eq!(chain.read_noisy(d, &mut noise).to_distance(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_reads_when_overscaled_err_by_at_most_one() {
+        let b = block().with_supply(Volts::from_millis(780.0));
+        let chain = SenseChain::tuned(&b);
+        let mut noise = GaussianSampler::new(7);
+        let mut errors = 0usize;
+        let trials = 2_000;
+        for d in 1..=4usize {
+            for _ in 0..trials {
+                let read = chain.read_noisy(d, &mut noise).to_distance();
+                assert!(d.abs_diff(read) <= 1, "read {read} for distance {d}");
+                if read != d {
+                    errors += 1;
+                }
+            }
+        }
+        // Overscaling trades energy for occasional single-level errors:
+        // they must exist but stay rare.
+        assert!(errors > 0, "0.78 V must show some read errors");
+        assert!((errors as f64) < 0.25 * (4 * trials) as f64);
+    }
+
+    #[test]
+    fn matching_block_reads_zero_even_with_noise() {
+        let chain = SenseChain::tuned(&block());
+        let mut noise = GaussianSampler::new(3);
+        for _ in 0..100 {
+            assert_eq!(chain.read_noisy(0, &mut noise).to_distance(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block width")]
+    fn out_of_range_read_rejected() {
+        SenseChain::tuned(&block()).read_exact(5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Numerical transient solver for match-line discharge.
+//!
+//! The analytic model in [`crate::matchline`] treats the discharge as a
+//! single-pole RC response. This module integrates the node equation
+//! numerically (adaptive forward Euler), which both *validates* the
+//! analytic solution in its linear regime and extends it with the
+//! device-level nonlinearity the analytic form folds into an effective
+//! resistance: each mismatched cell's access transistor saturates — its
+//! current is `V/R_ON` only while `V < V_DSAT`, and a constant
+//! `I_SAT = V_DSAT / R_ON` above — so early in the discharge (high ML
+//! voltage) the current per cell is *flat*, which is the physical origin
+//! of the multi-mismatch current saturation the paper describes.
+
+use crate::device::{Memristor, TransistorCorner};
+use crate::matchline::MatchLine;
+use crate::units::{Seconds, Volts};
+
+/// Integration parameters.
+const MAX_STEPS: usize = 200_000;
+/// Per-step maximum relative voltage change (adaptive step control).
+const MAX_REL_STEP: f64 = 0.002;
+
+/// A nonlinear match-line discharge model solved numerically.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::transient::NonlinearMl;
+/// use circuit_sim::device::Memristor;
+///
+/// let ml = NonlinearMl::new(4, Memristor::high_r_on());
+/// let t2 = ml.discharge_time(2).expect("discharges");
+/// let t1 = ml.discharge_time(1).expect("discharges");
+/// assert!(t2 < t1, "more mismatches discharge faster");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonlinearMl {
+    line: MatchLine,
+}
+
+impl NonlinearMl {
+    /// Creates the nonlinear model over the same geometry as the analytic
+    /// [`MatchLine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn new(cells: usize, device: Memristor) -> Self {
+        NonlinearMl {
+            line: MatchLine::new(cells, device),
+        }
+    }
+
+    /// Creates the model at an explicit corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn with_corner(cells: usize, device: Memristor, corner: TransistorCorner) -> Self {
+        NonlinearMl {
+            line: MatchLine::with_corner(cells, device, corner),
+        }
+    }
+
+    /// The underlying geometry.
+    pub fn line(&self) -> &MatchLine {
+        &self.line
+    }
+
+    /// Total discharge current at ML voltage `v` with `mismatches` active
+    /// cells: per-cell saturating I-V plus the shared series resistance
+    /// limit.
+    pub fn current(&self, mismatches: usize, v: Volts) -> f64 {
+        if mismatches == 0 || v.get() <= 0.0 {
+            return 0.0;
+        }
+        let corner = self.line.corner();
+        let r_on = self.line.device().r_on.get();
+        let i_sat = corner.v_dsat.get() / r_on;
+        let per_cell = (v.get() / r_on).min(i_sat);
+        let unshared = per_cell * mismatches as f64;
+        // The series resistance caps the total: the ML node cannot source
+        // more than V / R_s.
+        let series_limit = v.get() / self.line.series_resistance().get();
+        unshared.min(series_limit)
+    }
+
+    /// Numerically integrates the discharge until the ML falls to
+    /// `threshold`; returns `None` when the line never crosses within the
+    /// step budget (e.g. zero mismatches).
+    pub fn time_to_cross(&self, mismatches: usize, threshold: Volts) -> Option<Seconds> {
+        let c = self.line.capacitance().get();
+        let mut v = self.line.corner().v_dd.get();
+        let mut t = 0.0f64;
+        if v <= threshold.get() {
+            return Some(Seconds::new(0.0));
+        }
+        for _ in 0..MAX_STEPS {
+            let i = self.current(mismatches, Volts::new(v));
+            if i <= 0.0 {
+                return None;
+            }
+            // Adaptive step: limit the per-step voltage change.
+            let dv_dt = i / c;
+            let dt = (v * MAX_REL_STEP / dv_dt).max(1e-15);
+            v -= dv_dt * dt;
+            t += dt;
+            if v <= threshold.get() {
+                return Some(Seconds::new(t));
+            }
+        }
+        None
+    }
+
+    /// The sense-threshold crossing time (threshold = half the supply,
+    /// matching the analytic model's convention).
+    pub fn discharge_time(&self, mismatches: usize) -> Option<Seconds> {
+        let half = self.line.corner().v_dd * 0.5;
+        self.time_to_cross(mismatches, half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerical_matches_analytic_in_the_linear_regime() {
+        // Below V_DSAT the cell is a plain resistor, so starting the
+        // comparison at a low supply keeps the whole transient linear.
+        let corner = TransistorCorner {
+            v_dd: Volts::from_millis(200.0), // below V_DSAT = 250 mV
+            ..TransistorCorner::tsmc45_tt()
+        };
+        let analytic = MatchLine::with_corner(4, Memristor::high_r_on(), corner);
+        let numerical = NonlinearMl::with_corner(4, Memristor::high_r_on(), corner);
+        for k in 1..=4usize {
+            let a = analytic.discharge_time(k).unwrap().get();
+            // The analytic model's τ uses R_s + R_ON/k; in the linear
+            // regime the numeric solution must match within the series
+            // approximation error (series current-sharing differs by
+            // < R_s/R_ON).
+            let n = numerical.discharge_time(k).unwrap().get();
+            let rel = (a - n).abs() / a;
+            assert!(rel < 0.05, "k = {k}: analytic {a}, numeric {n}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn saturation_compresses_early_discharge() {
+        // At the nominal 1 V supply the cells saturate early: per-cell
+        // current is flat, so doubling the mismatches halves the crossing
+        // time almost exactly — while the linear model's series term would
+        // bend it. The saturated regime is *more* linear in k.
+        let ml = NonlinearMl::new(8, Memristor::high_r_on());
+        let t1 = ml.discharge_time(1).unwrap().get();
+        let t2 = ml.discharge_time(2).unwrap().get();
+        let t4 = ml.discharge_time(4).unwrap().get();
+        assert!((t1 / t2 - 2.0).abs() < 0.2, "t1/t2 = {}", t1 / t2);
+        assert!((t1 / t4 - 4.0).abs() < 0.5, "t1/t4 = {}", t1 / t4);
+    }
+
+    #[test]
+    fn series_resistance_caps_many_mismatch_current() {
+        let ml = NonlinearMl::new(64, Memristor::standard_crossbar());
+        let v = Volts::new(1.0);
+        let i8 = ml.current(8, v);
+        let i64 = ml.current(64, v);
+        // 8× the mismatches must NOT bring 8× the current: the shared
+        // series path clamps it.
+        assert!(i64 < 6.0 * i8, "i64 = {i64}, i8 = {i8}");
+        let series_limit = v.get() / ml.line().series_resistance().get();
+        assert!(i64 <= series_limit * 1.0001);
+    }
+
+    #[test]
+    fn current_edge_cases() {
+        let ml = NonlinearMl::new(4, Memristor::high_r_on());
+        assert_eq!(ml.current(0, Volts::new(1.0)), 0.0);
+        assert_eq!(ml.current(2, Volts::new(0.0)), 0.0);
+        assert!(ml.current(2, Volts::new(1.0)) > 0.0);
+    }
+
+    #[test]
+    fn matching_row_never_crosses() {
+        let ml = NonlinearMl::new(4, Memristor::high_r_on());
+        assert!(ml.discharge_time(0).is_none());
+        // Already-below threshold returns zero time.
+        let t = ml.time_to_cross(1, Volts::new(2.0)).unwrap();
+        assert_eq!(t.get(), 0.0);
+    }
+
+    #[test]
+    fn discharge_order_is_strict() {
+        let ml = NonlinearMl::new(10, Memristor::standard_crossbar());
+        let mut prev = ml.discharge_time(1).unwrap();
+        for k in 2..=10 {
+            let t = ml.discharge_time(k).unwrap();
+            assert!(t < prev, "t({k}) must be below t({})", k - 1);
+            prev = t;
+        }
+    }
+}

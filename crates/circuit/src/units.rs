@@ -1,0 +1,259 @@
+//! Lightweight SI unit newtypes.
+//!
+//! All circuit quantities are carried in SI base units (`f64` inside a
+//! newtype) so that volts never silently mix with amps or seconds. The
+//! arithmetic provided is the minimum Ohm's-law vocabulary the behavioural
+//! models need: `V / R = I`, `V / I = R`, `R · C = s`, and scaling.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw SI value.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw SI value.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// The smaller of two values.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two values.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+
+impl Volts {
+    /// Millivolt constructor, e.g. `Volts::from_millis(780.0)` for the
+    /// paper's 0.78 V overscaled supply.
+    pub fn from_millis(mv: f64) -> Self {
+        Volts::new(mv * 1e-3)
+    }
+}
+
+impl Amps {
+    /// Microampere constructor.
+    pub fn from_micros(ua: f64) -> Self {
+        Amps::new(ua * 1e-6)
+    }
+
+    /// The value in microamperes.
+    pub fn as_micros(self) -> f64 {
+        self.get() * 1e6
+    }
+}
+
+impl Ohms {
+    /// Kiloohm constructor, e.g. `Ohms::from_kilos(500.0)` for the paper's
+    /// high-`R_ON` memristor.
+    pub fn from_kilos(k: f64) -> Self {
+        Ohms::new(k * 1e3)
+    }
+
+    /// Gigaohm constructor, e.g. `Ohms::from_gigas(100.0)` for `R_OFF`.
+    pub fn from_gigas(g: f64) -> Self {
+        Ohms::new(g * 1e9)
+    }
+}
+
+impl Farads {
+    /// Femtofarad constructor (match-line capacitances are a few fF).
+    pub fn from_femtos(ff: f64) -> Self {
+        Farads::new(ff * 1e-15)
+    }
+}
+
+impl Seconds {
+    /// Nanosecond constructor.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds::new(ns * 1e-9)
+    }
+
+    /// The value in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.get() * 1e9
+    }
+
+    /// The value in picoseconds.
+    pub fn as_picos(self) -> f64 {
+        self.get() * 1e12
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// Ohm's law: `I = V / R`.
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    /// Ohm's law: `R = V / I`.
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    /// Ohm's law: `V = R · I`.
+    fn mul(self, rhs: Amps) -> Volts {
+        Volts::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// RC time constant: `τ = R · C`.
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds::new(self.get() * rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volts::new(1.0);
+        let r = Ohms::from_kilos(500.0);
+        let i = v / r;
+        assert!((i.as_micros() - 2.0).abs() < 1e-9);
+        let back = r * i;
+        assert!((back.get() - 1.0).abs() < 1e-12);
+        let r2 = v / i;
+        assert!((r2.get() - 5e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms::from_kilos(500.0) * Farads::from_femtos(10.0);
+        assert!((tau.as_nanos() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert!((Volts::from_millis(780.0).get() - 0.78).abs() < 1e-12);
+        assert!((Ohms::from_gigas(100.0).get() - 1e11).abs() < 1.0);
+        assert!((Seconds::from_nanos(2.5).as_picos() - 2_500.0).abs() < 1e-9);
+        assert!((Amps::from_micros(3.0).get() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        let a = Volts::new(1.0);
+        let b = Volts::new(0.25);
+        assert_eq!((a - b).get(), 0.75);
+        assert_eq!((a + b).get(), 1.25);
+        assert_eq!((a * 2.0).get(), 2.0);
+        assert_eq!((a / 4.0).get(), 0.25);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((-b).abs(), b);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(Volts::new(0.78).to_string(), "0.78 V");
+        assert_eq!(Seconds::new(1e-9).to_string(), "0.000000001 s");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the behavioural circuit models.
+
+use circuit_sim::analog::{LtaComparator, LtaTree, ResolutionModel};
+use circuit_sim::device::Memristor;
+use circuit_sim::matchline::MatchLine;
+use circuit_sim::montecarlo::{GaussianSampler, VariationModel};
+use circuit_sim::sense::{SenseChain, ThermometerCode};
+use circuit_sim::units::{Amps, Seconds, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn discharge_time_is_strictly_decreasing(cells in 2usize..64) {
+        let ml = MatchLine::new(cells, Memristor::standard_crossbar());
+        let mut prev = ml.discharge_time(1).unwrap();
+        for k in 2..=cells {
+            let t = ml.discharge_time(k).unwrap();
+            prop_assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn voltage_decays_monotonically(
+        cells in 1usize..32,
+        k_frac in 0usize..=100,
+        t_ns in 0.0f64..10.0,
+    ) {
+        let ml = MatchLine::new(cells, Memristor::high_r_on());
+        let k = (cells * k_frac / 100).min(cells);
+        let early = ml.voltage_at(k, Seconds::from_nanos(t_ns));
+        let late = ml.voltage_at(k, Seconds::from_nanos(t_ns + 0.5));
+        prop_assert!(late <= early);
+        prop_assert!(early <= Volts::new(1.0));
+        prop_assert!(late.get() >= 0.0);
+    }
+
+    #[test]
+    fn adjacent_gaps_shrink_with_distance(cells in 3usize..40) {
+        // Current saturation: the gap sequence is strictly decreasing.
+        let ml = MatchLine::new(cells, Memristor::standard_crossbar());
+        for k in 1..cells - 1 {
+            prop_assert!(ml.adjacent_gap(k) > ml.adjacent_gap(k + 1));
+        }
+    }
+
+    #[test]
+    fn thermometer_toggles_equal_level_difference(
+        a in 0usize..=8,
+        b in 0usize..=8,
+    ) {
+        let x = ThermometerCode::new(a, 8);
+        let y = ThermometerCode::new(b, 8);
+        prop_assert_eq!(x.toggled_lines(&y), a.abs_diff(b));
+        prop_assert_eq!(x.rising_lines(&y) + y.rising_lines(&x), a.abs_diff(b));
+        prop_assert_eq!(x.lines().iter().filter(|&&v| v).count(), a);
+    }
+
+    #[test]
+    fn noisy_reads_never_stray_more_than_one_level(
+        seed in any::<u64>(),
+        distance in 0usize..=4,
+    ) {
+        let block = MatchLine::new(4, Memristor::high_r_on())
+            .with_supply(Volts::from_millis(780.0));
+        let chain = SenseChain::tuned(&block);
+        let mut noise = GaussianSampler::new(seed);
+        for _ in 0..50 {
+            let read = chain.read_noisy(distance, &mut noise).to_distance();
+            prop_assert!(distance.abs_diff(read) <= 1);
+        }
+    }
+
+    #[test]
+    fn lta_tree_matches_argmin_when_gaps_are_resolvable(
+        raw in prop::collection::vec(0u32..1000, 1..40),
+    ) {
+        // Space the currents by more than the threshold so every
+        // comparison resolves; the tree must then equal exact argmin.
+        let comparator = LtaComparator::new(10, Amps::new(1.0));
+        let step = comparator.threshold().get() * 2.0;
+        let currents: Vec<Amps> = raw.iter().map(|&v| Amps::new(v as f64 * step)).collect();
+        let tree = LtaTree::new(comparator);
+        let winner = tree.find_min(&currents);
+        let exact = currents
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.get().partial_cmp(&b.1.get()).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert!((currents[winner].get() - currents[exact].get()).abs() < step / 2.0);
+    }
+
+    #[test]
+    fn min_detectable_is_monotone_in_bits_and_variation(
+        d in 256usize..12_000,
+        bits in 8u32..14,
+        sigma3 in 0.0f64..0.35,
+    ) {
+        let stages = d.div_ceil(700);
+        let low = ResolutionModel::new(d, stages, bits);
+        let high = ResolutionModel::new(d, stages, bits + 1);
+        prop_assert!(high.min_detectable_distance() <= low.min_detectable_distance());
+
+        let nominal = low.min_detectable_distance();
+        let varied = low.min_detectable_with_variation(VariationModel::new(sigma3, 0.0));
+        prop_assert!(varied >= nominal);
+        let drooped = low.min_detectable_with_variation(VariationModel::new(sigma3, 0.10));
+        prop_assert!(drooped >= varied);
+    }
+
+    #[test]
+    fn gaussian_clamped_statistics(seed in any::<u64>()) {
+        let mut g = GaussianSampler::new(seed);
+        let v = VariationModel::new(0.30, 0.05);
+        let s = v.sample_parameters(&mut g);
+        prop_assert!(s.vth_multiplier >= 0.70 - 1e-9);
+        prop_assert!(s.vth_multiplier <= 1.30 + 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Batched classification with throughput accounting.
+//!
+//! A deployed HAM classifies a stream of queries, not one; this module
+//! runs a whole batch through a design and prices it two ways:
+//!
+//! * **serial** — one search finishes before the next starts (total
+//!   latency = `n · t_search`);
+//! * **pipelined** — the array phases overlap across queries (precharge
+//!   of query `i+1` under the compare of query `i`), so after the first
+//!   search each additional one costs one *initiation interval*, taken
+//!   here as half the search latency (the paper's designs are two-phase:
+//!   precharge + evaluate).
+
+use hdc::prelude::*;
+
+use crate::model::{HamDesign, HamError, HamSearchResult};
+use crate::units::{Nanoseconds, Picojoules};
+
+/// Fraction of the search latency one pipelined query occupies (the
+/// evaluate phase of the two-phase search).
+const INITIATION_FRACTION: f64 = 0.5;
+
+/// Cost and outcome of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-query results, in input order.
+    pub results: Vec<HamSearchResult>,
+    /// Total search energy (energy is per-query and adds up).
+    pub total_energy: Picojoules,
+    /// Latency if queries are issued back to back without overlap.
+    pub serial_latency: Nanoseconds,
+    /// Latency with two-phase pipelining.
+    pub pipelined_latency: Nanoseconds,
+}
+
+impl BatchReport {
+    /// Queries per second under pipelining.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.results.is_empty() || self.pipelined_latency.get() <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.pipelined_latency.get() * 1e-9)
+    }
+
+    /// Average energy per query.
+    pub fn energy_per_query(&self) -> Picojoules {
+        if self.results.is_empty() {
+            return Picojoules::ZERO;
+        }
+        self.total_energy / self.results.len() as f64
+    }
+}
+
+/// Runs `queries` through `design` and prices the batch.
+///
+/// # Errors
+///
+/// Propagates the first search error (e.g. a dimension mismatch).
+pub fn run_batch(
+    design: &dyn HamDesign,
+    queries: &[Hypervector],
+) -> Result<BatchReport, HamError> {
+    let mut results = Vec::with_capacity(queries.len());
+    for query in queries {
+        results.push(design.search(query)?);
+    }
+    let cost = design.cost();
+    let n = queries.len() as f64;
+    let serial = cost.delay * n;
+    let pipelined = if queries.is_empty() {
+        Nanoseconds::ZERO
+    } else {
+        cost.delay + cost.delay * (INITIATION_FRACTION * (n - 1.0))
+    };
+    Ok(BatchReport {
+        results,
+        total_energy: cost.energy * n,
+        serial_latency: serial,
+        pipelined_latency: pipelined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{build, random_memory, DesignKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn queries(memory: &AssociativeMemory, n: usize) -> Vec<Hypervector> {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..n)
+            .map(|i| {
+                memory
+                    .row(ClassId(i % memory.len()))
+                    .expect("class stored")
+                    .with_flipped_bits(200, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_individual_searches() {
+        let memory = random_memory(8, 1_024, 1);
+        let design = build(DesignKind::Digital, &memory).unwrap();
+        let qs = queries(&memory, 12);
+        let report = run_batch(design.as_ref(), &qs).unwrap();
+        assert_eq!(report.results.len(), 12);
+        for (q, r) in qs.iter().zip(&report.results) {
+            assert_eq!(r, &design.search(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_serial_issue() {
+        let memory = random_memory(21, 10_000, 2);
+        for kind in DesignKind::ALL {
+            let design = build(kind, &memory).unwrap();
+            let report = run_batch(design.as_ref(), &queries(&memory, 10)).unwrap();
+            assert!(report.pipelined_latency < report.serial_latency, "{kind}");
+            // 10 queries at II = 0.5·t: 5.5·t vs 10·t.
+            let ratio = report.serial_latency / report.pipelined_latency;
+            assert!((ratio - 10.0 / 5.5).abs() < 1e-9, "{kind}: ratio {ratio}");
+            assert!(report.throughput_qps() > 0.0);
+            let per_query = report.energy_per_query();
+            assert!((per_query.get() - design.cost().energy.get()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aham_throughput_dwarfs_dham() {
+        let memory = random_memory(21, 10_000, 4);
+        let qs = queries(&memory, 4);
+        let dham = run_batch(build(DesignKind::Digital, &memory).unwrap().as_ref(), &qs).unwrap();
+        let aham = run_batch(build(DesignKind::Analog, &memory).unwrap().as_ref(), &qs).unwrap();
+        assert!(aham.throughput_qps() > 5.0 * dham.throughput_qps());
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let memory = random_memory(2, 64, 5);
+        let design = build(DesignKind::Resistive, &memory).unwrap();
+        let report = run_batch(design.as_ref(), &[]).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.total_energy.get(), 0.0);
+        assert_eq!(report.pipelined_latency.get(), 0.0);
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert_eq!(report.energy_per_query().get(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_query_aborts_the_batch() {
+        let memory = random_memory(2, 64, 6);
+        let design = build(DesignKind::Digital, &memory).unwrap();
+        let alien = Hypervector::random(Dimension::new(128).unwrap(), 1);
+        assert!(run_batch(design.as_ref(), &[alien]).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Design-space exploration helpers shared by the experiment harness.
+//!
+//! The paper's scaling studies (Figs. 9–11) sweep dimension, class count
+//! and tolerated distance error over the three designs with randomly
+//! generated learned hypervectors ("we generate C random hypervectors that
+//! resemble the learned hypervectors by having equal number of randomly
+//! placed 0s and 1s"). This module builds those memories and design
+//! points.
+
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aham::AHam;
+use crate::dham::DHam;
+use crate::model::{CostMetrics, HamDesign, HamError};
+use crate::rham::{RHam, BLOCK_BITS};
+
+/// Which of the three architectures a design point uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// D-HAM (digital CMOS).
+    Digital,
+    /// R-HAM (resistive crossbar).
+    Resistive,
+    /// A-HAM (analog current-domain).
+    Analog,
+}
+
+impl DesignKind {
+    /// All three designs, in the paper's order.
+    pub const ALL: [DesignKind; 3] = [
+        DesignKind::Digital,
+        DesignKind::Resistive,
+        DesignKind::Analog,
+    ];
+
+    /// The design's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::Digital => "D-HAM",
+            DesignKind::Resistive => "R-HAM",
+            DesignKind::Analog => "A-HAM",
+        }
+    }
+}
+
+impl std::fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One point of a scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The architecture.
+    pub kind: DesignKind,
+    /// Number of classes `C`.
+    pub classes: usize,
+    /// Dimensionality `D`.
+    pub dim: usize,
+    /// The design point's costs.
+    pub cost: CostMetrics,
+}
+
+/// Generates a memory of `classes` balanced random hypervectors — the
+/// paper's stand-in for learned hypervectors in the scaling sweeps.
+pub fn random_memory(classes: usize, dim: usize, seed: u64) -> AssociativeMemory {
+    let d = Dimension::new(dim).expect("sweep dimensions are nonzero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut am = AssociativeMemory::new(d);
+    for i in 0..classes {
+        let hv = Hypervector::random_balanced(d, &mut rng);
+        am.insert(format!("class-{i}"), hv).expect("dimensions match");
+    }
+    am
+}
+
+/// Builds one design over a memory with no approximation.
+///
+/// # Errors
+///
+/// Returns [`HamError::NoClasses`] for an empty memory.
+pub fn build(kind: DesignKind, memory: &AssociativeMemory) -> Result<Box<dyn HamDesign>, HamError> {
+    Ok(match kind {
+        DesignKind::Digital => Box::new(DHam::new(memory)?),
+        DesignKind::Resistive => Box::new(RHam::new(memory)?),
+        DesignKind::Analog => Box::new(AHam::new(memory)?),
+    })
+}
+
+/// The dimension-scaling sweep of paper Fig. 9: all three designs over
+/// the given dimensions at a fixed class count.
+pub fn dimension_sweep(dims: &[usize], classes: usize, seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(dims.len() * 3);
+    for &dim in dims {
+        let memory = random_memory(classes, dim, seed ^ dim as u64);
+        for kind in DesignKind::ALL {
+            let design = build(kind, &memory).expect("memory is nonempty");
+            out.push(SweepPoint {
+                kind,
+                classes,
+                dim,
+                cost: design.cost(),
+            });
+        }
+    }
+    out
+}
+
+/// The class-scaling sweep of paper Fig. 10: all three designs over the
+/// given class counts at a fixed dimensionality.
+pub fn class_sweep(class_counts: &[usize], dim: usize, seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(class_counts.len() * 3);
+    for &classes in class_counts {
+        let memory = random_memory(classes, dim, seed ^ (classes as u64) << 32);
+        for kind in DesignKind::ALL {
+            let design = build(kind, &memory).expect("memory is nonempty");
+            out.push(SweepPoint {
+                kind,
+                classes,
+                dim,
+                cost: design.cost(),
+            });
+        }
+    }
+    out
+}
+
+/// Maps a tolerated distance-error budget to the LTA resolution A-HAM
+/// would be configured with (the Fig. 11 knob; thresholds are the paper's
+/// `D = 10,000` operating points, scaled proportionally for other `D`).
+pub fn aham_bits_for_error(dim: usize, error_bits: usize) -> u32 {
+    let base = circuit_sim::analog::ResolutionModel::recommended(dim).lta_bits();
+    let scaled = |threshold: usize| threshold * dim / 10_000;
+    let reduction = if error_bits >= scaled(3_000) {
+        3
+    } else if error_bits >= scaled(2_500) {
+        2
+    } else if error_bits >= scaled(2_000) {
+        1
+    } else {
+        0
+    };
+    base.saturating_sub(reduction).max(8)
+}
+
+/// One point of the Fig. 11 error sweep: the three designs configured to
+/// tolerate `error_bits` of distance error, with EDPs normalized to the
+/// *unapproximated* D-HAM baseline (the paper normalizes its curves to
+/// D-HAM and lets each design's approximation knobs move it down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSweepPoint {
+    /// The tolerated error in the computed distance, in bits.
+    pub error_bits: usize,
+    /// The unapproximated D-HAM the curves are normalized to.
+    pub baseline: CostMetrics,
+    /// D-HAM sampling `D − error` dimensions.
+    pub dham: CostMetrics,
+    /// R-HAM voltage-overscaling `error` blocks (one tolerated bit each);
+    /// beyond one-per-block the remaining budget excludes blocks.
+    pub rham: CostMetrics,
+    /// A-HAM with the LTA resolution of [`aham_bits_for_error`].
+    pub aham: CostMetrics,
+}
+
+impl ErrorSweepPoint {
+    /// D-HAM EDP normalized to the baseline.
+    pub fn dham_normalized_edp(&self) -> f64 {
+        self.dham.edp().get() / self.baseline.edp().get()
+    }
+
+    /// R-HAM EDP normalized to the baseline D-HAM.
+    pub fn rham_normalized_edp(&self) -> f64 {
+        self.rham.edp().get() / self.baseline.edp().get()
+    }
+
+    /// A-HAM EDP normalized to the baseline D-HAM.
+    pub fn aham_normalized_edp(&self) -> f64 {
+        self.aham.edp().get() / self.baseline.edp().get()
+    }
+}
+
+/// The accuracy/energy-delay sweep of paper Fig. 11.
+pub fn edp_vs_error(error_points: &[usize], classes: usize, dim: usize, seed: u64) -> Vec<ErrorSweepPoint> {
+    let memory = random_memory(classes, dim, seed);
+    let blocks = dim.div_ceil(BLOCK_BITS);
+    let baseline = DHam::new(&memory).expect("memory is nonempty").cost();
+    error_points
+        .iter()
+        .map(|&e| {
+            let sampled = dim.saturating_sub(e).max(1);
+            let dham = DHam::with_sampling(&memory, sampled)
+                .expect("sampled dimension validated")
+                .cost();
+            // Up to one tolerated error bit per block comes from voltage
+            // overscaling; any remaining budget excludes whole blocks
+            // (4 unknown bits each) from the design.
+            let overscale_budget = e.min(blocks);
+            let excluded = (e - overscale_budget) / BLOCK_BITS;
+            let rham = RHam::new(&memory)
+                .expect("memory is nonempty")
+                .with_excluded_blocks(excluded)
+                .with_overscaled_blocks(overscale_budget)
+                .cost();
+            let aham = AHam::new(&memory)
+                .expect("memory is nonempty")
+                .with_lta_bits(aham_bits_for_error(dim, e))
+                .cost();
+            ErrorSweepPoint {
+                error_bits: e,
+                baseline,
+                dham,
+                rham,
+                aham,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_memory_is_balanced_and_reproducible() {
+        let a = random_memory(21, 10_000, 3);
+        let b = random_memory(21, 10_000, 3);
+        assert_eq!(a.len(), 21);
+        for i in 0..21 {
+            let row = a.row(ClassId(i)).unwrap();
+            assert_eq!(row.count_ones(), 5_000, "balanced row {i}");
+            assert_eq!(row, b.row(ClassId(i)).unwrap());
+        }
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        let m = random_memory(6, 512, 1);
+        for kind in DesignKind::ALL {
+            let d = build(kind, &m).unwrap();
+            assert_eq!(d.classes(), 6);
+            assert_eq!(d.name(), kind.name());
+        }
+        assert_eq!(DesignKind::Digital.to_string(), "D-HAM");
+    }
+
+    #[test]
+    fn dimension_sweep_shapes() {
+        let points = dimension_sweep(&[512, 2_048, 10_000], 21, 7);
+        assert_eq!(points.len(), 9);
+        // Energy grows with D for every design...
+        for kind in DesignKind::ALL {
+            let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
+            assert!(series.windows(2).all(|w| w[1].cost.energy >= w[0].cost.energy));
+        }
+        // ...and A-HAM grows the slowest (paper: 1.9× vs 8.3× for 20× D).
+        let growth = |kind: DesignKind| {
+            let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
+            series.last().unwrap().cost.energy / series[0].cost.energy
+        };
+        assert!(growth(DesignKind::Analog) < growth(DesignKind::Resistive));
+        assert!(growth(DesignKind::Analog) < growth(DesignKind::Digital));
+        assert!(growth(DesignKind::Analog) < 4.0);
+    }
+
+    #[test]
+    fn class_sweep_shapes() {
+        let points = class_sweep(&[6, 25, 100], 10_000, 9);
+        assert_eq!(points.len(), 9);
+        for kind in DesignKind::ALL {
+            let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
+            assert!(series.windows(2).all(|w| w[1].cost.energy > w[0].cost.energy));
+            assert!(series.windows(2).all(|w| w[1].cost.delay > w[0].cost.delay));
+        }
+        // A-HAM's energy is most sensitive to C (LTA-dominated).
+        let growth = |kind: DesignKind| {
+            let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
+            series.last().unwrap().cost.energy / series[0].cost.energy
+        };
+        assert!(growth(DesignKind::Analog) > growth(DesignKind::Resistive));
+    }
+
+    #[test]
+    fn aham_bits_mapping_matches_paper_points() {
+        // D = 10,000: 14 bits at the max-accuracy point (≤ 1,000 bits
+        // error), 11 bits at the moderate point (3,000 bits).
+        assert_eq!(aham_bits_for_error(10_000, 0), 14);
+        assert_eq!(aham_bits_for_error(10_000, 1_000), 14);
+        assert_eq!(aham_bits_for_error(10_000, 2_000), 13);
+        assert_eq!(aham_bits_for_error(10_000, 3_000), 11);
+        assert_eq!(aham_bits_for_error(10_000, 4_000), 11);
+    }
+
+    #[test]
+    fn error_sweep_improves_every_design() {
+        let points = edp_vs_error(&[0, 1_000, 3_000], 100, 10_000, 5);
+        assert_eq!(points.len(), 3);
+        // Monotone EDP improvement with tolerated error.
+        for w in points.windows(2) {
+            assert!(w[1].dham.edp().get() <= w[0].dham.edp().get());
+            assert!(w[1].rham.edp().get() <= w[0].rham.edp().get());
+            assert!(w[1].aham.edp().get() <= w[0].aham.edp().get());
+        }
+        // Normalized ordering: A-HAM ≪ R-HAM < D-HAM everywhere.
+        for p in &points {
+            assert!(p.rham_normalized_edp() < 1.0);
+            assert!(p.aham_normalized_edp() < p.rham_normalized_edp());
+        }
+    }
+
+    #[test]
+    fn fig11_headline_ratios() {
+        let points = edp_vs_error(&[1_000, 3_000], 100, 10_000, 5);
+        // Max accuracy (1,000 bits): paper reports R-HAM 7.3×, A-HAM 746×
+        // lower EDP than D-HAM.
+        let max_r = 1.0 / points[0].rham_normalized_edp();
+        let max_a = 1.0 / points[0].aham_normalized_edp();
+        assert!((6.3..8.3).contains(&max_r), "R-HAM max ratio {max_r}");
+        assert!((650.0..850.0).contains(&max_a), "A-HAM max ratio {max_a}");
+        // Moderate accuracy (3,000 bits): paper reports 9.6× and 1347×.
+        let mod_r = 1.0 / points[1].rham_normalized_edp();
+        let mod_a = 1.0 / points[1].aham_normalized_edp();
+        assert!(mod_r > max_r, "moderate beats max for R-HAM");
+        assert!(mod_a > max_a, "moderate beats max for A-HAM");
+        assert!((8.2..11.2).contains(&mod_r), "R-HAM moderate ratio {mod_r}");
+        assert!((1_100.0..1_600.0).contains(&mod_a), "A-HAM moderate ratio {mod_a}");
+        // D-HAM's own curve improves linearly with tolerated error.
+        assert!(points[0].dham_normalized_edp() < 1.0);
+        assert!(points[1].dham_normalized_edp() < points[0].dham_normalized_edp());
+    }
+}

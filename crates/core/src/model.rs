@@ -1,0 +1,151 @@
+//! The common vocabulary of the three HAM designs: configuration, search
+//! results, cost metrics, and the [`HamDesign`] trait.
+
+use hdc::prelude::*;
+
+use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
+
+/// Errors produced by the HAM architecture models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HamError {
+    /// The underlying HD layer reported an error.
+    Hdc(HdcError),
+    /// A design was built over an empty associative memory.
+    NoClasses,
+    /// A query's dimensionality does not match the design's array.
+    DimensionMismatch {
+        /// The design's dimensionality.
+        expected: usize,
+        /// The query's dimensionality.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for HamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HamError::Hdc(e) => write!(f, "hd layer error: {e}"),
+            HamError::NoClasses => write!(f, "design needs at least one stored class"),
+            HamError::DimensionMismatch { expected, actual } => {
+                write!(f, "query dimension {actual} does not match array dimension {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HamError::Hdc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for HamError {
+    fn from(e: HdcError) -> Self {
+        HamError::Hdc(e)
+    }
+}
+
+/// The static cost of a design point: per-search energy and delay, silicon
+/// area, and the derived energy-delay product.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostMetrics {
+    /// Energy per query search.
+    pub energy: Picojoules,
+    /// Search latency.
+    pub delay: Nanoseconds,
+    /// Total silicon area.
+    pub area: SquareMillimeters,
+}
+
+impl CostMetrics {
+    /// The energy-delay product.
+    pub fn edp(&self) -> EnergyDelay {
+        self.energy * self.delay
+    }
+}
+
+/// The outcome of one hardware search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HamSearchResult {
+    /// The winning row.
+    pub class: ClassId,
+    /// The distance the hardware *measured* for the winner (after
+    /// sampling, overscaling error, or analog quantization).
+    pub measured_distance: Distance,
+}
+
+/// A hyperdimensional associative memory architecture: stores learned
+/// hypervectors and finds the nearest one to a query, with an
+/// energy/delay/area model of the silicon that would do it.
+///
+/// All three designs (D-HAM, R-HAM, A-HAM) implement this trait, which is
+/// what lets the experiment harness sweep them uniformly. The trait is
+/// object-safe: `Box<dyn HamDesign>` is how the design-space explorer holds
+/// a mixed fleet.
+pub trait HamDesign {
+    /// Short design name ("D-HAM", "R-HAM", "A-HAM").
+    fn name(&self) -> &'static str;
+
+    /// Number of stored classes, `C`.
+    fn classes(&self) -> usize;
+
+    /// Array dimensionality, `D`.
+    fn dim(&self) -> Dimension;
+
+    /// One query search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HamError::DimensionMismatch`] for a query from another
+    /// space.
+    fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError>;
+
+    /// The design point's cost metrics.
+    fn cost(&self) -> CostMetrics;
+
+    /// Named per-component energy partition of one search. The components
+    /// sum to [`cost().energy`](HamDesign::cost); the default
+    /// implementation reports the whole budget as one component.
+    fn energy_components(&self) -> Vec<(&'static str, Picojoules)> {
+        vec![("total", self.cost().energy)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_metrics_edp() {
+        let m = CostMetrics {
+            energy: Picojoules::new(100.0),
+            delay: Nanoseconds::new(2.0),
+            area: SquareMillimeters::new(1.0),
+        };
+        assert_eq!(m.edp().get(), 200.0);
+        assert_eq!(CostMetrics::default().edp().get(), 0.0);
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: HamError = HdcError::EmptyMemory.into();
+        assert!(e.to_string().contains("hd layer"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = HamError::DimensionMismatch {
+            expected: 100,
+            actual: 50,
+        };
+        assert!(m.to_string().contains("100") && m.to_string().contains("50"));
+        assert!(std::error::Error::source(&m).is_none());
+        assert!(!HamError::NoClasses.to_string().is_empty());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_: &dyn HamDesign) {}
+    }
+}

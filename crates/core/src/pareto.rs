@@ -1,0 +1,103 @@
+//! Pareto-frontier analysis of the design space.
+//!
+//! Given a set of design points, which are worth building? A point is
+//! *dominated* when another point is at least as good on every cost axis
+//! (energy, delay, area) and strictly better on one. The non-dominated
+//! set is the Pareto frontier — the menu a designer actually chooses
+//! from. Running the paper's sweeps through this filter shows A-HAM
+//! owning the frontier at scale and the small-array regime where D-HAM's
+//! lack of fixed LTA overhead puts it back on the menu.
+
+use crate::explore::SweepPoint;
+use crate::model::CostMetrics;
+
+/// Returns `true` when `a` dominates `b`: no worse on every axis,
+/// strictly better on at least one.
+pub fn dominates(a: &CostMetrics, b: &CostMetrics) -> bool {
+    let no_worse =
+        a.energy.get() <= b.energy.get() && a.delay.get() <= b.delay.get() && a.area.get() <= b.area.get();
+    let strictly_better = a.energy.get() < b.energy.get()
+        || a.delay.get() < b.delay.get()
+        || a.area.get() < b.area.get();
+    no_worse && strictly_better
+}
+
+/// Filters a sweep down to its Pareto frontier (stable order preserved).
+pub fn pareto_front(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .filter(|candidate| {
+            !points
+                .iter()
+                .any(|other| dominates(&other.cost, &candidate.cost))
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{class_sweep, dimension_sweep, DesignKind};
+    use crate::units::{Nanoseconds, Picojoules, SquareMillimeters};
+
+    fn metrics(e: f64, t: f64, a: f64) -> CostMetrics {
+        CostMetrics {
+            energy: Picojoules::new(e),
+            delay: Nanoseconds::new(t),
+            area: SquareMillimeters::new(a),
+        }
+    }
+
+    #[test]
+    fn domination_rules() {
+        let base = metrics(10.0, 10.0, 10.0);
+        assert!(dominates(&metrics(9.0, 10.0, 10.0), &base));
+        assert!(dominates(&metrics(9.0, 9.0, 9.0), &base));
+        assert!(!dominates(&base, &base), "equal points do not dominate");
+        assert!(
+            !dominates(&metrics(9.0, 11.0, 10.0), &base),
+            "a trade-off is not domination"
+        );
+        assert!(!dominates(&base, &metrics(9.0, 9.0, 9.0)));
+    }
+
+    #[test]
+    fn aham_owns_the_frontier_at_fixed_scale() {
+        // At one (C, D) the designs differ only by architecture: A-HAM
+        // dominates both on every axis, so the frontier is A-HAM alone.
+        let points = dimension_sweep(&[10_000], 100, 1);
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].kind, DesignKind::Analog);
+    }
+
+    #[test]
+    fn frontier_never_empty_and_never_dominated() {
+        let points = class_sweep(&[6, 25, 100], 10_000, 2);
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for f in &front {
+            assert!(!points.iter().any(|p| dominates(&p.cost, &f.cost)));
+        }
+        // Every dropped point is dominated by someone.
+        for p in &points {
+            let kept = front.iter().any(|f| f.cost == p.cost && f.kind == p.kind);
+            if !kept {
+                assert!(points.iter().any(|o| dominates(&o.cost, &p.cost)));
+            }
+        }
+    }
+
+    #[test]
+    fn small_arrays_reshuffle_the_menu() {
+        // At tiny C·D the fixed LTA area pushes A-HAM off the all-axis
+        // frontier: more than one design survives.
+        let points = dimension_sweep(&[64], 2, 3);
+        let front = pareto_front(&points);
+        assert!(
+            front.len() > 1,
+            "expected a mixed frontier at tiny scale, got {front:?}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Sensitivity (tornado) analysis of the technology calibration.
+//!
+//! The cost models are analytic formulas over fitted constants; the
+//! natural question is whether the paper's headline conclusions survive
+//! calibration error. This module perturbs each key constant by a given
+//! fraction and measures how the flagship metric — the A-HAM / D-HAM
+//! EDP ratio at the paper's main configuration — moves. The qualitative
+//! result (A-HAM wins by orders of magnitude) turns out to be extremely
+//! robust: no single ±20% constant shift moves the ratio by even one
+//! order of magnitude.
+
+use crate::tech::TechnologyModel;
+use crate::units::EnergyDelay;
+
+/// The constants the analysis perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// D-HAM per-XOR-compare energy.
+    XorCompareEnergy,
+    /// D-HAM per-counter-bit energy.
+    CounterBitEnergy,
+    /// D-HAM/R-HAM per-class buffer delay.
+    BufferDelay,
+    /// R-HAM per-block search energy.
+    RhamBlockEnergy,
+    /// A-HAM LTA energy coefficient.
+    LtaEnergy,
+    /// A-HAM LTA per-stage-bit delay.
+    LtaDelay,
+}
+
+impl Knob {
+    /// All perturbable knobs.
+    pub const ALL: [Knob; 6] = [
+        Knob::XorCompareEnergy,
+        Knob::CounterBitEnergy,
+        Knob::BufferDelay,
+        Knob::RhamBlockEnergy,
+        Knob::LtaEnergy,
+        Knob::LtaDelay,
+    ];
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::XorCompareEnergy => "e_xor_compare",
+            Knob::CounterBitEnergy => "e_counter_bit",
+            Knob::BufferDelay => "t_buffer_per_class",
+            Knob::RhamBlockEnergy => "e_rham_block",
+            Knob::LtaEnergy => "e_lta_bit2",
+            Knob::LtaDelay => "t_lta_stage_bit",
+        }
+    }
+
+    /// Returns the calibration with this knob scaled by `factor`.
+    pub fn scaled(self, factor: f64) -> TechnologyModel {
+        let mut t = TechnologyModel::hpca17();
+        match self {
+            Knob::XorCompareEnergy => t.e_xor_compare_fj *= factor,
+            Knob::CounterBitEnergy => t.e_counter_bit_fj *= factor,
+            Knob::BufferDelay => {
+                t.t_buffer_per_class_ns *= factor;
+                t.t_rham_buffer_per_class_ns *= factor;
+            }
+            Knob::RhamBlockEnergy => t.e_rham_block_fj *= factor,
+            Knob::LtaEnergy => t.e_lta_bit2_fj *= factor,
+            Knob::LtaDelay => t.t_lta_stage_bit_ns *= factor,
+        }
+        t
+    }
+}
+
+/// One tornado row: the headline ratio under a low/high scaling of one
+/// knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityRow {
+    /// The knob.
+    pub knob: Knob,
+    /// A-HAM/D-HAM EDP advantage with the knob at `1 − spread`.
+    pub ratio_low: f64,
+    /// The advantage at the nominal calibration.
+    pub ratio_nominal: f64,
+    /// The advantage with the knob at `1 + spread`.
+    pub ratio_high: f64,
+}
+
+impl SensitivityRow {
+    /// The swing `max/min` of the headline ratio across the knob's range.
+    pub fn swing(&self) -> f64 {
+        let lo = self.ratio_low.min(self.ratio_high);
+        let hi = self.ratio_low.max(self.ratio_high);
+        hi / lo
+    }
+}
+
+/// The headline metric: A-HAM/D-HAM EDP advantage at `C = 100`,
+/// `D = 10,000` under a given calibration.
+pub fn headline_ratio(tech: &TechnologyModel) -> f64 {
+    let dham: EnergyDelay = (tech.dham_cam_energy(100, 10_000)
+        + tech.dham_logic_energy(100, 10_000))
+        * tech.dham_delay(100, 10_000);
+    let aham: EnergyDelay =
+        tech.aham_energy(100, 10_000, 14, 14) * tech.aham_delay(100, 14);
+    dham.get() / aham.get()
+}
+
+/// Runs the tornado analysis at `±spread` (e.g. `0.2` for ±20%).
+///
+/// # Panics
+///
+/// Panics unless `0 < spread < 1`.
+pub fn tornado(spread: f64) -> Vec<SensitivityRow> {
+    assert!(spread > 0.0 && spread < 1.0, "spread must be a fraction");
+    let nominal = headline_ratio(&TechnologyModel::hpca17());
+    Knob::ALL
+        .iter()
+        .map(|&knob| SensitivityRow {
+            knob,
+            ratio_low: headline_ratio(&knob.scaled(1.0 - spread)),
+            ratio_nominal: nominal,
+            ratio_high: headline_ratio(&knob.scaled(1.0 + spread)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_headline_matches_the_calibration() {
+        let r = headline_ratio(&TechnologyModel::hpca17());
+        // Fig. 11: ≈746× at the max-accuracy point.
+        assert!((650.0..850.0).contains(&r), "headline ratio {r}");
+    }
+
+    #[test]
+    fn conclusion_is_robust_to_twenty_percent_calibration_error() {
+        for row in tornado(0.2) {
+            assert!(
+                row.ratio_low > 300.0 && row.ratio_high > 300.0,
+                "{}: {} / {}",
+                row.knob.name(),
+                row.ratio_low,
+                row.ratio_high
+            );
+            assert!(row.swing() < 2.0, "{} swings {}", row.knob.name(), row.swing());
+        }
+    }
+
+    #[test]
+    fn knob_directions_make_physical_sense() {
+        let rows = tornado(0.2);
+        let find = |k: Knob| rows.iter().find(|r| r.knob == k).unwrap();
+        // Cheaper D-HAM (lower XOR energy) shrinks A-HAM's advantage.
+        let xor = find(Knob::XorCompareEnergy);
+        assert!(xor.ratio_low < xor.ratio_nominal);
+        assert!(xor.ratio_high > xor.ratio_nominal);
+        // Cheaper LTA grows it.
+        let lta = find(Knob::LtaEnergy);
+        assert!(lta.ratio_low > lta.ratio_nominal);
+        assert!(lta.ratio_high < lta.ratio_nominal);
+        // R-HAM's block energy does not enter the headline at all.
+        let rham = find(Knob::RhamBlockEnergy);
+        assert!((rham.swing() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_knob_scales_its_constant() {
+        for knob in Knob::ALL {
+            let up = knob.scaled(1.5);
+            assert_ne!(up, TechnologyModel::hpca17(), "{}", knob.name());
+            assert!(!knob.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be a fraction")]
+    fn invalid_spread_rejected() {
+        tornado(1.5);
+    }
+}

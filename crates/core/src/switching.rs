@@ -1,0 +1,141 @@
+//! Switching-activity analysis (paper Table II).
+//!
+//! Between two consecutive searches with i.i.d. random query/stored bits,
+//! a D-HAM XOR output toggles 0 → 1 with probability `¼` (its value is an
+//! independent fair coin each search). An R-HAM block of `B` bits instead
+//! reports its distance on `B` thermometer-coded sense lines; line `i`
+//! rises only when the previous block distance was `< i` *and* the new one
+//! is `≥ i`, which is rarer — the non-binary code is what cuts R-HAM's
+//! counter switching energy.
+//!
+//! The numbers here are *exact* enumerations over the
+//! `Binomial(B, ½)`-distributed block distances. The 1-bit and 4-bit
+//! entries reproduce the paper's Table II (25% and 13.6%); the 2-/3-bit
+//! entries come out slightly below the paper's (18.75% vs 21.4%, 15.6% vs
+//! 18.3%) because the paper's intermediate-width code table is not fully
+//! specified — see DESIGN.md §7.
+
+/// Probability that one bit position of a `Binomial(B, ½)` block distance
+/// equals `k`.
+fn binomial_half_pmf(b: usize, k: usize) -> f64 {
+    if k > b {
+        return 0.0;
+    }
+    let mut c = 1.0f64;
+    for i in 0..k {
+        c = c * (b - i) as f64 / (i + 1) as f64;
+    }
+    c / 2f64.powi(b as i32)
+}
+
+/// D-HAM's average XOR-array switching activity: every output line is an
+/// independent fair coin per search, so the rise probability is `¼`
+/// regardless of block size.
+pub fn dham_activity(_block_bits: usize) -> f64 {
+    0.25
+}
+
+/// R-HAM's average thermometer-line switching activity for blocks of
+/// `block_bits` bits: the mean over lines `i ∈ 1..=B` of
+/// `P(d_prev ≤ i−1) · P(d_next ≥ i)` with `d ~ Binomial(B, ½)`.
+///
+/// # Panics
+///
+/// Panics if `block_bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// // Paper Table II, 4-bit row: R-HAM 13.6% vs D-HAM 25%.
+/// let rham = ham_core::switching::rham_activity(4);
+/// assert!((rham - 0.136).abs() < 0.002);
+/// assert!(rham < ham_core::switching::dham_activity(4));
+/// ```
+pub fn rham_activity(block_bits: usize) -> f64 {
+    assert!(block_bits > 0, "block size must be nonzero");
+    let b = block_bits;
+    let cdf = |k: i64| -> f64 {
+        if k < 0 {
+            return 0.0;
+        }
+        (0..=(k as usize).min(b)).map(|j| binomial_half_pmf(b, j)).sum()
+    };
+    let mut total = 0.0;
+    for i in 1..=b {
+        let p_prev_low = cdf(i as i64 - 1);
+        let p_next_high = 1.0 - cdf(i as i64 - 1);
+        total += p_prev_low * p_next_high;
+    }
+    total / b as f64
+}
+
+/// The full Table II: `(block_bits, R-HAM activity, D-HAM activity)` rows
+/// for block sizes 1–4.
+pub fn table2() -> Vec<(usize, f64, f64)> {
+    (1..=4)
+        .map(|b| (b, rham_activity(b), dham_activity(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_is_normalized() {
+        for b in 1..=8 {
+            let total: f64 = (0..=b).map(|k| binomial_half_pmf(b, k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "B = {b}");
+        }
+        assert_eq!(binomial_half_pmf(4, 5), 0.0);
+        assert!((binomial_half_pmf(4, 2) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bit_blocks_match_dham() {
+        // Table II row 1: both designs sit at 25%.
+        assert!((rham_activity(1) - 0.25).abs() < 1e-12);
+        assert_eq!(dham_activity(1), 0.25);
+    }
+
+    #[test]
+    fn four_bit_blocks_match_paper() {
+        // Table II row 4: 13.6% (exact value 35/256 = 13.67%).
+        let a = rham_activity(4);
+        assert!((a - 0.1367).abs() < 0.001, "activity = {a}");
+    }
+
+    #[test]
+    fn activity_decreases_with_block_size() {
+        let mut prev = 1.0;
+        for b in 1..=8 {
+            let a = rham_activity(b);
+            assert!(a < prev, "B = {b}: {a} >= {prev}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn rham_beats_dham_beyond_one_bit() {
+        for b in 2..=4 {
+            assert!(rham_activity(b) < dham_activity(b), "B = {b}");
+        }
+    }
+
+    #[test]
+    fn table2_shape() {
+        let t = table2();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].0, 1);
+        assert_eq!(t[3].0, 4);
+        for (_, r, d) in &t {
+            assert!(*r <= *d + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_block_rejected() {
+        rham_activity(0);
+    }
+}

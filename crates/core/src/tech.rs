@@ -1,0 +1,417 @@
+//! The 45 nm technology model: per-component energy, delay and area
+//! constants.
+//!
+//! The paper characterizes D-HAM with a TSMC 45 nm ASIC flow (Design
+//! Compiler + PrimeTime at the (1 V, 25 °C, TT) corner) and R-HAM/A-HAM
+//! with HSPICE. This module replaces those flows with an analytic
+//! component-count × per-component-cost model whose constants are **fitted
+//! to the paper's published numbers**; every constant's doc comment names
+//! the table or figure it was fitted against, and the calibration tests at
+//! the bottom re-check the anchors.
+
+use crate::units::{Nanoseconds, Picojoules, SquareMillimeters};
+
+/// Number of bits a binary counter/comparator needs to hold a distance of
+/// up to `d` bits (`⌈log₂(d+1)⌉`; the paper's "comparators of 14 bits" for
+/// `D = 10,000`).
+pub fn distance_bits(d: usize) -> u32 {
+    usize::BITS - d.leading_zeros()
+}
+
+/// The technology constants. Construct via [`TechnologyModel::hpca17`] for
+/// the paper's calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyModel {
+    // ---------------- D-HAM (digital CMOS, Table I fits) ----------------
+    /// Energy of one XOR compare (storage cell read + XOR toggle at 25%
+    /// switching activity), fJ. Fitted to Table I: 4976.9 pJ CAM energy at
+    /// `C·D = 10⁶` (and exactly linear in the sampled `d`, matching the
+    /// 4479.2/3483.8 pJ rows).
+    pub e_xor_compare_fj: f64,
+    /// Per-row, per-counted-bit counter energy, fJ. Fitted to the slope of
+    /// Table I's counters+comparators column over `d` (1178.2 → 883.6 pJ
+    /// from `d = 10,000 → 7,000`).
+    pub e_counter_bit_fj: f64,
+    /// Per-comparator-bit energy of the comparator tree, fJ. Fitted to the
+    /// intercept of the same column (196.2 pJ for 99 comparators × 14 bits).
+    pub e_comparator_bit_fj: f64,
+    /// CAM cell area (storage + XOR + local wiring), µm². Fitted to Table
+    /// I: 15.2 mm² at 10⁶ cells, linear in `d`.
+    pub a_cam_cell_um2: f64,
+    /// Per-row, per-bit counter area, µm². Fitted to the slope of Table I's
+    /// counters+comparators area over `d`.
+    pub a_counter_bit_um2: f64,
+    /// Per-comparator-bit area, µm². Fitted to the intercept of the same
+    /// column (2.233 mm² at 99 × 14 comparator bits).
+    pub a_comparator_bit_um2: f64,
+    /// Input-buffer delay per class row, ns ("all the HAM designs with the
+    /// larger C require the larger input buffers"). Fitted with
+    /// `t_wire_sqrt_ns` to the paper's 160 ns optimized cycle at
+    /// `C = 100, D = 10,000` and the Fig. 9/10 delay growth shapes.
+    pub t_buffer_per_class_ns: f64,
+    /// Interconnect/counting delay per `√d`, ns. See
+    /// [`t_buffer_per_class_ns`](Self::t_buffer_per_class_ns).
+    pub t_wire_sqrt_ns: f64,
+
+    // ---------------- R-HAM (resistive crossbar) ----------------
+    /// Per-4-bit-block search energy (precharge + discharge + 4 sense
+    /// amplifiers) at the nominal 1 V supply, fJ. Fitted so the R-HAM /
+    /// D-HAM EDP ratios land on Fig. 11 (7.3× at max accuracy, 9.6× at
+    /// moderate).
+    pub e_rham_block_fj: f64,
+    /// R-HAM counter energy per row per block, fJ — lower than D-HAM's
+    /// dense binary counting thanks to the thermometer code's reduced
+    /// switching activity (Table II: 13.6% vs 25% at 4-bit blocks).
+    pub e_rham_counter_block_fj: f64,
+    /// Crossbar cell area (1T1R + share of sense circuitry), µm². Fitted to
+    /// Fig. 12: R-HAM total area = D-HAM / 1.4 with counters/comparators
+    /// interleaved every 4-bit block.
+    pub a_rham_cell_um2: f64,
+    /// The overscaled block supply, volts (paper: 0.78 V keeps block error
+    /// ≤ 1 bit).
+    pub v_overscaled: f64,
+    /// Nominal resistive-array read supply, volts. 1.1 V (the 45 nm
+    /// HSPICE fast read corner) reproduces the paper's Fig. 5 claim that
+    /// overscaling every block to 0.78 V halves the crossbar energy:
+    /// (0.78/1.1)² ≈ 0.50.
+    pub v_nominal: f64,
+    /// R-HAM ML evaluation window (high-`R_ON` discharge + sense), ns.
+    pub t_rham_ml_window_ns: f64,
+    /// R-HAM per-class buffer delay, ns (slightly better than D-HAM: the
+    /// crossbar rows present less load than XOR gates).
+    pub t_rham_buffer_per_class_ns: f64,
+    /// R-HAM interconnect/counting delay per `√d`, ns.
+    pub t_rham_wire_sqrt_ns: f64,
+
+    // ---------------- A-HAM (analog current-domain) ----------------
+    /// Crossbar discharge energy per cell per search, fJ — tiny thanks to
+    /// the high-`R_ON` device limiting the discharge current.
+    pub e_aham_cell_fj: f64,
+    /// Sense-block (stabilizer + mirror) energy per row per stage, fJ.
+    pub e_aham_sense_fj: f64,
+    /// LTA block energy per comparator per bit², fJ (energy grows
+    /// quadratically with resolution: current copies double per extra bit
+    /// of matching accuracy). Fitted to Fig. 11's A-HAM ratios (746× /
+    /// 1347×) and the 2.4× max→moderate step.
+    pub e_lta_bit2_fj: f64,
+    /// A-HAM ML stabilization + evaluation window, ns.
+    pub t_aham_ml_ns: f64,
+    /// LTA comparison delay per tree stage per resolution bit, ns.
+    pub t_lta_stage_bit_ns: f64,
+    /// A-HAM crossbar cell area, µm² (densest array: no per-block digital
+    /// logic; Fig. 12: 3× smaller total than D-HAM).
+    pub a_aham_cell_um2: f64,
+    /// LTA block area, µm² per comparator per resolution bit. Fitted to
+    /// Fig. 12's "LTA blocks occupy 69% of the total A-HAM area".
+    pub a_lta_bit_um2: f64,
+}
+
+impl TechnologyModel {
+    /// The calibration fitted to the HPCA'17 paper (see field docs).
+    pub fn hpca17() -> Self {
+        TechnologyModel {
+            // D-HAM — Table I fits.
+            e_xor_compare_fj: 4.9769,
+            e_counter_bit_fj: 0.982,
+            e_comparator_bit_fj: 141.6,
+            a_cam_cell_um2: 15.2,
+            a_counter_bit_um2: 8.667,
+            a_comparator_bit_um2: 1_611.0,
+            t_buffer_per_class_ns: 1.143,
+            t_wire_sqrt_ns: 0.457,
+            // R-HAM.
+            e_rham_block_fj: 3.25,
+            e_rham_counter_block_fj: 1.0,
+            a_rham_cell_um2: 7.74,
+            v_overscaled: 0.78,
+            v_nominal: 1.1,
+            t_rham_ml_window_ns: 3.0,
+            t_rham_buffer_per_class_ns: 0.82,
+            t_rham_wire_sqrt_ns: 0.38,
+            // A-HAM.
+            e_aham_cell_fj: 0.02,
+            e_aham_sense_fj: 10.0,
+            e_lta_bit2_fj: 8.1,
+            t_aham_ml_ns: 2.0,
+            t_lta_stage_bit_ns: 0.05,
+            a_aham_cell_um2: 2.7,
+            a_lta_bit_um2: 4_329.0,
+        }
+    }
+
+    // ---- D-HAM formulas -------------------------------------------------
+
+    /// D-HAM CAM-array energy for `classes` rows comparing `d` sampled
+    /// dimensions.
+    pub fn dham_cam_energy(&self, classes: usize, d: usize) -> Picojoules {
+        Picojoules::from_femtos(self.e_xor_compare_fj * classes as f64 * d as f64)
+    }
+
+    /// D-HAM counters + comparator-tree energy.
+    pub fn dham_logic_energy(&self, classes: usize, d: usize) -> Picojoules {
+        let counters = self.e_counter_bit_fj * classes as f64 * d as f64;
+        let w = distance_bits(d) as f64;
+        let comparators = self.e_comparator_bit_fj * (classes.saturating_sub(1)) as f64 * w;
+        Picojoules::from_femtos(counters + comparators)
+    }
+
+    /// D-HAM CAM-array area.
+    pub fn dham_cam_area(&self, classes: usize, d: usize) -> SquareMillimeters {
+        SquareMillimeters::from_square_microns(self.a_cam_cell_um2 * classes as f64 * d as f64)
+    }
+
+    /// D-HAM counters + comparator-tree area.
+    pub fn dham_logic_area(&self, classes: usize, d: usize) -> SquareMillimeters {
+        let counters = self.a_counter_bit_um2 * classes as f64 * d as f64;
+        let w = distance_bits(d) as f64;
+        let comparators = self.a_comparator_bit_um2 * (classes.saturating_sub(1)) as f64 * w;
+        SquareMillimeters::from_square_microns(counters + comparators)
+    }
+
+    /// D-HAM search delay: input buffering grows with `C`, interconnect and
+    /// count/compare depth grow with `√d`.
+    pub fn dham_delay(&self, classes: usize, d: usize) -> Nanoseconds {
+        Nanoseconds::new(
+            self.t_buffer_per_class_ns * classes as f64 + self.t_wire_sqrt_ns * (d as f64).sqrt(),
+        )
+    }
+
+    // ---- R-HAM formulas -------------------------------------------------
+
+    /// Energy of one R-HAM block search at supply `v` (dynamic energy
+    /// scales with `V²` — the voltage-overscaling lever).
+    pub fn rham_block_energy(&self, v: f64) -> Picojoules {
+        let scale = (v / self.v_nominal).powi(2);
+        Picojoules::from_femtos(self.e_rham_block_fj * scale)
+    }
+
+    /// R-HAM crossbar energy: `classes` rows × `blocks` active blocks, of
+    /// which `overscaled` run at the overscaled supply.
+    pub fn rham_cam_energy(&self, classes: usize, blocks: usize, overscaled: usize) -> Picojoules {
+        let overscaled = overscaled.min(blocks);
+        let nominal = (blocks - overscaled) as f64 * self.rham_block_energy(self.v_nominal).get();
+        let scaled = overscaled as f64 * self.rham_block_energy(self.v_overscaled).get();
+        Picojoules::new(classes as f64 * (nominal + scaled))
+    }
+
+    /// R-HAM counters + comparator-tree energy for `blocks` active blocks
+    /// per row.
+    pub fn rham_logic_energy(&self, classes: usize, blocks: usize) -> Picojoules {
+        let counters = self.e_rham_counter_block_fj * classes as f64 * blocks as f64;
+        let w = distance_bits(blocks * 4) as f64;
+        let comparators = self.e_comparator_bit_fj * (classes.saturating_sub(1)) as f64 * w;
+        Picojoules::from_femtos(counters + comparators)
+    }
+
+    /// R-HAM area: dense crossbar cells plus the same interleaved digital
+    /// counters/comparators as D-HAM.
+    pub fn rham_area(&self, classes: usize, d: usize) -> SquareMillimeters {
+        let cells = self.a_rham_cell_um2 * classes as f64 * d as f64;
+        let counters = self.a_counter_bit_um2 * classes as f64 * d as f64;
+        let w = distance_bits(d) as f64;
+        let comparators = self.a_comparator_bit_um2 * (classes.saturating_sub(1)) as f64 * w;
+        SquareMillimeters::from_square_microns(cells + counters + comparators)
+    }
+
+    /// R-HAM search delay.
+    pub fn rham_delay(&self, classes: usize, d: usize) -> Nanoseconds {
+        Nanoseconds::new(
+            self.t_rham_ml_window_ns
+                + self.t_rham_buffer_per_class_ns * classes as f64
+                + self.t_rham_wire_sqrt_ns * (d as f64).sqrt(),
+        )
+    }
+
+    // ---- A-HAM formulas -------------------------------------------------
+
+    /// A-HAM total energy for `classes` rows of dimension `d` searched in
+    /// `stages` stages with `bits`-bit LTAs.
+    pub fn aham_energy(&self, classes: usize, d: usize, stages: usize, bits: u32) -> Picojoules {
+        let cells = self.e_aham_cell_fj * classes as f64 * d as f64;
+        let sense = self.e_aham_sense_fj * classes as f64 * stages as f64;
+        let lta = self.e_lta_bit2_fj
+            * (classes.saturating_sub(1)) as f64
+            * (bits as f64).powi(2);
+        Picojoules::from_femtos(cells + sense + lta)
+    }
+
+    /// A-HAM search delay: ML stabilization plus `⌈log₂C⌉` LTA stages whose
+    /// comparison time grows with resolution.
+    pub fn aham_delay(&self, classes: usize, bits: u32) -> Nanoseconds {
+        let depth = if classes <= 1 {
+            0.0
+        } else {
+            ((classes as f64).log2()).ceil()
+        };
+        Nanoseconds::new(self.t_aham_ml_ns + self.t_lta_stage_bit_ns * depth * bits as f64)
+    }
+
+    /// A-HAM crossbar area.
+    pub fn aham_cam_area(&self, classes: usize, d: usize) -> SquareMillimeters {
+        SquareMillimeters::from_square_microns(self.a_aham_cell_um2 * classes as f64 * d as f64)
+    }
+
+    /// A-HAM LTA-tree area.
+    pub fn aham_lta_area(&self, classes: usize, bits: u32) -> SquareMillimeters {
+        SquareMillimeters::from_square_microns(
+            self.a_lta_bit_um2 * (classes.saturating_sub(1)) as f64 * bits as f64,
+        )
+    }
+}
+
+impl Default for TechnologyModel {
+    fn default() -> Self {
+        TechnologyModel::hpca17()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyModel {
+        TechnologyModel::hpca17()
+    }
+
+    #[test]
+    fn distance_bits_matches_paper() {
+        // "99 comparators of 14 bits" for D = 10,000.
+        assert_eq!(distance_bits(10_000), 14);
+        assert_eq!(distance_bits(9_000), 14);
+        assert_eq!(distance_bits(7_000), 13);
+        assert_eq!(distance_bits(512), 10);
+        assert_eq!(distance_bits(1), 1);
+    }
+
+    #[test]
+    fn table1_cam_energy_anchors() {
+        let t = tech();
+        // Table I: CAM array energy at C = 100.
+        let full = t.dham_cam_energy(100, 10_000).get();
+        assert!((full - 4_976.9).abs() < 1.0, "D=10,000: {full}");
+        let d9k = t.dham_cam_energy(100, 9_000).get();
+        assert!((d9k - 4_479.2).abs() < 1.0, "d=9,000: {d9k}");
+        let d7k = t.dham_cam_energy(100, 7_000).get();
+        assert!((d7k - 3_483.8).abs() < 1.0, "d=7,000: {d7k}");
+    }
+
+    #[test]
+    fn table1_logic_energy_anchors() {
+        let t = tech();
+        // Table I: counters + comparators, fitted within 5%.
+        let full = t.dham_logic_energy(100, 10_000).get();
+        assert!((full - 1_178.2).abs() / 1_178.2 < 0.05, "D=10,000: {full}");
+        let d7k = t.dham_logic_energy(100, 7_000).get();
+        assert!((d7k - 883.6).abs() / 883.6 < 0.05, "d=7,000: {d7k}");
+    }
+
+    #[test]
+    fn table1_total_energy() {
+        let t = tech();
+        // "D-HAM consumes 6155.2 pJ energy for each query search" and "the
+        // CAM array consumes 81% of the total energy".
+        let cam = t.dham_cam_energy(100, 10_000);
+        let logic = t.dham_logic_energy(100, 10_000);
+        let total = (cam + logic).get();
+        assert!((total - 6_155.2).abs() / 6_155.2 < 0.02, "total {total}");
+        let frac = cam.get() / total;
+        assert!((frac - 0.81).abs() < 0.02, "CAM fraction {frac}");
+    }
+
+    #[test]
+    fn table1_area_anchors() {
+        let t = tech();
+        let cam = t.dham_cam_area(100, 10_000).get();
+        assert!((cam - 15.2).abs() < 0.1, "CAM area {cam}");
+        let logic = t.dham_logic_area(100, 10_000).get();
+        assert!((logic - 10.9).abs() / 10.9 < 0.05, "logic area {logic}");
+        // d = 7,000 rows of Table I.
+        let cam7 = t.dham_cam_area(100, 7_000).get();
+        assert!((cam7 - 10.6).abs() / 10.6 < 0.02, "CAM area d=7k {cam7}");
+        let logic7 = t.dham_logic_area(100, 7_000).get();
+        assert!((logic7 - 8.3).abs() / 8.3 < 0.06, "logic area d=7k {logic7}");
+    }
+
+    #[test]
+    fn dham_cycle_time_anchor() {
+        // "The design is optimized for a cycle time of 160 ns" at the
+        // Table I configuration (C = 100, D = 10,000).
+        let t = tech();
+        let delay = t.dham_delay(100, 10_000).get();
+        assert!((delay - 160.0).abs() / 160.0 < 0.02, "delay {delay}");
+    }
+
+    #[test]
+    fn rham_overscaling_saves_quadratically() {
+        let t = tech();
+        let nominal = t.rham_block_energy(t.v_nominal).get();
+        let scaled = t.rham_block_energy(t.v_overscaled).get();
+        assert!((scaled / nominal - 0.502_8).abs() < 1e-3);
+        // All 2,500 blocks overscaled → crossbar energy × 0.50 (the "50%
+        // relative saving" lever of Fig. 5).
+        let base = t.rham_cam_energy(100, 2_500, 0);
+        let all = t.rham_cam_energy(100, 2_500, 2_500);
+        assert!((all / base - 0.502_8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rham_is_cheaper_than_dham_at_equal_work() {
+        let t = tech();
+        let dham = t.dham_cam_energy(100, 10_000) + t.dham_logic_energy(100, 10_000);
+        let rham = t.rham_cam_energy(100, 2_500, 0) + t.rham_logic_energy(100, 2_500);
+        assert!(rham.get() < 0.5 * dham.get(), "rham {rham} vs dham {dham}");
+        let t_d = t.dham_delay(100, 10_000);
+        let t_r = t.rham_delay(100, 10_000);
+        assert!(t_r < t_d);
+    }
+
+    #[test]
+    fn fig12_area_ratios() {
+        let t = tech();
+        let dham = t.dham_cam_area(100, 10_000) + t.dham_logic_area(100, 10_000);
+        let rham = t.rham_area(100, 10_000);
+        let aham = t.aham_cam_area(100, 10_000) + t.aham_lta_area(100, 14);
+        // Fig. 12: R-HAM ≈ D-HAM / 1.4, A-HAM ≈ D-HAM / 3.
+        let r_ratio = dham / rham;
+        assert!((r_ratio - 1.4).abs() < 0.2, "R ratio {r_ratio}");
+        let a_ratio = dham / aham;
+        assert!((a_ratio - 3.0).abs() < 0.5, "A ratio {a_ratio}");
+        // "its LTA blocks occupy 69% of the total A-HAM area".
+        let lta_frac = t.aham_lta_area(100, 14) / aham;
+        assert!((lta_frac - 0.69).abs() < 0.08, "LTA fraction {lta_frac}");
+    }
+
+    #[test]
+    fn aham_energy_is_lta_dominated_and_tiny() {
+        let t = tech();
+        let total = t.aham_energy(100, 10_000, 14, 14);
+        let lta_only = t.aham_energy(100, 10_000, 14, 14).get()
+            - t.aham_energy(1, 10_000, 14, 14).get() * 0.0; // keep simple: recompute
+        let _ = lta_only;
+        let cells_sense = t.e_aham_cell_fj * 100.0 * 10_000.0 + t.e_aham_sense_fj * 100.0 * 14.0;
+        let lta = total.get() * 1e3 - cells_sense;
+        assert!(lta > cells_sense, "LTA dominates: lta {lta} fJ vs rest {cells_sense} fJ");
+        // Orders of magnitude below D-HAM.
+        let dham = t.dham_cam_energy(100, 10_000) + t.dham_logic_energy(100, 10_000);
+        assert!(total.get() < dham.get() / 20.0);
+    }
+
+    #[test]
+    fn aham_delay_shape() {
+        let t = tech();
+        let single = t.aham_delay(1, 14);
+        assert!((single.get() - t.t_aham_ml_ns).abs() < 1e-12);
+        let d21 = t.aham_delay(21, 14);
+        let d100 = t.aham_delay(100, 14);
+        assert!(d21 < d100, "depth grows with C");
+        // Lower resolution is faster (the max→moderate accuracy lever).
+        assert!(t.aham_delay(100, 11) < t.aham_delay(100, 14));
+        // And far faster than D-HAM.
+        assert!(d100.get() < t.dham_delay(100, 10_000).get() / 10.0);
+    }
+
+    #[test]
+    fn default_is_hpca17() {
+        assert_eq!(TechnologyModel::default(), TechnologyModel::hpca17());
+    }
+}

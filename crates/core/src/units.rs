@@ -1,0 +1,194 @@
+//! Typed cost units: energy (pJ), delay (ns), area (mm²) and their
+//! energy-delay product — the four axes of the paper's design-space
+//! comparison.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! cost_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw value in this unit.
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw value in this unit.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The smaller of two values.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two values.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            /// Dimensionless ratio of two values.
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+cost_unit!(
+    /// Search energy in picojoules.
+    Picojoules,
+    "pJ"
+);
+cost_unit!(
+    /// Search delay in nanoseconds.
+    Nanoseconds,
+    "ns"
+);
+cost_unit!(
+    /// Silicon area in square millimetres.
+    SquareMillimeters,
+    "mm²"
+);
+cost_unit!(
+    /// Energy-delay product in picojoule-nanoseconds (the paper plots it as
+    /// `×10⁻²⁰ J·s`, which is the same magnitude: 1 pJ·ns = 10⁻²¹ J·s).
+    EnergyDelay,
+    "pJ·ns"
+);
+
+impl Picojoules {
+    /// Femtojoule constructor — per-component energies are a few fJ.
+    pub fn from_femtos(fj: f64) -> Self {
+        Picojoules::new(fj * 1e-3)
+    }
+}
+
+impl SquareMillimeters {
+    /// Square-micrometre constructor — per-cell areas are a few µm².
+    pub fn from_square_microns(um2: f64) -> Self {
+        SquareMillimeters::new(um2 * 1e-6)
+    }
+}
+
+impl Mul<Nanoseconds> for Picojoules {
+    type Output = EnergyDelay;
+    /// The energy-delay product.
+    fn mul(self, rhs: Nanoseconds) -> EnergyDelay {
+        EnergyDelay::new(self.get() * rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Picojoules::new(3.0);
+        let b = Picojoules::new(1.5);
+        assert_eq!((a + b).get(), 4.5);
+        assert_eq!((a - b).get(), 1.5);
+        assert_eq!((a * 2.0).get(), 6.0);
+        assert_eq!((a / 2.0).get(), 1.5);
+        assert_eq!(a / b, 2.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 4.5);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn sum_of_components() {
+        let total: Picojoules = [1.0, 2.0, 3.5].iter().map(|&v| Picojoules::new(v)).sum();
+        assert_eq!(total.get(), 6.5);
+    }
+
+    #[test]
+    fn energy_delay_product() {
+        let edp = Picojoules::new(6155.2) * Nanoseconds::new(160.0);
+        assert!((edp.get() - 984_832.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!((Picojoules::from_femtos(4_976.9).get() - 4.9769).abs() < 1e-9);
+        assert!((SquareMillimeters::from_square_microns(15.2).get() - 15.2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.1}", Picojoules::new(3.14)), "3.1 pJ");
+        assert_eq!(Nanoseconds::new(2.0).to_string(), "2 ns");
+        assert_eq!(SquareMillimeters::new(15.2).to_string(), "15.2 mm²");
+    }
+
+    #[test]
+    fn zero_constant() {
+        assert_eq!(Picojoules::ZERO.get(), 0.0);
+        assert_eq!(Picojoules::ZERO + Picojoules::new(2.0), Picojoules::new(2.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the HAM architecture models.
+
+use ham_core::explore::{self, DesignKind};
+use ham_core::prelude::*;
+use ham_core::rham::RHam;
+use ham_core::switching;
+use hdc::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_designs_agree_with_exact_search_on_clear_margins(
+        c in 2usize..12,
+        seed in any::<u64>(),
+        class in 0usize..12,
+    ) {
+        // Balanced random classes are ~D/2 apart; a query 10% away from
+        // its class has a margin far above every design's resolution.
+        let class = class % c;
+        let memory = explore::random_memory(c, 2_048, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51EA);
+        let query = memory
+            .row(ClassId(class))
+            .unwrap()
+            .with_flipped_bits(204, &mut rng);
+        let exact = memory.search(&query).unwrap();
+        prop_assert_eq!(exact.class, ClassId(class));
+        for kind in DesignKind::ALL {
+            let design = explore::build(kind, &memory).unwrap();
+            let hit = design.search(&query).unwrap();
+            prop_assert_eq!(hit.class, exact.class, "{} disagrees", kind);
+        }
+    }
+
+    #[test]
+    fn dham_measured_distance_is_exact_over_sampled_bits(
+        d in 64usize..512,
+        keep_frac in 30usize..=100,
+        seed in any::<u64>(),
+    ) {
+        let memory = explore::random_memory(3, d, seed);
+        let kept = (d * keep_frac / 100).max(1);
+        let dham = ham_core::DHam::with_sampling(&memory, kept).unwrap();
+        let query = Hypervector::random(Dimension::new(d).unwrap(), seed ^ 1);
+        let hit = dham.search(&query).unwrap();
+        prop_assert!(hit.measured_distance.as_usize() <= kept);
+    }
+
+    #[test]
+    fn rham_block_distances_always_reassemble_hamming(
+        d in 1usize..700,
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let dim = Dimension::new(d).unwrap();
+        let a = Hypervector::random(dim, s1);
+        let b = Hypervector::random(dim, s2);
+        let blocks = RHam::block_distances(&a, &b);
+        prop_assert_eq!(blocks.len(), d.div_ceil(4));
+        let total: usize = blocks.iter().map(|&x| x as usize).sum();
+        prop_assert_eq!(total, a.hamming(&b).as_usize());
+        prop_assert!(blocks.iter().all(|&x| x <= 4));
+    }
+
+    #[test]
+    fn rham_overscaled_distance_error_is_bounded_by_blocks(
+        seed in any::<u64>(),
+        overscaled in 0usize..=256,
+    ) {
+        let memory = explore::random_memory(2, 1_024, seed);
+        let exact = RHam::new(&memory).unwrap();
+        let noisy = exact.clone().with_overscaled_blocks(overscaled);
+        let query = Hypervector::random(Dimension::new(1_024).unwrap(), seed ^ 2);
+        let e = exact.search(&query).unwrap().measured_distance.as_usize();
+        let n = noisy.search(&query).unwrap().measured_distance.as_usize();
+        // Each overscaled block errs by at most one bit.
+        prop_assert!(e.abs_diff(n) <= overscaled.min(256));
+    }
+
+    #[test]
+    fn costs_are_positive_and_monotone_in_classes(
+        c in 2usize..60,
+        d in 64usize..4_096,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = DesignKind::ALL[kind_idx];
+        let small = explore::build(kind, &explore::random_memory(c, d, 1)).unwrap().cost();
+        let large = explore::build(kind, &explore::random_memory(c + 8, d, 1)).unwrap().cost();
+        prop_assert!(small.energy.get() > 0.0);
+        prop_assert!(small.delay.get() > 0.0);
+        prop_assert!(small.area.get() > 0.0);
+        prop_assert!(large.energy >= small.energy);
+        prop_assert!(large.delay >= small.delay);
+        prop_assert!(large.area >= small.area);
+        prop_assert!(large.edp().get() >= small.edp().get());
+    }
+
+    #[test]
+    fn design_ordering_holds_across_the_space(
+        c in 4usize..40,
+        d_exp in 9u32..14,
+    ) {
+        // A-HAM < R-HAM < D-HAM in EDP at every corner of the sweep range.
+        let d = 1usize << d_exp;
+        let memory = explore::random_memory(c, d, 3);
+        let dham = explore::build(DesignKind::Digital, &memory).unwrap().cost();
+        let rham = explore::build(DesignKind::Resistive, &memory).unwrap().cost();
+        let aham = explore::build(DesignKind::Analog, &memory).unwrap().cost();
+        prop_assert!(aham.edp().get() < rham.edp().get());
+        prop_assert!(rham.edp().get() < dham.edp().get());
+    }
+
+    #[test]
+    fn switching_activity_bounds(b in 1usize..12) {
+        let r = switching::rham_activity(b);
+        prop_assert!(r > 0.0 && r <= 0.25 + 1e-12);
+        prop_assert!(r <= switching::dham_activity(b) + 1e-12);
+    }
+
+    #[test]
+    fn aham_bits_mapping_is_monotone_nonincreasing(
+        d in 512usize..12_000,
+        e1 in 0usize..4_000,
+        extra in 0usize..2_000,
+    ) {
+        let b1 = explore::aham_bits_for_error(d, e1);
+        let b2 = explore::aham_bits_for_error(d, e1 + extra);
+        prop_assert!(b2 <= b1);
+        prop_assert!(b2 >= 8);
+    }
+}
+
+// ---- properties of the functional simulators ---------------------------
+
+use ham_core::dham_cycle::DhamCycleSim;
+use ham_core::rham_cycle::RhamPhaseSim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cycle_sims_match_the_analytic_models(
+        c in 2usize..10,
+        seed in any::<u64>(),
+        lanes in 1usize..128,
+        noise_frac in 0usize..30,
+    ) {
+        let memory = explore::random_memory(c, 1_024, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1C);
+        let class = (seed % c as u64) as usize;
+        let query = memory
+            .row(ClassId(class))
+            .unwrap()
+            .with_flipped_bits(1_024 * noise_frac / 100, &mut rng);
+        let exact = memory.search(&query).unwrap();
+
+        let dham_sim = DhamCycleSim::new(&memory, lanes).unwrap();
+        let d = dham_sim.run(&query).unwrap();
+        prop_assert_eq!(d.result.class, exact.class);
+        prop_assert_eq!(d.result.measured_distance, exact.distance);
+        prop_assert_eq!(d.cycles.count, (1_024usize.div_ceil(lanes)) as u64);
+
+        let rham_sim = RhamPhaseSim::new(&memory, lanes).unwrap();
+        let r = rham_sim.run(&query).unwrap();
+        prop_assert_eq!(r.result.class, exact.class);
+        prop_assert_eq!(r.result.measured_distance, exact.distance);
+    }
+
+    #[test]
+    fn pareto_front_is_idempotent(
+        dims in prop::collection::vec(256usize..4_096, 1..4),
+        c in 2usize..30,
+    ) {
+        let points = explore::dimension_sweep(&dims, c, 9);
+        let front = ham_core::pareto::pareto_front(&points);
+        let twice = ham_core::pareto::pareto_front(&front);
+        prop_assert_eq!(front.len(), twice.len());
+    }
+}

@@ -1,0 +1,458 @@
+//! The exact software associative memory.
+//!
+//! After training, one learned hypervector per class is stored in a row of
+//! the associative memory. Classification compares the query hypervector to
+//! every row and returns the class with the minimum Hamming distance. This
+//! module is the *functional reference*: the hardware architectures in
+//! `ham-core` (D-HAM, R-HAM, A-HAM) must agree with it whenever their
+//! approximation knobs are disabled.
+
+use std::fmt;
+
+use crate::distortion::{DistanceDistorter, SampleMask};
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Distance, Hypervector};
+
+/// Identifier of a stored class (its row index in the associative memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class {}", self.0)
+    }
+}
+
+/// Outcome of one associative search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// The winning class (nearest Hamming distance).
+    pub class: ClassId,
+    /// Distance of the winner, as measured by the search (after any
+    /// sampling or injected error).
+    pub distance: Distance,
+    /// Distance of the runner-up, when at least two classes are stored.
+    /// The margin `runner_up − distance` is the decision confidence.
+    pub runner_up: Option<Distance>,
+}
+
+impl SearchResult {
+    /// Winner-to-runner-up margin in bits; zero when only one class exists.
+    pub fn margin(&self) -> usize {
+        self.runner_up
+            .map(|r| r.as_usize().saturating_sub(self.distance.as_usize()))
+            .unwrap_or(0)
+    }
+}
+
+/// A set of labeled learned hypervectors searched by minimum Hamming
+/// distance.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::prelude::*;
+///
+/// let d = Dimension::new(10_000)?;
+/// let classes: Vec<_> = (0..21).map(|s| Hypervector::random(d, s)).collect();
+/// let mut am = AssociativeMemory::new(d);
+/// for (i, hv) in classes.iter().enumerate() {
+///     am.insert(format!("lang-{i}"), hv.clone())?;
+/// }
+///
+/// // A noisy copy of class 7 still retrieves class 7.
+/// let mut rng = rand::thread_rng();
+/// let query = classes[7].with_flipped_bits(2_000, &mut rng);
+/// let hit = am.search(&query)?;
+/// assert_eq!(hit.class, ClassId(7));
+/// assert_eq!(am.label(hit.class), Some("lang-7"));
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssociativeMemory {
+    dim: Dimension,
+    rows: Vec<Hypervector>,
+    labels: Vec<String>,
+}
+
+impl AssociativeMemory {
+    /// Creates an empty associative memory over the given space.
+    pub fn new(dim: Dimension) -> Self {
+        AssociativeMemory {
+            dim,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// The dimensionality of stored rows.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// Number of stored classes, `C`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no class is stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Stores a learned hypervector under a label and returns its class id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the hypervector does not
+    /// belong to this memory's space.
+    pub fn insert(
+        &mut self,
+        label: impl Into<String>,
+        hv: Hypervector,
+    ) -> Result<ClassId, HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        let id = ClassId(self.rows.len());
+        self.rows.push(hv);
+        self.labels.push(label.into());
+        Ok(id)
+    }
+
+    /// The learned hypervector of a class, if stored.
+    pub fn row(&self, class: ClassId) -> Option<&Hypervector> {
+        self.rows.get(class.0)
+    }
+
+    /// The label of a class, if stored.
+    pub fn label(&self, class: ClassId) -> Option<&str> {
+        self.labels.get(class.0).map(String::as_str)
+    }
+
+    /// Iterates over `(class, label, hypervector)` in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &str, &Hypervector)> {
+        self.rows
+            .iter()
+            .zip(&self.labels)
+            .enumerate()
+            .map(|(i, (hv, label))| (ClassId(i), label.as_str(), hv))
+    }
+
+    /// Exact distances from `query` to every stored row, in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a query from another
+    /// space and [`HdcError::EmptyMemory`] when nothing is stored.
+    pub fn distances(&self, query: &Hypervector) -> Result<Vec<Distance>, HdcError> {
+        self.check_query(query)?;
+        Ok(self.rows.iter().map(|row| row.hamming(query)).collect())
+    }
+
+    /// Exact nearest-distance search.
+    ///
+    /// Ties resolve to the lowest row index, matching a deterministic
+    /// hardware comparator tree.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distances`](Self::distances).
+    pub fn search(&self, query: &Hypervector) -> Result<SearchResult, HdcError> {
+        let distances = self.distances(query)?;
+        Ok(Self::pick_winner(&distances))
+    }
+
+    /// Search with the distance computed only on the dimensions kept by
+    /// `mask` — the structured-sampling approximation of D-HAM/R-HAM.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distances`](Self::distances), plus
+    /// [`HdcError::DimensionMismatch`] when the mask has a different length.
+    pub fn search_sampled(
+        &self,
+        query: &Hypervector,
+        mask: &SampleMask,
+    ) -> Result<SearchResult, HdcError> {
+        self.check_query(query)?;
+        if mask.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: mask.dim().get(),
+            });
+        }
+        let distances: Vec<Distance> = self
+            .rows
+            .iter()
+            .map(|row| mask.sampled_distance(row, query))
+            .collect();
+        Ok(Self::pick_winner(&distances))
+    }
+
+    /// Search with per-row distance error injected by `distorter` — the
+    /// harness behind the paper's Fig. 1 robustness study.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distances`](Self::distances).
+    pub fn search_distorted(
+        &self,
+        query: &Hypervector,
+        distorter: &mut DistanceDistorter,
+    ) -> Result<SearchResult, HdcError> {
+        let distances = self.distances(query)?;
+        let distorted: Vec<Distance> = distances
+            .iter()
+            .map(|&d| distorter.distort(d, self.dim))
+            .collect();
+        Ok(Self::pick_winner(&distorted))
+    }
+
+    /// The `k` nearest classes in increasing distance order (ties keep
+    /// the lower row index first). Returns fewer than `k` entries when the
+    /// memory holds fewer classes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distances`](Self::distances), plus
+    /// [`HdcError::EmptySample`] when `k == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdc::prelude::*;
+    ///
+    /// let d = Dimension::new(1_000)?;
+    /// let mut am = AssociativeMemory::new(d);
+    /// for s in 0..5u64 {
+    ///     am.insert(format!("c{s}"), Hypervector::random(d, s))?;
+    /// }
+    /// let top = am.search_top_k(am.row(ClassId(2)).unwrap(), 3)?;
+    /// assert_eq!(top[0].0, ClassId(2));
+    /// assert!(top[0].1 < top[1].1);
+    /// # Ok::<(), hdc::HdcError>(())
+    /// ```
+    pub fn search_top_k(
+        &self,
+        query: &Hypervector,
+        k: usize,
+    ) -> Result<Vec<(ClassId, Distance)>, HdcError> {
+        if k == 0 {
+            return Err(HdcError::EmptySample);
+        }
+        let distances = self.distances(query)?;
+        let mut ranked: Vec<(ClassId, Distance)> = distances
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i), d))
+            .collect();
+        ranked.sort_by_key(|&(id, d)| (d, id.0));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    fn check_query(&self, query: &Hypervector) -> Result<(), HdcError> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: query.dim().get(),
+            });
+        }
+        if self.rows.is_empty() {
+            return Err(HdcError::EmptyMemory);
+        }
+        Ok(())
+    }
+
+    /// Minimum + runner-up scan shared by every search flavour.
+    fn pick_winner(distances: &[Distance]) -> SearchResult {
+        debug_assert!(!distances.is_empty());
+        let mut best = 0usize;
+        for (i, d) in distances.iter().enumerate().skip(1) {
+            if *d < distances[best] {
+                best = i;
+            }
+        }
+        let runner_up = distances
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best)
+            .map(|(_, d)| *d)
+            .min();
+        SearchResult {
+            class: ClassId(best),
+            distance: distances[best],
+            runner_up,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dim(d: usize) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    fn memory_with(d: usize, c: usize) -> (AssociativeMemory, Vec<Hypervector>) {
+        let dm = dim(d);
+        let rows: Vec<_> = (0..c as u64).map(|s| Hypervector::random(dm, s)).collect();
+        let mut am = AssociativeMemory::new(dm);
+        for (i, hv) in rows.iter().enumerate() {
+            am.insert(format!("c{i}"), hv.clone()).unwrap();
+        }
+        (am, rows)
+    }
+
+    #[test]
+    fn exact_query_hits_with_zero_distance() {
+        let (am, rows) = memory_with(10_000, 21);
+        for (i, row) in rows.iter().enumerate() {
+            let hit = am.search(row).unwrap();
+            assert_eq!(hit.class, ClassId(i));
+            assert_eq!(hit.distance, Distance::ZERO);
+            assert!(hit.runner_up.unwrap().as_usize() > 4_000);
+            assert!(hit.margin() > 4_000);
+        }
+    }
+
+    #[test]
+    fn noisy_query_still_hits() {
+        let (am, rows) = memory_with(10_000, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let query = rows[13].with_flipped_bits(3_000, &mut rng);
+        assert_eq!(am.search(&query).unwrap().class, ClassId(13));
+    }
+
+    #[test]
+    fn empty_memory_errors() {
+        let am = AssociativeMemory::new(dim(100));
+        let q = Hypervector::random(dim(100), 1);
+        assert_eq!(am.search(&q).unwrap_err(), HdcError::EmptyMemory);
+        assert!(am.is_empty());
+    }
+
+    #[test]
+    fn mismatched_query_errors() {
+        let (am, _) = memory_with(128, 4);
+        let q = Hypervector::random(dim(256), 1);
+        assert!(matches!(
+            am.search(&q),
+            Err(HdcError::DimensionMismatch { left: 128, right: 256 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_insert_errors() {
+        let mut am = AssociativeMemory::new(dim(128));
+        let hv = Hypervector::random(dim(64), 1);
+        assert!(am.insert("x", hv).is_err());
+        assert_eq!(am.len(), 0);
+    }
+
+    #[test]
+    fn labels_and_rows_are_retrievable() {
+        let (am, rows) = memory_with(512, 3);
+        assert_eq!(am.label(ClassId(2)), Some("c2"));
+        assert_eq!(am.row(ClassId(1)), Some(&rows[1]));
+        assert_eq!(am.label(ClassId(3)), None);
+        assert_eq!(am.iter().count(), 3);
+    }
+
+    #[test]
+    fn distances_are_row_ordered() {
+        let (am, rows) = memory_with(1_000, 5);
+        let dists = am.distances(&rows[2]).unwrap();
+        assert_eq!(dists.len(), 5);
+        assert_eq!(dists[2], Distance::ZERO);
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index() {
+        let dm = dim(64);
+        let hv = Hypervector::random(dm, 1);
+        let mut am = AssociativeMemory::new(dm);
+        am.insert("first", hv.clone()).unwrap();
+        am.insert("dup", hv.clone()).unwrap();
+        let hit = am.search(&hv).unwrap();
+        assert_eq!(hit.class, ClassId(0));
+        assert_eq!(hit.runner_up, Some(Distance::ZERO));
+        assert_eq!(hit.margin(), 0);
+    }
+
+    #[test]
+    fn single_class_has_no_runner_up() {
+        let dm = dim(64);
+        let hv = Hypervector::random(dm, 1);
+        let mut am = AssociativeMemory::new(dm);
+        am.insert("only", hv.clone()).unwrap();
+        let hit = am.search(&hv).unwrap();
+        assert_eq!(hit.runner_up, None);
+        assert_eq!(hit.margin(), 0);
+    }
+
+    #[test]
+    fn sampled_search_with_full_mask_equals_exact() {
+        let (am, rows) = memory_with(2_000, 8);
+        let mask = SampleMask::keep_first(dim(2_000), 2_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = rows[4].with_flipped_bits(400, &mut rng);
+        assert_eq!(
+            am.search_sampled(&q, &mask).unwrap().class,
+            am.search(&q).unwrap().class
+        );
+    }
+
+    #[test]
+    fn sampled_search_rejects_wrong_mask_length() {
+        let (am, rows) = memory_with(100, 2);
+        let mask = SampleMask::keep_first(dim(50), 10).unwrap();
+        assert!(am.search_sampled(&rows[0], &mask).is_err());
+    }
+}
+
+#[cfg(test)]
+mod top_k_tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let dim = Dimension::new(2_000).unwrap();
+        let mut am = AssociativeMemory::new(dim);
+        for s in 0..6u64 {
+            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+        }
+        let q = am.row(ClassId(4)).unwrap().clone();
+        let top = am.search_top_k(&q, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], (ClassId(4), Distance::ZERO));
+        assert!(top[1].1 <= top[2].1);
+        // Requesting more than C classes returns them all, ranked.
+        let all = am.search_top_k(&q, 100).unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
+        // k = 0 is rejected.
+        assert_eq!(am.search_top_k(&q, 0).unwrap_err(), HdcError::EmptySample);
+    }
+
+    #[test]
+    fn top_1_matches_search() {
+        let dim = Dimension::new(1_024).unwrap();
+        let mut am = AssociativeMemory::new(dim);
+        for s in 0..9u64 {
+            am.insert(format!("c{s}"), Hypervector::random(dim, 50 + s)).unwrap();
+        }
+        let q = Hypervector::random(dim, 999);
+        let hit = am.search(&q).unwrap();
+        let top = am.search_top_k(&q, 1).unwrap();
+        assert_eq!(top[0].0, hit.class);
+        assert_eq!(top[0].1, hit.distance);
+    }
+}

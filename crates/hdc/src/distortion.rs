@@ -1,0 +1,341 @@
+//! Approximation primitives: structured sampling and distance-error
+//! injection.
+//!
+//! The paper's robustness study (Fig. 1) measures classification accuracy as
+//! a function of *bits of error in the computed Hamming distance*. Two
+//! mechanisms produce such error in the proposed hardware:
+//!
+//! * **Structured sampling** — D-HAM/R-HAM simply exclude a fixed subset of
+//!   dimensions (or 4-bit blocks) from the distance computation. Excluding
+//!   `e` of `D` i.i.d. dimensions perturbs each distance by a
+//!   `Binomial(e, ½)`-distributed term (each excluded dimension would have
+//!   contributed a mismatch with probability ½ for unrelated vectors).
+//! * **Voltage overscaling / analog imprecision** — R-HAM blocks at 0.78 V
+//!   may miscount by one bit each; A-HAM's LTA quantizes current
+//!   differences. Both add bounded random error to the distance.
+//!
+//! [`SampleMask`] implements the first exactly; [`DistanceDistorter`]
+//! implements configurable random error injection for the second and for the
+//! Fig. 1 sweep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bitvec::BitVec;
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Distance, Hypervector};
+
+/// A fixed subset of dimensions on which distances are computed.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, Hypervector, SampleMask};
+///
+/// let d = Dimension::new(10_000)?;
+/// // Keep d = 9,000 of D = 10,000 dimensions, the paper's max-accuracy point.
+/// let mask = SampleMask::keep_first(d, 9_000)?;
+/// assert_eq!(mask.kept(), 9_000);
+/// assert_eq!(mask.excluded(), 1_000);
+///
+/// let a = Hypervector::random(d, 1);
+/// let b = Hypervector::random(d, 2);
+/// let sampled = mask.sampled_distance(&a, &b).as_usize();
+/// assert!(sampled <= a.hamming(&b).as_usize());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleMask {
+    mask: BitVec,
+    dim: Dimension,
+    kept: usize,
+}
+
+impl SampleMask {
+    /// Keeps the first `kept` dimensions and excludes the rest — the
+    /// "structured" sampling of the paper, which drops whole trailing
+    /// blocks of the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptySample`] when `kept == 0` and
+    /// [`HdcError::DimensionMismatch`] when `kept > D`.
+    pub fn keep_first(dim: Dimension, kept: usize) -> Result<Self, HdcError> {
+        if kept == 0 {
+            return Err(HdcError::EmptySample);
+        }
+        if kept > dim.get() {
+            return Err(HdcError::DimensionMismatch {
+                left: dim.get(),
+                right: kept,
+            });
+        }
+        let mut mask = BitVec::zeros(dim.get());
+        for i in 0..kept {
+            mask.set(i, true);
+        }
+        Ok(SampleMask { mask, dim, kept })
+    }
+
+    /// Keeps a uniformly random subset of `kept` dimensions, reproducible
+    /// from `seed`. The i.i.d. property of hypervectors makes this
+    /// statistically equivalent to [`keep_first`](Self::keep_first).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`keep_first`](Self::keep_first).
+    pub fn keep_random(dim: Dimension, kept: usize, seed: u64) -> Result<Self, HdcError> {
+        if kept == 0 {
+            return Err(HdcError::EmptySample);
+        }
+        let d = dim.get();
+        if kept > d {
+            return Err(HdcError::DimensionMismatch { left: d, right: kept });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..d).collect();
+        for i in 0..kept {
+            let j = rng.gen_range(i..d);
+            indices.swap(i, j);
+        }
+        let mut mask = BitVec::zeros(d);
+        for &i in indices.iter().take(kept) {
+            mask.set(i, true);
+        }
+        Ok(SampleMask { mask, dim, kept })
+    }
+
+    /// The dimensionality of the underlying space.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// Number of dimensions kept in the distance computation.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Number of dimensions excluded, `D − d`.
+    pub fn excluded(&self) -> usize {
+        self.dim.get() - self.kept
+    }
+
+    /// Borrow of the raw bit mask (1 = kept).
+    pub fn as_bitvec(&self) -> &BitVec {
+        &self.mask
+    }
+
+    /// Hamming distance between two hypervectors restricted to the kept
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either hypervector's dimensionality differs from the
+    /// mask's.
+    pub fn sampled_distance(&self, a: &Hypervector, b: &Hypervector) -> Distance {
+        Distance::new(a.as_bitvec().hamming_masked(b.as_bitvec(), &self.mask))
+    }
+}
+
+/// The error model applied to a computed distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ErrorModel {
+    /// No distortion; distances pass through unchanged.
+    None,
+    /// `Binomial(e, ½)` additive error over a distance computed on `D − e`
+    /// dimensions — statistically identical to excluding `e` i.i.d.
+    /// dimensions and re-adding their unknown contribution. `e` is the
+    /// "error in distance (number of bits)" axis of Fig. 1.
+    ExcludedBits(usize),
+    /// Uniform additive error in `[−e, +e]` bits (clamped at zero) — the
+    /// bounded analog error of overscaled or quantized distance hardware.
+    UniformBits(usize),
+}
+
+/// Injects reproducible random error into computed distances.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, Distance, DistanceDistorter};
+/// use hdc::distortion::ErrorModel;
+///
+/// let d = Dimension::new(10_000)?;
+/// let mut distorter = DistanceDistorter::new(ErrorModel::ExcludedBits(1_000), 7);
+/// let noisy = distorter.distort(Distance::new(4_000), d);
+/// // The distorted distance moves by roughly e/2 on average.
+/// assert!(noisy.as_usize() >= 3_000 && noisy.as_usize() <= 5_000);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceDistorter {
+    model: ErrorModel,
+    rng: StdRng,
+}
+
+impl DistanceDistorter {
+    /// Creates a distorter with the given error model and RNG seed.
+    pub fn new(model: ErrorModel, seed: u64) -> Self {
+        DistanceDistorter {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured error model.
+    pub fn model(&self) -> ErrorModel {
+        self.model
+    }
+
+    /// Applies the error model to one measured distance.
+    ///
+    /// For [`ErrorModel::ExcludedBits`], the true contribution of the
+    /// excluded dimensions (at most `e`, already part of `distance`) is
+    /// replaced by a fresh `Binomial(e, ½)` draw, modelling hardware that
+    /// never observed those bits.
+    pub fn distort(&mut self, distance: Distance, dim: Dimension) -> Distance {
+        match self.model {
+            ErrorModel::None => distance,
+            ErrorModel::ExcludedBits(e) => {
+                let e = e.min(dim.get());
+                if e == 0 {
+                    return distance;
+                }
+                // Of the true distance, the excluded dimensions contributed
+                // a share we cannot see; approximate it as d·e/D and replace
+                // it by a Binomial(e, ½) draw.
+                let d = distance.as_usize();
+                let hidden = ((d as u128 * e as u128) / dim.get() as u128) as usize;
+                let visible = d - hidden;
+                let replacement: usize = (0..e).map(|_| self.rng.gen::<bool>() as usize).sum();
+                Distance::new(visible + replacement)
+            }
+            ErrorModel::UniformBits(e) => {
+                if e == 0 {
+                    return distance;
+                }
+                let delta = self.rng.gen_range(-(e as i64)..=(e as i64));
+                let d = distance.as_usize() as i64 + delta;
+                Distance::new(d.max(0) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: usize) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn keep_first_counts() {
+        let m = SampleMask::keep_first(dim(10_000), 7_000).unwrap();
+        assert_eq!(m.kept(), 7_000);
+        assert_eq!(m.excluded(), 3_000);
+        assert_eq!(m.as_bitvec().count_ones(), 7_000);
+        assert!(m.as_bitvec().get(0));
+        assert!(!m.as_bitvec().get(9_999));
+    }
+
+    #[test]
+    fn keep_random_counts_and_reproducibility() {
+        let m1 = SampleMask::keep_random(dim(1_000), 400, 9).unwrap();
+        let m2 = SampleMask::keep_random(dim(1_000), 400, 9).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(m1.as_bitvec().count_ones(), 400);
+        let m3 = SampleMask::keep_random(dim(1_000), 400, 10).unwrap();
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn invalid_masks_rejected() {
+        assert_eq!(
+            SampleMask::keep_first(dim(10), 0).unwrap_err(),
+            HdcError::EmptySample
+        );
+        assert!(SampleMask::keep_first(dim(10), 11).is_err());
+        assert!(SampleMask::keep_random(dim(10), 0, 1).is_err());
+        assert!(SampleMask::keep_random(dim(10), 11, 1).is_err());
+    }
+
+    #[test]
+    fn sampled_distance_bounds() {
+        let d = dim(10_000);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        let full = a.hamming(&b).as_usize();
+        let m = SampleMask::keep_first(d, 9_000).unwrap();
+        let sampled = m.sampled_distance(&a, &b).as_usize();
+        assert!(sampled <= full);
+        assert!(full - sampled <= 1_000, "at most the excluded bits differ");
+        // The sampled distance remains a good estimator: within 3σ of 0.9·full.
+        let expected = 0.9 * full as f64;
+        assert!((sampled as f64 - expected).abs() < 300.0);
+    }
+
+    #[test]
+    fn full_mask_is_exact() {
+        let d = dim(512);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        let m = SampleMask::keep_first(d, 512).unwrap();
+        assert_eq!(m.sampled_distance(&a, &b), a.hamming(&b));
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let mut dist = DistanceDistorter::new(ErrorModel::None, 1);
+        assert_eq!(dist.distort(Distance::new(123), dim(1_000)), Distance::new(123));
+        assert_eq!(dist.model(), ErrorModel::None);
+    }
+
+    #[test]
+    fn excluded_bits_error_statistics() {
+        let d = dim(10_000);
+        let mut dist = DistanceDistorter::new(ErrorModel::ExcludedBits(1_000), 2);
+        let base = Distance::new(5_000);
+        let n = 400;
+        let mean: f64 = (0..n)
+            .map(|_| dist.distort(base, d).as_usize() as f64)
+            .sum::<f64>()
+            / n as f64;
+        // hidden = 500 replaced by Binomial(1000, 1/2): mean stays ≈ 5000.
+        assert!((mean - 5_000.0).abs() < 60.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn excluded_bits_clamps_to_dimension() {
+        let d = dim(100);
+        let mut dist = DistanceDistorter::new(ErrorModel::ExcludedBits(1_000), 3);
+        let out = dist.distort(Distance::new(50), d);
+        assert!(out.as_usize() <= 150);
+    }
+
+    #[test]
+    fn uniform_error_is_bounded_and_nonnegative() {
+        let d = dim(1_000);
+        let mut dist = DistanceDistorter::new(ErrorModel::UniformBits(4), 5);
+        for _ in 0..200 {
+            let out = dist.distort(Distance::new(10), d).as_usize();
+            assert!((6..=14).contains(&out));
+        }
+        // Clamping near zero.
+        for _ in 0..50 {
+            let out = dist.distort(Distance::new(1), d).as_usize();
+            assert!(out <= 5);
+        }
+    }
+
+    #[test]
+    fn zero_error_models_pass_through() {
+        let d = dim(64);
+        let mut a = DistanceDistorter::new(ErrorModel::ExcludedBits(0), 1);
+        let mut b = DistanceDistorter::new(ErrorModel::UniformBits(0), 1);
+        assert_eq!(a.distort(Distance::new(9), d).as_usize(), 9);
+        assert_eq!(b.distort(Distance::new(9), d).as_usize(), 9);
+    }
+}

@@ -1,0 +1,311 @@
+//! The letter *n*-gram text encoder.
+//!
+//! The paper projects a text onto a hypervector by sliding a window of `n`
+//! consecutive letters over it, encoding each window as
+//!
+//! ```text
+//! ρ^{n−1}(HV(s₀)) ⊕ … ⊕ ρ(HV(s_{n−2})) ⊕ HV(s_{n−1})
+//! ```
+//!
+//! (for trigrams: `ρ(ρ(A)) ⊕ ρ(B) ⊕ C`) and bundling all window hypervectors
+//! into a single *text hypervector* via the component-wise majority. The
+//! same encoding is used for training (the result is a learned *language
+//! hypervector*) and testing (the result is a *query hypervector*).
+//!
+//! The encoder normalizes its input to the paper's 27-symbol alphabet
+//! (`a`–`z` plus space) and pre-computes every rotated letter hypervector at
+//! construction, so encoding is a read-only operation that can run from
+//! many threads at once.
+
+use std::collections::HashMap;
+
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Hypervector};
+use crate::item_memory::ItemMemory;
+use crate::ops::{Bundler, TieBreak};
+
+/// Folds a character into the encoder alphabet: uppercase letters fold to
+/// lowercase and every non-letter becomes a space.
+pub fn normalize_char(ch: char) -> char {
+    let ch = ch.to_ascii_lowercase();
+    if ch.is_ascii_lowercase() {
+        ch
+    } else {
+        ' '
+    }
+}
+
+/// A sliding-window letter *n*-gram encoder over a fixed item memory.
+///
+/// Rotated copies of every alphabet letter's hypervector (`27 × n`
+/// vectors) are cached at construction, so encoding a text costs one XOR
+/// chain and one bundle-accumulate per window and never mutates the
+/// encoder.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::prelude::*;
+///
+/// let d = Dimension::new(10_000)?;
+/// let enc = NGramEncoder::new(3, ItemMemory::new(d, 42))?;
+///
+/// let en = enc.encode_text("the quick brown fox jumps over the lazy dog");
+/// let en2 = enc.encode_text("a dog and a fox walk over the lazy brown log");
+/// let xx = enc.encode_text("zzzz qqqq zzzz qqqq zzzz qqqq zzzz qqqq zzzz");
+///
+/// // Texts with shared letter statistics are closer than alien ones.
+/// assert!(en.hamming(&en2).as_usize() < en.hamming(&xx).as_usize());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NGramEncoder {
+    n: usize,
+    item_memory: ItemMemory,
+    /// `rotated[k][letter]` caches `ρ^k(HV(letter))`.
+    rotated: Vec<HashMap<char, Hypervector>>,
+    tie_break: TieBreak,
+}
+
+/// The alphabet every encoder pre-caches.
+const ALPHABET: &str = "abcdefghijklmnopqrstuvwxyz ";
+
+impl NGramEncoder {
+    /// Creates an encoder for `n`-grams over the given item memory and
+    /// pre-caches the rotated alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroNGram`] when `n == 0`.
+    pub fn new(n: usize, mut item_memory: ItemMemory) -> Result<Self, HdcError> {
+        if n == 0 {
+            return Err(HdcError::ZeroNGram);
+        }
+        item_memory.populate(ALPHABET.chars());
+        let mut rotated: Vec<HashMap<char, Hypervector>> = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut map = HashMap::with_capacity(ALPHABET.len());
+            for ch in ALPHABET.chars() {
+                let mut buf = [0u8; 4];
+                let base = item_memory
+                    .get(ch.encode_utf8(&mut buf))
+                    .expect("alphabet populated above")
+                    .clone();
+                map.insert(ch, crate::ops::permute(&base, k));
+            }
+            rotated.push(map);
+        }
+        Ok(NGramEncoder {
+            n,
+            item_memory,
+            rotated,
+            tie_break: TieBreak::default(),
+        })
+    }
+
+    /// Replaces the bundling tie-break policy (default: `TieBreak::Seeded(0)`).
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.tie_break = tie_break;
+    }
+
+    /// The window size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The dimensionality of produced hypervectors.
+    pub fn dim(&self) -> Dimension {
+        self.item_memory.dim()
+    }
+
+    /// Borrow of the underlying item memory (already holding the alphabet).
+    pub fn item_memory(&self) -> &ItemMemory {
+        &self.item_memory
+    }
+
+    fn rotated_letter(&self, ch: char, k: usize) -> &Hypervector {
+        self.rotated[k]
+            .get(&ch)
+            .unwrap_or_else(|| panic!("symbol {ch:?} outside the encoder alphabet"))
+    }
+
+    /// Encodes one window of exactly `n` normalized symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != n` or a symbol is outside the normalized
+    /// alphabet (`a`–`z` or space).
+    pub fn encode_ngram(&self, window: &[char]) -> Hypervector {
+        assert_eq!(window.len(), self.n, "window must hold exactly n symbols");
+        // s₀ gets the deepest rotation ρ^{n−1}, the last symbol none.
+        let mut acc = self.rotated_letter(window[0], self.n - 1).clone();
+        for (offset, &ch) in window.iter().enumerate().skip(1) {
+            let rot = self.n - 1 - offset;
+            acc = crate::ops::bind(&acc, self.rotated_letter(ch, rot));
+        }
+        acc
+    }
+
+    /// Encodes a whole text into its text hypervector.
+    ///
+    /// Characters are normalized with [`normalize_char`]; runs of whitespace
+    /// collapse to a single space. Texts shorter than `n` symbols produce
+    /// the bundle of zero windows, i.e. the all-zeros hypervector.
+    pub fn encode_text(&self, text: &str) -> Hypervector {
+        let mut bundler = Bundler::with_tie_break(self.dim(), self.tie_break);
+        let mut window: Vec<char> = Vec::with_capacity(self.n);
+        let mut last_was_space = true;
+        for raw in text.chars() {
+            let ch = normalize_char(raw);
+            if ch == ' ' {
+                if last_was_space {
+                    continue;
+                }
+                last_was_space = true;
+            } else {
+                last_was_space = false;
+            }
+            if window.len() == self.n {
+                window.remove(0);
+            }
+            window.push(ch);
+            if window.len() == self.n {
+                bundler.accumulate(&self.encode_ngram(&window));
+            }
+        }
+        bundler.finish()
+    }
+
+    /// Number of `n`-gram windows a text yields (after normalization).
+    pub fn window_count(&self, text: &str) -> usize {
+        let mut symbols = 0usize;
+        let mut last_was_space = true;
+        for raw in text.chars() {
+            let ch = normalize_char(raw);
+            if ch == ' ' {
+                if last_was_space {
+                    continue;
+                }
+                last_was_space = true;
+            } else {
+                last_was_space = false;
+            }
+            symbols += 1;
+        }
+        symbols.saturating_sub(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{bind, permute};
+
+    fn encoder(d: usize, n: usize) -> NGramEncoder {
+        let dim = Dimension::new(d).unwrap();
+        NGramEncoder::new(n, ItemMemory::new(dim, 42)).unwrap()
+    }
+
+    #[test]
+    fn zero_ngram_rejected() {
+        let im = ItemMemory::new(Dimension::new(10).unwrap(), 1);
+        assert_eq!(NGramEncoder::new(0, im).unwrap_err(), HdcError::ZeroNGram);
+    }
+
+    #[test]
+    fn trigram_matches_paper_formula() {
+        let enc = encoder(2_000, 3);
+        let a = enc.item_memory().get("a").unwrap().clone();
+        let b = enc.item_memory().get("b").unwrap().clone();
+        let c = enc.item_memory().get("c").unwrap().clone();
+        let expected = bind(&bind(&permute(&a, 2), &permute(&b, 1)), &c);
+        assert_eq!(enc.encode_ngram(&['a', 'b', 'c']), expected);
+    }
+
+    #[test]
+    fn sequence_order_matters() {
+        let enc = encoder(10_000, 3);
+        let abc = enc.encode_ngram(&['a', 'b', 'c']);
+        let acb = enc.encode_ngram(&['a', 'c', 'b']);
+        // a-b-c and a-c-b must be distinguishable (nearly orthogonal).
+        assert!(abc.hamming(&acb).as_usize() > 4_000);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let e1 = encoder(4_096, 3);
+        let e2 = encoder(4_096, 3);
+        let t = "hyperdimensional computing is robust";
+        assert_eq!(e1.encode_text(t), e2.encode_text(t));
+    }
+
+    #[test]
+    fn alphabet_is_pre_cached() {
+        let enc = encoder(256, 3);
+        assert_eq!(enc.item_memory().len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the encoder alphabet")]
+    fn raw_ngram_rejects_unnormalized_symbols() {
+        encoder(128, 3).encode_ngram(&['a', '!', 'c']);
+    }
+
+    #[test]
+    fn normalization_folds_case_and_symbols() {
+        let enc = encoder(4_096, 3);
+        assert_eq!(
+            enc.encode_text("Hello, World!"),
+            enc.encode_text("hello  world "),
+            "punctuation maps to space and whitespace collapses"
+        );
+    }
+
+    #[test]
+    fn short_text_encodes_to_zeros() {
+        let enc = encoder(256, 3);
+        let out = enc.encode_text("ab");
+        assert_eq!(out.count_ones(), 0);
+        assert_eq!(enc.window_count("ab"), 0);
+    }
+
+    #[test]
+    fn window_count_matches_normalized_symbols() {
+        let enc = encoder(256, 3);
+        assert_eq!(enc.window_count("abcd"), 2);
+        assert_eq!(enc.window_count("a b"), 1);
+        assert_eq!(enc.window_count("  a   b  "), 2);
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let enc = encoder(10_000, 3);
+        let t1 = enc.encode_text("the cat sat on the mat and the dog sat too");
+        let t2 = enc.encode_text("a cat and a dog sat on a mat in the house");
+        let t3 = enc.encode_text("xyzzy qwqwqw zxzxzx vbvbvb kjkjkj plplpl");
+        assert!(t1.hamming(&t2).as_usize() < t1.hamming(&t3).as_usize());
+    }
+
+    #[test]
+    fn repeat_encodings_are_stable() {
+        let enc = encoder(2_048, 3);
+        let first = enc.encode_ngram(&['q', 'r', 's']);
+        let second = enc.encode_ngram(&['q', 'r', 's']);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn unigram_text_is_bundle_of_letters() {
+        let enc = encoder(1_024, 1);
+        let a = enc.item_memory().get("a").unwrap().clone();
+        let out = enc.encode_text("a");
+        assert_eq!(out, a, "single letter, n=1: text vector is the letter");
+    }
+
+    #[test]
+    fn accessors() {
+        let enc = encoder(128, 4);
+        assert_eq!(enc.n(), 4);
+        assert_eq!(enc.dim().get(), 128);
+    }
+}

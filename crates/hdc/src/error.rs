@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `hdc` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A dimension of zero was requested; hypervectors must have at least one
+    /// component.
+    ZeroDimension,
+    /// Two operands had different dimensionalities.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand operand.
+        left: usize,
+        /// Dimensionality of the right-hand operand.
+        right: usize,
+    },
+    /// An operation that needs at least one stored class was invoked on an
+    /// empty associative memory.
+    EmptyMemory,
+    /// An `n`-gram size of zero was requested.
+    ZeroNGram,
+    /// A sampling mask would keep zero dimensions.
+    EmptySample,
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::ZeroDimension => write!(f, "hypervector dimension must be nonzero"),
+            HdcError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            HdcError::EmptyMemory => write!(f, "associative memory holds no classes"),
+            HdcError::ZeroNGram => write!(f, "n-gram size must be nonzero"),
+            HdcError::EmptySample => write!(f, "sample mask must keep at least one dimension"),
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            HdcError::ZeroDimension.to_string(),
+            HdcError::DimensionMismatch { left: 3, right: 5 }.to_string(),
+            HdcError::EmptyMemory.to_string(),
+            HdcError::ZeroNGram.to_string(),
+            HdcError::EmptySample.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+
+    #[test]
+    fn mismatch_reports_both_sides() {
+        let e = HdcError::DimensionMismatch { left: 10, right: 20 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("20"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Item memory: the fixed symbol → seed-hypervector assignment.
+//!
+//! The paper's encoder represents the 26 Latin letters plus the ASCII space
+//! by 27 unique orthogonal seed hypervectors, each with an equal number of
+//! randomly placed 0s and 1s. The assignment is *fixed throughout the
+//! computation*: the same symbol always maps to the same hypervector, both
+//! during training and testing. [`ItemMemory`] realizes this with a master
+//! seed so that the whole assignment is reproducible.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hypervector::{Dimension, Hypervector};
+
+/// A deterministic store of seed hypervectors keyed by symbol.
+///
+/// Every distinct key gets a balanced random hypervector (exactly `D/2`
+/// ones) derived from the memory's master seed and the key itself, so two
+/// `ItemMemory` instances with the same `(dim, seed)` agree on every symbol
+/// without any insertion-order dependence.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, ItemMemory};
+///
+/// let d = Dimension::new(10_000)?;
+/// let mut im = ItemMemory::new(d, 42);
+/// let a1 = im.get_or_insert("a").clone();
+/// let a2 = im.get_or_insert("a").clone();
+/// assert_eq!(a1, a2, "assignment is fixed");
+///
+/// let b = im.get_or_insert("b");
+/// // Distinct symbols are nearly orthogonal.
+/// assert!(a1.hamming(b).as_usize() > 4_500);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    dim: Dimension,
+    seed: u64,
+    items: HashMap<String, Hypervector>,
+}
+
+impl ItemMemory {
+    /// Creates an empty item memory over the given space.
+    pub fn new(dim: Dimension, seed: u64) -> Self {
+        ItemMemory {
+            dim,
+            seed,
+            items: HashMap::new(),
+        }
+    }
+
+    /// The dimensionality of the stored hypervectors.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// The master seed of this memory.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of distinct symbols assigned so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no symbol has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks up a symbol without inserting.
+    pub fn get(&self, key: &str) -> Option<&Hypervector> {
+        self.items.get(key)
+    }
+
+    /// Looks up a symbol, assigning a fresh seed hypervector on first use.
+    pub fn get_or_insert(&mut self, key: &str) -> &Hypervector {
+        let dim = self.dim;
+        let seed = self.seed;
+        self.items
+            .entry(key.to_owned())
+            .or_insert_with(|| Self::derive(dim, seed, key))
+    }
+
+    /// Computes the hypervector a key would be assigned, without storing it.
+    ///
+    /// The derivation hashes `(seed, key)` into an RNG seed and draws a
+    /// balanced random hypervector, so it is independent of the memory's
+    /// contents.
+    pub fn derive(dim: Dimension, seed: u64, key: &str) -> Hypervector {
+        let mut hasher = DefaultHasher::new();
+        seed.hash(&mut hasher);
+        key.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        Hypervector::random_balanced(dim, &mut rng)
+    }
+
+    /// Iterates over `(symbol, hypervector)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Hypervector)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Pre-assigns hypervectors for all symbols of an alphabet in one pass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdc::{Dimension, ItemMemory};
+    ///
+    /// let d = Dimension::new(1_000)?;
+    /// let mut im = ItemMemory::new(d, 1);
+    /// im.populate("abcdefghijklmnopqrstuvwxyz ".chars());
+    /// assert_eq!(im.len(), 27);
+    /// # Ok::<(), hdc::HdcError>(())
+    /// ```
+    pub fn populate<I: IntoIterator<Item = char>>(&mut self, symbols: I) {
+        for ch in symbols {
+            let mut buf = [0u8; 4];
+            self.get_or_insert(ch.encode_utf8(&mut buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: usize) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn assignment_is_fixed_and_seeded() {
+        let d = dim(2_000);
+        let mut im1 = ItemMemory::new(d, 7);
+        let mut im2 = ItemMemory::new(d, 7);
+        // Different insertion orders must not change the assignment.
+        let a1 = im1.get_or_insert("a").clone();
+        im2.get_or_insert("z");
+        let a2 = im2.get_or_insert("a").clone();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = dim(2_000);
+        let mut im1 = ItemMemory::new(d, 1);
+        let mut im2 = ItemMemory::new(d, 2);
+        assert_ne!(im1.get_or_insert("a"), im2.get_or_insert("a"));
+    }
+
+    #[test]
+    fn seed_vectors_are_balanced() {
+        let d = dim(10_000);
+        let mut im = ItemMemory::new(d, 3);
+        assert_eq!(im.get_or_insert("q").count_ones(), 5_000);
+    }
+
+    #[test]
+    fn alphabet_is_pairwise_orthogonal() {
+        let d = dim(10_000);
+        let mut im = ItemMemory::new(d, 42);
+        im.populate("abcdefghijklmnopqrstuvwxyz ".chars());
+        assert_eq!(im.len(), 27);
+        let hvs: Vec<Hypervector> = im.iter().map(|(_, v)| v.clone()).collect();
+        for i in 0..hvs.len() {
+            for j in (i + 1)..hvs.len() {
+                let dist = hvs[i].hamming(&hvs[j]).as_usize();
+                assert!(
+                    (4_600..=5_400).contains(&dist),
+                    "pair ({i},{j}) distance = {dist}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut im = ItemMemory::new(dim(100), 1);
+        assert!(im.get("x").is_none());
+        assert!(im.is_empty());
+        im.get_or_insert("x");
+        assert!(im.get("x").is_some());
+        assert_eq!(im.len(), 1);
+    }
+
+    #[test]
+    fn derive_matches_get_or_insert() {
+        let d = dim(500);
+        let mut im = ItemMemory::new(d, 9);
+        let derived = ItemMemory::derive(d, 9, "hello");
+        assert_eq!(im.get_or_insert("hello"), &derived);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let im = ItemMemory::new(dim(64), 12);
+        assert_eq!(im.dim().get(), 64);
+        assert_eq!(im.seed(), 12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Level (scalar) encoding and record encoding for analog inputs.
+//!
+//! The paper notes that "applications with analog and multiple sensory
+//! inputs can equally benefit from HD computing" (biosignal gesture
+//! recognition, multimodal sensor fusion — its refs 7/8/9). Those
+//! pipelines need two more encoders on top of the letter item memory:
+//!
+//! * a **level encoder** that maps a bounded scalar onto one of `L`
+//!   *correlated* level hypervectors — adjacent levels are similar,
+//!   distant levels nearly orthogonal, so the Hamming distance between
+//!   encoded values tracks their numeric difference;
+//! * a **record encoder** that binds field hypervectors to value
+//!   hypervectors and bundles the pairs, representing a sensor snapshot
+//!   `{channel₁: v₁, …, channel_n: v_n}` as a single hypervector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Hypervector};
+use crate::item_memory::ItemMemory;
+use crate::ops::Bundler;
+
+/// Maps scalars in `[lo, hi]` to `L` correlated level hypervectors.
+///
+/// Construction follows the standard HD recipe: the first level is a
+/// random hypervector; each next level flips a fixed fresh subset of
+/// `D / (2·(L−1))` components, so level 0 and level `L−1` end up ≈ `D/2`
+/// apart while adjacent levels differ by only `D / (2(L−1))` bits.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, LevelEncoder};
+///
+/// let d = Dimension::new(10_000)?;
+/// let enc = LevelEncoder::new(d, 0.0, 1.0, 16, 7)?;
+/// let low = enc.encode(0.05);
+/// let mid = enc.encode(0.5);
+/// let high = enc.encode(0.95);
+/// // Distance tracks numeric difference.
+/// assert!(low.hamming(&mid).as_usize() < low.hamming(&high).as_usize());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelEncoder {
+    levels: Vec<Hypervector>,
+    lo: f64,
+    hi: f64,
+}
+
+impl LevelEncoder {
+    /// Creates an encoder for `[lo, hi]` with `levels` quantization steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptySample`] when `levels < 2` and
+    /// [`HdcError::ZeroDimension`] is never produced here (the dimension
+    /// is already validated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn new(dim: Dimension, lo: f64, hi: f64, levels: usize, seed: u64) -> Result<Self, HdcError> {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be below hi");
+        if levels < 2 {
+            return Err(HdcError::EmptySample);
+        }
+        let d = dim.get();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = Hypervector::random_from_rng(dim, &mut rng);
+        let mut level_hvs = Vec::with_capacity(levels);
+        level_hvs.push(current.clone());
+
+        // Partition the component indices once; each level flips the next
+        // slice, so flips never cancel and the end-to-end distance is the
+        // sum of the per-step distances (≈ D/2 overall).
+        let mut order: Vec<usize> = (0..d).collect();
+        for i in (1..d).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let step = (d / 2) / (levels - 1);
+        for l in 1..levels {
+            let slice = &order[(l - 1) * step..l * step];
+            let mut bits = current.as_bitvec().clone();
+            for &i in slice {
+                bits.flip(i);
+            }
+            current = Hypervector::from_bitvec(bits).expect("dimension unchanged");
+            level_hvs.push(current.clone());
+        }
+        Ok(LevelEncoder {
+            levels: level_hvs,
+            lo,
+            hi,
+        })
+    }
+
+    /// Number of quantization levels `L`.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The dimensionality of produced hypervectors.
+    pub fn dim(&self) -> Dimension {
+        self.levels[0].dim()
+    }
+
+    /// The level index a value quantizes to (clamped to the range).
+    pub fn quantize(&self, value: f64) -> usize {
+        let l = self.levels.len();
+        let t = ((value - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * l as f64) as usize).min(l - 1)
+    }
+
+    /// The hypervector of a level index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn level_hypervector(&self, level: usize) -> &Hypervector {
+        &self.levels[level]
+    }
+
+    /// Encodes a scalar value (clamping to the configured range).
+    pub fn encode(&self, value: f64) -> Hypervector {
+        self.levels[self.quantize(value)].clone()
+    }
+}
+
+/// Binds named fields to encoded values and bundles them into one record
+/// hypervector — the snapshot encoder of multimodal HD pipelines.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, ItemMemory, LevelEncoder, RecordEncoder};
+///
+/// let d = Dimension::new(10_000)?;
+/// let levels = LevelEncoder::new(d, 0.0, 1.0, 8, 1)?;
+/// let mut rec = RecordEncoder::new(ItemMemory::new(d, 2), levels);
+///
+/// let a = rec.encode(&[("ch1", 0.1), ("ch2", 0.9)]);
+/// let b = rec.encode(&[("ch1", 0.15), ("ch2", 0.85)]);
+/// let c = rec.encode(&[("ch1", 0.9), ("ch2", 0.1)]);
+/// // Similar snapshots stay close; swapped channels do not.
+/// assert!(a.hamming(&b).as_usize() < a.hamming(&c).as_usize());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    fields: ItemMemory,
+    levels: LevelEncoder,
+}
+
+impl RecordEncoder {
+    /// Creates a record encoder from a field item memory and a level
+    /// encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if their dimensionalities differ.
+    pub fn new(fields: ItemMemory, levels: LevelEncoder) -> Self {
+        assert_eq!(
+            fields.dim(),
+            levels.dim(),
+            "field and level spaces must share a dimension"
+        );
+        RecordEncoder { fields, levels }
+    }
+
+    /// The level encoder in use.
+    pub fn levels(&self) -> &LevelEncoder {
+        &self.levels
+    }
+
+    /// The field item memory in use.
+    pub fn fields(&self) -> &ItemMemory {
+        &self.fields
+    }
+
+    /// Encodes a `{field: value}` snapshot:
+    /// `[F₁ ⊕ HV(v₁) + … + F_n ⊕ HV(v_n)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record` is empty.
+    pub fn encode(&mut self, record: &[(&str, f64)]) -> Hypervector {
+        assert!(!record.is_empty(), "a record needs at least one field");
+        let mut bundler = Bundler::new(self.levels.dim());
+        for &(field, value) in record {
+            let field_hv = self.fields.get_or_insert(field).clone();
+            let value_hv = self.levels.encode(value);
+            bundler.accumulate(&crate::ops::bind(&field_hv, &value_hv));
+        }
+        bundler.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dim(d: usize) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn too_few_levels_rejected() {
+        assert!(LevelEncoder::new(dim(100), 0.0, 1.0, 1, 0).is_err());
+        assert!(LevelEncoder::new(dim(100), 0.0, 1.0, 2, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn inverted_range_rejected() {
+        let _ = LevelEncoder::new(dim(100), 1.0, 0.0, 4, 0);
+    }
+
+    #[test]
+    fn quantization_covers_the_range() {
+        let enc = LevelEncoder::new(dim(1_000), -1.0, 1.0, 10, 3).unwrap();
+        assert_eq!(enc.quantize(-1.0), 0);
+        assert_eq!(enc.quantize(-5.0), 0, "clamps below");
+        assert_eq!(enc.quantize(1.0), 9);
+        assert_eq!(enc.quantize(5.0), 9, "clamps above");
+        assert_eq!(enc.quantize(0.0), 5);
+        assert_eq!(enc.levels(), 10);
+    }
+
+    #[test]
+    fn adjacent_levels_are_similar_distant_levels_orthogonal() {
+        let enc = LevelEncoder::new(dim(10_000), 0.0, 1.0, 16, 7).unwrap();
+        let step = enc
+            .level_hypervector(0)
+            .hamming(enc.level_hypervector(1))
+            .as_usize();
+        assert!((200..=400).contains(&step), "step = {step}");
+        let span = enc
+            .level_hypervector(0)
+            .hamming(enc.level_hypervector(15))
+            .as_usize();
+        assert!((4_400..=5_100).contains(&span), "span = {span}");
+        // Monotone: distance from level 0 grows with the level index.
+        let mut prev = 0;
+        for l in 1..16 {
+            let d0 = enc
+                .level_hypervector(0)
+                .hamming(enc.level_hypervector(l))
+                .as_usize();
+            assert!(d0 > prev, "level {l}");
+            prev = d0;
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_tracks_values() {
+        let enc = LevelEncoder::new(dim(4_096), 0.0, 100.0, 32, 9).unwrap();
+        assert_eq!(enc.encode(42.0), enc.encode(42.0));
+        let near = enc.encode(40.0).hamming(&enc.encode(45.0)).as_usize();
+        let far = enc.encode(40.0).hamming(&enc.encode(95.0)).as_usize();
+        assert!(near < far);
+    }
+
+    #[test]
+    fn record_similarity_tracks_field_values() {
+        let d = dim(8_192);
+        let levels = LevelEncoder::new(d, 0.0, 1.0, 16, 1).unwrap();
+        let mut rec = RecordEncoder::new(ItemMemory::new(d, 2), levels);
+        let a = rec.encode(&[("x", 0.2), ("y", 0.8), ("z", 0.5)]);
+        let b = rec.encode(&[("x", 0.25), ("y", 0.75), ("z", 0.5)]);
+        let c = rec.encode(&[("x", 0.9), ("y", 0.1), ("z", 0.0)]);
+        assert!(a.hamming(&b).as_usize() < a.hamming(&c).as_usize());
+        assert_eq!(rec.levels().levels(), 16);
+        assert_eq!(rec.fields().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_record_rejected() {
+        let d = dim(256);
+        let levels = LevelEncoder::new(d, 0.0, 1.0, 4, 1).unwrap();
+        let mut rec = RecordEncoder::new(ItemMemory::new(d, 2), levels);
+        let _ = rec.encode(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn mismatched_spaces_rejected() {
+        let levels = LevelEncoder::new(dim(256), 0.0, 1.0, 4, 1).unwrap();
+        let _ = RecordEncoder::new(ItemMemory::new(dim(512), 2), levels);
+    }
+}

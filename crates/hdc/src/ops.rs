@@ -1,0 +1,417 @@
+//! The MAP operation set: bind, bundle and permute.
+//!
+//! * **Binding** (`⊕`, component-wise XOR) associates two hypervectors. The
+//!   result is dissimilar to both operands (δ ≈ D/2), is its own inverse
+//!   (`A ⊕ B ⊕ B = A`), and preserves distance
+//!   (`δ(A ⊕ C, B ⊕ C) = δ(A, B)`).
+//! * **Bundling** (`[A + B + C]`, component-wise majority) superimposes a set
+//!   of hypervectors; the result stays similar to every constituent
+//!   (δ < D/2). Ties for an even number of inputs are broken by a
+//!   caller-chosen [`TieBreak`] policy.
+//! * **Permutation** (`ρ`, cyclic rotation) produces a hypervector unrelated
+//!   to its input, used to encode sequence positions:
+//!   the trigram *a-b-c* becomes `ρ(ρ(A)) ⊕ ρ(B) ⊕ C`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::hypervector::{Dimension, Hypervector};
+
+/// Binding: component-wise XOR, written `A ⊕ B` in the paper.
+///
+/// # Panics
+///
+/// Panics if the dimensionalities differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, Hypervector};
+/// use hdc::ops::bind;
+///
+/// let d = Dimension::new(10_000)?;
+/// let a = Hypervector::random(d, 1);
+/// let b = Hypervector::random(d, 2);
+/// // Binding is self-inverse.
+/// assert_eq!(bind(&bind(&a, &b), &b), a);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+pub fn bind(a: &Hypervector, b: &Hypervector) -> Hypervector {
+    assert_eq!(a.dim(), b.dim(), "bind dimension mismatch");
+    let mut bits = a.as_bitvec().clone();
+    bits.xor_assign(b.as_bitvec());
+    Hypervector::from_bitvec(bits).expect("operands validated nonzero")
+}
+
+/// Permutation: cyclic right rotation by `by` positions, `ρ^by(A)`.
+///
+/// `permute(a, 0)` is the identity; `permute(a, D)` wraps to the identity.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, Hypervector};
+/// use hdc::ops::permute;
+///
+/// let d = Dimension::new(10_000)?;
+/// let a = Hypervector::random(d, 1);
+/// // One rotation decorrelates: δ(ρ(A), A) ≈ D/2.
+/// let dist = permute(&a, 1).hamming(&a).as_usize();
+/// assert!(dist > 4_000);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+pub fn permute(a: &Hypervector, by: usize) -> Hypervector {
+    Hypervector::from_bitvec(a.as_bitvec().rotate_right(by)).expect("operand validated nonzero")
+}
+
+/// Inverse permutation: cyclic left rotation by `by` positions, `ρ^{−by}(A)`.
+pub fn permute_inverse(a: &Hypervector, by: usize) -> Hypervector {
+    Hypervector::from_bitvec(a.as_bitvec().rotate_left(by)).expect("operand validated nonzero")
+}
+
+/// Tie-breaking policy for the bundling majority when the number of bundled
+/// hypervectors is even and a component splits 50/50.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TieBreak {
+    /// Resolve ties with a fixed pseudo-random hypervector derived from the
+    /// seed — the paper's method of augmenting the majority with a random
+    /// vector, made reproducible.
+    Seeded(u64),
+    /// Resolve every tie to 0.
+    Zeros,
+    /// Resolve every tie to 1.
+    Ones,
+}
+
+impl Default for TieBreak {
+    /// The default policy is `Seeded(0)`, which keeps bundling unbiased.
+    fn default() -> Self {
+        TieBreak::Seeded(0)
+    }
+}
+
+/// Incremental bundler: component-wise counters plus a majority readout.
+///
+/// The encoder bundles one hypervector per *n*-gram over a whole text, so the
+/// accumulator keeps `D` integer counters rather than re-doing a bit-level
+/// majority for every addition.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::prelude::*;
+///
+/// let d = Dimension::new(10_000)?;
+/// let a = Hypervector::random(d, 1);
+/// let b = Hypervector::random(d, 2);
+/// let c = Hypervector::random(d, 3);
+///
+/// let bundle = Bundler::new(d).add(&a).add(&b).add(&c).finish();
+/// // The bundle stays similar to each constituent…
+/// assert!(bundle.hamming(&a).as_usize() < 5_000);
+/// // …and unrelated vectors stay far away.
+/// let unrelated = Hypervector::random(d, 99);
+/// assert!(bundle.hamming(&unrelated).as_usize() > 4_500);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bundler {
+    counts: Vec<u32>,
+    total: u32,
+    dim: Dimension,
+    tie_break: TieBreak,
+}
+
+impl Bundler {
+    /// Creates an empty bundler with the default tie-break policy.
+    pub fn new(dim: Dimension) -> Self {
+        Bundler::with_tie_break(dim, TieBreak::default())
+    }
+
+    /// Creates an empty bundler with an explicit tie-break policy.
+    pub fn with_tie_break(dim: Dimension, tie_break: TieBreak) -> Self {
+        Bundler {
+            counts: vec![0; dim.get()],
+            total: 0,
+            dim,
+            tie_break,
+        }
+    }
+
+    /// Adds one hypervector to the bundle. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality differs from the bundler's.
+    // Chaining constructor in the bundling vocabulary ("[A + B + C]"),
+    // not arithmetic — an `Add` impl would be the surprising choice here.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, hv: &Hypervector) -> Self {
+        self.accumulate(hv);
+        self
+    }
+
+    /// Adds one hypervector through a mutable reference (loop-friendly form
+    /// of [`add`](Self::add)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality differs from the bundler's.
+    pub fn accumulate(&mut self, hv: &Hypervector) {
+        assert_eq!(hv.dim(), self.dim, "bundle dimension mismatch");
+        let words = hv.as_bitvec().as_words();
+        for (i, count) in self.counts.iter_mut().enumerate() {
+            *count += ((words[i / 64] >> (i % 64)) & 1) as u32;
+        }
+        self.total += 1;
+    }
+
+    /// Number of hypervectors accumulated so far.
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Returns `true` when nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The dimensionality this bundler accepts.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// Component-wise majority readout, `[A₁ + … + A_n]`.
+    ///
+    /// Finishing an empty bundler yields the all-zeros hypervector.
+    pub fn finish(&self) -> Hypervector {
+        if self.total == 0 {
+            return Hypervector::zeros(self.dim);
+        }
+        let d = self.dim.get();
+        let threshold2 = self.total; // compare 2*count against total
+        let tie_bits = match self.tie_break {
+            TieBreak::Seeded(seed) => {
+                // A fixed random vector only matters when `total` is even.
+                let mut rng = StdRng::seed_from_u64(seed);
+                Some(Hypervector::random_from_rng(self.dim, &mut rng))
+            }
+            TieBreak::Zeros | TieBreak::Ones => None,
+        };
+        let mut out = crate::bitvec::BitVec::zeros(d);
+        for (i, &count) in self.counts.iter().enumerate() {
+            let doubled = 2 * count;
+            let bit = if doubled > threshold2 {
+                true
+            } else if doubled < threshold2 {
+                false
+            } else {
+                match (&tie_bits, self.tie_break) {
+                    (Some(t), _) => t.get(i),
+                    (None, TieBreak::Ones) => true,
+                    _ => false,
+                }
+            };
+            if bit {
+                out.set(i, true);
+            }
+        }
+        Hypervector::from_bitvec(out).expect("dimension validated nonzero")
+    }
+}
+
+/// One-shot bundling of a slice of hypervectors with the default tie break.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or the dimensionalities differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, Hypervector};
+/// use hdc::ops::bundle;
+///
+/// let d = Dimension::new(1_000)?;
+/// let vs: Vec<_> = (0..5).map(|s| Hypervector::random(d, s)).collect();
+/// let out = bundle(&vs);
+/// assert!(out.hamming(&vs[0]).as_usize() < 500);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+pub fn bundle(hvs: &[Hypervector]) -> Hypervector {
+    assert!(!hvs.is_empty(), "cannot bundle zero hypervectors");
+    let mut bundler = Bundler::new(hvs[0].dim());
+    for hv in hvs {
+        bundler.accumulate(hv);
+    }
+    bundler.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervector::Distance;
+
+    fn dim(d: usize) -> Dimension {
+        Dimension::new(d).unwrap()
+    }
+
+    #[test]
+    fn bind_is_self_inverse() {
+        let d = dim(1_024);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        assert_eq!(bind(&bind(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn bind_decorrelates() {
+        let d = dim(10_000);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        let bound = bind(&a, &b);
+        assert!(bound.hamming(&a).as_usize() > 4_500);
+        assert!(bound.hamming(&b).as_usize() > 4_500);
+    }
+
+    #[test]
+    fn bind_preserves_distance() {
+        let d = dim(4_096);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        let c = Hypervector::random(d, 3);
+        assert_eq!(bind(&a, &c).hamming(&bind(&b, &c)), a.hamming(&b));
+    }
+
+    #[test]
+    fn bind_with_zeros_is_identity() {
+        let d = dim(300);
+        let a = Hypervector::random(d, 1);
+        assert_eq!(bind(&a, &Hypervector::zeros(d)), a);
+    }
+
+    #[test]
+    fn permute_round_trip_and_decorrelation() {
+        let d = dim(10_000);
+        let a = Hypervector::random(d, 5);
+        let p = permute(&a, 1);
+        assert_eq!(permute_inverse(&p, 1), a);
+        assert!(p.hamming(&a).as_usize() > 4_500);
+        assert_eq!(permute(&a, 0), a);
+        assert_eq!(permute(&a, d.get()), a);
+    }
+
+    #[test]
+    fn permute_composes_additively() {
+        let d = dim(997);
+        let a = Hypervector::random(d, 8);
+        assert_eq!(permute(&permute(&a, 3), 4), permute(&a, 7));
+    }
+
+    #[test]
+    fn bundle_of_odd_set_is_similar_to_members() {
+        let d = dim(10_000);
+        let vs: Vec<_> = (0..3).map(|s| Hypervector::random(d, s)).collect();
+        let out = bundle(&vs);
+        for v in &vs {
+            let dist = out.hamming(v).as_usize();
+            // Each member agrees with the majority on its own bit plus half
+            // of the remaining ties: expected distance D/4 for 3 inputs.
+            assert!((2_000..3_000).contains(&dist), "distance = {dist}");
+        }
+    }
+
+    #[test]
+    fn bundle_single_is_identity() {
+        let d = dim(512);
+        let a = Hypervector::random(d, 1);
+        assert_eq!(bundle(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    fn bundle_majority_dominates() {
+        let d = dim(2_048);
+        let a = Hypervector::random(d, 1);
+        let out = bundle(&[a.clone(), a.clone(), Hypervector::random(d, 2)]);
+        assert_eq!(out.hamming(&a), Distance::ZERO, "2-of-3 majority wins everywhere");
+    }
+
+    #[test]
+    fn even_bundle_tie_break_policies() {
+        let d = dim(1_000);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+
+        let zeros = Bundler::with_tie_break(d, TieBreak::Zeros)
+            .add(&a)
+            .add(&b)
+            .finish();
+        let ones = Bundler::with_tie_break(d, TieBreak::Ones)
+            .add(&a)
+            .add(&b)
+            .finish();
+        for i in 0..d.get() {
+            match (a.get(i), b.get(i)) {
+                (true, true) => {
+                    assert!(zeros.get(i) && ones.get(i));
+                }
+                (false, false) => {
+                    assert!(!zeros.get(i) && !ones.get(i));
+                }
+                _ => {
+                    assert!(!zeros.get(i), "tie resolves to 0");
+                    assert!(ones.get(i), "tie resolves to 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_tie_break_is_deterministic() {
+        let d = dim(800);
+        let a = Hypervector::random(d, 1);
+        let b = Hypervector::random(d, 2);
+        let r1 = Bundler::with_tie_break(d, TieBreak::Seeded(42))
+            .add(&a)
+            .add(&b)
+            .finish();
+        let r2 = Bundler::with_tie_break(d, TieBreak::Seeded(42))
+            .add(&a)
+            .add(&b)
+            .finish();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_bundler_finishes_to_zeros() {
+        let d = dim(100);
+        let b = Bundler::new(d);
+        assert!(b.is_empty());
+        assert_eq!(b.finish(), Hypervector::zeros(d));
+    }
+
+    #[test]
+    fn bundler_len_tracks_additions() {
+        let d = dim(64);
+        let mut b = Bundler::new(d);
+        assert_eq!(b.len(), 0);
+        b.accumulate(&Hypervector::random(d, 1));
+        b.accumulate(&Hypervector::random(d, 2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dim(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bundle zero")]
+    fn bundle_rejects_empty_slice() {
+        let _ = bundle(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bundler_rejects_mixed_dimensions() {
+        let mut b = Bundler::new(dim(10));
+        b.accumulate(&Hypervector::random(dim(11), 1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Generic *n*-gram sequence encoding over arbitrary tokens.
+//!
+//! [`crate::NGramEncoder`] is specialized to the paper's letter alphabet;
+//! many HD applications slide the same window over other token streams —
+//! words (news topic classification, paper ref 6), phonemes, sensor
+//! event ids. [`SequenceEncoder`] provides the identical construction
+//! (`ρ^{n−1}(T₀) ⊕ … ⊕ T_{n−1}`, bundled across the stream) for any
+//! string-keyed token type, with the rotated-token cache built on demand.
+
+use std::collections::HashMap;
+
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Hypervector};
+use crate::item_memory::ItemMemory;
+use crate::ops::{Bundler, TieBreak};
+
+/// A sliding-window *n*-gram encoder over arbitrary tokens.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, ItemMemory};
+/// use hdc::seq::SequenceEncoder;
+///
+/// let d = Dimension::new(10_000)?;
+/// let mut enc = SequenceEncoder::new(2, ItemMemory::new(d, 3))?;
+///
+/// let a = enc.encode(["the", "market", "rallied", "today"].iter().copied());
+/// let b = enc.encode(["the", "market", "slumped", "today"].iter().copied());
+/// let c = enc.encode(["striker", "scores", "late", "goal"].iter().copied());
+/// assert!(a.hamming(&b).as_usize() < a.hamming(&c).as_usize());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequenceEncoder {
+    n: usize,
+    item_memory: ItemMemory,
+    /// `rotated[k][token]` caches `ρ^k(HV(token))`, built lazily.
+    rotated: Vec<HashMap<String, Hypervector>>,
+    tie_break: TieBreak,
+}
+
+impl SequenceEncoder {
+    /// Creates an encoder with window size `n` over the given item memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroNGram`] when `n == 0`.
+    pub fn new(n: usize, item_memory: ItemMemory) -> Result<Self, HdcError> {
+        if n == 0 {
+            return Err(HdcError::ZeroNGram);
+        }
+        Ok(SequenceEncoder {
+            n,
+            item_memory,
+            rotated: vec![HashMap::new(); n],
+            tie_break: TieBreak::default(),
+        })
+    }
+
+    /// The window size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The dimensionality of produced hypervectors.
+    pub fn dim(&self) -> Dimension {
+        self.item_memory.dim()
+    }
+
+    /// Replaces the bundling tie-break policy.
+    pub fn set_tie_break(&mut self, tie_break: TieBreak) {
+        self.tie_break = tie_break;
+    }
+
+    fn rotated_token(&mut self, token: &str, k: usize) -> Hypervector {
+        if let Some(hv) = self.rotated[k].get(token) {
+            return hv.clone();
+        }
+        let base = self.item_memory.get_or_insert(token).clone();
+        let hv = crate::ops::permute(&base, k);
+        self.rotated[k].insert(token.to_owned(), hv.clone());
+        hv
+    }
+
+    /// Encodes one window of exactly `n` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != n`.
+    pub fn encode_window(&mut self, window: &[&str]) -> Hypervector {
+        assert_eq!(window.len(), self.n, "window must hold exactly n tokens");
+        let mut acc = self.rotated_token(window[0], self.n - 1);
+        for (offset, token) in window.iter().enumerate().skip(1) {
+            let hv = self.rotated_token(token, self.n - 1 - offset);
+            acc = crate::ops::bind(&acc, &hv);
+        }
+        acc
+    }
+
+    /// Encodes a token stream: the bundle of every length-`n` window.
+    /// Streams shorter than `n` tokens produce the all-zeros hypervector.
+    pub fn encode<'a, I>(&mut self, tokens: I) -> Hypervector
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut bundler = Bundler::with_tie_break(self.dim(), self.tie_break);
+        let mut window: Vec<&str> = Vec::with_capacity(self.n);
+        for token in tokens {
+            if window.len() == self.n {
+                window.remove(0);
+            }
+            window.push(token);
+            if window.len() == self.n {
+                let window_copy: Vec<&str> = window.clone();
+                bundler.accumulate(&self.encode_window(&window_copy));
+            }
+        }
+        bundler.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{bind, permute};
+
+    fn encoder(d: usize, n: usize) -> SequenceEncoder {
+        SequenceEncoder::new(n, ItemMemory::new(Dimension::new(d).unwrap(), 9)).unwrap()
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let im = ItemMemory::new(Dimension::new(16).unwrap(), 1);
+        assert_eq!(
+            SequenceEncoder::new(0, im).unwrap_err(),
+            HdcError::ZeroNGram
+        );
+    }
+
+    #[test]
+    fn window_follows_the_trigram_formula() {
+        let mut enc = encoder(2_048, 3);
+        let out = enc.encode_window(&["alpha", "beta", "gamma"]);
+        let a = ItemMemory::derive(enc.dim(), 9, "alpha");
+        let b = ItemMemory::derive(enc.dim(), 9, "beta");
+        let c = ItemMemory::derive(enc.dim(), 9, "gamma");
+        assert_eq!(out, bind(&bind(&permute(&a, 2), &permute(&b, 1)), &c));
+    }
+
+    #[test]
+    fn token_order_matters() {
+        let mut enc = encoder(10_000, 2);
+        let ab = enc.encode(["market", "rally"].iter().copied());
+        let ba = enc.encode(["rally", "market"].iter().copied());
+        assert!(ab.hamming(&ba).as_usize() > 4_000);
+    }
+
+    #[test]
+    fn short_streams_encode_to_zeros() {
+        let mut enc = encoder(256, 3);
+        assert_eq!(enc.encode(["one", "two"].iter().copied()).count_ones(), 0);
+        assert_eq!(enc.encode(std::iter::empty()).count_ones(), 0);
+    }
+
+    #[test]
+    fn shared_vocabulary_brings_streams_closer() {
+        let mut enc = encoder(10_000, 2);
+        let a = enc.encode("the match ended with a late goal".split(' '));
+        let b = enc.encode("a late goal decided the match".split(' '));
+        let c = enc.encode("inflation eroded quarterly corporate earnings badly".split(' '));
+        assert!(a.hamming(&b).as_usize() < a.hamming(&c).as_usize());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_cache_transparent() {
+        let mut e1 = encoder(1_024, 2);
+        let mut e2 = encoder(1_024, 2);
+        let tokens = ["x", "y", "z", "x", "y"];
+        let first = e1.encode(tokens.iter().copied());
+        let again = e1.encode(tokens.iter().copied());
+        let fresh = e2.encode(tokens.iter().copied());
+        assert_eq!(first, again);
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly n tokens")]
+    fn wrong_window_size_rejected() {
+        encoder(64, 3).encode_window(&["just", "two"]);
+    }
+}

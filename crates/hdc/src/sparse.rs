@@ -1,0 +1,408 @@
+//! Sparse block-code hypervectors.
+//!
+//! The paper notes that HD applications "use various encoding operations
+//! on sparse or dense hypervectors". This module implements the standard
+//! *segmented sparse* family: the `D` components are split into `S`
+//! segments of `B` positions, and exactly one position per segment is
+//! active. The algebra mirrors the dense MAP operations:
+//!
+//! * **bind** — per-segment modular index addition (invertible via
+//!   [`SparseHypervector::unbind`]);
+//! * **bundle** — per-segment plurality vote;
+//! * **distance** — the number of segments whose active position differs
+//!   (≈ `S·(1−1/B)` for unrelated vectors).
+//!
+//! [`SparseHypervector::to_dense`] embeds a sparse code into the ordinary
+//! binary space (one set bit per segment), so sparse-encoded data can be
+//! stored and searched in the same associative memory — and the same
+//! D-HAM/R-HAM/A-HAM hardware — as dense hypervectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::HdcError;
+use crate::hypervector::{Dimension, Distance, Hypervector};
+
+/// The geometry of a sparse code: `segments × segment_size` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SparseShape {
+    segments: usize,
+    segment_size: usize,
+}
+
+impl SparseShape {
+    /// Creates a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] when either factor is zero.
+    pub fn new(segments: usize, segment_size: usize) -> Result<Self, HdcError> {
+        if segments == 0 || segment_size == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        Ok(SparseShape {
+            segments,
+            segment_size,
+        })
+    }
+
+    /// Number of segments `S`.
+    pub fn segments(self) -> usize {
+        self.segments
+    }
+
+    /// Positions per segment `B`.
+    pub fn segment_size(self) -> usize {
+        self.segment_size
+    }
+
+    /// Total dimensionality `D = S · B` of the dense embedding.
+    pub fn dense_dimension(self) -> usize {
+        self.segments * self.segment_size
+    }
+}
+
+/// A sparse block-code hypervector: one active position per segment.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::sparse::{SparseHypervector, SparseShape};
+///
+/// let shape = SparseShape::new(500, 20)?;
+/// let a = SparseHypervector::random(shape, 1);
+/// let b = SparseHypervector::random(shape, 2);
+///
+/// // Binding is invertible and decorrelates.
+/// let bound = a.bind(&b);
+/// assert_eq!(bound.unbind(&b), a);
+/// assert!(bound.segment_distance(&a) > 400);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SparseHypervector {
+    shape: SparseShape,
+    /// Active position per segment, each `< segment_size`.
+    active: Vec<u32>,
+}
+
+impl SparseHypervector {
+    /// Draws a random sparse hypervector.
+    pub fn random(shape: SparseShape, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SparseHypervector::random_from_rng(shape, &mut rng)
+    }
+
+    /// Draws a random sparse hypervector from a caller-supplied RNG.
+    pub fn random_from_rng<R: Rng + ?Sized>(shape: SparseShape, rng: &mut R) -> Self {
+        SparseHypervector {
+            shape,
+            active: (0..shape.segments)
+                .map(|_| rng.gen_range(0..shape.segment_size as u32))
+                .collect(),
+        }
+    }
+
+    /// Builds a vector from explicit per-segment positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the position count is
+    /// wrong, and [`HdcError::EmptySample`] when a position exceeds the
+    /// segment size.
+    pub fn from_active(shape: SparseShape, active: Vec<u32>) -> Result<Self, HdcError> {
+        if active.len() != shape.segments {
+            return Err(HdcError::DimensionMismatch {
+                left: shape.segments,
+                right: active.len(),
+            });
+        }
+        if active.iter().any(|&p| p as usize >= shape.segment_size) {
+            return Err(HdcError::EmptySample);
+        }
+        Ok(SparseHypervector { shape, active })
+    }
+
+    /// The code geometry.
+    pub fn shape(&self) -> SparseShape {
+        self.shape
+    }
+
+    /// The active position of each segment.
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Binding: per-segment modular index addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn bind(&self, other: &SparseHypervector) -> SparseHypervector {
+        assert_eq!(self.shape, other.shape, "sparse shape mismatch");
+        let b = self.shape.segment_size as u32;
+        SparseHypervector {
+            shape: self.shape,
+            active: self
+                .active
+                .iter()
+                .zip(&other.active)
+                .map(|(&x, &y)| (x + y) % b)
+                .collect(),
+        }
+    }
+
+    /// The inverse of [`bind`](Self::bind): per-segment modular
+    /// subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn unbind(&self, other: &SparseHypervector) -> SparseHypervector {
+        assert_eq!(self.shape, other.shape, "sparse shape mismatch");
+        let b = self.shape.segment_size as u32;
+        SparseHypervector {
+            shape: self.shape,
+            active: self
+                .active
+                .iter()
+                .zip(&other.active)
+                .map(|(&x, &y)| (x + b - y) % b)
+                .collect(),
+        }
+    }
+
+    /// Cyclic shift of every segment's position by `by` — the sparse
+    /// analogue of the dense permutation ρ.
+    pub fn permute(&self, by: usize) -> SparseHypervector {
+        let b = self.shape.segment_size as u32;
+        SparseHypervector {
+            shape: self.shape,
+            active: self
+                .active
+                .iter()
+                .map(|&x| (x + (by as u32 % b)) % b)
+                .collect(),
+        }
+    }
+
+    /// Number of segments whose active position differs — the sparse
+    /// distance metric. Unrelated vectors sit near `S·(1−1/B)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn segment_distance(&self, other: &SparseHypervector) -> usize {
+        assert_eq!(self.shape, other.shape, "sparse shape mismatch");
+        self.active
+            .iter()
+            .zip(&other.active)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Bundles a set of sparse hypervectors by per-segment plurality vote.
+    /// Ties rotate fairly across the inputs (segment `s` prefers input
+    /// `s mod n` among the tied candidates), so the bundle stays equally
+    /// similar to every constituent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty or shapes differ.
+    pub fn bundle(inputs: &[SparseHypervector]) -> SparseHypervector {
+        assert!(!inputs.is_empty(), "cannot bundle zero hypervectors");
+        let shape = inputs[0].shape;
+        let b = shape.segment_size;
+        let mut active = Vec::with_capacity(shape.segments);
+        let mut votes = vec![0u32; b];
+        for segment in 0..shape.segments {
+            votes.iter_mut().for_each(|v| *v = 0);
+            for input in inputs {
+                assert_eq!(input.shape, shape, "sparse shape mismatch");
+                votes[input.active[segment] as usize] += 1;
+            }
+            let max_votes = inputs
+                .iter()
+                .map(|i| votes[i.active[segment] as usize])
+                .max()
+                .expect("inputs nonempty");
+            // Fair tie break: walk the inputs starting at `segment mod n`
+            // and take the first whose position holds the plurality.
+            let n = inputs.len();
+            let best = (0..n)
+                .map(|offset| inputs[(segment + offset) % n].active[segment])
+                .find(|&candidate| votes[candidate as usize] == max_votes)
+                .expect("some input holds the plurality");
+            active.push(best);
+        }
+        SparseHypervector { shape, active }
+    }
+
+    /// Embeds the sparse code in the dense binary space: one set bit per
+    /// segment. Dense Hamming distance is exactly `2 ×` the segment
+    /// distance, so nearest-neighbour search is preserved and the code
+    /// can live in the ordinary [`crate::AssociativeMemory`] and HAM
+    /// hardware.
+    pub fn to_dense(&self) -> Hypervector {
+        let d = self.shape.dense_dimension();
+        let mut bits = crate::bitvec::BitVec::zeros(d);
+        for (segment, &position) in self.active.iter().enumerate() {
+            bits.set(segment * self.shape.segment_size + position as usize, true);
+        }
+        Hypervector::from_bitvec(bits).expect("shape validated nonzero")
+    }
+
+    /// The dense dimensionality of [`to_dense`](Self::to_dense).
+    pub fn dense_dimension(&self) -> Dimension {
+        Dimension::new(self.shape.dense_dimension()).expect("shape validated nonzero")
+    }
+
+    /// Dense Hamming distance between the embeddings of two sparse codes
+    /// (computed without materializing them).
+    pub fn dense_distance(&self, other: &SparseHypervector) -> Distance {
+        Distance::new(2 * self.segment_distance(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> SparseShape {
+        SparseShape::new(500, 20).unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(SparseShape::new(0, 4).is_err());
+        assert!(SparseShape::new(4, 0).is_err());
+        let s = shape();
+        assert_eq!(s.segments(), 500);
+        assert_eq!(s.segment_size(), 20);
+        assert_eq!(s.dense_dimension(), 10_000);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let a = SparseHypervector::random(shape(), 1);
+        assert_eq!(a, SparseHypervector::random(shape(), 1));
+        assert_ne!(a, SparseHypervector::random(shape(), 2));
+        assert!(a.active().iter().all(|&p| p < 20));
+        assert_eq!(a.active().len(), 500);
+    }
+
+    #[test]
+    fn unrelated_vectors_are_nearly_maximally_distant() {
+        let a = SparseHypervector::random(shape(), 1);
+        let b = SparseHypervector::random(shape(), 2);
+        let d = a.segment_distance(&b);
+        // Expected S·(1−1/B) = 475 of 500.
+        assert!((440..=500).contains(&d), "distance = {d}");
+        assert_eq!(a.segment_distance(&a), 0);
+    }
+
+    #[test]
+    fn bind_is_invertible_and_decorrelates() {
+        let a = SparseHypervector::random(shape(), 1);
+        let b = SparseHypervector::random(shape(), 2);
+        let bound = a.bind(&b);
+        assert_eq!(bound.unbind(&b), a);
+        assert_eq!(bound.unbind(&a), b);
+        assert!(bound.segment_distance(&a) > 400);
+        // Binding preserves distances.
+        let c = SparseHypervector::random(shape(), 3);
+        assert_eq!(
+            a.bind(&c).segment_distance(&b.bind(&c)),
+            a.segment_distance(&b)
+        );
+    }
+
+    #[test]
+    fn permute_decorrelates_and_round_trips() {
+        let a = SparseHypervector::random(shape(), 4);
+        let p = a.permute(1);
+        assert_eq!(p.segment_distance(&a), 500, "every segment moves");
+        assert_eq!(a.permute(20), a, "full rotation is identity");
+        assert_eq!(a.permute(0), a);
+    }
+
+    #[test]
+    fn bundle_preserves_similarity_to_members() {
+        let inputs: Vec<SparseHypervector> =
+            (0..3).map(|s| SparseHypervector::random(shape(), s)).collect();
+        let out = SparseHypervector::bundle(&inputs);
+        for v in &inputs {
+            let d = out.segment_distance(v);
+            // Each member wins roughly the segments where the other two
+            // disagree: distance well below unrelated (~475).
+            assert!(d < 400, "distance = {d}");
+        }
+        let majority = SparseHypervector::bundle(&[
+            inputs[0].clone(),
+            inputs[0].clone(),
+            inputs[1].clone(),
+        ]);
+        assert_eq!(majority, inputs[0], "2-of-3 plurality wins everywhere");
+    }
+
+    #[test]
+    fn dense_embedding_preserves_search_geometry() {
+        let a = SparseHypervector::random(shape(), 1);
+        let b = SparseHypervector::random(shape(), 2);
+        let da = a.to_dense();
+        let db = b.to_dense();
+        assert_eq!(da.dim().get(), 10_000);
+        assert_eq!(da.count_ones(), 500, "one bit per segment");
+        assert_eq!(
+            da.hamming(&db).as_usize(),
+            2 * a.segment_distance(&b),
+            "dense distance is twice the segment distance"
+        );
+        assert_eq!(a.dense_distance(&b), da.hamming(&db));
+        assert_eq!(a.dense_dimension().get(), 10_000);
+    }
+
+    #[test]
+    fn sparse_codes_search_in_the_dense_associative_memory() {
+        use crate::am::AssociativeMemory;
+        use crate::am::ClassId;
+
+        let classes: Vec<SparseHypervector> =
+            (0..8).map(|s| SparseHypervector::random(shape(), 100 + s)).collect();
+        let mut am = AssociativeMemory::new(classes[0].dense_dimension());
+        for (i, c) in classes.iter().enumerate() {
+            am.insert(format!("s{i}"), c.to_dense()).unwrap();
+        }
+        // Corrupt 100 of 500 segments of class 5 and retrieve it.
+        let mut noisy = classes[5].clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut corrupted = noisy.active().to_vec();
+        for slot in corrupted.iter_mut().take(100) {
+            *slot = rng.gen_range(0..20);
+        }
+        noisy = SparseHypervector::from_active(shape(), corrupted).unwrap();
+        let hit = am.search(&noisy.to_dense()).unwrap();
+        assert_eq!(hit.class, ClassId(5));
+    }
+
+    #[test]
+    fn from_active_validation() {
+        assert!(SparseHypervector::from_active(shape(), vec![0; 499]).is_err());
+        assert!(SparseHypervector::from_active(shape(), vec![20; 500]).is_err());
+        assert!(SparseHypervector::from_active(shape(), vec![19; 500]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mixed_shapes_rejected() {
+        let a = SparseHypervector::random(shape(), 1);
+        let b = SparseHypervector::random(SparseShape::new(100, 20).unwrap(), 1);
+        let _ = a.segment_distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bundle zero")]
+    fn empty_bundle_rejected() {
+        let _ = SparseHypervector::bundle(&[]);
+    }
+}

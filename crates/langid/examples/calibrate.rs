@@ -1,0 +1,29 @@
+//! Calibration probe: classifier accuracy as a function of the
+//! generator's language spread, at the small test scale and the paper
+//! scale. Used to fit `SyntheticEurope::DEFAULT_LANGUAGE_SPREAD`.
+//! Run with `cargo run --release -p langid --example calibrate`.
+
+use langid::prelude::*;
+
+fn run(dim: usize, train_chars: usize, lang_spread: f64, sentences: usize) -> (f64, usize) {
+    let world = SyntheticEurope::with_spreads(42, 1.1, lang_spread);
+    let spec = CorpusSpec::new(42)
+        .with_world(world)
+        .train_chars(train_chars)
+        .test_sentences(sentences);
+    let config = ClassifierConfig::new(dim).unwrap();
+    let classifier = LanguageClassifier::train(&config, &spec.training_set()).unwrap();
+    let eval = evaluate(&classifier, &spec.test_set()).unwrap();
+    (eval.accuracy(), eval.min_margin().unwrap_or(0))
+}
+
+fn main() {
+    for &spread in &[0.5, 0.6, 0.7, 0.8, 1.0, 1.2] {
+        let (acc_small, m_small) = run(2_000, 10_000, spread, 5);
+        let (acc_big, m_big) = run(10_000, 20_000, spread, 20);
+        println!(
+            "spread {spread:>5.2}  small(D=2k): acc {:.3} margin {m_small:>4}   big(D=10k): acc {:.3} margin {m_big:>4}",
+            acc_small, acc_big
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Diagnostic probe: learned-hypervector geometry, per-sample distance
+//! rankings and family-level error split for the current generator
+//! calibration. Run with `cargo run --release -p langid --example diagnose`.
+use hdc::prelude::*;
+use langid::prelude::*;
+
+fn main() {
+    let spread = 0.4;
+    let world = SyntheticEurope::with_spreads(42, 1.1, spread);
+    let spec = CorpusSpec::new(42)
+        .with_world(world)
+        .train_chars(20_000)
+        .test_sentences(10);
+    let config = ClassifierConfig::new(10_000).unwrap();
+    let classifier = LanguageClassifier::train(&config, &spec.training_set()).unwrap();
+
+    // Pairwise distances between learned language hypervectors.
+    println!("learned-HV distances (first 8 languages):");
+    for i in 0..8 {
+        let row_i = classifier.memory().row(ClassId(i)).unwrap();
+        let mut line = format!("{:>12}", classifier.languages()[i].name());
+        for j in 0..8 {
+            let row_j = classifier.memory().row(ClassId(j)).unwrap();
+            line += &format!(" {:>5}", row_i.hamming(row_j).as_usize());
+        }
+        println!("{line}");
+    }
+
+    // Per-sample query distances for a few sentences.
+    let test = spec.test_set();
+    println!("\nsample query distances:");
+    for sample in test.samples().iter().step_by(35).take(6) {
+        let q = classifier.query(&sample.text);
+        let dists = classifier.memory().distances(&q).unwrap();
+        let mut d: Vec<(usize, usize)> = dists.iter().map(|x| x.as_usize()).enumerate().collect();
+        d.sort_by_key(|&(_, v)| v);
+        println!(
+            "truth {:>10} len {:>4}: best {}@{} second {}@{} third {}@{}",
+            sample.language.name(),
+            sample.text.len(),
+            classifier.languages()[d[0].0].name(),
+            d[0].1,
+            classifier.languages()[d[1].0].name(),
+            d[1].1,
+            classifier.languages()[d[2].0].name(),
+            d[2].1,
+        );
+    }
+
+    let eval = evaluate(&classifier, &test).unwrap();
+    println!("\naccuracy {:.3}", eval.accuracy());
+    if let Some((t, p, c)) = eval.confusion().worst_confusion() {
+        println!("worst confusion: {t} -> {p} ({c})");
+    }
+    // Family-level errors
+    let mut intra = 0;
+    let mut inter = 0;
+    for t in LanguageId::all() {
+        for p in LanguageId::all() {
+            if t != p {
+                let c = eval.confusion().count(t, p);
+                if t.family() == p.family() {
+                    intra += c;
+                } else {
+                    inter += c;
+                }
+            }
+        }
+    }
+    println!("errors: intra-family {intra}, cross-family {inter}");
+}

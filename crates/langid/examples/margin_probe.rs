@@ -1,0 +1,28 @@
+//! Diagnostic probe: the decision-margin distribution at D = 10,000 vs
+//! test sentence length (the quantity that controls Fig 1/Fig 13 error
+//! sensitivity). Run with `cargo run --release -p langid --example margin_probe`.
+use langid::prelude::*;
+
+fn main() {
+    for &len in &[80usize, 100, 120] {
+        let spec = CorpusSpec::new(42)
+            .train_chars(20_000)
+            .test_sentences(20)
+            .sentence_len(len);
+        let config = ClassifierConfig::new(10_000).unwrap();
+        let classifier = LanguageClassifier::train(&config, &spec.training_set()).unwrap();
+        let eval = evaluate(&classifier, &spec.test_set()).unwrap();
+        let mut margins: Vec<usize> = eval.margins().to_vec();
+        margins.sort_unstable();
+        let pct = |p: usize| margins[margins.len() * p / 100];
+        println!(
+            "len {len}: acc {:.1}%  margins p5={} p10={} p25={} p50={} p75={}",
+            eval.accuracy() * 100.0,
+            pct(5),
+            pct(10),
+            pct(25),
+            pct(50),
+            pct(75)
+        );
+    }
+}

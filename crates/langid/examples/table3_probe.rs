@@ -1,0 +1,29 @@
+//! Calibration probe: the Table III accuracy-vs-D column for the current
+//! generator knobs. Used to fit letter bias, sibling spread and sentence
+//! length. Run with `cargo run --release -p langid --example table3_probe`.
+use langid::prelude::*;
+
+fn acc(dim: usize, spread: f64, sentence_len: usize) -> f64 {
+    let world = SyntheticEurope::with_spreads(42, 1.1, spread);
+    let spec = CorpusSpec::new(42)
+        .with_world(world)
+        .train_chars(20_000)
+        .test_sentences(20)
+        .sentence_len(sentence_len);
+    let config = ClassifierConfig::new(dim).unwrap();
+    let classifier = LanguageClassifier::train(&config, &spec.training_set()).unwrap();
+    evaluate(&classifier, &spec.test_set()).unwrap().accuracy()
+}
+
+fn main() {
+    for &spread in &[0.4] {
+        for &len in &[120usize] {
+            for d in [256usize, 512, 1_000, 2_000, 4_000, 10_000] {
+                println!(
+                    "spread {spread:.2} len {len} D={d}: {:.1}%",
+                    acc(d, spread, len) * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-class bipolar accumulators shared by the retraining and online
+//! learners (crate-internal).
+
+use hdc::prelude::*;
+
+/// `acc[class][component]` counters: positive values vote for bit 1.
+#[derive(Debug, Clone)]
+pub(crate) struct Accumulators {
+    acc: Vec<Vec<i32>>,
+    dim: usize,
+}
+
+impl Accumulators {
+    pub(crate) fn new(classes: usize, dim: usize) -> Self {
+        Accumulators {
+            acc: vec![vec![0; dim]; classes],
+            dim,
+        }
+    }
+
+    /// Adds (`sign = 1`) or subtracts (`sign = -1`) a hypervector in
+    /// bipolar form.
+    pub(crate) fn add(&mut self, class: usize, hv: &Hypervector, sign: i32) {
+        let words = hv.as_bitvec().as_words();
+        for (i, a) in self.acc[class].iter_mut().enumerate() {
+            let bit = (words[i / 64] >> (i % 64)) & 1;
+            *a += if bit == 1 { sign } else { -sign };
+        }
+    }
+
+    /// Majority readout of one class.
+    pub(crate) fn binarize(&self, class: usize) -> Hypervector {
+        let mut bits = hdc::BitVec::zeros(self.dim);
+        for (i, &a) in self.acc[class].iter().enumerate() {
+            if a > 0 {
+                bits.set(i, true);
+            }
+        }
+        Hypervector::from_bitvec(bits).expect("dimension is nonzero")
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_binarize_round_trip() {
+        let dim = Dimension::new(256).unwrap();
+        let hv = Hypervector::random(dim, 1);
+        let mut acc = Accumulators::new(2, 256);
+        acc.add(0, &hv, 1);
+        assert_eq!(acc.binarize(0), hv, "one vote reproduces the vector");
+        acc.add(0, &hv, -1);
+        let zero = acc.binarize(0);
+        assert_eq!(zero.count_ones(), 0, "votes cancel back to zeros");
+    }
+
+    #[test]
+    fn majority_of_three() {
+        let dim = Dimension::new(512).unwrap();
+        let a = Hypervector::random(dim, 1);
+        let b = Hypervector::random(dim, 2);
+        let mut acc = Accumulators::new(1, 512);
+        acc.add(0, &a, 1);
+        acc.add(0, &a, 1);
+        acc.add(0, &b, 1);
+        assert_eq!(acc.binarize(0), a, "2-of-3 majority");
+    }
+}

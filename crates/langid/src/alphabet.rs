@@ -1,0 +1,96 @@
+//! The 27-symbol alphabet of the paper's encoder: the 26 Latin letters plus
+//! the (ASCII) space.
+
+/// The fixed encoder alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use langid::Alphabet;
+///
+/// assert_eq!(Alphabet::SIZE, 27);
+/// assert_eq!(Alphabet::index_of('a'), Some(0));
+/// assert_eq!(Alphabet::index_of(' '), Some(26));
+/// assert_eq!(Alphabet::index_of('!'), None);
+/// assert_eq!(Alphabet::symbol_at(1), 'b');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alphabet;
+
+impl Alphabet {
+    /// Number of symbols: 26 letters + space.
+    pub const SIZE: usize = 27;
+
+    /// The index of the space symbol.
+    pub const SPACE: usize = 26;
+
+    /// Maps a symbol to its index (`a`–`z` → 0–25, space → 26).
+    pub fn index_of(ch: char) -> Option<usize> {
+        match ch {
+            'a'..='z' => Some(ch as usize - 'a' as usize),
+            ' ' => Some(Self::SPACE),
+            _ => None,
+        }
+    }
+
+    /// Maps a symbol to its index after folding through the encoder's
+    /// normalization (uppercase folds down, anything else becomes space).
+    pub fn index_of_normalized(ch: char) -> usize {
+        Self::index_of(hdc::encoder::normalize_char(ch)).expect("normalized chars are in-alphabet")
+    }
+
+    /// The symbol at an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Alphabet::SIZE`.
+    pub fn symbol_at(index: usize) -> char {
+        assert!(index < Self::SIZE, "alphabet index {index} out of range");
+        if index == Self::SPACE {
+            ' '
+        } else {
+            (b'a' + index as u8) as char
+        }
+    }
+
+    /// Iterates over all symbols in index order.
+    pub fn symbols() -> impl Iterator<Item = char> {
+        (0..Self::SIZE).map(Self::symbol_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_symbol() {
+        for i in 0..Alphabet::SIZE {
+            let ch = Alphabet::symbol_at(i);
+            assert_eq!(Alphabet::index_of(ch), Some(i));
+        }
+    }
+
+    #[test]
+    fn symbols_iterates_all() {
+        let all: Vec<char> = Alphabet::symbols().collect();
+        assert_eq!(all.len(), 27);
+        assert_eq!(all[0], 'a');
+        assert_eq!(all[25], 'z');
+        assert_eq!(all[26], ' ');
+    }
+
+    #[test]
+    fn non_alphabet_chars_are_rejected_or_normalized() {
+        assert_eq!(Alphabet::index_of('É'), None);
+        assert_eq!(Alphabet::index_of('3'), None);
+        assert_eq!(Alphabet::index_of_normalized('3'), Alphabet::SPACE);
+        assert_eq!(Alphabet::index_of_normalized('Q'), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        Alphabet::symbol_at(27);
+    }
+}

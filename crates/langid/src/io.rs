@@ -1,0 +1,155 @@
+//! Corpus file I/O: bring your own corpora.
+//!
+//! The synthetic generator stands in for Wortschatz/Europarl, but nothing
+//! in the pipeline depends on it — a corpus is just labeled text. This
+//! module reads and writes the simple on-disk layout
+//!
+//! ```text
+//! corpus-dir/
+//!   english/ 0.txt 1.txt …
+//!   german/  0.txt …
+//! ```
+//!
+//! (one directory per language, named as in
+//! [`LANGUAGE_NAMES`](crate::synth::LANGUAGE_NAMES); one UTF-8 text file
+//! per sample), so real corpora can replace the synthetic ones without
+//! touching any other code.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::corpus::{Corpus, Sample};
+use crate::synth::LanguageId;
+
+/// Writes a corpus to `dir` in the per-language-directory layout,
+/// numbering each language's samples in corpus order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> io::Result<()> {
+    let mut counters = [0usize; crate::synth::LANGUAGE_COUNT];
+    for sample in corpus.iter() {
+        let lang_dir = dir.join(sample.language.name());
+        fs::create_dir_all(&lang_dir)?;
+        let index = counters[sample.language.index()];
+        counters[sample.language.index()] += 1;
+        fs::write(lang_dir.join(format!("{index}.txt")), &sample.text)?;
+    }
+    Ok(())
+}
+
+/// Loads a corpus from `dir`. Unknown directory names are skipped (so a
+/// corpus tree can carry extra metadata folders); files within a language
+/// load in lexicographic order for reproducibility.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a missing `dir` is an error, an empty
+/// one yields an empty corpus.
+pub fn load_corpus(dir: &Path) -> io::Result<Corpus> {
+    let mut corpus = Corpus::new();
+    let mut lang_dirs: Vec<(LanguageId, std::path::PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = LanguageId::all().find(|id| id.name() == name) {
+            lang_dirs.push((id, entry.path()));
+        }
+    }
+    lang_dirs.sort_by_key(|(id, _)| id.index());
+    for (language, lang_dir) in lang_dirs {
+        let mut files: Vec<std::path::PathBuf> = fs::read_dir(&lang_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        for file in files {
+            corpus.push(Sample {
+                language,
+                text: fs::read_to_string(&file)?,
+            });
+        }
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdham-corpus-io-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_samples() {
+        let dir = temp_dir("roundtrip");
+        let spec = CorpusSpec::new(7).train_chars(300).test_sentences(2);
+        let original = spec.test_set();
+        save_corpus(&original, &dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        // Same multiset of samples (order is normalized by language, then
+        // file name).
+        let mut a: Vec<(usize, String)> = original
+            .iter()
+            .map(|s| (s.language.index(), s.text.clone()))
+            .collect();
+        let mut b: Vec<(usize, String)> = loaded
+            .iter()
+            .map(|s| (s.language.index(), s.text.clone()))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_directories_are_skipped() {
+        let dir = temp_dir("unknown");
+        fs::create_dir_all(dir.join("english")).unwrap();
+        fs::write(dir.join("english/0.txt"), "hello world text").unwrap();
+        fs::create_dir_all(dir.join("klingon")).unwrap();
+        fs::write(dir.join("klingon/0.txt"), "qapla").unwrap();
+        fs::create_dir_all(dir.join(".metadata")).unwrap();
+        let corpus = load_corpus(&dir).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.samples()[0].language.name(), "english");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_corpus_trains_a_classifier() {
+        use crate::trainer::{ClassifierConfig, LanguageClassifier};
+        let dir = temp_dir("train");
+        let spec = CorpusSpec::new(9).train_chars(2_000).test_sentences(1);
+        save_corpus(&spec.training_set(), &dir).unwrap();
+        let training = load_corpus(&dir).unwrap();
+        assert_eq!(training.len(), 21);
+        let config = ClassifierConfig::new(512).unwrap();
+        let classifier = LanguageClassifier::train(&config, &training).unwrap();
+        assert_eq!(classifier.memory().len(), 21);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_empty_is_not() {
+        let dir = temp_dir("empty");
+        assert!(load_corpus(&dir).is_err(), "missing dir errors");
+        fs::create_dir_all(&dir).unwrap();
+        let corpus = load_corpus(&dir).unwrap();
+        assert!(corpus.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

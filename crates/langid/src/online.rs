@@ -1,0 +1,218 @@
+//! Online (incremental) learning.
+//!
+//! Random indexing "is incremental and computes semantic vectors in a
+//! single pass over the text data" (paper §II). This module exposes that
+//! property as an API: an [`OnlineClassifier`] absorbs labeled text as it
+//! arrives — no batch retraining, no stored corpus — and can snapshot a
+//! deployable [`LanguageClassifier`] at any moment. Because the learned
+//! state is a set of integer accumulators, updates commute: observing the
+//! same evidence in any order yields the same model.
+
+use hdc::prelude::*;
+
+use crate::accumulator::Accumulators;
+use crate::synth::{LanguageId, LANGUAGE_COUNT};
+use crate::trainer::{ClassifierConfig, LanguageClassifier};
+
+/// An incrementally trainable language classifier.
+///
+/// # Examples
+///
+/// ```
+/// use langid::prelude::*;
+/// use langid::online::OnlineClassifier;
+///
+/// let config = ClassifierConfig::new(2_000)?;
+/// let mut online = OnlineClassifier::new(&config)?;
+///
+/// let spec = CorpusSpec::new(3).train_chars(2_000).test_sentences(1);
+/// for sample in spec.training_set().iter() {
+///     online.observe(&sample.text, sample.language);
+/// }
+/// let classifier = online.snapshot()?;
+/// assert_eq!(classifier.languages().len(), LANGUAGE_COUNT);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineClassifier {
+    encoder: NGramEncoder,
+    acc: Accumulators,
+    observations: Vec<u64>,
+    dim: Dimension,
+}
+
+impl OnlineClassifier {
+    /// Creates an empty online learner with one slot per language.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HdcError`] from encoder construction.
+    pub fn new(config: &ClassifierConfig) -> Result<Self, HdcError> {
+        let encoder = NGramEncoder::new(
+            config.ngram_size(),
+            ItemMemory::new(config.dim(), config.item_memory_seed()),
+        )?;
+        Ok(OnlineClassifier {
+            encoder,
+            acc: Accumulators::new(LANGUAGE_COUNT, config.dim().get()),
+            observations: vec![0; LANGUAGE_COUNT],
+            dim: config.dim(),
+        })
+    }
+
+    /// Absorbs one labeled text. Texts shorter than the *n*-gram window
+    /// contribute nothing.
+    pub fn observe(&mut self, text: &str, language: LanguageId) {
+        if self.encoder.window_count(text) == 0 {
+            return;
+        }
+        let hv = self.encoder.encode_text(text);
+        self.acc.add(language.index(), &hv, 1);
+        self.observations[language.index()] += 1;
+    }
+
+    /// Removes previously absorbed evidence (e.g. a retracted label).
+    /// Saturates at zero observations.
+    pub fn retract(&mut self, text: &str, language: LanguageId) {
+        if self.encoder.window_count(text) == 0 || self.observations[language.index()] == 0 {
+            return;
+        }
+        let hv = self.encoder.encode_text(text);
+        self.acc.add(language.index(), &hv, -1);
+        self.observations[language.index()] -= 1;
+    }
+
+    /// Number of texts absorbed for one language.
+    pub fn observations(&self, language: LanguageId) -> u64 {
+        self.observations[language.index()]
+    }
+
+    /// Total texts absorbed.
+    pub fn total_observations(&self) -> u64 {
+        self.observations.iter().sum()
+    }
+
+    /// Freezes the current accumulators into a deployable classifier
+    /// (languages with no evidence get the all-zeros hypervector).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HdcError`] from memory construction.
+    pub fn snapshot(&self) -> Result<LanguageClassifier, HdcError> {
+        let mut memory = AssociativeMemory::new(self.dim);
+        let mut languages = Vec::with_capacity(LANGUAGE_COUNT);
+        for id in LanguageId::all() {
+            memory.insert(id.name(), self.acc.binarize(id.index()))?;
+            languages.push(id);
+        }
+        Ok(LanguageClassifier::from_parts(
+            self.encoder.clone(),
+            memory,
+            languages,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use crate::eval::evaluate;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec::new(21).train_chars(6_000).test_sentences(3)
+    }
+
+    #[test]
+    fn online_matches_batch_training_on_whole_texts() {
+        let config = ClassifierConfig::new(1_000).unwrap();
+        let s = spec();
+        let mut online = OnlineClassifier::new(&config).unwrap();
+        for sample in s.training_set().iter() {
+            online.observe(&sample.text, sample.language);
+        }
+        assert_eq!(online.total_observations(), 21);
+        let snapshot = online.snapshot().unwrap();
+        let batch = LanguageClassifier::train(&config, &s.training_set()).unwrap();
+        // One whole text per language: the accumulator holds exactly one
+        // vote per component, so the snapshot equals the batch model.
+        for i in 0..LANGUAGE_COUNT {
+            assert_eq!(
+                snapshot.memory().row(ClassId(i)),
+                batch.memory().row(ClassId(i)),
+                "language {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_grows_with_evidence() {
+        let config = ClassifierConfig::new(1_000).unwrap();
+        let s = spec();
+        let test = s.test_set();
+        let mut online = OnlineClassifier::new(&config).unwrap();
+
+        // Feed the first fifth of each training text…
+        for sample in s.training_set().iter() {
+            let short: String = sample.text.chars().take(1_200).collect();
+            online.observe(&short, sample.language);
+        }
+        let early = evaluate(&online.snapshot().unwrap(), &test).unwrap().accuracy();
+
+        // …then the remainder, as a second increment.
+        for sample in s.training_set().iter() {
+            let rest: String = sample.text.chars().skip(1_200).collect();
+            online.observe(&rest, sample.language);
+        }
+        let late = evaluate(&online.snapshot().unwrap(), &test).unwrap().accuracy();
+        assert!(
+            late >= early - 0.02,
+            "more evidence must not hurt: early {early}, late {late}"
+        );
+        assert!(late > 0.5, "late accuracy = {late}");
+    }
+
+    #[test]
+    fn observe_then_retract_is_identity() {
+        let config = ClassifierConfig::new(512).unwrap();
+        let mut online = OnlineClassifier::new(&config).unwrap();
+        let lang = LanguageId::new(3).unwrap();
+        let before = online.snapshot().unwrap();
+        online.observe("some evidence text for language three", lang);
+        assert_eq!(online.observations(lang), 1);
+        online.retract("some evidence text for language three", lang);
+        assert_eq!(online.observations(lang), 0);
+        let after = online.snapshot().unwrap();
+        assert_eq!(
+            before.memory().row(ClassId(3)),
+            after.memory().row(ClassId(3))
+        );
+    }
+
+    #[test]
+    fn updates_commute() {
+        let config = ClassifierConfig::new(512).unwrap();
+        let lang = LanguageId::new(0).unwrap();
+        let mut ab = OnlineClassifier::new(&config).unwrap();
+        ab.observe("the first piece of evidence", lang);
+        ab.observe("and the second piece of it", lang);
+        let mut ba = OnlineClassifier::new(&config).unwrap();
+        ba.observe("and the second piece of it", lang);
+        ba.observe("the first piece of evidence", lang);
+        assert_eq!(
+            ab.snapshot().unwrap().memory().row(ClassId(0)),
+            ba.snapshot().unwrap().memory().row(ClassId(0))
+        );
+    }
+
+    #[test]
+    fn short_texts_are_ignored() {
+        let config = ClassifierConfig::new(256).unwrap();
+        let mut online = OnlineClassifier::new(&config).unwrap();
+        let lang = LanguageId::new(1).unwrap();
+        online.observe("ab", lang); // below the trigram window
+        assert_eq!(online.observations(lang), 0);
+        online.retract("ab", lang);
+        assert_eq!(online.observations(lang), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The approximation knobs, one by one: structured sampling (D-HAM),
+//! voltage overscaling (R-HAM) and LTA resolution (A-HAM), with their
+//! accuracy and energy consequences on a retrieval workload.
+//!
+//! Run with `cargo run --release --example approximate_search`.
+
+use hdham::ham_core::explore::random_memory;
+use hdham::ham_core::prelude::*;
+use hdham::hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Retrieval rate of a design over noisy queries of every class.
+fn retrieval_rate(design: &dyn HamDesign, memory: &AssociativeMemory, noise_bits: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let trials = 10;
+    let mut hits = 0;
+    for class in 0..memory.len() {
+        for _ in 0..trials {
+            let query = memory
+                .row(ClassId(class))
+                .expect("class stored")
+                .with_flipped_bits(noise_bits, &mut rng);
+            if design.search(&query).expect("search succeeds").class == ClassId(class) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / (memory.len() * trials) as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let memory = random_memory(21, 10_000, 7);
+    let noise = 4_000; // very noisy queries: 40% of components faulty
+
+    println!("D-HAM: structured sampling (compute the distance on d < D bits)");
+    for d in [10_000, 9_000, 7_000, 4_000] {
+        let dham = DHam::with_sampling(&memory, d)?;
+        println!(
+            "  d = {:>6}: retrieval {:>5.1}%, energy {:>7.1} pJ",
+            d,
+            retrieval_rate(&dham, &memory, noise) * 100.0,
+            dham.cost().energy.get()
+        );
+    }
+
+    println!("\nR-HAM: voltage overscaling (0.78 V blocks, ≤ 1 bit error each)");
+    for blocks in [0, 1_000, 2_500] {
+        let rham = RHam::new(&memory)?.with_overscaled_blocks(blocks);
+        println!(
+            "  {:>5} blocks overscaled: retrieval {:>5.1}%, energy {:>7.1} pJ",
+            blocks,
+            retrieval_rate(&rham, &memory, noise) * 100.0,
+            rham.cost().energy.get()
+        );
+    }
+
+    println!("\nA-HAM: LTA resolution (minimum detectable distance grows as bits shrink)");
+    for bits in [14, 12, 11, 9] {
+        let aham = AHam::new(&memory)?.with_lta_bits(bits);
+        println!(
+            "  {bits:>2}-bit LTA (min detectable {:>3}): retrieval {:>5.1}%, energy {:>6.1} pJ",
+            aham.min_detectable_distance(),
+            retrieval_rate(&aham, &memory, noise) * 100.0,
+            aham.cost().energy.get()
+        );
+    }
+
+    println!("\n(balanced random classes sit ≈ 5,000 bits apart, so every knob");
+    println!(" holds retrieval until its error approaches the class margins)");
+    Ok(())
+}

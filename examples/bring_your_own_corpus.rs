@@ -1,0 +1,46 @@
+//! Swapping the synthetic corpus for your own text files.
+//!
+//! The synthetic generator is a stand-in; the pipeline only needs labeled
+//! text. This example writes a small corpus tree to disk (in real use,
+//! point it at your own Wortschatz/Europarl extracts), loads it back with
+//! `langid::io`, trains, and classifies.
+//!
+//! Run with `cargo run --release --example bring_your_own_corpus`.
+
+use hdham::langid::io::{load_corpus, save_corpus};
+use hdham::langid::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("hdham-byoc-demo");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Stand-in for "your corpus": export the synthetic training set to the
+    // on-disk layout (corpus-dir/<language>/<n>.txt).
+    let spec = CorpusSpec::new(42).train_chars(8_000).test_sentences(5);
+    save_corpus(&spec.training_set(), &dir)?;
+    println!("wrote corpus tree under {}", dir.display());
+    println!("  (replace these files with real text to train on real data)");
+
+    // From here on, the pipeline never touches the generator.
+    let training = load_corpus(&dir)?;
+    println!("loaded {} training texts", training.len());
+    let config = ClassifierConfig::new(4_000)?;
+    let classifier = LanguageClassifier::train(&config, &training)?;
+
+    let eval = evaluate(&classifier, &spec.test_set())?;
+    println!(
+        "accuracy over {} held-out sentences: {:.1}%",
+        eval.total(),
+        eval.accuracy() * 100.0
+    );
+    let fb = eval.family_breakdown();
+    println!(
+        "errors: {} intra-family, {} cross-family ({:.0}% intra)",
+        fb.intra_family_errors,
+        fb.cross_family_errors,
+        fb.intra_family_share() * 100.0
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Design-space exploration: sweep dimensionality and class count over the
+//! three HAM architectures and print the paper's headline comparisons.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use hdham::ham_core::explore::{class_sweep, dimension_sweep, edp_vs_error, DesignKind};
+
+fn main() {
+    // ---- Fig. 9: scaling the dimension at C = 21 --------------------------
+    println!("scaling D (C = 21):");
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>14}",
+        "design", "D", "energy(pJ)", "delay(ns)", "EDP(pJ·ns)"
+    );
+    let by_dim = dimension_sweep(&[512, 2_048, 10_000], 21, 1);
+    for p in &by_dim {
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>10.1} {:>14.1}",
+            p.kind,
+            p.dim,
+            p.cost.energy.get(),
+            p.cost.delay.get(),
+            p.cost.edp().get()
+        );
+    }
+
+    // ---- Fig. 10: scaling the classes at D = 10,000 -----------------------
+    println!("\nscaling C (D = 10,000):");
+    let by_class = class_sweep(&[6, 25, 100], 10_000, 2);
+    for p in &by_class {
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>10.1} {:>14.1}",
+            p.kind,
+            p.classes,
+            p.cost.energy.get(),
+            p.cost.delay.get(),
+            p.cost.edp().get()
+        );
+    }
+
+    // ---- Fig. 11: the approximation pay-off --------------------------------
+    println!("\nEDP normalized to the unapproximated D-HAM (C = 100, D = 10,000):");
+    for p in edp_vs_error(&[0, 1_000, 3_000], 100, 10_000, 3) {
+        println!(
+            "  error {:>5} bits: D-HAM {:.3}, R-HAM {:.4} ({:.1}×), A-HAM {:.6} ({:.0}×)",
+            p.error_bits,
+            p.dham_normalized_edp(),
+            p.rham_normalized_edp(),
+            1.0 / p.rham_normalized_edp(),
+            p.aham_normalized_edp(),
+            1.0 / p.aham_normalized_edp()
+        );
+    }
+    println!("  (paper: R-HAM 7.3×/9.6×, A-HAM 746×/1347× at the max/moderate points)");
+
+    // Who wins where: a compact verdict per corner of the space.
+    println!("\nverdict:");
+    for kind in DesignKind::ALL {
+        let point = by_dim.iter().find(|p| p.kind == kind && p.dim == 10_000).unwrap();
+        println!(
+            "  {:>6}: {:>10.1} pJ·ns at the paper's main configuration",
+            kind,
+            point.cost.edp().get()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's driving application end to end: recognize 21 European
+//! languages with letter-trigram hypervectors, then run the classification
+//! through all three hardware designs.
+//!
+//! Run with `cargo run --release --example language_recognition`.
+
+use hdham::ham_core::prelude::*;
+use hdham::langid::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic stand-in for Wortschatz/Europarl (see DESIGN.md §1).
+    let spec = CorpusSpec::new(42).train_chars(20_000).test_sentences(20);
+    println!("training 21 language hypervectors at D = 10,000…");
+    let config = ClassifierConfig::new(10_000)?;
+    let classifier = LanguageClassifier::train(&config, &spec.training_set())?;
+
+    // Exact software search (the functional reference).
+    let test = spec.test_set();
+    let eval = evaluate(&classifier, &test)?;
+    println!(
+        "exact search: {:.1}% over {} sentences (paper: 97.8%)",
+        eval.accuracy() * 100.0,
+        eval.total()
+    );
+    if let Some((truth, predicted, count)) = eval.confusion().worst_confusion() {
+        println!("  hardest confusion: {truth} mistaken for {predicted} ({count}×)");
+    }
+
+    // The same decisions on each hardware design.
+    let memory = classifier.memory();
+    let designs: Vec<Box<dyn HamDesign>> = vec![
+        Box::new(DHam::new(memory)?),
+        Box::new(RHam::new(memory)?.with_overscaled_blocks(2_500)),
+        Box::new(AHam::new(memory)?),
+    ];
+    for design in &designs {
+        let eval = evaluate_with(&classifier, &test, |q| {
+            design.search(q).map(|r| r.class)
+        })?;
+        let cost = design.cost();
+        println!(
+            "{:>6}: {:.1}% accuracy, {:.1} pJ / search, {:.1} ns, EDP {:.1} pJ·ns",
+            design.name(),
+            eval.accuracy() * 100.0,
+            cost.energy.get(),
+            cost.delay.get(),
+            cost.edp().get()
+        );
+    }
+
+    // A single sentence, inspected in detail.
+    let sample = &test.samples()[3];
+    let (lang, result) = classifier.classify(&sample.text)?;
+    println!(
+        "\n\"{}…\" → {} (true: {}), distance {}, margin {}",
+        &sample.text[..40.min(sample.text.len())],
+        lang,
+        sample.language,
+        result.distance,
+        result.margin()
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the HD computing algebra and a hardware-modelled search.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hdham::ham_core::prelude::*;
+use hdham::hdc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Hypervectors: random points of {0,1}^10,000 ------------------
+    let dim = Dimension::new(10_000)?;
+    let a = Hypervector::random(dim, 1);
+    let b = Hypervector::random(dim, 2);
+    println!("δ(A, B)            = {}  (unrelated ⇒ ≈ D/2)", a.hamming(&b));
+
+    // ---- 2. The MAP algebra ----------------------------------------------
+    let bound = a.bind(&b); // XOR: associates A with B
+    println!("δ(A⊕B, A)          = {}  (binding decorrelates)", bound.hamming(&a));
+    println!(
+        "δ((A⊕B)⊕B, A)      = {}  (binding is self-inverse)",
+        bound.bind(&b).hamming(&a)
+    );
+
+    let c = Hypervector::random(dim, 3);
+    let bundle = Bundler::new(dim).add(&a).add(&b).add(&c).finish();
+    println!(
+        "δ([A+B+C], A)      = {}  (bundling preserves similarity)",
+        bundle.hamming(&a)
+    );
+
+    let rotated = a.permute();
+    println!("δ(ρ(A), A)         = {}  (permutation decorrelates)", rotated.hamming(&a));
+
+    // ---- 3. Associative memory: nearest-Hamming retrieval ----------------
+    let mut memory = AssociativeMemory::new(dim);
+    for s in 0..21u64 {
+        memory.insert(format!("class-{s}"), Hypervector::random(dim, 100 + s))?;
+    }
+    let mut rng = rand::thread_rng();
+    let noisy = memory
+        .row(ClassId(7))
+        .expect("class 7 stored")
+        .with_flipped_bits(3_000, &mut rng);
+    let hit = memory.search(&noisy)?;
+    println!(
+        "query with 3,000 faulty bits retrieves {} at {} (margin {})",
+        memory.label(hit.class).unwrap_or("?"),
+        hit.distance,
+        hit.margin()
+    );
+
+    // ---- 4. The same search, on modelled hardware ------------------------
+    for design in [
+        Box::new(DHam::new(&memory)?) as Box<dyn HamDesign>,
+        Box::new(RHam::new(&memory)?),
+        Box::new(AHam::new(&memory)?),
+    ] {
+        let result = design.search(&noisy)?;
+        let cost = design.cost();
+        println!(
+            "{:>6}: class {:?}, {:.1} pJ × {:.1} ns = {:.1} pJ·ns, {:.2} mm²",
+            design.name(),
+            result.class,
+            cost.energy.get(),
+            cost.delay.get(),
+            cost.edp().get(),
+            cost.area.get()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate of the HDHAM workspace — a full reproduction of
+//! *Exploring Hyperdimensional Associative Memory* (HPCA 2017).
+//!
+//! Re-exports the four member crates:
+//!
+//! * [`hdc`] — hypervector algebra, n-gram encoding, associative memory;
+//! * [`circuit_sim`] — behavioural memristive/analog circuit substrate;
+//! * [`langid`] — the 21-language recognition workload;
+//! * [`ham_core`] — the paper\'s D-HAM / R-HAM / A-HAM architectures.
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `ham-experiments` binary (crate `ham-bench`) for the per-table/figure
+//! reproduction harness.
+
+#![forbid(unsafe_code)]
+
+pub use circuit_sim;
+pub use ham_core;
+pub use hdc;
+pub use langid;

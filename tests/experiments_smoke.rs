@@ -1,0 +1,53 @@
+//! Smoke tests of the experiment harness: every table/figure generator
+//! runs and produces sane output (the full-scale numbers live in
+//! EXPERIMENTS.md; these tests exercise the code paths).
+
+use ham_bench::context::{Workload, WorkloadScale};
+use ham_bench::exp;
+
+#[test]
+fn cost_model_experiments_run() {
+    // These are exact (no trained workload needed) and fast.
+    for report in [
+        exp::table1::run(),
+        exp::table2::run(),
+        exp::fig4::run(),
+        exp::fig5::run(),
+        exp::fig7::run(),
+        exp::fig12::run(),
+    ] {
+        assert!(!report.rows.is_empty(), "{} produced no rows", report.id);
+        assert!(!report.render().is_empty());
+    }
+}
+
+#[test]
+fn scaling_experiments_run() {
+    let fig9 = exp::fig9::run();
+    assert!(fig9.rows.iter().any(|r| r.contains("A-HAM")));
+    let fig10 = exp::fig10::run();
+    assert!(fig10.rows.iter().any(|r| r.contains("R-HAM")));
+    let fig11 = exp::fig11::run();
+    assert!(fig11.rows.iter().any(|r| r.contains("paper 746")));
+}
+
+#[test]
+fn accuracy_experiments_run_at_quick_scale() {
+    let workload = Workload::build(WorkloadScale::Quick);
+    let fig1 = exp::fig1::run(&workload);
+    assert!(fig1.data.is_array());
+    let fig13 = exp::fig13::run(&workload);
+    assert!(fig13.rows.iter().any(|r| r.contains("accuracy")));
+    let table3 = exp::table3::run(WorkloadScale::Quick);
+    assert!(table3.rows.len() >= 3);
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let report = exp::table2::run();
+    let dir = std::env::temp_dir().join("hdham-smoke-json");
+    report.dump_json(&dir).expect("dump succeeds");
+    let text = std::fs::read_to_string(dir.join("table2.json")).expect("file exists");
+    assert!(text.contains("switching"));
+    std::fs::remove_dir_all(&dir).ok();
+}

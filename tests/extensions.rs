@@ -1,0 +1,118 @@
+//! Integration tests of the extension features: level/record encoding,
+//! classifier retraining, crossbar endurance, and the design ablations.
+
+use hdham::ham_core::ablation;
+use hdham::ham_core::prelude::*;
+use hdham::hdc::ops;
+use hdham::hdc::prelude::*;
+use hdham::langid::prelude::*;
+use hdham::langid::retrain::{retrain, RetrainOptions};
+
+#[test]
+fn level_encoded_sensor_pipeline_classifies() {
+    // A miniature multimodal pipeline: record-encode 3-channel snapshots,
+    // sequence-bind a window, classify against two learned states.
+    let dim = Dimension::new(4_096).expect("nonzero");
+    let levels = LevelEncoder::new(dim, 0.0, 1.0, 8, 1).expect("valid levels");
+    let mut rec = RecordEncoder::new(ItemMemory::new(dim, 2), levels);
+
+    let encode_window = |rec: &mut RecordEncoder, base: f64| {
+        let mut bundler = Bundler::new(dim);
+        for t in 0..8usize {
+            let snap = rec.encode(&[
+                ("a", base),
+                ("b", 1.0 - base),
+                ("c", base / 2.0 + 0.1 * (t % 2) as f64),
+            ]);
+            bundler.accumulate(&ops::permute(&snap, t));
+        }
+        bundler.finish()
+    };
+
+    let mut memory = AssociativeMemory::new(dim);
+    memory.insert("low", encode_window(&mut rec, 0.15)).expect("insert");
+    memory.insert("high", encode_window(&mut rec, 0.85)).expect("insert");
+
+    // Slightly perturbed queries still land on the right state, through
+    // the software reference AND the A-HAM hardware model.
+    let aham = AHam::new(&memory).expect("memory nonempty");
+    for (value, label) in [(0.2, "low"), (0.8, "high"), (0.1, "low"), (0.9, "high")] {
+        let query = encode_window(&mut rec, value);
+        let exact = memory.search(&query).expect("search succeeds");
+        assert_eq!(memory.label(exact.class), Some(label), "value {value}");
+        let hw = aham.search(&query).expect("search succeeds");
+        assert_eq!(hw.class, exact.class);
+    }
+}
+
+#[test]
+fn retrained_model_runs_on_hardware_designs() {
+    let spec = CorpusSpec::new(77).train_chars(6_000).test_sentences(3);
+    let config = ClassifierConfig::new(1_500).expect("valid dimension");
+    let (classifier, report) = retrain(
+        &config,
+        &spec.training_set(),
+        &RetrainOptions {
+            epochs: 2,
+            chunk_chars: 250,
+        },
+    )
+    .expect("retraining succeeds");
+    assert!(report.chunks > 0);
+
+    // The retrained rows drop into the hardware models unchanged.
+    let test = spec.test_set();
+    let rham = RHam::new(classifier.memory()).expect("memory nonempty");
+    let eval = evaluate_with(&classifier, &test, |q| rham.search(q).map(|r| r.class))
+        .expect("hardware evaluation succeeds");
+    assert!(eval.accuracy() > 0.5, "accuracy = {}", eval.accuracy());
+}
+
+#[test]
+fn rham_endurance_policy_end_to_end() {
+    let spec = CorpusSpec::new(3).train_chars(4_000).test_sentences(1);
+    let config = ClassifierConfig::new(1_000).expect("valid dimension");
+    let classifier =
+        LanguageClassifier::train(&config, &spec.training_set()).expect("training succeeds");
+    let rham = RHam::new(classifier.memory()).expect("memory nonempty");
+    let report = rham.training_write_report();
+    assert!(report.cells_written > 0);
+    assert!(report.remaining_trainings_conservative > 900_000);
+}
+
+#[test]
+fn ablations_agree_with_shipping_design_points() {
+    // The ablation module must recommend exactly what the designs use.
+    assert_eq!(
+        ablation::recommended_block_size(8),
+        hdham::ham_core::rham::BLOCK_BITS
+    );
+    let rows = ablation::multistage_ablation(10_000, 14, &[1, 14]);
+    let memory = hdham::ham_core::explore::random_memory(4, 10_000, 1);
+    let aham = AHam::new(&memory).expect("memory nonempty");
+    assert_eq!(aham.stages(), 14);
+    assert_eq!(
+        rows.iter().find(|r| r.stages == 14).map(|r| r.min_detectable),
+        Some(aham.min_detectable_distance())
+    );
+}
+
+#[test]
+fn top_k_ranks_language_candidates() {
+    let spec = CorpusSpec::new(12).train_chars(6_000).test_sentences(1);
+    let config = ClassifierConfig::new(2_000).expect("valid dimension");
+    let classifier =
+        LanguageClassifier::train(&config, &spec.training_set()).expect("training succeeds");
+    let test = spec.test_set();
+    let sample = &test.samples()[0];
+    let query = classifier.query(&sample.text);
+    let top = classifier
+        .memory()
+        .search_top_k(&query, 3)
+        .expect("top-k succeeds");
+    assert_eq!(top.len(), 3);
+    assert!(top[0].1 <= top[1].1 && top[1].1 <= top[2].1);
+    // Top-1 equals the plain search.
+    let exact = classifier.memory().search(&query).expect("search succeeds");
+    assert_eq!(top[0].0, exact.class);
+}

@@ -1,0 +1,92 @@
+//! End-to-end pipeline integration: synthetic corpus → trained classifier
+//! → search on all three hardware designs.
+
+use hdham::ham_core::prelude::*;
+use hdham::langid::prelude::*;
+
+fn trained() -> (LanguageClassifier, Corpus) {
+    let spec = CorpusSpec::new(1234).train_chars(8_000).test_sentences(4);
+    let config = ClassifierConfig::new(2_000).expect("valid dimension");
+    let classifier =
+        LanguageClassifier::train(&config, &spec.training_set()).expect("training succeeds");
+    (classifier, spec.test_set())
+}
+
+#[test]
+fn full_pipeline_reaches_useful_accuracy() {
+    let (classifier, test) = trained();
+    let eval = evaluate(&classifier, &test).expect("evaluation succeeds");
+    assert!(
+        eval.accuracy() > 0.75,
+        "D = 2,000 accuracy = {}",
+        eval.accuracy()
+    );
+    assert_eq!(eval.total(), test.len());
+}
+
+#[test]
+fn hardware_designs_classify_the_same_corpus() {
+    let (classifier, test) = trained();
+    let exact = evaluate(&classifier, &test).expect("evaluation succeeds");
+
+    let memory = classifier.memory();
+    let designs: Vec<Box<dyn HamDesign>> = vec![
+        Box::new(DHam::new(memory).expect("memory nonempty")),
+        Box::new(RHam::new(memory).expect("memory nonempty")),
+        Box::new(AHam::new(memory).expect("memory nonempty")),
+    ];
+    for design in &designs {
+        let eval = evaluate_with(&classifier, &test, |q| design.search(q).map(|r| r.class))
+            .expect("hardware evaluation succeeds");
+        // Lossless design points: within a whisker of the exact search
+        // (A-HAM's resolution at D = 2,000 is a few bits).
+        assert!(
+            (eval.accuracy() - exact.accuracy()).abs() < 0.05,
+            "{}: {} vs exact {}",
+            design.name(),
+            eval.accuracy(),
+            exact.accuracy()
+        );
+    }
+}
+
+#[test]
+fn approximated_designs_stay_close_on_real_queries() {
+    let (classifier, test) = trained();
+    let memory = classifier.memory();
+    let exact = evaluate(&classifier, &test).expect("evaluation succeeds");
+
+    // D-HAM sampling 10% off, R-HAM fully overscaled, A-HAM at reduced
+    // resolution — the paper's "maximum/moderate accuracy" regime.
+    let blocks = 2_000usize.div_ceil(4);
+    let designs: Vec<Box<dyn HamDesign>> = vec![
+        Box::new(DHam::with_sampling(memory, 1_800).expect("valid sampling")),
+        Box::new(
+            RHam::new(memory)
+                .expect("memory nonempty")
+                .with_overscaled_blocks(blocks),
+        ),
+        Box::new(AHam::new(memory).expect("memory nonempty").with_lta_bits(9)),
+    ];
+    for design in &designs {
+        let eval = evaluate_with(&classifier, &test, |q| design.search(q).map(|r| r.class))
+            .expect("hardware evaluation succeeds");
+        assert!(
+            exact.accuracy() - eval.accuracy() < 0.10,
+            "{} approximated: {} vs exact {}",
+            design.name(),
+            eval.accuracy(),
+            exact.accuracy()
+        );
+    }
+}
+
+#[test]
+fn classifier_is_reproducible_end_to_end() {
+    let (c1, t1) = trained();
+    let (c2, t2) = trained();
+    let e1 = evaluate(&c1, &t1).expect("evaluation succeeds");
+    let e2 = evaluate(&c2, &t2).expect("evaluation succeeds");
+    assert_eq!(e1.accuracy(), e2.accuracy());
+    assert_eq!(e1.margins(), e2.margins());
+}

@@ -1,0 +1,109 @@
+//! Failure-injection integration tests: HD computing's error tolerance is
+//! the paper's central premise, so we stress every error path end to end.
+
+use hdham::circuit_sim::montecarlo::VariationModel;
+use hdham::ham_core::prelude::*;
+use hdham::ham_core::explore::random_memory;
+use hdham::hdc::distortion::ErrorModel;
+use hdham::hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn retrieval_survives_heavy_component_faults() {
+    // Paper Fig. 1's premise: with D = 10,000 and ~5,000-bit class
+    // margins, thousands of faulty components leave retrieval intact.
+    let memory = random_memory(21, 10_000, 11);
+    let mut rng = StdRng::seed_from_u64(4);
+    for faulty in [1_000, 2_000, 3_000, 4_000] {
+        let query = memory
+            .row(ClassId(9))
+            .expect("class stored")
+            .with_flipped_bits(faulty, &mut rng);
+        let hit = memory.search(&query).expect("search succeeds");
+        assert_eq!(hit.class, ClassId(9), "{faulty} faults");
+    }
+}
+
+#[test]
+fn distance_error_injection_degrades_gracefully() {
+    let memory = random_memory(21, 10_000, 12);
+    let mut rng = StdRng::seed_from_u64(5);
+    let query = memory
+        .row(ClassId(3))
+        .expect("class stored")
+        .with_flipped_bits(3_000, &mut rng);
+    // Margins of ~2,000 bits tolerate Binomial error from thousands of
+    // excluded dimensions.
+    for error in [500, 2_000, 4_000] {
+        let mut distorter = DistanceDistorter::new(ErrorModel::ExcludedBits(error), 1);
+        let hit = memory
+            .search_distorted(&query, &mut distorter)
+            .expect("search succeeds");
+        assert_eq!(hit.class, ClassId(3), "{error} bits of distance error");
+    }
+}
+
+#[test]
+fn overscaled_rham_errors_are_individually_bounded() {
+    let memory = random_memory(4, 10_000, 13);
+    let exact = RHam::new(&memory).expect("memory nonempty");
+    let noisy = exact.clone().with_overscaled_blocks(2_500);
+    let mut rng = StdRng::seed_from_u64(6);
+    for trial in 0..10 {
+        let query = memory
+            .row(ClassId(trial % 4))
+            .expect("class stored")
+            .with_flipped_bits(2_000 + 100 * trial, &mut rng);
+        let e = exact.search(&query).expect("search succeeds");
+        let n = noisy.search(&query).expect("search succeeds");
+        assert_eq!(e.class, n.class, "trial {trial}");
+        let delta = e
+            .measured_distance
+            .as_usize()
+            .abs_diff(n.measured_distance.as_usize());
+        // ≤ 1 bit per overscaled block, and in practice far fewer.
+        assert!(delta <= 2_500, "trial {trial}: delta {delta}");
+    }
+}
+
+#[test]
+fn aham_under_worst_case_variation_still_resolves_clear_margins() {
+    let memory = random_memory(21, 10_000, 14);
+    let worst = AHam::new(&memory)
+        .expect("memory nonempty")
+        .with_variation(VariationModel::new(0.35, 0.10));
+    // Worst-case Fig. 13 corner: resolution ~70 bits — far below the
+    // ≈5,000-bit margins of random classes.
+    assert!(worst.min_detectable_distance() < 200);
+    let mut rng = StdRng::seed_from_u64(7);
+    let query = memory
+        .row(ClassId(15))
+        .expect("class stored")
+        .with_flipped_bits(3_500, &mut rng);
+    assert_eq!(
+        worst.search(&query).expect("search succeeds").class,
+        ClassId(15)
+    );
+}
+
+#[test]
+fn sampling_down_to_the_accuracy_cliff() {
+    // Keep only 30% of dimensions: margins shrink 70% but random-class
+    // retrieval still works; keep only 1% and it starts failing.
+    let memory = random_memory(21, 10_000, 15);
+    let mut rng = StdRng::seed_from_u64(8);
+    let query = memory
+        .row(ClassId(2))
+        .expect("class stored")
+        .with_flipped_bits(4_000, &mut rng);
+    let ok = DHam::with_sampling(&memory, 3_000).expect("valid sampling");
+    assert_eq!(ok.search(&query).expect("search succeeds").class, ClassId(2));
+
+    let tiny = DHam::with_sampling(&memory, 16).expect("valid sampling");
+    // With 16 bits the signal (margin ~1.6 bits) drowns; we only require
+    // the search to complete and return *some* class.
+    let hit = tiny.search(&query).expect("search succeeds");
+    assert!(hit.class.0 < 21);
+    assert!(hit.measured_distance.as_usize() <= 16);
+}

@@ -1,0 +1,99 @@
+//! Integration tests of the functional simulators against the analytic
+//! designs and against each other.
+
+use hdham::ham_core::aham_analog::AhamAnalogSim;
+use hdham::ham_core::batch::run_batch;
+use hdham::ham_core::dham_cycle::DhamCycleSim;
+use hdham::ham_core::explore::{build, random_memory, DesignKind};
+use hdham::ham_core::pareto::pareto_front;
+use hdham::ham_core::prelude::*;
+use hdham::ham_core::rham_cycle::RhamPhaseSim;
+use hdham::hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn three_simulators_and_three_models_agree_on_decisions() {
+    let memory = random_memory(12, 2_048, 42);
+    let dham_sim = DhamCycleSim::new(&memory, 64).expect("builds");
+    let rham_sim = RhamPhaseSim::new(&memory, 64).expect("builds");
+    let mut aham_sim = AhamAnalogSim::new(&memory, 7).expect("builds");
+    let models: Vec<Box<dyn HamDesign>> = DesignKind::ALL
+        .iter()
+        .map(|&k| build(k, &memory).expect("builds"))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for trial in 0..12usize {
+        let query = memory
+            .row(ClassId(trial))
+            .expect("class stored")
+            .with_flipped_bits(400, &mut rng);
+        let expected = ClassId(trial);
+        assert_eq!(dham_sim.run(&query).expect("runs").result.class, expected);
+        assert_eq!(rham_sim.run(&query).expect("runs").result.class, expected);
+        assert_eq!(aham_sim.run(&query).expect("runs").result.class, expected);
+        for model in &models {
+            assert_eq!(
+                model.search(&query).expect("runs").class,
+                expected,
+                "{} at trial {trial}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cycle_counts_scale_as_the_architectures_predict() {
+    let memory = random_memory(21, 10_000, 1);
+    let query = memory.row(ClassId(0)).expect("class stored").clone();
+
+    // D-HAM: counting dominates and scales with 1/lanes.
+    let d64 = DhamCycleSim::new(&memory, 64).expect("builds").run(&query).expect("runs");
+    let d256 = DhamCycleSim::new(&memory, 256).expect("builds").run(&query).expect("runs");
+    assert!(d64.cycles.count > 3 * d256.cycles.count);
+    assert_eq!(d64.cycles.reduce, d256.cycles.reduce);
+
+    // R-HAM: the count phase walks blocks (D/4), so at equal lanes it is
+    // ~4× shorter than D-HAM's bit-walk (ceil rounding aside).
+    let r64 = RhamPhaseSim::new(&memory, 64).expect("builds").run(&query).expect("runs");
+    let ratio = d64.cycles.count as f64 / r64.timing.count_cycles as f64;
+    assert!((3.5..=4.5).contains(&ratio), "ratio = {ratio}");
+    assert_eq!(r64.timing.reduce_cycles, d64.cycles.reduce);
+}
+
+#[test]
+fn batch_pipelines_every_design() {
+    let memory = random_memory(8, 1_024, 9);
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<Hypervector> = (0..6)
+        .map(|i| {
+            memory
+                .row(ClassId(i % 8))
+                .expect("class stored")
+                .with_flipped_bits(150, &mut rng)
+        })
+        .collect();
+    for kind in DesignKind::ALL {
+        let design = build(kind, &memory).expect("builds");
+        let report = run_batch(design.as_ref(), &queries).expect("runs");
+        assert_eq!(report.results.len(), 6);
+        assert!(report.pipelined_latency < report.serial_latency, "{kind}");
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.class, ClassId(i % 8), "{kind} query {i}");
+        }
+    }
+}
+
+#[test]
+fn pareto_front_prunes_the_full_sweep() {
+    let mut points = hdham::ham_core::explore::dimension_sweep(&[512, 2_048, 10_000], 21, 3);
+    points.extend(hdham::ham_core::explore::class_sweep(&[6, 100], 2_048, 4));
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    assert!(front.len() < points.len(), "something must be dominated");
+    // Smaller configurations cost less on every axis, so the frontier is
+    // dominated by the smallest arrays plus the cheapest architecture.
+    assert!(front.iter().all(|p| p.kind == DesignKind::Analog || p.dim <= 2_048));
+}
