@@ -1,0 +1,60 @@
+//! Criterion bench: cost of classifying through the degradation
+//! controller at increasing stuck-at/transient fault rates (0 %, 1 %,
+//! 10 %), against the bare approximate engine on the same damaged state.
+//!
+//! The interesting number is the *escalation overhead*: at 0 % nearly
+//! every query settles on the primary engine, while heavier damage
+//! shrinks decision margins and pushes more queries down the resample →
+//! widened → exact ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_core::explore::{build, random_memory, DesignKind};
+use ham_core::resilience::{
+    apply_faults, apply_query_faults, DegradationController, DegradationPolicy, FaultInjector,
+    StuckAtCells, TransientFlips,
+};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RATES: [f64; 3] = [0.0, 0.01, 0.10];
+
+fn bench_degraded_search(c: &mut Criterion) {
+    let clean = random_memory(21, 10_000, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let query = clean
+        .row(ClassId(7))
+        .unwrap()
+        .with_flipped_bits(3_000, &mut rng);
+    let policy = DegradationPolicy::for_dim(10_000);
+
+    let mut group = c.benchmark_group("degraded_search");
+    for rate in RATES {
+        let faults: Vec<Box<dyn FaultInjector>> = vec![
+            Box::new(StuckAtCells::new(rate, 0xA5)),
+            Box::new(TransientFlips::new(rate, 0x5F)),
+        ];
+        let memory = apply_faults(&clean, &faults).expect("clean rows are well-formed");
+        let damaged = apply_query_faults(&faults, &query, 0).unwrap_or_else(|| query.clone());
+        let label = format!("{:.0}%", rate * 100.0);
+        for kind in DesignKind::ALL {
+            let raw = build(kind, &memory).expect("memory nonempty");
+            group.bench_with_input(
+                BenchmarkId::new(format!("raw_{}", kind.name()), &label),
+                &damaged,
+                |b, q| b.iter(|| raw.search(std::hint::black_box(q)).unwrap()),
+            );
+            let controller = DegradationController::for_kind(kind, memory.clone(), policy)
+                .expect("memory nonempty");
+            group.bench_with_input(
+                BenchmarkId::new(format!("controller_{}", kind.name()), &label),
+                &damaged,
+                |b, q| b.iter(|| controller.classify(std::hint::black_box(q), 0).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_degraded_search);
+criterion_main!(benches);

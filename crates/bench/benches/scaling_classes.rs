@@ -19,11 +19,9 @@ fn bench_class_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(classes as u64));
         for kind in [DesignKind::Digital, DesignKind::Resistive] {
             let design = build(kind, &memory).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), classes),
-                &design,
-                |b, d| b.iter(|| d.search(std::hint::black_box(&query)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), classes), &design, |b, d| {
+                b.iter(|| d.search(std::hint::black_box(&query)).unwrap())
+            });
         }
     }
     group.finish();

@@ -19,11 +19,9 @@ fn bench_dimension_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(dim as u64 * 21));
         for kind in [DesignKind::Digital, DesignKind::Analog] {
             let design = build(kind, &memory).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), dim),
-                &design,
-                |b, d| b.iter(|| d.search(std::hint::black_box(&query)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), dim), &design, |b, d| {
+                b.iter(|| d.search(std::hint::black_box(&query)).unwrap())
+            });
         }
     }
     group.finish();

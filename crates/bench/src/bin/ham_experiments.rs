@@ -19,9 +19,24 @@ use ham_bench::context::{Workload, WorkloadScale};
 use ham_bench::exp;
 use ham_bench::report::Report;
 
-const ALL_IDS: [&str; 16] = [
-    "fig1", "table1", "table2", "fig4", "fig5", "fig7", "table3", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "ablations", "equivalence", "retraining", "operating_points",
+const ALL_IDS: [&str; 17] = [
+    "fig1",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig7",
+    "table3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+    "equivalence",
+    "retraining",
+    "operating_points",
+    "resilience",
 ];
 
 fn main() {
@@ -63,9 +78,12 @@ fn main() {
     };
     // The trained language workload is only built when an accuracy
     // experiment asks for it (fig1/fig13 share it; table3 retrains per D).
-    let needs_workload = ids
-        .iter()
-        .any(|id| matches!(id.as_str(), "fig1" | "fig13" | "equivalence" | "operating_points"));
+    let needs_workload = ids.iter().any(|id| {
+        matches!(
+            id.as_str(),
+            "fig1" | "fig13" | "equivalence" | "operating_points" | "resilience"
+        )
+    });
     let workload: Option<Workload> = needs_workload.then(|| {
         eprintln!(
             "[setup] training the {}-dimensional language workload…",
@@ -95,6 +113,7 @@ fn main() {
             "operating_points" => {
                 exp::operating_points::run(workload.as_ref().expect("built above"))
             }
+            "resilience" => exp::resilience::run(workload.as_ref().expect("built above")),
             "fig13" => exp::fig13::run(workload.as_ref().expect("built above")),
             _ => unreachable!("ids validated above"),
         };
@@ -104,8 +123,16 @@ fn main() {
 
     for report in &reports {
         if let Err(e) = report.dump_json(&out_dir) {
-            eprintln!("warning: could not write {}/{}.json: {e}", out_dir.display(), report.id);
+            eprintln!(
+                "warning: could not write {}/{}.json: {e}",
+                out_dir.display(),
+                report.id
+            );
         }
     }
-    eprintln!("[done] {} experiment(s); JSON in {}", reports.len(), out_dir.display());
+    eprintln!(
+        "[done] {} experiment(s); JSON in {}",
+        reports.len(),
+        out_dir.display()
+    );
 }

@@ -42,10 +42,13 @@ impl WorkloadScale {
     }
 }
 
-/// The trained workload: classifier + pre-encoded test queries.
+/// The trained workload: classifier + pre-encoded test queries, plus the
+/// trainer's per-class accumulators (the golden copies a scrubber
+/// re-binarizes stored rows from).
 #[derive(Debug)]
 pub struct Workload {
     classifier: LanguageClassifier,
+    accumulators: Accumulators,
     queries: Vec<(LanguageId, Hypervector)>,
     scale: WorkloadScale,
     seed: u64,
@@ -76,11 +79,13 @@ impl Workload {
             .train_chars(scale.train_chars())
             .test_sentences(scale.test_sentences());
         let config = ClassifierConfig::new(dim).expect("nonzero dimension");
-        let classifier =
-            LanguageClassifier::train(&config, &spec.training_set()).expect("training succeeds");
+        let (classifier, accumulators) =
+            LanguageClassifier::train_with_accumulators(&config, &spec.training_set())
+                .expect("training succeeds");
         let queries = langid::eval::encode_corpus(&classifier, &spec.test_set());
         Workload {
             classifier,
+            accumulators,
             queries,
             scale,
             seed,
@@ -90,6 +95,13 @@ impl Workload {
     /// The trained classifier.
     pub fn classifier(&self) -> &LanguageClassifier {
         &self.classifier
+    }
+
+    /// The trainer's per-class bipolar accumulators. Re-binarizing them
+    /// reproduces every stored row exactly — the golden copies of the
+    /// resilience experiment's scrub pass.
+    pub fn accumulators(&self) -> &Accumulators {
+        &self.accumulators
     }
 
     /// The pre-encoded `(truth, query)` pairs.
@@ -123,7 +135,13 @@ impl Workload {
 
     /// Accuracy of the exact software search (the reference point).
     pub fn exact_accuracy(&self) -> f64 {
-        self.accuracy_with(|q| self.classifier.memory().search(q).expect("search succeeds").class)
+        self.accuracy_with(|q| {
+            self.classifier
+                .memory()
+                .search(q)
+                .expect("search succeeds")
+                .class
+        })
     }
 }
 

@@ -29,7 +29,14 @@ pub fn sweep() -> Ablations {
     Ablations {
         block_size: block_size_ablation(8)
             .into_iter()
-            .map(|r| (r.block_bits, r.resolvable_nominal, r.overscale_safe, r.switching_activity))
+            .map(|r| {
+                (
+                    r.block_bits,
+                    r.resolvable_nominal,
+                    r.overscale_safe,
+                    r.switching_activity,
+                )
+            })
             .collect(),
         multistage: multistage_ablation(10_000, 14, &[1, 2, 4, 7, 10, 14, 20, 28])
             .into_iter()

@@ -99,11 +99,21 @@ mod tests {
         assert!(aham.energy_growth > rham.energy_growth);
         // All energy growth factors are order ~10–20×.
         for s in [&dham, &rham, &aham] {
-            assert!((8.0..25.0).contains(&s.energy_growth), "{} {}", s.design, s.energy_growth);
+            assert!(
+                (8.0..25.0).contains(&s.energy_growth),
+                "{} {}",
+                s.design,
+                s.energy_growth
+            );
         }
         // Delays grow by a few ×.
         for s in [&dham, &rham, &aham] {
-            assert!((1.2..6.0).contains(&s.delay_growth), "{} {}", s.design, s.delay_growth);
+            assert!(
+                (1.2..6.0).contains(&s.delay_growth),
+                "{} {}",
+                s.design,
+                s.delay_growth
+            );
         }
     }
 

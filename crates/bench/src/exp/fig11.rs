@@ -51,7 +51,10 @@ pub fn sweep() -> Vec<Point> {
 
 /// Runs the experiment and formats the report.
 pub fn run() -> Report {
-    let mut report = Report::new("fig11", "energy-delay of the HAMs vs tolerated distance error");
+    let mut report = Report::new(
+        "fig11",
+        "energy-delay of the HAMs vs tolerated distance error",
+    );
     let points = sweep();
     report.row(format!(
         "{:>12} {:>10} {:>10} {:>12}",
@@ -93,7 +96,10 @@ mod tests {
         assert!((6.3..8.3).contains(&max_r), "R-HAM max {max_r}");
         assert!((650.0..850.0).contains(&max_a), "A-HAM max {max_a}");
         assert!((8.2..11.2).contains(&mod_r), "R-HAM moderate {mod_r}");
-        assert!((1_100.0..1_600.0).contains(&mod_a), "A-HAM moderate {mod_a}");
+        assert!(
+            (1_100.0..1_600.0).contains(&mod_a),
+            "A-HAM moderate {mod_a}"
+        );
         // Max → moderate improvement steps (paper: 1.4× and 2.4×).
         let r_step = at(1_000).rham / at(3_000).rham;
         let a_step = at(1_000).aham / at(3_000).aham;

@@ -52,13 +52,21 @@ pub fn aham_lta_fraction() -> f64 {
 
 /// Runs the experiment and formats the report.
 pub fn run() -> Report {
-    let mut report = Report::new("fig12", "area comparison between the HAMs (D = 10,000, C = 100)");
-    report.row(format!("{:>8} {:>12} {:>10}", "design", "area (mm²)", "vs D-HAM"));
+    let mut report = Report::new(
+        "fig12",
+        "area comparison between the HAMs (D = 10,000, C = 100)",
+    );
+    report.row(format!(
+        "{:>8} {:>12} {:>10}",
+        "design", "area (mm²)", "vs D-HAM"
+    ));
     let rows = rows();
     for r in &rows {
         report.row(format!(
             "{:>8} {:>12.1} {:>9.2}×",
-            r.design, r.area_mm2, 1.0 / r.vs_dham
+            r.design,
+            r.area_mm2,
+            1.0 / r.vs_dham
         ));
     }
     report.row(format!(

@@ -118,7 +118,9 @@ mod tests {
         let md = |pv: f64, vv: f64| {
             points
                 .iter()
-                .find(|p| (p.process_3sigma - pv).abs() < 1e-9 && (p.voltage_fraction - vv).abs() < 1e-9)
+                .find(|p| {
+                    (p.process_3sigma - pv).abs() < 1e-9 && (p.voltage_fraction - vv).abs() < 1e-9
+                })
                 .unwrap()
                 .min_detectable
         };

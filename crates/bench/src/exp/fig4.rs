@@ -63,7 +63,11 @@ pub fn panels() -> Vec<Series> {
     vec![
         series("(a) 10-bit CAM", &ten_bit, nominal),
         series("(b) 4-bit CAM w/o voltage overscaling", &four_bit, nominal),
-        series("(c) 4-bit CAM with voltage overscaling", &four_bit_vos, overscaled),
+        series(
+            "(c) 4-bit CAM with voltage overscaling",
+            &four_bit_vos,
+            overscaled,
+        ),
     ]
 }
 
@@ -74,7 +78,9 @@ pub fn run() -> Report {
     for p in &panels {
         report.row(p.label.clone());
         for (k, t) in &p.times_ns {
-            report.row(format!("  distance {k}: crosses sense threshold at {t:.3} ns"));
+            report.row(format!(
+                "  distance {k}: crosses sense threshold at {t:.3} ns"
+            ));
         }
         report.row(format!(
             "  jitter σ = {:.3} ns; distances resolvable at 3σ: {}",

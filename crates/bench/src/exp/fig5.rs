@@ -73,7 +73,9 @@ pub fn run() -> Report {
             p.overscaling * 100.0
         ));
     }
-    report.row("paper anchors: 9% vs ~18% at 1,000 bits; 22% vs ~50% at the moderate point".to_owned());
+    report.row(
+        "paper anchors: 9% vs ~18% at 1,000 bits; 22% vs ~50% at the moderate point".to_owned(),
+    );
     report.set_data(&points);
     report
 }
@@ -100,10 +102,22 @@ mod tests {
     fn paper_anchor_points() {
         let points = sweep();
         let at_1000 = points.iter().find(|p| p.error_bits == 1_000).unwrap();
-        assert!((at_1000.sampling - 0.10).abs() < 0.02, "sampling {}", at_1000.sampling);
-        assert!((at_1000.overscaling - 0.20).abs() < 0.03, "vos {}", at_1000.overscaling);
+        assert!(
+            (at_1000.sampling - 0.10).abs() < 0.02,
+            "sampling {}",
+            at_1000.sampling
+        );
+        assert!(
+            (at_1000.overscaling - 0.20).abs() < 0.03,
+            "vos {}",
+            at_1000.overscaling
+        );
         let at_2500 = points.iter().find(|p| p.error_bits == 2_500).unwrap();
-        assert!((at_2500.overscaling - 0.50).abs() < 0.02, "vos all {}", at_2500.overscaling);
+        assert!(
+            (at_2500.overscaling - 0.50).abs() < 0.02,
+            "vos all {}",
+            at_2500.overscaling
+        );
     }
 
     #[test]

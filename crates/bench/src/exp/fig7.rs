@@ -70,7 +70,9 @@ pub fn run() -> Report {
     report.row(format!(
         "misclassification border (min inter-language margin): {LANGUAGE_MARGIN_BORDER} bits"
     ));
-    report.row("paper anchors: 1 @ D<=512; 43 @ D=10,000 single-stage; 14 @ 14 stages/14 bits".to_owned());
+    report.row(
+        "paper anchors: 1 @ D<=512; 43 @ D=10,000 single-stage; 14 @ 14 stages/14 bits".to_owned(),
+    );
     report.set_data(&points);
     report
 }
@@ -90,7 +92,11 @@ mod tests {
         }
         let top = points.last().unwrap();
         assert_eq!(top.dim, 10_000);
-        assert!((40..=46).contains(&top.single_stage), "{}", top.single_stage);
+        assert!(
+            (40..=46).contains(&top.single_stage),
+            "{}",
+            top.single_stage
+        );
         assert_eq!(top.stages, 14);
         assert_eq!(top.lta_bits, 14);
         assert!((12..=16).contains(&top.multistage), "{}", top.multistage);

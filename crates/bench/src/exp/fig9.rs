@@ -97,7 +97,11 @@ mod tests {
         let rham = find("R-HAM");
         let aham = find("A-HAM");
         // A-HAM grows most gently; D-HAM and R-HAM grow near-linearly.
-        assert!(aham.energy_growth < 4.0, "A-HAM energy {}", aham.energy_growth);
+        assert!(
+            aham.energy_growth < 4.0,
+            "A-HAM energy {}",
+            aham.energy_growth
+        );
         assert!(aham.delay_growth < 2.0, "A-HAM delay {}", aham.delay_growth);
         assert!(dham.energy_growth > 2.0 * aham.energy_growth);
         assert!(rham.energy_growth > 2.0 * aham.energy_growth);

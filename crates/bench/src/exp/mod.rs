@@ -2,8 +2,6 @@
 
 pub mod ablations;
 pub mod equivalence;
-pub mod operating_points;
-pub mod retraining;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -13,6 +11,9 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod operating_points;
+pub mod resilience;
+pub mod retraining;
 pub mod table1;
 pub mod table2;
 pub mod table3;

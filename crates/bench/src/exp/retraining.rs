@@ -45,10 +45,14 @@ pub fn sweep(scale: WorkloadScale) -> Vec<Row> {
         .map(|dim| {
             let config = ClassifierConfig::new(dim).expect("nonzero dimension");
             let baseline = LanguageClassifier::train(&config, &train).expect("training succeeds");
-            let baseline_acc = evaluate(&baseline, &test).expect("evaluation succeeds").accuracy();
+            let baseline_acc = evaluate(&baseline, &test)
+                .expect("evaluation succeeds")
+                .accuracy();
             let (refined, report) =
                 retrain(&config, &train, &RetrainOptions::default()).expect("retraining succeeds");
-            let retrained_acc = evaluate(&refined, &test).expect("evaluation succeeds").accuracy();
+            let retrained_acc = evaluate(&refined, &test)
+                .expect("evaluation succeeds")
+                .accuracy();
             Row {
                 dim,
                 baseline: baseline_acc,
@@ -61,7 +65,10 @@ pub fn sweep(scale: WorkloadScale) -> Vec<Row> {
 
 /// Runs the experiment and formats the report.
 pub fn run(scale: WorkloadScale) -> Report {
-    let mut report = Report::new("retraining", "single-pass vs retrained classifier (extension)");
+    let mut report = Report::new(
+        "retraining",
+        "single-pass vs retrained classifier (extension)",
+    );
     report.row(format!(
         "{:>8} {:>10} {:>10} {:>18}",
         "D", "baseline", "retrained", "final train error"

@@ -84,10 +84,26 @@ mod tests {
         ];
         for (row, p) in rows.iter().zip(paper) {
             assert_eq!(row.d, p.0);
-            assert!((row.cam_area_mm2 - p.1).abs() / p.1 < 0.05, "cam area d={}", p.0);
-            assert!((row.logic_area_mm2 - p.2).abs() / p.2 < 0.08, "logic area d={}", p.0);
-            assert!((row.cam_energy_pj - p.3).abs() / p.3 < 0.02, "cam energy d={}", p.0);
-            assert!((row.logic_energy_pj - p.4).abs() / p.4 < 0.06, "logic energy d={}", p.0);
+            assert!(
+                (row.cam_area_mm2 - p.1).abs() / p.1 < 0.05,
+                "cam area d={}",
+                p.0
+            );
+            assert!(
+                (row.logic_area_mm2 - p.2).abs() / p.2 < 0.08,
+                "logic area d={}",
+                p.0
+            );
+            assert!(
+                (row.cam_energy_pj - p.3).abs() / p.3 < 0.02,
+                "cam energy d={}",
+                p.0
+            );
+            assert!(
+                (row.logic_energy_pj - p.4).abs() / p.4 < 0.06,
+                "logic energy d={}",
+                p.0
+            );
         }
     }
 

@@ -42,8 +42,7 @@ pub fn sweep(scale: WorkloadScale) -> Vec<Column> {
         .map(|dim| {
             let workload = Workload::build_with(scale, Workload::DEFAULT_SEED, dim);
             let exact = workload.exact_accuracy();
-            let aham =
-                AHam::new(workload.classifier().memory()).expect("classifier has classes");
+            let aham = AHam::new(workload.classifier().memory()).expect("classifier has classes");
             let aham_acc =
                 workload.accuracy_with(|q| aham.search(q).expect("search succeeds").class);
             Column {
@@ -73,9 +72,7 @@ pub fn run(scale: WorkloadScale) -> Report {
             c.min_detectable
         ));
     }
-    report.row(
-        "paper: 69.1/82.8/90.4/94.9/96.9/97.8% exact; A-HAM −0.5% at D=10,000".to_owned(),
-    );
+    report.row("paper: 69.1/82.8/90.4/94.9/96.9/97.8% exact; A-HAM −0.5% at D=10,000".to_owned());
     report.set_data(&columns);
     report
 }

@@ -19,6 +19,11 @@
 //! | EDP vs tolerated error | [`exp::fig11`] | Fig. 11 |
 //! | Area comparison | [`exp::fig12`] | Fig. 12 |
 //! | Variation study | [`exp::fig13`] | Fig. 13 |
+//! | Component ablations | [`exp::ablations`] | extension |
+//! | Sampling ↔ error equivalence | [`exp::equivalence`] | extension |
+//! | Retraining recovery | [`exp::retraining`] | extension |
+//! | Operating-point comparison | [`exp::operating_points`] | extension |
+//! | Fault-rate resilience sweep | [`exp::resilience`] | extension |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -240,8 +240,7 @@ impl LtaTree {
                 if pair.len() == 1 {
                     next.push(pair[0]);
                 } else {
-                    let winner =
-                        pair[self.comparator.loser(currents[pair[0]], currents[pair[1]])];
+                    let winner = pair[self.comparator.loser(currents[pair[0]], currents[pair[1]])];
                     next.push(winner);
                 }
             }
@@ -388,11 +387,7 @@ mod tests {
 
     #[test]
     fn stabilizer_is_linear_for_short_segments() {
-        let st = MlStabilizer::new(
-            64,
-            Memristor::high_r_on(),
-            TransistorCorner::tsmc45_tt(),
-        );
+        let st = MlStabilizer::new(64, Memristor::high_r_on(), TransistorCorner::tsmc45_tt());
         assert!(st.linearity() > 0.99);
         let i3 = st.current(3.0).get();
         let i1 = st.current(1.0).get();
@@ -445,7 +440,10 @@ mod tests {
     #[test]
     fn tree_finds_the_minimum_current() {
         let tree = LtaTree::new(LtaComparator::new(12, amps(1.0)));
-        let rows: Vec<Amps> = [0.9, 0.3, 0.7, 0.05, 0.8].iter().map(|&v| amps(v)).collect();
+        let rows: Vec<Amps> = [0.9, 0.3, 0.7, 0.05, 0.8]
+            .iter()
+            .map(|&v| amps(v))
+            .collect();
         assert_eq!(tree.find_min(&rows), 3);
         assert_eq!(tree.find_min(&[amps(0.4)]), 0);
     }

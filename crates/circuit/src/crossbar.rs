@@ -216,7 +216,11 @@ mod tests {
         let mut array = Crossbar::new(2, 100, WriteScheme::FullRewrite);
         let p = pattern(100, 3);
         assert_eq!(array.program(1, &p), 100);
-        assert_eq!(array.program(1, &p), 100, "rewrite wears even when unchanged");
+        assert_eq!(
+            array.program(1, &p),
+            100,
+            "rewrite wears even when unchanged"
+        );
         assert_eq!(array.max_cell_writes(), 2);
     }
 
@@ -245,7 +249,10 @@ mod tests {
         }
         assert_eq!(array.max_cell_writes(), 100);
         let remaining = array.remaining_trainings(Endurance::CONSERVATIVE);
-        assert!((999_000..=1_000_000).contains(&remaining), "remaining {remaining}");
+        assert!(
+            (999_000..=1_000_000).contains(&remaining),
+            "remaining {remaining}"
+        );
     }
 
     #[test]
@@ -256,7 +263,10 @@ mod tests {
         let fresh = Crossbar::new(1, 10, WriteScheme::Differential);
         assert_eq!(fresh.mean_cell_writes(), 0.0);
         assert_eq!(fresh.max_cell_writes(), 0);
-        assert_eq!(fresh.remaining_trainings(Endurance::CONSERVATIVE), 1_000_000);
+        assert_eq!(
+            fresh.remaining_trainings(Endurance::CONSERVATIVE),
+            1_000_000
+        );
     }
 
     #[test]

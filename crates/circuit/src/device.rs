@@ -75,6 +75,85 @@ impl Memristor {
     }
 }
 
+/// Conductance drift of an aging memristor.
+///
+/// Retention loss in filamentary devices moves both states toward the
+/// middle of the resistance window: the ON filament dissolves (`R_ON`
+/// grows) while the OFF state leaks (`R_OFF` drops). Both follow a
+/// power law in time, so the drift factors compose multiplicatively and
+/// the model only needs the two endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use circuit_sim::device::{DriftModel, Memristor};
+///
+/// let fresh = Memristor::high_r_on();
+/// let aged = DriftModel::new(1.5, 0.4).apply(&fresh);
+/// assert!(aged.r_on > fresh.r_on);
+/// assert!(aged.r_off < fresh.r_off);
+/// assert!(aged.off_on_ratio() < fresh.off_on_ratio());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Multiplicative growth of `R_ON` (≥ 1: the filament dissolves).
+    pub r_on_growth: f64,
+    /// Multiplicative decay of `R_OFF` (≤ 1: the OFF state leaks).
+    pub r_off_decay: f64,
+}
+
+impl DriftModel {
+    /// A fresh device: no drift.
+    pub const NONE: DriftModel = DriftModel {
+        r_on_growth: 1.0,
+        r_off_decay: 1.0,
+    };
+
+    /// Creates a drift point from explicit endpoint factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r_on_growth ≥ 1` and `0 < r_off_decay ≤ 1`.
+    pub fn new(r_on_growth: f64, r_off_decay: f64) -> Self {
+        assert!(r_on_growth >= 1.0, "R_ON can only grow under drift");
+        assert!(
+            r_off_decay > 0.0 && r_off_decay <= 1.0,
+            "R_OFF can only decay under drift"
+        );
+        DriftModel {
+            r_on_growth,
+            r_off_decay,
+        }
+    }
+
+    /// The drift reached after `time_ratio` = t/t₀ of retention bake,
+    /// with the power-law exponent `nu` (typical HfOx: ν ≈ 0.05–0.15).
+    /// `time_ratio = 1` is the fresh device.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_ratio ≥ 1` and `nu ≥ 0`.
+    pub fn after_aging(time_ratio: f64, nu: f64) -> Self {
+        assert!(time_ratio >= 1.0, "aging time ratio must be ≥ 1");
+        assert!(nu >= 0.0, "drift exponent must be nonnegative");
+        let factor = time_ratio.powf(nu);
+        DriftModel::new(factor, 1.0 / factor)
+    }
+
+    /// Whether this point is the identity (no drift).
+    pub fn is_none(&self) -> bool {
+        self.r_on_growth == 1.0 && self.r_off_decay == 1.0
+    }
+
+    /// The aged device.
+    pub fn apply(&self, device: &Memristor) -> Memristor {
+        Memristor::new(
+            device.r_on * self.r_on_growth,
+            device.r_off * self.r_off_decay,
+        )
+    }
+}
+
 /// A 45 nm transistor operating corner for the behavioural models.
 ///
 /// Only the parameters that enter the behavioural equations are kept:
@@ -159,6 +238,38 @@ mod tests {
     #[should_panic(expected = "R_ON must be positive")]
     fn zero_r_on_rejected() {
         Memristor::new(Ohms::new(0.0), Ohms::from_kilos(50.0));
+    }
+
+    #[test]
+    fn drift_none_is_identity() {
+        let fresh = Memristor::high_r_on();
+        assert!(DriftModel::NONE.is_none());
+        assert_eq!(DriftModel::NONE.apply(&fresh), fresh);
+        assert!(DriftModel::after_aging(1.0, 0.1).is_none());
+    }
+
+    #[test]
+    fn drift_narrows_the_resistance_window() {
+        let fresh = Memristor::high_r_on();
+        let aged = DriftModel::after_aging(1e6, 0.1).apply(&fresh);
+        assert!(aged.r_on > fresh.r_on);
+        assert!(aged.r_off < fresh.r_off);
+        assert!(aged.off_on_ratio() < fresh.off_on_ratio());
+        // Longer bakes drift further.
+        let older = DriftModel::after_aging(1e9, 0.1).apply(&fresh);
+        assert!(older.off_on_ratio() < aged.off_on_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "can only grow")]
+    fn shrinking_r_on_rejected() {
+        DriftModel::new(0.9, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "can only decay")]
+    fn growing_r_off_rejected() {
+        DriftModel::new(1.0, 1.1);
     }
 
     #[test]

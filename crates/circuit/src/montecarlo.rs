@@ -230,7 +230,11 @@ mod tests {
         let mut g = GaussianSampler::new(3);
         for _ in 0..5_000 {
             let s = v.sample_parameters(&mut g);
-            for m in [s.vth_multiplier, s.length_multiplier, s.resistance_multiplier] {
+            for m in [
+                s.vth_multiplier,
+                s.length_multiplier,
+                s.resistance_multiplier,
+            ] {
                 assert!(m > 0.0);
                 assert!(m <= 1.0 + 0.35 + 1e-9, "clamped at +3 sigma");
                 assert!(m >= 1.0 - 0.35 - 1e-9, "clamped at −3 sigma");

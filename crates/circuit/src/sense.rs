@@ -83,6 +83,38 @@ impl ThermometerCode {
     }
 }
 
+/// A static offset of the sense-amplifier sampling instants.
+///
+/// Comparator input-offset voltage (mismatch, aging) shifts the moment a
+/// sense amplifier effectively samples the match line. The offset is
+/// expressed relative to the local tap interval: `+0.1` samples 10 % of
+/// an interval late — the line gets more time to discharge, so reads
+/// skew *high* — and `−0.1` samples early, skewing reads low.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseOffset {
+    /// Relative tap shift; positive is late, negative is early.
+    pub relative: f64,
+}
+
+impl SenseOffset {
+    /// No offset: the nominally tuned chain.
+    pub const NONE: SenseOffset = SenseOffset { relative: 0.0 };
+
+    /// Creates an offset. Clamped to ±0.45 of a tap interval so the taps
+    /// stay ordered (a larger offset is a broken comparator, not a skewed
+    /// one).
+    pub fn new(relative: f64) -> Self {
+        SenseOffset {
+            relative: relative.clamp(-0.45, 0.45),
+        }
+    }
+
+    /// Whether this is the zero offset.
+    pub fn is_none(&self) -> bool {
+        self.relative == 0.0
+    }
+}
+
 /// The staggered sense-amplifier chain of one R-HAM block.
 ///
 /// # Examples
@@ -116,6 +148,12 @@ impl SenseChain {
     /// the paper. The first tap sits between `t(1)` and the leakage hold
     /// time.
     pub fn tuned(block: &MatchLine) -> Self {
+        SenseChain::tuned_with_offset(block, SenseOffset::NONE)
+    }
+
+    /// Builds the chain with every sampling instant skewed by `offset` —
+    /// the degraded chain of an array whose comparators have drifted.
+    pub fn tuned_with_offset(block: &MatchLine, offset: SenseOffset) -> Self {
         let width = block.cells();
         let discharge: Vec<Seconds> = (1..=width)
             .map(|k| block.discharge_time(k).expect("k >= 1 discharges"))
@@ -130,7 +168,9 @@ impl SenseChain {
                 discharge[j - 2]
             };
             let lower = discharge[j - 1];
-            taps.push(Seconds::new((upper.get() * lower.get()).sqrt()));
+            let nominal = (upper.get() * lower.get()).sqrt();
+            let interval = upper.get() - lower.get();
+            taps.push(Seconds::new(nominal + offset.relative * interval));
         }
         let sigma = block.timing_jitter_sigma(block.corner().v_dd);
         // Normalize jitter to the fastest discharge so reads of every
@@ -138,6 +178,29 @@ impl SenseChain {
         let sigma_rel = sigma.get() / discharge[width - 1].get();
         SenseChain {
             taps,
+            discharge,
+            sigma_rel,
+        }
+    }
+
+    /// The chain with its sampling instants frozen but its discharge
+    /// timing re-derived from `block` — the read model of an array whose
+    /// device has drifted *since* the chain was tuned. Retiming against
+    /// the block the chain was tuned for reproduces the chain exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block width differs from the chain width.
+    pub fn retimed(&self, block: &MatchLine) -> SenseChain {
+        let width = self.taps.len();
+        assert_eq!(width, block.cells(), "retimed block width differs");
+        let discharge: Vec<Seconds> = (1..=width)
+            .map(|k| block.discharge_time(k).expect("k >= 1 discharges"))
+            .collect();
+        let sigma = block.timing_jitter_sigma(block.corner().v_dd);
+        let sigma_rel = sigma.get() / discharge[width - 1].get();
+        SenseChain {
+            taps: self.taps.clone(),
             discharge,
             sigma_rel,
         }
@@ -197,11 +260,7 @@ impl SenseChain {
         // overscaled block to at most one level of read error.
         let z = noise.sample().clamp(-2.5, 2.5);
         let crossing = nominal.get() * (1.0 + self.sigma_rel * z);
-        let level = self
-            .taps
-            .iter()
-            .filter(|tap| crossing <= tap.get())
-            .count();
+        let level = self.taps.iter().filter(|tap| crossing <= tap.get()).count();
         ThermometerCode::new(level.min(self.width()), self.width())
     }
 }
@@ -302,6 +361,79 @@ mod tests {
         // they must exist but stay rare.
         assert!(errors > 0, "0.78 V must show some read errors");
         assert!((errors as f64) < 0.25 * (4 * trials) as f64);
+    }
+
+    #[test]
+    fn sense_offset_clamps_and_detects_identity() {
+        assert!(SenseOffset::NONE.is_none());
+        assert!(!SenseOffset::new(0.1).is_none());
+        assert_eq!(SenseOffset::new(2.0).relative, 0.45);
+        assert_eq!(SenseOffset::new(-2.0).relative, -0.45);
+    }
+
+    #[test]
+    fn zero_offset_chain_is_the_tuned_chain() {
+        let b = block();
+        assert_eq!(
+            SenseChain::tuned(&b),
+            SenseChain::tuned_with_offset(&b, SenseOffset::NONE)
+        );
+    }
+
+    #[test]
+    fn offset_chains_skew_noisy_reads_directionally() {
+        // At the overscaled supply the margins are thin; a late-sampling
+        // chain must misread high more often than the nominal chain, and
+        // an early-sampling chain more often low.
+        let b = block().with_supply(Volts::from_millis(780.0));
+        let late = SenseChain::tuned_with_offset(&b, SenseOffset::new(0.4));
+        let early = SenseChain::tuned_with_offset(&b, SenseOffset::new(-0.4));
+        let mut noise = GaussianSampler::new(11);
+        let trials = 2_000;
+        let mut late_high = 0usize;
+        let mut early_low = 0usize;
+        for d in 1..=3usize {
+            for _ in 0..trials {
+                if late.read_noisy(d, &mut noise).to_distance() > d {
+                    late_high += 1;
+                }
+                if early.read_noisy(d, &mut noise).to_distance() < d {
+                    early_low += 1;
+                }
+            }
+        }
+        assert!(late_high > 0, "late sampling must skew reads high");
+        assert!(early_low > 0, "early sampling must skew reads low");
+    }
+
+    #[test]
+    fn retiming_on_the_tuning_block_is_the_identity() {
+        let b = block().with_supply(Volts::from_millis(780.0));
+        let chain = SenseChain::tuned(&b);
+        assert_eq!(chain.retimed(&b), chain);
+    }
+
+    #[test]
+    fn retiming_on_a_slower_device_drags_reads_low() {
+        use crate::device::{DriftModel, Memristor};
+        // Drifted device: higher R_ON slows every discharge, but the taps
+        // stay where the fresh device put them — reads come up short.
+        let fresh = block();
+        let aged = DriftModel::new(3.0, 1.0).apply(&Memristor::high_r_on());
+        let slow = MatchLine::new(4, aged);
+        let stale = SenseChain::tuned(&fresh).retimed(&slow);
+        let mut noise = GaussianSampler::new(19);
+        let mut low = 0usize;
+        for d in 1..=4usize {
+            for _ in 0..500 {
+                let read = stale.read_noisy(d, &mut noise).to_distance();
+                assert!(read <= d, "stale taps can only under-read");
+                if read < d {
+                    low += 1;
+                }
+            }
+        }
+        assert!(low > 0, "3x drift must produce under-reads");
     }
 
     #[test]

@@ -101,7 +101,11 @@ pub struct MultistageAblation {
 }
 
 /// Sweeps the A-HAM stage count at a fixed dimension and LTA resolution.
-pub fn multistage_ablation(dim: usize, lta_bits: u32, stage_counts: &[usize]) -> Vec<MultistageAblation> {
+pub fn multistage_ablation(
+    dim: usize,
+    lta_bits: u32,
+    stage_counts: &[usize],
+) -> Vec<MultistageAblation> {
     let tech = TechnologyModel::hpca17();
     stage_counts
         .iter()

@@ -24,7 +24,7 @@ use circuit_sim::analog::ResolutionModel;
 use circuit_sim::montecarlo::VariationModel;
 use hdc::prelude::*;
 
-use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
 use crate::tech::TechnologyModel;
 use crate::units::Picojoules;
 
@@ -103,8 +103,7 @@ impl AHam {
     /// optimizes 14 bits for maximum and 11 bits for moderate accuracy at
     /// `D = 10,000`).
     pub fn with_lta_bits(mut self, bits: u32) -> Self {
-        self.resolution =
-            ResolutionModel::new(self.dim.get(), self.resolution.stages(), bits);
+        self.resolution = ResolutionModel::new(self.dim.get(), self.resolution.stages(), bits);
         self.recompute_resolution();
         self
     }
@@ -165,7 +164,11 @@ impl AHam {
                 // An unresolved pair (gap below the minimum detectable
                 // distance) keeps the first input — the LTA's bias.
                 let resolved = distances[a].abs_diff(distances[b]) >= self.min_detectable;
-                let winner = if resolved && distances[b] < distances[a] { b } else { a };
+                let winner = if resolved && distances[b] < distances[a] {
+                    b
+                } else {
+                    a
+                };
                 next.push(winner);
             }
             round = next;
@@ -211,6 +214,33 @@ impl HamDesign for AHam {
         })
     }
 
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        if query.dim() != self.dim {
+            return Err(HamError::DimensionMismatch {
+                expected: self.dim.get(),
+                actual: query.dim().get(),
+            });
+        }
+        let distances: Vec<usize> = self
+            .rows
+            .iter()
+            .map(|row| row.hamming(query).as_usize())
+            .collect();
+        let winner = self.tournament(&distances);
+        let grid = self.min_detectable.max(1);
+        let runner_up = distances
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != winner)
+            .map(|(_, &d)| Distance::new(d / grid * grid))
+            .min();
+        Ok(MarginSearchResult {
+            class: ClassId(winner),
+            measured_distance: Distance::new(distances[winner] / grid * grid),
+            runner_up,
+        })
+    }
+
     fn cost(&self) -> CostMetrics {
         let c = self.rows.len();
         let bits = self.resolution.lta_bits();
@@ -219,8 +249,7 @@ impl HamDesign for AHam {
                 .tech
                 .aham_energy(c, self.dim.get(), self.resolution.stages(), bits),
             delay: self.tech.aham_delay(c, bits),
-            area: self.tech.aham_cam_area(c, self.dim.get())
-                + self.tech.aham_lta_area(c, bits),
+            area: self.tech.aham_cam_area(c, self.dim.get()) + self.tech.aham_lta_area(c, bits),
         }
     }
 
@@ -258,7 +287,8 @@ mod tests {
         let dim = Dimension::new(d).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..c as u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         am
     }
@@ -269,7 +299,10 @@ mod tests {
         let aham = AHam::new(&am).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for s in [0usize, 9, 20] {
-            let q = am.row(ClassId(s)).unwrap().with_flipped_bits(3_000, &mut rng);
+            let q = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(3_000, &mut rng);
             assert_eq!(aham.search(&q).unwrap().class, ClassId(s));
         }
     }
@@ -299,7 +332,8 @@ mod tests {
         let row0 = query.with_flipped_bits(105, &mut rng);
         let mut am = AssociativeMemory::new(dim);
         am.insert("first", row0).unwrap();
-        am.insert("closer", query.with_flipped_bits(100, &mut rng)).unwrap();
+        am.insert("closer", query.with_flipped_bits(100, &mut rng))
+            .unwrap();
         let aham = AHam::new(&am).unwrap();
         assert!(aham.min_detectable_distance() > 5);
         let hit = aham.search(&query).unwrap();
@@ -307,6 +341,27 @@ mod tests {
         // The exact search disagrees — that disagreement is A-HAM's
         // accuracy loss.
         assert_eq!(am.search(&query).unwrap().class, ClassId(1));
+    }
+
+    #[test]
+    fn margin_search_agrees_with_search_and_quantizes() {
+        let am = memory(21, 10_000);
+        let aham = AHam::new(&am).unwrap();
+        let grid = aham.min_detectable_distance();
+        let mut rng = StdRng::seed_from_u64(12);
+        for s in [0usize, 5, 17] {
+            let q = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(1_500, &mut rng);
+            let plain = aham.search(&q).unwrap();
+            let margin = aham.search_with_margin(&q).unwrap();
+            assert_eq!(margin.class, plain.class);
+            assert_eq!(margin.measured_distance, plain.measured_distance);
+            let ru = margin.runner_up.unwrap();
+            assert_eq!(ru.as_usize() % grid, 0, "runner-up lives on the grid");
+            assert!(margin.margin() > 0, "distinct random classes have margin");
+        }
     }
 
     #[test]
@@ -371,7 +426,10 @@ mod tests {
         let am = memory(21, 10_000);
         let aham = AHam::new(&am).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let q = am.row(ClassId(2)).unwrap().with_flipped_bits(1_234, &mut rng);
+        let q = am
+            .row(ClassId(2))
+            .unwrap()
+            .with_flipped_bits(1_234, &mut rng);
         let hit = aham.search(&q).unwrap();
         let grid = aham.min_detectable_distance();
         assert_eq!(hit.measured_distance.as_usize() % grid, 0);

@@ -201,7 +201,10 @@ mod tests {
         let memory = random_memory(6, 10_000, 3);
         let mut sim = AhamAnalogSim::new(&memory, 5).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let q = memory.row(ClassId(2)).unwrap().with_flipped_bits(1_500, &mut rng);
+        let q = memory
+            .row(ClassId(2))
+            .unwrap()
+            .with_flipped_bits(1_500, &mut rng);
         let report = sim.run(&q).unwrap();
         assert_eq!(report.row_currents.len(), 6);
         // The true class draws the least current.

@@ -56,10 +56,7 @@ impl BatchReport {
 /// # Errors
 ///
 /// Propagates the first search error (e.g. a dimension mismatch).
-pub fn run_batch(
-    design: &dyn HamDesign,
-    queries: &[Hypervector],
-) -> Result<BatchReport, HamError> {
+pub fn run_batch(design: &dyn HamDesign, queries: &[Hypervector]) -> Result<BatchReport, HamError> {
     let mut results = Vec::with_capacity(queries.len());
     for query in queries {
         results.push(design.search(query)?);

@@ -13,7 +13,7 @@
 
 use hdc::prelude::*;
 
-use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
 use crate::tech::TechnologyModel;
 use crate::units::{Picojoules, SquareMillimeters};
 
@@ -158,6 +158,33 @@ impl HamDesign for DHam {
         })
     }
 
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        if query.dim() != self.dim {
+            return Err(HamError::DimensionMismatch {
+                expected: self.dim.get(),
+                actual: query.dim().get(),
+            });
+        }
+        let mut best = 0usize;
+        let mut best_distance = self.mask.sampled_distance(&self.rows[0], query);
+        let mut runner_up: Option<Distance> = None;
+        for (i, row) in self.rows.iter().enumerate().skip(1) {
+            let d = self.mask.sampled_distance(row, query);
+            if d < best_distance {
+                runner_up = Some(best_distance);
+                best = i;
+                best_distance = d;
+            } else if runner_up.is_none_or(|r| d < r) {
+                runner_up = Some(d);
+            }
+        }
+        Ok(MarginSearchResult {
+            class: ClassId(best),
+            measured_distance: best_distance,
+            runner_up,
+        })
+    }
+
     fn cost(&self) -> CostMetrics {
         let (cam_e, logic_e) = self.energy_breakdown();
         let (cam_a, logic_a) = self.area_breakdown();
@@ -184,7 +211,8 @@ mod tests {
         let dim = Dimension::new(d).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..c as u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         am
     }
@@ -195,7 +223,10 @@ mod tests {
         let dham = DHam::new(&am).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for s in [0usize, 7, 20] {
-            let noisy = am.row(ClassId(s)).unwrap().with_flipped_bits(2_500, &mut rng);
+            let noisy = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(2_500, &mut rng);
             let exact = am.search(&noisy).unwrap();
             let hw = dham.search(&noisy).unwrap();
             assert_eq!(hw.class, exact.class);
@@ -210,10 +241,42 @@ mod tests {
         assert_eq!(dham.sampled_dimensions(), 9_000);
         assert_eq!(dham.excluded_dimensions(), 1_000);
         let mut rng = StdRng::seed_from_u64(2);
-        let noisy = am.row(ClassId(3)).unwrap().with_flipped_bits(2_000, &mut rng);
+        let noisy = am
+            .row(ClassId(3))
+            .unwrap()
+            .with_flipped_bits(2_000, &mut rng);
         let hit = dham.search(&noisy).unwrap();
         assert_eq!(hit.class, ClassId(3), "sampling keeps retrieval");
         assert!(hit.measured_distance.as_usize() <= 2_000);
+    }
+
+    #[test]
+    fn margin_search_matches_reference_runner_up() {
+        let am = memory(21, 2_000);
+        let dham = DHam::new(&am).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in 0..5usize {
+            let q = am.row(ClassId(s)).unwrap().with_flipped_bits(300, &mut rng);
+            let exact = am.search(&q).unwrap();
+            let margin = dham.search_with_margin(&q).unwrap();
+            assert_eq!(margin.class, exact.class);
+            assert_eq!(margin.measured_distance, exact.distance);
+            assert_eq!(margin.runner_up, exact.runner_up);
+            assert_eq!(margin.margin(), exact.margin());
+        }
+    }
+
+    #[test]
+    fn sampled_margin_search_agrees_with_search() {
+        let am = memory(21, 2_000);
+        let dham = DHam::with_sampling(&am, 1_500).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = am.row(ClassId(6)).unwrap().with_flipped_bits(250, &mut rng);
+        let plain = dham.search(&q).unwrap();
+        let margin = dham.search_with_margin(&q).unwrap();
+        assert_eq!(margin.class, plain.class);
+        assert_eq!(margin.measured_distance, plain.measured_distance);
+        assert!(margin.runner_up.unwrap() >= margin.measured_distance);
     }
 
     #[test]
@@ -274,7 +337,10 @@ mod tests {
         let q = Hypervector::random(Dimension::new(128).unwrap(), 1);
         assert!(matches!(
             dham.search(&q),
-            Err(HamError::DimensionMismatch { expected: 100, actual: 128 })
+            Err(HamError::DimensionMismatch {
+                expected: 100,
+                actual: 128
+            })
         ));
     }
 

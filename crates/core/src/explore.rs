@@ -72,7 +72,8 @@ pub fn random_memory(classes: usize, dim: usize, seed: u64) -> AssociativeMemory
     let mut am = AssociativeMemory::new(d);
     for i in 0..classes {
         let hv = Hypervector::random_balanced(d, &mut rng);
-        am.insert(format!("class-{i}"), hv).expect("dimensions match");
+        am.insert(format!("class-{i}"), hv)
+            .expect("dimensions match");
     }
     am
 }
@@ -183,7 +184,12 @@ impl ErrorSweepPoint {
 }
 
 /// The accuracy/energy-delay sweep of paper Fig. 11.
-pub fn edp_vs_error(error_points: &[usize], classes: usize, dim: usize, seed: u64) -> Vec<ErrorSweepPoint> {
+pub fn edp_vs_error(
+    error_points: &[usize],
+    classes: usize,
+    dim: usize,
+    seed: u64,
+) -> Vec<ErrorSweepPoint> {
     let memory = random_memory(classes, dim, seed);
     let blocks = dim.div_ceil(BLOCK_BITS);
     let baseline = DHam::new(&memory).expect("memory is nonempty").cost();
@@ -253,7 +259,9 @@ mod tests {
         // Energy grows with D for every design...
         for kind in DesignKind::ALL {
             let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
-            assert!(series.windows(2).all(|w| w[1].cost.energy >= w[0].cost.energy));
+            assert!(series
+                .windows(2)
+                .all(|w| w[1].cost.energy >= w[0].cost.energy));
         }
         // ...and A-HAM grows the slowest (paper: 1.9× vs 8.3× for 20× D).
         let growth = |kind: DesignKind| {
@@ -271,7 +279,9 @@ mod tests {
         assert_eq!(points.len(), 9);
         for kind in DesignKind::ALL {
             let series: Vec<&SweepPoint> = points.iter().filter(|p| p.kind == kind).collect();
-            assert!(series.windows(2).all(|w| w[1].cost.energy > w[0].cost.energy));
+            assert!(series
+                .windows(2)
+                .all(|w| w[1].cost.energy > w[0].cost.energy));
             assert!(series.windows(2).all(|w| w[1].cost.delay > w[0].cost.delay));
         }
         // A-HAM's energy is most sensitive to C (LTA-dominated).
@@ -325,7 +335,10 @@ mod tests {
         assert!(mod_r > max_r, "moderate beats max for R-HAM");
         assert!(mod_a > max_a, "moderate beats max for A-HAM");
         assert!((8.2..11.2).contains(&mod_r), "R-HAM moderate ratio {mod_r}");
-        assert!((1_100.0..1_600.0).contains(&mod_a), "A-HAM moderate ratio {mod_a}");
+        assert!(
+            (1_100.0..1_600.0).contains(&mod_a),
+            "A-HAM moderate ratio {mod_a}"
+        );
         // D-HAM's own curve improves linearly with tolerated error.
         assert!(points[0].dham_normalized_edp() < 1.0);
         assert!(points[1].dham_normalized_edp() < points[0].dham_normalized_edp());

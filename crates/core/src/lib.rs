@@ -63,16 +63,17 @@ pub mod dham_cycle;
 pub mod explore;
 pub mod model;
 pub mod pareto;
+pub mod resilience;
 pub mod rham;
-pub mod sensitivity;
 pub mod rham_cycle;
+pub mod sensitivity;
 pub mod switching;
 pub mod tech;
 pub mod units;
 
 pub use crate::aham::AHam;
 pub use crate::dham::DHam;
-pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
 pub use crate::rham::RHam;
 pub use crate::tech::TechnologyModel;
 pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
@@ -82,7 +83,11 @@ pub mod prelude {
     pub use crate::aham::AHam;
     pub use crate::dham::DHam;
     pub use crate::explore::DesignKind;
-    pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+    pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
+    pub use crate::resilience::{
+        Confidence, DegradationController, DegradationPolicy, EngineStage, FaultInjector,
+        QueryOutcome, Scrubber, StuckAtCells, TransientFlips,
+    };
     pub use crate::rham::RHam;
     pub use crate::tech::TechnologyModel;
     pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};

@@ -20,6 +20,13 @@ pub enum HamError {
         /// The query's dimensionality.
         actual: usize,
     },
+    /// A scrubber's golden rows do not match the memory it is scanning.
+    GoldenMismatch {
+        /// Golden rows held by the scrubber.
+        golden: usize,
+        /// Classes stored in the scanned memory.
+        stored: usize,
+    },
 }
 
 impl std::fmt::Display for HamError {
@@ -28,7 +35,16 @@ impl std::fmt::Display for HamError {
             HamError::Hdc(e) => write!(f, "hd layer error: {e}"),
             HamError::NoClasses => write!(f, "design needs at least one stored class"),
             HamError::DimensionMismatch { expected, actual } => {
-                write!(f, "query dimension {actual} does not match array dimension {expected}")
+                write!(
+                    f,
+                    "query dimension {actual} does not match array dimension {expected}"
+                )
+            }
+            HamError::GoldenMismatch { golden, stored } => {
+                write!(
+                    f,
+                    "{golden} golden rows cannot scrub a memory of {stored} classes"
+                )
             }
         }
     }
@@ -78,6 +94,40 @@ pub struct HamSearchResult {
     pub measured_distance: Distance,
 }
 
+/// The outcome of one hardware search together with the runner-up
+/// distance — what the degradation controller needs to judge confidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarginSearchResult {
+    /// The winning row.
+    pub class: ClassId,
+    /// The distance the hardware measured for the winner.
+    pub measured_distance: Distance,
+    /// The measured distance of the second-closest row, when at least two
+    /// classes are stored.
+    pub runner_up: Option<Distance>,
+}
+
+impl MarginSearchResult {
+    /// Winner-to-runner-up margin in bits; zero when only one class
+    /// exists.
+    pub fn margin(&self) -> usize {
+        self.runner_up
+            .map(|r| {
+                r.as_usize()
+                    .saturating_sub(self.measured_distance.as_usize())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Drops the runner-up, leaving the plain search result.
+    pub fn into_result(self) -> HamSearchResult {
+        HamSearchResult {
+            class: self.class,
+            measured_distance: self.measured_distance,
+        }
+    }
+}
+
 /// A hyperdimensional associative memory architecture: stores learned
 /// hypervectors and finds the nearest one to a query, with an
 /// energy/delay/area model of the silicon that would do it.
@@ -103,6 +153,24 @@ pub trait HamDesign {
     /// Returns [`HamError::DimensionMismatch`] for a query from another
     /// space.
     fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError>;
+
+    /// One query search that also reports the runner-up distance, feeding
+    /// the confidence margin of the degradation controller. The default
+    /// implementation knows nothing about the second-closest row and
+    /// reports `runner_up: None` (zero margin — maximally cautious); all
+    /// three shipped designs override it with the real second place.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](HamDesign::search).
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        let hit = self.search(query)?;
+        Ok(MarginSearchResult {
+            class: hit.class,
+            measured_distance: hit.measured_distance,
+            runner_up: None,
+        })
+    }
 
     /// The design point's cost metrics.
     fn cost(&self) -> CostMetrics;
@@ -147,5 +215,30 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_: &dyn HamDesign) {}
+    }
+
+    #[test]
+    fn margin_result_math() {
+        let m = MarginSearchResult {
+            class: ClassId(2),
+            measured_distance: Distance::new(10),
+            runner_up: Some(Distance::new(25)),
+        };
+        assert_eq!(m.margin(), 15);
+        assert_eq!(m.clone().into_result().class, ClassId(2));
+        let lone = MarginSearchResult {
+            class: ClassId(0),
+            measured_distance: Distance::new(10),
+            runner_up: None,
+        };
+        assert_eq!(lone.margin(), 0);
+        // A runner-up closer than the winner (possible under injected
+        // error) saturates to zero rather than underflowing.
+        let inverted = MarginSearchResult {
+            class: ClassId(1),
+            measured_distance: Distance::new(30),
+            runner_up: Some(Distance::new(20)),
+        };
+        assert_eq!(inverted.margin(), 0);
     }
 }

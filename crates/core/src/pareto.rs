@@ -14,8 +14,9 @@ use crate::model::CostMetrics;
 /// Returns `true` when `a` dominates `b`: no worse on every axis,
 /// strictly better on at least one.
 pub fn dominates(a: &CostMetrics, b: &CostMetrics) -> bool {
-    let no_worse =
-        a.energy.get() <= b.energy.get() && a.delay.get() <= b.delay.get() && a.area.get() <= b.area.get();
+    let no_worse = a.energy.get() <= b.energy.get()
+        && a.delay.get() <= b.delay.get()
+        && a.area.get() <= b.area.get();
     let strictly_better = a.energy.get() < b.energy.get()
         || a.delay.get() < b.delay.get()
         || a.area.get() < b.area.get();

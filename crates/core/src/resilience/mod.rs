@@ -1,0 +1,37 @@
+//! Fault injection, graceful degradation, and scrub/repair for the HAM
+//! query path.
+//!
+//! The paper's designs trade accuracy for energy *by construction* —
+//! sampling, overscaling, limited analog resolution. A deployed array
+//! additionally degrades *by accident*: cells stick, memristors drift,
+//! sense amplifiers skew, queries pick up transient flips. This module
+//! makes both kinds of degradation first-class:
+//!
+//! * [`fault`] — deterministic, seeded [`FaultInjector`]s covering the
+//!   storage array ([`StuckAtCells`]), the R-HAM read path
+//!   ([`DeviceDrift`], [`SenseSkew`]) and the query bus
+//!   ([`TransientFlips`]); zero-rate injectors are exact no-ops.
+//! * [`degrade`] — the [`DegradationController`], which gates every
+//!   classification on its winner-to-runner-up margin and escalates
+//!   marginal queries (resample → widened engine → exact search),
+//!   reporting per-query [`QueryOutcome`] telemetry.
+//! * [`scrub`] — the [`Scrubber`], which detects corrupted stored rows
+//!   by golden-copy comparison and rewrites them, undoing permanent
+//!   storage faults between query batches.
+//!
+//! The resilience experiment in `ham-bench` sweeps fault rates over all
+//! three designs and shows the controller holding classification
+//! accuracy long after the raw approximate engines give out.
+
+pub mod degrade;
+pub mod fault;
+pub mod scrub;
+
+pub use degrade::{
+    Confidence, DegradationController, DegradationPolicy, EngineStage, QueryOutcome,
+};
+pub use fault::{
+    apply_faults, apply_query_faults, combined_block_errors, DeviceDrift, FaultInjector, SenseSkew,
+    StuckAtCells, TransientFlips,
+};
+pub use scrub::{ScrubReport, Scrubber};

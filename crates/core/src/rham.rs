@@ -28,13 +28,13 @@ use std::hash::{Hash, Hasher};
 use circuit_sim::device::Memristor;
 use circuit_sim::matchline::MatchLine;
 use circuit_sim::montecarlo::GaussianSampler;
-use circuit_sim::sense::SenseChain;
+use circuit_sim::sense::{SenseChain, SenseOffset};
 use circuit_sim::units::Volts;
 use hdc::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
 use crate::tech::TechnologyModel;
 use crate::units::Picojoules;
 
@@ -62,8 +62,32 @@ impl BlockErrorModel {
     /// Measures the error model of a block at the given supply by Monte
     /// Carlo over the circuit substrate's noisy sense chain.
     pub fn measured(v_dd: Volts, trials: usize, seed: u64) -> Self {
-        let block = MatchLine::new(BLOCK_BITS, Memristor::high_r_on()).with_supply(v_dd);
-        let chain = SenseChain::tuned(&block);
+        Self::measured_with(
+            v_dd,
+            trials,
+            seed,
+            Memristor::high_r_on(),
+            SenseOffset::NONE,
+        )
+    }
+
+    /// Measures the error model of a *degraded* block: the crossbar device
+    /// may have drifted (pass the aged [`Memristor`]) and the comparators
+    /// may sample off their tuned instants (pass a nonzero
+    /// [`SenseOffset`]). The sense chain is tuned once, at manufacture,
+    /// against the fresh device — drift then moves the actual discharge
+    /// timing out from under its frozen taps. With the fresh device and
+    /// zero offset this is exactly [`measured`](Self::measured).
+    pub fn measured_with(
+        v_dd: Volts,
+        trials: usize,
+        seed: u64,
+        device: Memristor,
+        offset: SenseOffset,
+    ) -> Self {
+        let tuned_on = MatchLine::new(BLOCK_BITS, Memristor::high_r_on()).with_supply(v_dd);
+        let block = MatchLine::new(BLOCK_BITS, device).with_supply(v_dd);
+        let chain = SenseChain::tuned_with_offset(&tuned_on, offset).retimed(&block);
         let mut noise = GaussianSampler::new(seed);
         let mut up = [0.0; BLOCK_BITS + 1];
         let mut down = [0.0; BLOCK_BITS + 1];
@@ -180,6 +204,14 @@ impl RHam {
         self
     }
 
+    /// Replaces the per-block read-error model — the hook fault injectors
+    /// use to make the overscaled blocks err like an aged or skewed array
+    /// (see [`BlockErrorModel::measured_with`]).
+    pub fn with_error_model(mut self, errors: BlockErrorModel) -> Self {
+        self.errors = errors;
+        self
+    }
+
     /// Replaces the technology model.
     pub fn with_tech(mut self, tech: TechnologyModel) -> Self {
         self.tech = tech;
@@ -254,7 +286,8 @@ impl RHam {
                 self.active_blocks(),
                 self.overscaled_blocks,
             ),
-            self.tech.rham_logic_energy(self.rows.len(), self.active_blocks()),
+            self.tech
+                .rham_logic_energy(self.rows.len(), self.active_blocks()),
         )
     }
 
@@ -286,6 +319,112 @@ impl RHam {
         query.as_bitvec().as_words().hash(&mut h);
         h.finish()
     }
+
+    fn check_query(&self, query: &Hypervector) -> Result<(), HamError> {
+        if query.dim() != self.dim {
+            return Err(HamError::DimensionMismatch {
+                expected: self.dim.get(),
+                actual: query.dim().get(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The measured (post-overscaling) distance of every row, in row
+    /// order. The RNG is consumed row-major, one draw per overscaled
+    /// block — the stream every search flavour shares.
+    fn row_totals(&self, query: &Hypervector, rng: &mut StdRng) -> Vec<usize> {
+        let active = self.active_blocks();
+        self.rows
+            .iter()
+            .map(|row| {
+                let blocks = Self::block_distances(row, query);
+                let mut total = 0usize;
+                for (b, &t) in blocks.iter().take(active).enumerate() {
+                    let t = t as usize;
+                    let read = if b < self.overscaled_blocks && t <= BLOCK_BITS {
+                        let u: f64 = rng.gen();
+                        if u < self.errors.up[t] {
+                            (t + 1).min(BLOCK_BITS)
+                        } else if u < self.errors.up[t] + self.errors.down[t] {
+                            t.saturating_sub(1)
+                        } else {
+                            t
+                        }
+                    } else {
+                        t
+                    };
+                    total += read;
+                }
+                total
+            })
+            .collect()
+    }
+
+    /// Search whose overscaling-error stream is re-seeded with `salt` —
+    /// the degradation controller's retry knob. A salt of zero is
+    /// bit-identical to [`search`](HamDesign::search); any other salt
+    /// redraws the per-block errors (still deterministically for the
+    /// same query and salt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HamError::DimensionMismatch`] for a query from another
+    /// space.
+    pub fn search_with_salt(
+        &self,
+        query: &Hypervector,
+        salt: u64,
+    ) -> Result<HamSearchResult, HamError> {
+        self.check_query(query)?;
+        let mut rng = StdRng::seed_from_u64(Self::query_seed(query) ^ salt);
+        let totals = self.row_totals(query, &mut rng);
+        let mut best = 0usize;
+        for (i, &total) in totals.iter().enumerate().skip(1) {
+            if total < totals[best] {
+                best = i;
+            }
+        }
+        Ok(HamSearchResult {
+            class: ClassId(best),
+            measured_distance: Distance::new(totals[best]),
+        })
+    }
+
+    /// [`search_with_salt`](Self::search_with_salt) that also reports the
+    /// runner-up distance. Salt zero matches
+    /// [`search_with_margin`](HamDesign::search_with_margin) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HamError::DimensionMismatch`] for a query from another
+    /// space.
+    pub fn search_with_margin_salted(
+        &self,
+        query: &Hypervector,
+        salt: u64,
+    ) -> Result<MarginSearchResult, HamError> {
+        self.check_query(query)?;
+        let mut rng = StdRng::seed_from_u64(Self::query_seed(query) ^ salt);
+        let totals = self.row_totals(query, &mut rng);
+        let mut best = 0usize;
+        for (i, &total) in totals.iter().enumerate().skip(1) {
+            if total < totals[best] {
+                best = i;
+            }
+        }
+        let runner_up = totals
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best)
+            .map(|(_, &t)| Distance::new(t))
+            .min();
+        Ok(MarginSearchResult {
+            class: ClassId(best),
+            measured_distance: Distance::new(totals[best]),
+            runner_up,
+        })
+    }
 }
 
 impl HamDesign for RHam {
@@ -302,46 +441,13 @@ impl HamDesign for RHam {
     }
 
     fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError> {
-        if query.dim() != self.dim {
-            return Err(HamError::DimensionMismatch {
-                expected: self.dim.get(),
-                actual: query.dim().get(),
-            });
-        }
         // Error sampling is deterministic per query: the RNG is seeded from
         // the query content, so repeated searches agree.
-        let mut rng = StdRng::seed_from_u64(Self::query_seed(query));
-        let active = self.active_blocks();
-        let mut best = 0usize;
-        let mut best_distance = usize::MAX;
-        for (i, row) in self.rows.iter().enumerate() {
-            let blocks = Self::block_distances(row, query);
-            let mut total = 0usize;
-            for (b, &t) in blocks.iter().take(active).enumerate() {
-                let t = t as usize;
-                let read = if b < self.overscaled_blocks && t <= BLOCK_BITS {
-                    let u: f64 = rng.gen();
-                    if u < self.errors.up[t] {
-                        (t + 1).min(BLOCK_BITS)
-                    } else if u < self.errors.up[t] + self.errors.down[t] {
-                        t.saturating_sub(1)
-                    } else {
-                        t
-                    }
-                } else {
-                    t
-                };
-                total += read;
-            }
-            if total < best_distance {
-                best = i;
-                best_distance = total;
-            }
-        }
-        Ok(HamSearchResult {
-            class: ClassId(best),
-            measured_distance: Distance::new(best_distance),
-        })
+        self.search_with_salt(query, 0)
+    }
+
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        self.search_with_margin_salted(query, 0)
     }
 
     fn cost(&self) -> CostMetrics {
@@ -349,14 +455,21 @@ impl HamDesign for RHam {
         let active_d = self.active_blocks() * BLOCK_BITS;
         CostMetrics {
             energy: cam + logic,
-            delay: self.tech.rham_delay(self.rows.len(), active_d.min(self.dim.get())),
-            area: self.tech.rham_area(self.rows.len(), active_d.min(self.dim.get())),
+            delay: self
+                .tech
+                .rham_delay(self.rows.len(), active_d.min(self.dim.get())),
+            area: self
+                .tech
+                .rham_area(self.rows.len(), active_d.min(self.dim.get())),
         }
     }
 
     fn energy_components(&self) -> Vec<(&'static str, Picojoules)> {
         let (cam, logic) = self.energy_breakdown();
-        vec![("resistive crossbar", cam), ("counters and comparators", logic)]
+        vec![
+            ("resistive crossbar", cam),
+            ("counters and comparators", logic),
+        ]
     }
 }
 
@@ -370,7 +483,8 @@ mod tests {
         let dim = Dimension::new(d).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..c as u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         am
     }
@@ -403,7 +517,10 @@ mod tests {
         let rham = RHam::new(&am).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for s in [0usize, 10, 20] {
-            let noisy = am.row(ClassId(s)).unwrap().with_flipped_bits(3_000, &mut rng);
+            let noisy = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(3_000, &mut rng);
             let exact = am.search(&noisy).unwrap();
             let hw = rham.search(&noisy).unwrap();
             assert_eq!(hw.class, exact.class);
@@ -423,6 +540,75 @@ mod tests {
     }
 
     #[test]
+    fn salt_zero_is_bit_identical_to_search() {
+        let am = memory(21, 2_000);
+        let rham = RHam::new(&am).unwrap().with_overscaled_blocks(500);
+        let mut rng = StdRng::seed_from_u64(8);
+        for s in 0..5usize {
+            let q = am.row(ClassId(s)).unwrap().with_flipped_bits(500, &mut rng);
+            assert_eq!(
+                rham.search(&q).unwrap(),
+                rham.search_with_salt(&q, 0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_salts_redraw_the_error_stream() {
+        let am = memory(21, 2_000);
+        let rham = RHam::new(&am).unwrap().with_overscaled_blocks(500);
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = am.row(ClassId(4)).unwrap().with_flipped_bits(700, &mut rng);
+        // Each salt is individually deterministic...
+        assert_eq!(
+            rham.search_with_salt(&q, 99).unwrap(),
+            rham.search_with_salt(&q, 99).unwrap()
+        );
+        // ...and at least one salt in a small set redraws a different
+        // measured distance (the error stream did change).
+        let base = rham.search_with_salt(&q, 0).unwrap();
+        let redrawn = (1u64..=8).any(|salt| {
+            rham.search_with_salt(&q, salt).unwrap().measured_distance != base.measured_distance
+        });
+        assert!(redrawn, "salting must perturb the overscaling errors");
+    }
+
+    #[test]
+    fn margin_search_agrees_with_search() {
+        let am = memory(21, 2_000);
+        let rham = RHam::new(&am).unwrap().with_overscaled_blocks(500);
+        let mut rng = StdRng::seed_from_u64(6);
+        for s in 0..5usize {
+            let q = am.row(ClassId(s)).unwrap().with_flipped_bits(400, &mut rng);
+            let plain = rham.search(&q).unwrap();
+            let margin = rham.search_with_margin(&q).unwrap();
+            assert_eq!(margin.class, plain.class);
+            assert_eq!(margin.measured_distance, plain.measured_distance);
+            let ru = margin.runner_up.unwrap();
+            assert!(ru >= margin.measured_distance);
+            assert!(margin.margin() > 0, "distinct random classes have margin");
+        }
+    }
+
+    #[test]
+    fn custom_error_model_replaces_the_measured_one() {
+        let am = memory(4, 1_000);
+        let mut errors = BlockErrorModel::EXACT;
+        errors.up[1] = 1.0; // every distance-1 block reads as 2
+        let rham = RHam::new(&am)
+            .unwrap()
+            .with_overscaled_blocks(250)
+            .with_error_model(errors);
+        assert_eq!(rham.block_errors(), errors);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = am.row(ClassId(0)).unwrap().with_flipped_bits(100, &mut rng);
+        let exact = am.search(&q).unwrap();
+        let hw = rham.search(&q).unwrap();
+        // Forced up-errors inflate the measured distance past the exact one.
+        assert!(hw.measured_distance > exact.distance);
+    }
+
+    #[test]
     fn overscaled_search_stays_close_to_exact() {
         let am = memory(21, 10_000);
         let exactd = RHam::new(&am).unwrap();
@@ -430,7 +616,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut errors = 0usize;
         for s in 0..21usize {
-            let q = am.row(ClassId(s)).unwrap().with_flipped_bits(3_500, &mut rng);
+            let q = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(3_500, &mut rng);
             let e = exactd.search(&q).unwrap();
             let o = overscaled.search(&q).unwrap();
             if e.class != o.class {
@@ -438,7 +627,10 @@ mod tests {
             }
             // Measured distance moves by far less than the worst-case
             // one-bit-per-block budget.
-            let delta = e.measured_distance.as_usize().abs_diff(o.measured_distance.as_usize());
+            let delta = e
+                .measured_distance
+                .as_usize()
+                .abs_diff(o.measured_distance.as_usize());
             assert!(delta <= 2_500, "delta = {delta}");
         }
         assert!(errors <= 2, "overscaling must rarely flip decisions");
@@ -451,7 +643,10 @@ mod tests {
         let sampled = full.clone().with_excluded_blocks(750);
         assert_eq!(sampled.active_blocks(), 1_750);
         let mut rng = StdRng::seed_from_u64(2);
-        let q = am.row(ClassId(1)).unwrap().with_flipped_bits(2_000, &mut rng);
+        let q = am
+            .row(ClassId(1))
+            .unwrap()
+            .with_flipped_bits(2_000, &mut rng);
         let f = full.search(&q).unwrap();
         let s = sampled.search(&q).unwrap();
         assert_eq!(f.class, s.class);
@@ -552,7 +747,8 @@ mod endurance_tests {
         let dim = Dimension::new(2_000).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..21u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         let rham = RHam::new(&am).unwrap();
         let report = rham.training_write_report();
@@ -575,7 +771,8 @@ mod endurance_tests {
         let dim = Dimension::new(10_000).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..100u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         let rham = RHam::new(&am).unwrap();
         use crate::model::HamDesign as _;

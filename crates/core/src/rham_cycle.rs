@@ -122,7 +122,11 @@ impl RhamPhaseSim {
         // Precharge: a few RC constants of the keeper path.
         let precharge = Seconds::from_nanos(0.5);
         // Evaluate: the first (latest) sense tap closes the window.
-        let evaluate = chain.taps().first().copied().unwrap_or(Seconds::from_nanos(2.0));
+        let evaluate = chain
+            .taps()
+            .first()
+            .copied()
+            .unwrap_or(Seconds::from_nanos(2.0));
         Ok(RhamPhaseSim {
             rows: memory.iter().map(|(_, _, hv)| hv.clone()).collect(),
             dim: memory.dim(),
@@ -165,7 +169,8 @@ impl RhamPhaseSim {
             let mut previous = self.chain.read_exact(0);
             for &t in blocks.iter() {
                 let code = if self.noisy {
-                    self.chain.read_noisy((t as usize).min(BLOCK_BITS), &mut noise)
+                    self.chain
+                        .read_noisy((t as usize).min(BLOCK_BITS), &mut noise)
                 } else {
                     self.chain.read_exact((t as usize).min(BLOCK_BITS))
                 };
@@ -277,7 +282,10 @@ mod tests {
             RhamPhaseSim::with_supply(&memory, 16, Volts::from_millis(780.0), true).unwrap();
         assert!((noisy.supply().get() - 0.78).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(2);
-        let q = memory.row(ClassId(1)).unwrap().with_flipped_bits(300, &mut rng);
+        let q = memory
+            .row(ClassId(1))
+            .unwrap()
+            .with_flipped_bits(300, &mut rng);
         let e = exact.run(&q).unwrap();
         let n = noisy.run(&q).unwrap();
         assert_eq!(e.result.class, n.result.class);

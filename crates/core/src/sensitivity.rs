@@ -99,8 +99,7 @@ pub fn headline_ratio(tech: &TechnologyModel) -> f64 {
     let dham: EnergyDelay = (tech.dham_cam_energy(100, 10_000)
         + tech.dham_logic_energy(100, 10_000))
         * tech.dham_delay(100, 10_000);
-    let aham: EnergyDelay =
-        tech.aham_energy(100, 10_000, 14, 14) * tech.aham_delay(100, 14);
+    let aham: EnergyDelay = tech.aham_energy(100, 10_000, 14, 14) * tech.aham_delay(100, 14);
     dham.get() / aham.get()
 }
 
@@ -144,7 +143,12 @@ mod tests {
                 row.ratio_low,
                 row.ratio_high
             );
-            assert!(row.swing() < 2.0, "{} swings {}", row.knob.name(), row.swing());
+            assert!(
+                row.swing() < 2.0,
+                "{} swings {}",
+                row.knob.name(),
+                row.swing()
+            );
         }
     }
 

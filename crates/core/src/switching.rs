@@ -58,7 +58,9 @@ pub fn rham_activity(block_bits: usize) -> f64 {
         if k < 0 {
             return 0.0;
         }
-        (0..=(k as usize).min(b)).map(|j| binomial_half_pmf(b, j)).sum()
+        (0..=(k as usize).min(b))
+            .map(|j| binomial_half_pmf(b, j))
+            .sum()
     };
     let mut total = 0.0;
     for i in 1..=b {

@@ -229,9 +229,7 @@ impl TechnologyModel {
     pub fn aham_energy(&self, classes: usize, d: usize, stages: usize, bits: u32) -> Picojoules {
         let cells = self.e_aham_cell_fj * classes as f64 * d as f64;
         let sense = self.e_aham_sense_fj * classes as f64 * stages as f64;
-        let lta = self.e_lta_bit2_fj
-            * (classes.saturating_sub(1)) as f64
-            * (bits as f64).powi(2);
+        let lta = self.e_lta_bit2_fj * (classes.saturating_sub(1)) as f64 * (bits as f64).powi(2);
         Picojoules::from_femtos(cells + sense + lta)
     }
 
@@ -329,7 +327,10 @@ mod tests {
         let cam7 = t.dham_cam_area(100, 7_000).get();
         assert!((cam7 - 10.6).abs() / 10.6 < 0.02, "CAM area d=7k {cam7}");
         let logic7 = t.dham_logic_area(100, 7_000).get();
-        assert!((logic7 - 8.3).abs() / 8.3 < 0.06, "logic area d=7k {logic7}");
+        assert!(
+            (logic7 - 8.3).abs() / 8.3 < 0.06,
+            "logic area d=7k {logic7}"
+        );
     }
 
     #[test]
@@ -385,12 +386,15 @@ mod tests {
     fn aham_energy_is_lta_dominated_and_tiny() {
         let t = tech();
         let total = t.aham_energy(100, 10_000, 14, 14);
-        let lta_only = t.aham_energy(100, 10_000, 14, 14).get()
-            - t.aham_energy(1, 10_000, 14, 14).get() * 0.0; // keep simple: recompute
+        let lta_only =
+            t.aham_energy(100, 10_000, 14, 14).get() - t.aham_energy(1, 10_000, 14, 14).get() * 0.0; // keep simple: recompute
         let _ = lta_only;
         let cells_sense = t.e_aham_cell_fj * 100.0 * 10_000.0 + t.e_aham_sense_fj * 100.0 * 14.0;
         let lta = total.get() * 1e3 - cells_sense;
-        assert!(lta > cells_sense, "LTA dominates: lta {lta} fJ vs rest {cells_sense} fJ");
+        assert!(
+            lta > cells_sense,
+            "LTA dominates: lta {lta} fJ vs rest {cells_sense} fJ"
+        );
         // Orders of magnitude below D-HAM.
         let dham = t.dham_cam_energy(100, 10_000) + t.dham_logic_energy(100, 10_000);
         assert!(total.get() < dham.get() / 20.0);

@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn display_with_precision() {
-        assert_eq!(format!("{:.1}", Picojoules::new(3.14)), "3.1 pJ");
+        assert_eq!(format!("{:.1}", Picojoules::new(3.15)), "3.1 pJ");
         assert_eq!(Nanoseconds::new(2.0).to_string(), "2 ns");
         assert_eq!(SquareMillimeters::new(15.2).to_string(), "15.2 mm²");
     }
@@ -189,6 +189,9 @@ mod tests {
     #[test]
     fn zero_constant() {
         assert_eq!(Picojoules::ZERO.get(), 0.0);
-        assert_eq!(Picojoules::ZERO + Picojoules::new(2.0), Picojoules::new(2.0));
+        assert_eq!(
+            Picojoules::ZERO + Picojoules::new(2.0),
+            Picojoules::new(2.0)
+        );
     }
 }

@@ -128,6 +128,35 @@ impl AssociativeMemory {
         self.rows.get(class.0)
     }
 
+    /// Replaces the stored hypervector of a class in place, keeping its
+    /// label — the write path used by fault injection (corrupting a row)
+    /// and scrub/repair (restoring it from a golden copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the replacement does
+    /// not belong to this memory's space and [`HdcError::UnknownClass`]
+    /// when `class` is not stored.
+    pub fn replace_row(&mut self, class: ClassId, hv: Hypervector) -> Result<(), HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        let stored = self.rows.len();
+        match self.rows.get_mut(class.0) {
+            Some(slot) => {
+                *slot = hv;
+                Ok(())
+            }
+            None => Err(HdcError::UnknownClass {
+                class: class.0,
+                stored,
+            }),
+        }
+    }
+
     /// The label of a class, if stored.
     pub fn label(&self, class: ClassId) -> Option<&str> {
         self.labels.get(class.0).map(String::as_str)
@@ -345,7 +374,10 @@ mod tests {
         let q = Hypervector::random(dim(256), 1);
         assert!(matches!(
             am.search(&q),
-            Err(HdcError::DimensionMismatch { left: 128, right: 256 })
+            Err(HdcError::DimensionMismatch {
+                left: 128,
+                right: 256
+            })
         ));
     }
 
@@ -411,6 +443,26 @@ mod tests {
     }
 
     #[test]
+    fn replace_row_swaps_vector_and_keeps_label() {
+        let (mut am, rows) = memory_with(256, 3);
+        let new = Hypervector::random(dim(256), 99);
+        am.replace_row(ClassId(1), new.clone()).unwrap();
+        assert_eq!(am.row(ClassId(1)), Some(&new));
+        assert_eq!(am.label(ClassId(1)), Some("c1"));
+        assert_eq!(am.row(ClassId(0)), Some(&rows[0]));
+        assert!(am
+            .replace_row(ClassId(0), Hypervector::random(dim(64), 1))
+            .is_err());
+        assert_eq!(
+            am.replace_row(ClassId(9), Hypervector::random(dim(256), 1)),
+            Err(HdcError::UnknownClass {
+                class: 9,
+                stored: 3
+            })
+        );
+    }
+
+    #[test]
     fn sampled_search_rejects_wrong_mask_length() {
         let (am, rows) = memory_with(100, 2);
         let mask = SampleMask::keep_first(dim(50), 10).unwrap();
@@ -427,7 +479,8 @@ mod top_k_tests {
         let dim = Dimension::new(2_000).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..6u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, s))
+                .unwrap();
         }
         let q = am.row(ClassId(4)).unwrap().clone();
         let top = am.search_top_k(&q, 3).unwrap();
@@ -447,7 +500,8 @@ mod top_k_tests {
         let dim = Dimension::new(1_024).unwrap();
         let mut am = AssociativeMemory::new(dim);
         for s in 0..9u64 {
-            am.insert(format!("c{s}"), Hypervector::random(dim, 50 + s)).unwrap();
+            am.insert(format!("c{s}"), Hypervector::random(dim, 50 + s))
+                .unwrap();
         }
         let q = Hypervector::random(dim, 999);
         let hit = am.search(&q).unwrap();

@@ -113,7 +113,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -123,7 +127,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if value {
@@ -139,7 +147,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
@@ -314,7 +326,10 @@ impl BitVec {
     /// assert_eq!(bits, [true, false, true]);
     /// ```
     pub fn iter(&self) -> Iter<'_> {
-        Iter { vec: self, index: 0 }
+        Iter {
+            vec: self,
+            index: 0,
+        }
     }
 
     /// Iterates over the indices of the one bits.
@@ -563,7 +578,11 @@ mod rotation_equivalence_tests {
         for len in [1usize, 2, 63, 64, 65, 127] {
             let v = BitVec::from_bits((0..len).map(|i| i % 3 == 0));
             for by in 0..len {
-                assert_eq!(v.rotate_right(by), naive_rotate(&v, by), "len {len}, by {by}");
+                assert_eq!(
+                    v.rotate_right(by),
+                    naive_rotate(&v, by),
+                    "len {len}, by {by}"
+                );
             }
         }
     }

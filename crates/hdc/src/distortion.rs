@@ -90,7 +90,10 @@ impl SampleMask {
         }
         let d = dim.get();
         if kept > d {
-            return Err(HdcError::DimensionMismatch { left: d, right: kept });
+            return Err(HdcError::DimensionMismatch {
+                left: d,
+                right: kept,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut indices: Vec<usize> = (0..d).collect();
@@ -289,7 +292,10 @@ mod tests {
     #[test]
     fn none_model_is_identity() {
         let mut dist = DistanceDistorter::new(ErrorModel::None, 1);
-        assert_eq!(dist.distort(Distance::new(123), dim(1_000)), Distance::new(123));
+        assert_eq!(
+            dist.distort(Distance::new(123), dim(1_000)),
+            Distance::new(123)
+        );
         assert_eq!(dist.model(), ErrorModel::None);
     }
 

@@ -22,6 +22,13 @@ pub enum HdcError {
     ZeroNGram,
     /// A sampling mask would keep zero dimensions.
     EmptySample,
+    /// A class id that is not stored in the associative memory.
+    UnknownClass {
+        /// The requested row index.
+        class: usize,
+        /// Number of stored classes.
+        stored: usize,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -34,6 +41,9 @@ impl fmt::Display for HdcError {
             HdcError::EmptyMemory => write!(f, "associative memory holds no classes"),
             HdcError::ZeroNGram => write!(f, "n-gram size must be nonzero"),
             HdcError::EmptySample => write!(f, "sample mask must keep at least one dimension"),
+            HdcError::UnknownClass { class, stored } => {
+                write!(f, "class {class} is not stored ({stored} classes)")
+            }
         }
     }
 }
@@ -68,7 +78,10 @@ mod tests {
 
     #[test]
     fn mismatch_reports_both_sides() {
-        let e = HdcError::DimensionMismatch { left: 10, right: 20 };
+        let e = HdcError::DimensionMismatch {
+            left: 10,
+            right: 20,
+        };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains("20"));
     }

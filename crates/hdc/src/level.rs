@@ -61,7 +61,13 @@ impl LevelEncoder {
     /// # Panics
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
-    pub fn new(dim: Dimension, lo: f64, hi: f64, levels: usize, seed: u64) -> Result<Self, HdcError> {
+    pub fn new(
+        dim: Dimension,
+        lo: f64,
+        hi: f64,
+        levels: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
         assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
         assert!(lo < hi, "lo must be below hi");
         if levels < 2 {

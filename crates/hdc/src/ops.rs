@@ -334,7 +334,11 @@ mod tests {
         let d = dim(2_048);
         let a = Hypervector::random(d, 1);
         let out = bundle(&[a.clone(), a.clone(), Hypervector::random(d, 2)]);
-        assert_eq!(out.hamming(&a), Distance::ZERO, "2-of-3 majority wins everywhere");
+        assert_eq!(
+            out.hamming(&a),
+            Distance::ZERO,
+            "2-of-3 majority wins everywhere"
+        );
     }
 
     #[test]

@@ -328,8 +328,9 @@ mod tests {
 
     #[test]
     fn bundle_preserves_similarity_to_members() {
-        let inputs: Vec<SparseHypervector> =
-            (0..3).map(|s| SparseHypervector::random(shape(), s)).collect();
+        let inputs: Vec<SparseHypervector> = (0..3)
+            .map(|s| SparseHypervector::random(shape(), s))
+            .collect();
         let out = SparseHypervector::bundle(&inputs);
         for v in &inputs {
             let d = out.segment_distance(v);
@@ -337,11 +338,8 @@ mod tests {
             // disagree: distance well below unrelated (~475).
             assert!(d < 400, "distance = {d}");
         }
-        let majority = SparseHypervector::bundle(&[
-            inputs[0].clone(),
-            inputs[0].clone(),
-            inputs[1].clone(),
-        ]);
+        let majority =
+            SparseHypervector::bundle(&[inputs[0].clone(), inputs[0].clone(), inputs[1].clone()]);
         assert_eq!(majority, inputs[0], "2-of-3 plurality wins everywhere");
     }
 
@@ -367,8 +365,9 @@ mod tests {
         use crate::am::AssociativeMemory;
         use crate::am::ClassId;
 
-        let classes: Vec<SparseHypervector> =
-            (0..8).map(|s| SparseHypervector::random(shape(), 100 + s)).collect();
+        let classes: Vec<SparseHypervector> = (0..8)
+            .map(|s| SparseHypervector::random(shape(), 100 + s))
+            .collect();
         let mut am = AssociativeMemory::new(classes[0].dense_dimension());
         for (i, c) in classes.iter().enumerate() {
             am.insert(format!("s{i}"), c.to_dense()).unwrap();

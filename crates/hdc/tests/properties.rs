@@ -21,9 +21,8 @@ fn dims() -> impl Strategy<Value = Dimension> {
 }
 
 fn hv_pair() -> impl Strategy<Value = (Hypervector, Hypervector)> {
-    (dims(), any::<u64>(), any::<u64>()).prop_map(|(d, s1, s2)| {
-        (Hypervector::random(d, s1), Hypervector::random(d, s2))
-    })
+    (dims(), any::<u64>(), any::<u64>())
+        .prop_map(|(d, s1, s2)| (Hypervector::random(d, s1), Hypervector::random(d, s2)))
 }
 
 proptest! {

@@ -1,26 +1,44 @@
 //! Per-class bipolar accumulators shared by the retraining and online
-//! learners (crate-internal).
+//! learners, and the golden-copy source for scrub/repair.
+//!
+//! Every learned hypervector is a majority vote over bipolar
+//! accumulators; keeping the accumulators around means any stored row can
+//! be re-binarized *exactly* at any time. That invariant is what makes
+//! memory scrubbing (see `ham_core::resilience::scrub`) essentially free
+//! for an HD system: the trainer already holds a perfect golden copy of
+//! every class row.
 
 use hdc::prelude::*;
 
 /// `acc[class][component]` counters: positive values vote for bit 1.
 #[derive(Debug, Clone)]
-pub(crate) struct Accumulators {
+pub struct Accumulators {
     acc: Vec<Vec<i32>>,
     dim: usize,
 }
 
 impl Accumulators {
-    pub(crate) fn new(classes: usize, dim: usize) -> Self {
+    /// Zeroed accumulators for `classes` rows of `dim` components.
+    pub fn new(classes: usize, dim: usize) -> Self {
         Accumulators {
             acc: vec![vec![0; dim]; classes],
             dim,
         }
     }
 
+    /// Number of class rows.
+    pub fn classes(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Components per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Adds (`sign = 1`) or subtracts (`sign = -1`) a hypervector in
     /// bipolar form.
-    pub(crate) fn add(&mut self, class: usize, hv: &Hypervector, sign: i32) {
+    pub fn add(&mut self, class: usize, hv: &Hypervector, sign: i32) {
         let words = hv.as_bitvec().as_words();
         for (i, a) in self.acc[class].iter_mut().enumerate() {
             let bit = (words[i / 64] >> (i % 64)) & 1;
@@ -29,7 +47,7 @@ impl Accumulators {
     }
 
     /// Majority readout of one class.
-    pub(crate) fn binarize(&self, class: usize) -> Hypervector {
+    pub fn binarize(&self, class: usize) -> Hypervector {
         let mut bits = hdc::BitVec::zeros(self.dim);
         for (i, &a) in self.acc[class].iter().enumerate() {
             if a > 0 {
@@ -39,6 +57,11 @@ impl Accumulators {
         Hypervector::from_bitvec(bits).expect("dimension is nonzero")
     }
 
+    /// Majority readout of every class in row order — the golden rows a
+    /// scrubber repairs from.
+    pub fn binarize_all(&self) -> Vec<Hypervector> {
+        (0..self.classes()).map(|c| self.binarize(c)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +90,21 @@ mod tests {
         acc.add(0, &a, 1);
         acc.add(0, &b, 1);
         assert_eq!(acc.binarize(0), a, "2-of-3 majority");
+    }
+
+    #[test]
+    fn binarize_all_matches_per_class_readout() {
+        let dim = Dimension::new(128).unwrap();
+        let mut acc = Accumulators::new(3, 128);
+        for c in 0..3 {
+            acc.add(c, &Hypervector::random(dim, c as u64 + 10), 1);
+        }
+        assert_eq!(acc.classes(), 3);
+        assert_eq!(acc.dim(), 128);
+        let all = acc.binarize_all();
+        assert_eq!(all.len(), 3);
+        for (c, hv) in all.iter().enumerate() {
+            assert_eq!(hv, &acc.binarize(c));
+        }
     }
 }

@@ -207,7 +207,10 @@ mod tests {
         assert_eq!(test.len(), spec.test_len());
         for s in test.iter() {
             assert!(s.text.chars().count() <= 100);
-            assert!(s.text.chars().count() > 50, "sentences should be substantial");
+            assert!(
+                s.text.chars().count() > 50,
+                "sentences should be substantial"
+            );
         }
     }
 
@@ -229,7 +232,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = CorpusSpec::new(1).train_chars(300);
         let b = CorpusSpec::new(2).train_chars(300);
-        assert_ne!(a.training_set().samples()[0].text, b.training_set().samples()[0].text);
+        assert_ne!(
+            a.training_set().samples()[0].text,
+            b.training_set().samples()[0].text
+        );
     }
 
     #[test]

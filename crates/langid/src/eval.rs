@@ -229,19 +229,24 @@ pub fn encode_corpus(
         .unwrap_or(4)
         .min(samples.len());
     let chunk_size = samples.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, chunk) in encoded.chunks_mut(chunk_size).enumerate() {
             let base = chunk_idx * chunk_size;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let sample = &samples[base + offset];
-                    *slot = Some((sample.language, classifier.encoder().encode_text(&sample.text)));
+                    *slot = Some((
+                        sample.language,
+                        classifier.encoder().encode_text(&sample.text),
+                    ));
                 }
             });
         }
-    })
-    .expect("encoder threads do not panic");
-    encoded.into_iter().map(|s| s.expect("all slots encoded")).collect()
+    });
+    encoded
+        .into_iter()
+        .map(|s| s.expect("all slots encoded"))
+        .collect()
 }
 
 #[cfg(test)]

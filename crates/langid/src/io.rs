@@ -86,7 +86,8 @@ mod tests {
     use crate::corpus::CorpusSpec;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("hdham-corpus-io-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("hdham-corpus-io-{tag}-{}", std::process::id()));
         fs::remove_dir_all(&dir).ok();
         dir
     }

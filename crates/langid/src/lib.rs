@@ -35,7 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod accumulator;
+pub mod accumulator;
 
 pub mod alphabet;
 pub mod corpus;
@@ -46,16 +46,18 @@ pub mod retrain;
 pub mod synth;
 pub mod trainer;
 
+pub use crate::accumulator::Accumulators;
 pub use crate::alphabet::Alphabet;
 pub use crate::corpus::{Corpus, CorpusSpec, Sample};
 pub use crate::eval::{evaluate, evaluate_with, ConfusionMatrix, Evaluation, FamilyBreakdown};
-pub use crate::synth::{LanguageId, LanguageModel, SyntheticEurope, LANGUAGE_COUNT};
 pub use crate::online::OnlineClassifier;
 pub use crate::retrain::{retrain, RetrainOptions, RetrainReport};
+pub use crate::synth::{LanguageId, LanguageModel, SyntheticEurope, LANGUAGE_COUNT};
 pub use crate::trainer::{ClassifierConfig, LanguageClassifier};
 
 /// Convenience re-exports for typical use of the crate.
 pub mod prelude {
+    pub use crate::accumulator::Accumulators;
     pub use crate::alphabet::Alphabet;
     pub use crate::corpus::{Corpus, CorpusSpec, Sample};
     pub use crate::eval::{evaluate, evaluate_with, ConfusionMatrix, Evaluation, FamilyBreakdown};

@@ -157,14 +157,18 @@ mod tests {
             let short: String = sample.text.chars().take(1_200).collect();
             online.observe(&short, sample.language);
         }
-        let early = evaluate(&online.snapshot().unwrap(), &test).unwrap().accuracy();
+        let early = evaluate(&online.snapshot().unwrap(), &test)
+            .unwrap()
+            .accuracy();
 
         // …then the remainder, as a second increment.
         for sample in s.training_set().iter() {
             let rest: String = sample.text.chars().skip(1_200).collect();
             online.observe(&rest, sample.language);
         }
-        let late = evaluate(&online.snapshot().unwrap(), &test).unwrap().accuracy();
+        let late = evaluate(&online.snapshot().unwrap(), &test)
+            .unwrap()
+            .accuracy();
         assert!(
             late >= early - 0.02,
             "more evidence must not hurt: early {early}, late {late}"

@@ -207,7 +207,8 @@ mod tests {
         let s = spec();
         let baseline = LanguageClassifier::train(&config, &s.training_set()).unwrap();
         let base_acc = evaluate(&baseline, &s.test_set()).unwrap().accuracy();
-        let (retrained, _) = retrain(&config, &s.training_set(), &RetrainOptions::default()).unwrap();
+        let (retrained, _) =
+            retrain(&config, &s.training_set(), &RetrainOptions::default()).unwrap();
         let re_acc = evaluate(&retrained, &s.test_set()).unwrap().accuracy();
         // Retraining must not collapse the classifier; typically it helps
         // at small D where the single-pass bundle saturates.

@@ -226,7 +226,10 @@ impl LanguageModel {
         for _ in 0..chars {
             let u: f64 = rng.gen();
             let row = &self.cumulative[prev2 * Alphabet::SIZE + prev1];
-            let next = row.iter().position(|&c| u <= c).unwrap_or(Alphabet::SIZE - 1);
+            let next = row
+                .iter()
+                .position(|&c| u <= c)
+                .unwrap_or(Alphabet::SIZE - 1);
             out.push(Alphabet::symbol_at(next));
             prev2 = prev1;
             prev1 = next;
@@ -288,7 +291,10 @@ impl SyntheticEurope {
     /// Panics if either spread is negative.
     pub fn with_spreads(seed: u64, family_spread: f64, language_spread: f64) -> Self {
         assert!(family_spread >= 0.0, "family spread must be nonnegative");
-        assert!(language_spread >= 0.0, "language spread must be nonnegative");
+        assert!(
+            language_spread >= 0.0,
+            "language spread must be nonnegative"
+        );
 
         // One log-normal base tensor per family.
         let families: Vec<Vec<[f64; Alphabet::SIZE]>> = (0..6)
@@ -309,8 +315,7 @@ impl SyntheticEurope {
         let mut raw_weights: Vec<Vec<[f64; Alphabet::SIZE]>> = LanguageId::all()
             .map(|id| {
                 let base = &families[id.family()];
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (0x1A06_0000 + id.index() as u64));
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x1A06_0000 + id.index() as u64));
                 // Per-language letter preference: real languages differ
                 // strongly in unigram letter frequency (ø/å in Danish, ß
                 // in German, …), which is what lets even very low-D
@@ -323,9 +328,7 @@ impl SyntheticEurope {
                     .map(|row| {
                         let mut out = [0.0; Alphabet::SIZE];
                         for (j, (o, &b)) in out.iter_mut().zip(row.iter()).enumerate() {
-                            *o = b
-                                * letter_bias[j]
-                                * (language_spread * normal(&mut rng)).exp();
+                            *o = b * letter_bias[j] * (language_spread * normal(&mut rng)).exp();
                         }
                         out
                     })
@@ -449,7 +452,9 @@ mod tests {
     fn generated_text_is_in_alphabet_with_words() {
         let europe = SyntheticEurope::new(2);
         let mut rng = StdRng::seed_from_u64(7);
-        let text = europe.model(LanguageId::new(0).unwrap()).generate(5_000, &mut rng);
+        let text = europe
+            .model(LanguageId::new(0).unwrap())
+            .generate(5_000, &mut rng);
         assert_eq!(text.chars().count(), 5_000);
         assert!(text.chars().all(|c| Alphabet::index_of(c).is_some()));
         let spaces = text.chars().filter(|&c| c == ' ').count();
@@ -502,7 +507,9 @@ mod tests {
     fn sentence_is_trimmed() {
         let europe = SyntheticEurope::new(3);
         let mut rng = StdRng::seed_from_u64(1);
-        let s = europe.model(LanguageId::new(2).unwrap()).sentence(200, &mut rng);
+        let s = europe
+            .model(LanguageId::new(2).unwrap())
+            .sentence(200, &mut rng);
         assert!(!s.starts_with(' ') && !s.ends_with(' '));
         assert!(s.len() <= 200);
     }

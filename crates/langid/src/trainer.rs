@@ -2,6 +2,7 @@
 
 use hdc::prelude::*;
 
+use crate::accumulator::Accumulators;
 use crate::corpus::Corpus;
 use crate::synth::LanguageId;
 
@@ -119,8 +120,29 @@ impl LanguageClassifier {
     ///
     /// Panics if `training` is empty.
     pub fn train(config: &ClassifierConfig, training: &Corpus) -> Result<Self, HdcError> {
+        Self::train_with_accumulators(config, training).map(|(classifier, _)| classifier)
+    }
+
+    /// Trains the classifier and also returns the per-class bipolar
+    /// accumulators behind every stored row. Re-binarizing an accumulator
+    /// reproduces the stored hypervector *exactly*, which makes the
+    /// accumulators the golden copies a memory scrubber repairs from
+    /// (`ham_core::resilience::scrub`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`train`](Self::train).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training` is empty.
+    pub fn train_with_accumulators(
+        config: &ClassifierConfig,
+        training: &Corpus,
+    ) -> Result<(Self, Accumulators), HdcError> {
         assert!(!training.is_empty(), "training corpus must not be empty");
-        let encoder = NGramEncoder::new(config.ngram, ItemMemory::new(config.dim, config.item_seed))?;
+        let encoder =
+            NGramEncoder::new(config.ngram, ItemMemory::new(config.dim, config.item_seed))?;
 
         let samples = training.samples();
         let mut encoded: Vec<Option<Hypervector>> = vec![None; samples.len()];
@@ -128,32 +150,39 @@ impl LanguageClassifier {
             .map(|n| n.get())
             .unwrap_or(4)
             .min(samples.len());
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, chunk) in encoded.chunks_mut(samples.len().div_ceil(threads)).enumerate()
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in encoded
+                .chunks_mut(samples.len().div_ceil(threads))
+                .enumerate()
             {
                 let encoder = &encoder;
                 let chunk_size = samples.len().div_ceil(threads);
                 let base = chunk_idx * chunk_size;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(encoder.encode_text(&samples[base + offset].text));
                     }
                 });
             }
-        })
-        .expect("encoder threads do not panic");
+        });
 
         let mut memory = AssociativeMemory::new(config.dim);
         let mut languages = Vec::with_capacity(samples.len());
-        for (sample, hv) in samples.iter().zip(encoded) {
-            memory.insert(sample.language.name(), hv.expect("all slots encoded"))?;
+        let mut accumulators = Accumulators::new(samples.len(), config.dim.get());
+        for (class, (sample, hv)) in samples.iter().zip(encoded).enumerate() {
+            let hv = hv.expect("all slots encoded");
+            accumulators.add(class, &hv, 1);
+            memory.insert(sample.language.name(), hv)?;
             languages.push(sample.language);
         }
-        Ok(LanguageClassifier {
-            encoder,
-            memory,
-            languages,
-        })
+        Ok((
+            LanguageClassifier {
+                encoder,
+                memory,
+                languages,
+            },
+            accumulators,
+        ))
     }
 
     /// The encoder (shared by training and queries).
@@ -253,6 +282,22 @@ mod tests {
             .count();
         let accuracy = correct as f64 / test.len() as f64;
         assert!(accuracy > 0.6, "accuracy = {accuracy}");
+    }
+
+    #[test]
+    fn accumulators_rebinarize_to_the_stored_rows_exactly() {
+        let spec = CorpusSpec::new(4).train_chars(6_000).test_sentences(1);
+        let config = ClassifierConfig::new(1_000).unwrap();
+        let (classifier, acc) =
+            LanguageClassifier::train_with_accumulators(&config, &spec.training_set()).unwrap();
+        assert_eq!(acc.classes(), classifier.memory().len());
+        for (c, golden) in acc.binarize_all().into_iter().enumerate() {
+            assert_eq!(
+                classifier.memory().row(ClassId(c)),
+                Some(&golden),
+                "accumulator {c} must reproduce its stored row"
+            );
+        }
     }
 
     #[test]

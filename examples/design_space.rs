@@ -56,7 +56,10 @@ fn main() {
     // Who wins where: a compact verdict per corner of the space.
     println!("\nverdict:");
     for kind in DesignKind::ALL {
-        let point = by_dim.iter().find(|p| p.kind == kind && p.dim == 10_000).unwrap();
+        let point = by_dim
+            .iter()
+            .find(|p| p.kind == kind && p.dim == 10_000)
+            .unwrap();
         println!(
             "  {:>6}: {:>10.1} pJ·ns at the paper's main configuration",
             kind,

@@ -43,10 +43,7 @@ fn window(gesture: usize, len: usize, rng: &mut StdRng) -> Vec<[f64; 4]> {
 
 /// Encodes a window: record-encode each snapshot, bind a temporal
 /// rotation, bundle — `[ρ^{t}(S_t)]` over the window.
-fn encode_window(
-    encoder: &mut RecordEncoder,
-    window: &[[f64; 4]],
-) -> Hypervector {
+fn encode_window(encoder: &mut RecordEncoder, window: &[[f64; 4]]) -> Hypervector {
     let mut bundler = Bundler::new(encoder.levels().dim());
     for (t, snap) in window.iter().enumerate() {
         let record: Vec<(&str, f64)> = CHANNELS.iter().copied().zip(snap.iter().copied()).collect();
@@ -97,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query = encode_window(&mut encoder, &window(2, 16, &mut rng));
     println!("\ntop-3 for a pinch window:");
     for (class, distance) in memory.search_top_k(&query, 3)? {
-        println!("  {:>8} at {}", memory.label(class).unwrap_or("?"), distance);
+        println!(
+            "  {:>8} at {}",
+            memory.label(class).unwrap_or("?"),
+            distance
+        );
     }
     Ok(())
 }

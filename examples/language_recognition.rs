@@ -34,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(AHam::new(memory)?),
     ];
     for design in &designs {
-        let eval = evaluate_with(&classifier, &test, |q| {
-            design.search(q).map(|r| r.class)
-        })?;
+        let eval = evaluate_with(&classifier, &test, |q| design.search(q).map(|r| r.class))?;
         let cost = design.cost();
         println!(
             "{:>6}: {:.1}% accuracy, {:.1} pJ / search, {:.1} ns, EDP {:.1} pJ·ns",

@@ -16,23 +16,61 @@ use rand::{Rng, SeedableRng};
 const TOPICS: [(&str, &[&str]); 5] = [
     (
         "sports",
-        &["match", "goal", "season", "coach", "league", "striker", "penalty", "transfer"],
+        &[
+            "match", "goal", "season", "coach", "league", "striker", "penalty", "transfer",
+        ],
     ),
     (
         "finance",
-        &["market", "shares", "inflation", "profit", "earnings", "bonds", "trading", "deficit"],
+        &[
+            "market",
+            "shares",
+            "inflation",
+            "profit",
+            "earnings",
+            "bonds",
+            "trading",
+            "deficit",
+        ],
     ),
     (
         "science",
-        &["quantum", "genome", "neuron", "telescope", "particle", "enzyme", "orbit", "fossil"],
+        &[
+            "quantum",
+            "genome",
+            "neuron",
+            "telescope",
+            "particle",
+            "enzyme",
+            "orbit",
+            "fossil",
+        ],
     ),
     (
         "politics",
-        &["election", "senate", "coalition", "minister", "campaign", "ballot", "treaty", "reform"],
+        &[
+            "election",
+            "senate",
+            "coalition",
+            "minister",
+            "campaign",
+            "ballot",
+            "treaty",
+            "reform",
+        ],
     ),
     (
         "culture",
-        &["festival", "gallery", "novel", "orchestra", "premiere", "sculpture", "theatre", "poetry"],
+        &[
+            "festival",
+            "gallery",
+            "novel",
+            "orchestra",
+            "premiere",
+            "sculpture",
+            "theatre",
+            "poetry",
+        ],
     ),
 ];
 
@@ -84,7 +122,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("topic classification over {} articles: {:.1}% accuracy", total, 100.0 * correct as f64 / total as f64);
+    println!(
+        "topic classification over {} articles: {:.1}% accuracy",
+        total,
+        100.0 * correct as f64 / total as f64
+    );
     for (i, (name, _)) in TOPICS.iter().enumerate() {
         println!("  {name:>8}: {}/40 correct", per_topic[i]);
     }

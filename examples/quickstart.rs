@@ -10,11 +10,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dim = Dimension::new(10_000)?;
     let a = Hypervector::random(dim, 1);
     let b = Hypervector::random(dim, 2);
-    println!("δ(A, B)            = {}  (unrelated ⇒ ≈ D/2)", a.hamming(&b));
+    println!(
+        "δ(A, B)            = {}  (unrelated ⇒ ≈ D/2)",
+        a.hamming(&b)
+    );
 
     // ---- 2. The MAP algebra ----------------------------------------------
     let bound = a.bind(&b); // XOR: associates A with B
-    println!("δ(A⊕B, A)          = {}  (binding decorrelates)", bound.hamming(&a));
+    println!(
+        "δ(A⊕B, A)          = {}  (binding decorrelates)",
+        bound.hamming(&a)
+    );
     println!(
         "δ((A⊕B)⊕B, A)      = {}  (binding is self-inverse)",
         bound.bind(&b).hamming(&a)
@@ -28,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let rotated = a.permute();
-    println!("δ(ρ(A), A)         = {}  (permutation decorrelates)", rotated.hamming(&a));
+    println!(
+        "δ(ρ(A), A)         = {}  (permutation decorrelates)",
+        rotated.hamming(&a)
+    );
 
     // ---- 3. Associative memory: nearest-Hamming retrieval ----------------
     let mut memory = AssociativeMemory::new(dim);

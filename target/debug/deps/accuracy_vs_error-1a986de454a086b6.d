@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy_vs_error-1a986de454a086b6.d: crates/bench/benches/accuracy_vs_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy_vs_error-1a986de454a086b6.rmeta: crates/bench/benches/accuracy_vs_error.rs Cargo.toml
+
+crates/bench/benches/accuracy_vs_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

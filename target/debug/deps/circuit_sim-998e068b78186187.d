@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/circuit_sim-998e068b78186187.d: crates/circuit/src/lib.rs crates/circuit/src/analog.rs crates/circuit/src/crossbar.rs crates/circuit/src/device.rs crates/circuit/src/matchline.rs crates/circuit/src/montecarlo.rs crates/circuit/src/sense.rs crates/circuit/src/transient.rs crates/circuit/src/units.rs
+
+/root/repo/target/debug/deps/libcircuit_sim-998e068b78186187.rlib: crates/circuit/src/lib.rs crates/circuit/src/analog.rs crates/circuit/src/crossbar.rs crates/circuit/src/device.rs crates/circuit/src/matchline.rs crates/circuit/src/montecarlo.rs crates/circuit/src/sense.rs crates/circuit/src/transient.rs crates/circuit/src/units.rs
+
+/root/repo/target/debug/deps/libcircuit_sim-998e068b78186187.rmeta: crates/circuit/src/lib.rs crates/circuit/src/analog.rs crates/circuit/src/crossbar.rs crates/circuit/src/device.rs crates/circuit/src/matchline.rs crates/circuit/src/montecarlo.rs crates/circuit/src/sense.rs crates/circuit/src/transient.rs crates/circuit/src/units.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/analog.rs:
+crates/circuit/src/crossbar.rs:
+crates/circuit/src/device.rs:
+crates/circuit/src/matchline.rs:
+crates/circuit/src/montecarlo.rs:
+crates/circuit/src/sense.rs:
+crates/circuit/src/transient.rs:
+crates/circuit/src/units.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/circuit_sim-9ee534b638159504.d: crates/circuit/src/lib.rs crates/circuit/src/analog.rs crates/circuit/src/crossbar.rs crates/circuit/src/device.rs crates/circuit/src/matchline.rs crates/circuit/src/montecarlo.rs crates/circuit/src/sense.rs crates/circuit/src/transient.rs crates/circuit/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcircuit_sim-9ee534b638159504.rmeta: crates/circuit/src/lib.rs crates/circuit/src/analog.rs crates/circuit/src/crossbar.rs crates/circuit/src/device.rs crates/circuit/src/matchline.rs crates/circuit/src/montecarlo.rs crates/circuit/src/sense.rs crates/circuit/src/transient.rs crates/circuit/src/units.rs Cargo.toml
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/analog.rs:
+crates/circuit/src/crossbar.rs:
+crates/circuit/src/device.rs:
+crates/circuit/src/matchline.rs:
+crates/circuit/src/montecarlo.rs:
+crates/circuit/src/sense.rs:
+crates/circuit/src/transient.rs:
+crates/circuit/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

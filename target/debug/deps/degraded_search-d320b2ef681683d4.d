@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degraded_search-d320b2ef681683d4.d: crates/bench/benches/degraded_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegraded_search-d320b2ef681683d4.rmeta: crates/bench/benches/degraded_search.rs Cargo.toml
+
+crates/bench/benches/degraded_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_consistency-037abb30fd3078e4.d: tests/design_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_consistency-037abb30fd3078e4.rmeta: tests/design_consistency.rs Cargo.toml
+
+tests/design_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

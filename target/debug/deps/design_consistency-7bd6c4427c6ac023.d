@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_consistency-7bd6c4427c6ac023.d: tests/design_consistency.rs
+
+/root/repo/target/debug/deps/design_consistency-7bd6c4427c6ac023: tests/design_consistency.rs
+
+tests/design_consistency.rs:

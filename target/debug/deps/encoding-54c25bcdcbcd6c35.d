@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoding-54c25bcdcbcd6c35.d: crates/bench/benches/encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoding-54c25bcdcbcd6c35.rmeta: crates/bench/benches/encoding.rs Cargo.toml
+
+crates/bench/benches/encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

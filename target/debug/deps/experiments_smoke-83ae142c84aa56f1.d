@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-83ae142c84aa56f1.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-83ae142c84aa56f1: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-704b3e8fd3a03c38.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-704b3e8fd3a03c38: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/ham_bench-9aa6af7aa4d4957a.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libham_bench-9aa6af7aa4d4957a.rmeta: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/context.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/ablations.rs:
+crates/bench/src/exp/equivalence.rs:
+crates/bench/src/exp/fig1.rs:
+crates/bench/src/exp/fig10.rs:
+crates/bench/src/exp/fig11.rs:
+crates/bench/src/exp/fig12.rs:
+crates/bench/src/exp/fig13.rs:
+crates/bench/src/exp/fig4.rs:
+crates/bench/src/exp/fig5.rs:
+crates/bench/src/exp/fig7.rs:
+crates/bench/src/exp/fig9.rs:
+crates/bench/src/exp/operating_points.rs:
+crates/bench/src/exp/resilience.rs:
+crates/bench/src/exp/retraining.rs:
+crates/bench/src/exp/table1.rs:
+crates/bench/src/exp/table2.rs:
+crates/bench/src/exp/table3.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

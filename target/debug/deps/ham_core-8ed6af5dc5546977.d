@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/ham_core-8ed6af5dc5546977.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/aham.rs crates/core/src/aham_analog.rs crates/core/src/batch.rs crates/core/src/dham.rs crates/core/src/dham_cycle.rs crates/core/src/explore.rs crates/core/src/model.rs crates/core/src/pareto.rs crates/core/src/resilience/mod.rs crates/core/src/resilience/degrade.rs crates/core/src/resilience/fault.rs crates/core/src/resilience/scrub.rs crates/core/src/rham.rs crates/core/src/rham_cycle.rs crates/core/src/sensitivity.rs crates/core/src/switching.rs crates/core/src/tech.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/ham_core-8ed6af5dc5546977: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/aham.rs crates/core/src/aham_analog.rs crates/core/src/batch.rs crates/core/src/dham.rs crates/core/src/dham_cycle.rs crates/core/src/explore.rs crates/core/src/model.rs crates/core/src/pareto.rs crates/core/src/resilience/mod.rs crates/core/src/resilience/degrade.rs crates/core/src/resilience/fault.rs crates/core/src/resilience/scrub.rs crates/core/src/rham.rs crates/core/src/rham_cycle.rs crates/core/src/sensitivity.rs crates/core/src/switching.rs crates/core/src/tech.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/aham.rs:
+crates/core/src/aham_analog.rs:
+crates/core/src/batch.rs:
+crates/core/src/dham.rs:
+crates/core/src/dham_cycle.rs:
+crates/core/src/explore.rs:
+crates/core/src/model.rs:
+crates/core/src/pareto.rs:
+crates/core/src/resilience/mod.rs:
+crates/core/src/resilience/degrade.rs:
+crates/core/src/resilience/fault.rs:
+crates/core/src/resilience/scrub.rs:
+crates/core/src/rham.rs:
+crates/core/src/rham_cycle.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/switching.rs:
+crates/core/src/tech.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/ham_core-f368aae5f149386c.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/aham.rs crates/core/src/aham_analog.rs crates/core/src/batch.rs crates/core/src/dham.rs crates/core/src/dham_cycle.rs crates/core/src/explore.rs crates/core/src/model.rs crates/core/src/pareto.rs crates/core/src/resilience/mod.rs crates/core/src/resilience/degrade.rs crates/core/src/resilience/fault.rs crates/core/src/resilience/scrub.rs crates/core/src/rham.rs crates/core/src/rham_cycle.rs crates/core/src/sensitivity.rs crates/core/src/switching.rs crates/core/src/tech.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libham_core-f368aae5f149386c.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/aham.rs crates/core/src/aham_analog.rs crates/core/src/batch.rs crates/core/src/dham.rs crates/core/src/dham_cycle.rs crates/core/src/explore.rs crates/core/src/model.rs crates/core/src/pareto.rs crates/core/src/resilience/mod.rs crates/core/src/resilience/degrade.rs crates/core/src/resilience/fault.rs crates/core/src/resilience/scrub.rs crates/core/src/rham.rs crates/core/src/rham_cycle.rs crates/core/src/sensitivity.rs crates/core/src/switching.rs crates/core/src/tech.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/aham.rs:
+crates/core/src/aham_analog.rs:
+crates/core/src/batch.rs:
+crates/core/src/dham.rs:
+crates/core/src/dham_cycle.rs:
+crates/core/src/explore.rs:
+crates/core/src/model.rs:
+crates/core/src/pareto.rs:
+crates/core/src/resilience/mod.rs:
+crates/core/src/resilience/degrade.rs:
+crates/core/src/resilience/fault.rs:
+crates/core/src/resilience/scrub.rs:
+crates/core/src/rham.rs:
+crates/core/src/rham_cycle.rs:
+crates/core/src/sensitivity.rs:
+crates/core/src/switching.rs:
+crates/core/src/tech.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

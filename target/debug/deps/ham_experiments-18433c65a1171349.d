@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ham_experiments-18433c65a1171349.d: crates/bench/src/bin/ham_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libham_experiments-18433c65a1171349.rmeta: crates/bench/src/bin/ham_experiments.rs Cargo.toml
+
+crates/bench/src/bin/ham_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ham_experiments-544a9c16a2219cf7.d: crates/bench/src/bin/ham_experiments.rs
+
+/root/repo/target/debug/deps/ham_experiments-544a9c16a2219cf7: crates/bench/src/bin/ham_experiments.rs
+
+crates/bench/src/bin/ham_experiments.rs:

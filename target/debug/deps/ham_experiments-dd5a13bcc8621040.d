@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ham_experiments-dd5a13bcc8621040.d: crates/bench/src/bin/ham_experiments.rs
+
+/root/repo/target/debug/deps/ham_experiments-dd5a13bcc8621040: crates/bench/src/bin/ham_experiments.rs
+
+crates/bench/src/bin/ham_experiments.rs:

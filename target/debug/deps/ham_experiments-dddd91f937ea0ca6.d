@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ham_experiments-dddd91f937ea0ca6.d: crates/bench/src/bin/ham_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libham_experiments-dddd91f937ea0ca6.rmeta: crates/bench/src/bin/ham_experiments.rs Cargo.toml
+
+crates/bench/src/bin/ham_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hdc-7e1364aae3f1c0da.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bitvec.rs crates/hdc/src/distortion.rs crates/hdc/src/encoder.rs crates/hdc/src/hypervector.rs crates/hdc/src/item_memory.rs crates/hdc/src/level.rs crates/hdc/src/ops.rs crates/hdc/src/seq.rs crates/hdc/src/sparse.rs crates/hdc/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdc-7e1364aae3f1c0da.rmeta: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bitvec.rs crates/hdc/src/distortion.rs crates/hdc/src/encoder.rs crates/hdc/src/hypervector.rs crates/hdc/src/item_memory.rs crates/hdc/src/level.rs crates/hdc/src/ops.rs crates/hdc/src/seq.rs crates/hdc/src/sparse.rs crates/hdc/src/error.rs Cargo.toml
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bitvec.rs:
+crates/hdc/src/distortion.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hypervector.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/level.rs:
+crates/hdc/src/ops.rs:
+crates/hdc/src/seq.rs:
+crates/hdc/src/sparse.rs:
+crates/hdc/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hdc-9a3ce8ac2ea5fe67.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bitvec.rs crates/hdc/src/distortion.rs crates/hdc/src/encoder.rs crates/hdc/src/hypervector.rs crates/hdc/src/item_memory.rs crates/hdc/src/level.rs crates/hdc/src/ops.rs crates/hdc/src/seq.rs crates/hdc/src/sparse.rs crates/hdc/src/error.rs
+
+/root/repo/target/debug/deps/libhdc-9a3ce8ac2ea5fe67.rlib: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bitvec.rs crates/hdc/src/distortion.rs crates/hdc/src/encoder.rs crates/hdc/src/hypervector.rs crates/hdc/src/item_memory.rs crates/hdc/src/level.rs crates/hdc/src/ops.rs crates/hdc/src/seq.rs crates/hdc/src/sparse.rs crates/hdc/src/error.rs
+
+/root/repo/target/debug/deps/libhdc-9a3ce8ac2ea5fe67.rmeta: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bitvec.rs crates/hdc/src/distortion.rs crates/hdc/src/encoder.rs crates/hdc/src/hypervector.rs crates/hdc/src/item_memory.rs crates/hdc/src/level.rs crates/hdc/src/ops.rs crates/hdc/src/seq.rs crates/hdc/src/sparse.rs crates/hdc/src/error.rs
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bitvec.rs:
+crates/hdc/src/distortion.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hypervector.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/level.rs:
+crates/hdc/src/ops.rs:
+crates/hdc/src/seq.rs:
+crates/hdc/src/sparse.rs:
+crates/hdc/src/error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdham-7b2264d6b79d02ff.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdham-7b2264d6b79d02ff.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hdham-8094117d143e0f08.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhdham-8094117d143e0f08.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhdham-8094117d143e0f08.rmeta: src/lib.rs
+
+src/lib.rs:

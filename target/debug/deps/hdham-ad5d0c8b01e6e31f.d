@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdham-ad5d0c8b01e6e31f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdham-ad5d0c8b01e6e31f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hdham-da8c6ef5ae518a1d.d: src/lib.rs
+
+/root/repo/target/debug/deps/hdham-da8c6ef5ae518a1d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/langid-36adc749b153d272.d: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+/root/repo/target/debug/deps/liblangid-36adc749b153d272.rlib: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+/root/repo/target/debug/deps/liblangid-36adc749b153d272.rmeta: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+crates/langid/src/lib.rs:
+crates/langid/src/accumulator.rs:
+crates/langid/src/alphabet.rs:
+crates/langid/src/corpus.rs:
+crates/langid/src/eval.rs:
+crates/langid/src/io.rs:
+crates/langid/src/online.rs:
+crates/langid/src/retrain.rs:
+crates/langid/src/synth.rs:
+crates/langid/src/trainer.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/langid-55291992e594bc96.d: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblangid-55291992e594bc96.rmeta: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs Cargo.toml
+
+crates/langid/src/lib.rs:
+crates/langid/src/accumulator.rs:
+crates/langid/src/alphabet.rs:
+crates/langid/src/corpus.rs:
+crates/langid/src/eval.rs:
+crates/langid/src/io.rs:
+crates/langid/src/online.rs:
+crates/langid/src/retrain.rs:
+crates/langid/src/synth.rs:
+crates/langid/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

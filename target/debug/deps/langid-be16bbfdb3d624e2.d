@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/langid-be16bbfdb3d624e2.d: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+/root/repo/target/debug/deps/langid-be16bbfdb3d624e2: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+crates/langid/src/lib.rs:
+crates/langid/src/accumulator.rs:
+crates/langid/src/alphabet.rs:
+crates/langid/src/corpus.rs:
+crates/langid/src/eval.rs:
+crates/langid/src/io.rs:
+crates/langid/src/online.rs:
+crates/langid/src/retrain.rs:
+crates/langid/src/synth.rs:
+crates/langid/src/trainer.rs:

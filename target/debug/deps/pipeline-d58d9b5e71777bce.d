@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-d58d9b5e71777bce.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-d58d9b5e71777bce: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-07344b983c103ab8.d: crates/circuit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-07344b983c103ab8: crates/circuit/tests/properties.rs
+
+crates/circuit/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1b4ad03d1e17df2e.d: crates/hdc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1b4ad03d1e17df2e: crates/hdc/tests/properties.rs
+
+crates/hdc/tests/properties.rs:

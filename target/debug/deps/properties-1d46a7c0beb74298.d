@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1d46a7c0beb74298.d: crates/hdc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1d46a7c0beb74298: crates/hdc/tests/properties.rs
+
+crates/hdc/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2da277d729e40656.d: crates/circuit/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2da277d729e40656.rmeta: crates/circuit/tests/properties.rs Cargo.toml
+
+crates/circuit/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-361b39ac3b8ef6dd.d: crates/langid/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-361b39ac3b8ef6dd: crates/langid/tests/properties.rs
+
+crates/langid/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4e3eb4876d1dc290.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4e3eb4876d1dc290: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ddf7f82b3214b66d.d: crates/langid/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ddf7f82b3214b66d.rmeta: crates/langid/tests/properties.rs Cargo.toml
+
+crates/langid/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

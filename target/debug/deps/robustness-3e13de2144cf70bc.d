@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-3e13de2144cf70bc.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-3e13de2144cf70bc: tests/robustness.rs
+
+tests/robustness.rs:

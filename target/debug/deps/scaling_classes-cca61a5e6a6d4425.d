@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_classes-cca61a5e6a6d4425.d: crates/bench/benches/scaling_classes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_classes-cca61a5e6a6d4425.rmeta: crates/bench/benches/scaling_classes.rs Cargo.toml
+
+crates/bench/benches/scaling_classes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

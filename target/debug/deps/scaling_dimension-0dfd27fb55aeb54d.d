@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_dimension-0dfd27fb55aeb54d.d: crates/bench/benches/scaling_dimension.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_dimension-0dfd27fb55aeb54d.rmeta: crates/bench/benches/scaling_dimension.rs Cargo.toml
+
+crates/bench/benches/scaling_dimension.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_kernels-d01a6d20e9eb1bcb.d: crates/bench/benches/search_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_kernels-d01a6d20e9eb1bcb.rmeta: crates/bench/benches/search_kernels.rs Cargo.toml
+
+crates/bench/benches/search_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5471b4696c78d077.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5471b4696c78d077.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5471b4696c78d077.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

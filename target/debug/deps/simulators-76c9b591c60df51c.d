@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulators-76c9b591c60df51c.d: tests/simulators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulators-76c9b591c60df51c.rmeta: tests/simulators.rs Cargo.toml
+
+tests/simulators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulators-dba6ee88120b042d.d: tests/simulators.rs
+
+/root/repo/target/debug/deps/simulators-dba6ee88120b042d: tests/simulators.rs
+
+tests/simulators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/approximate_search-2ed0e27085d60d93.d: examples/approximate_search.rs
+
+/root/repo/target/debug/examples/approximate_search-2ed0e27085d60d93: examples/approximate_search.rs
+
+examples/approximate_search.rs:

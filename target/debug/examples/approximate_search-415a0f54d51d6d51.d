@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/approximate_search-415a0f54d51d6d51.d: examples/approximate_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapproximate_search-415a0f54d51d6d51.rmeta: examples/approximate_search.rs Cargo.toml
+
+examples/approximate_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

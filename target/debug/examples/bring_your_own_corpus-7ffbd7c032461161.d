@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bring_your_own_corpus-7ffbd7c032461161.d: examples/bring_your_own_corpus.rs
+
+/root/repo/target/debug/examples/bring_your_own_corpus-7ffbd7c032461161: examples/bring_your_own_corpus.rs
+
+examples/bring_your_own_corpus.rs:

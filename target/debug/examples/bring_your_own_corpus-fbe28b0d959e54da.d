@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bring_your_own_corpus-fbe28b0d959e54da.d: examples/bring_your_own_corpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbring_your_own_corpus-fbe28b0d959e54da.rmeta: examples/bring_your_own_corpus.rs Cargo.toml
+
+examples/bring_your_own_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-4bd7ae1863533855.d: crates/langid/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-4bd7ae1863533855: crates/langid/examples/calibrate.rs
+
+crates/langid/examples/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-b67d77ced8cfa2c9.d: crates/langid/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-b67d77ced8cfa2c9.rmeta: crates/langid/examples/calibrate.rs Cargo.toml
+
+crates/langid/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-c9683bc82a38cdc6.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-c9683bc82a38cdc6: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose-23cd50ff2c9bb2ac.d: crates/langid/examples/diagnose.rs
+
+/root/repo/target/debug/examples/diagnose-23cd50ff2c9bb2ac: crates/langid/examples/diagnose.rs
+
+crates/langid/examples/diagnose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose-d4a7c4847dc971b7.d: crates/langid/examples/diagnose.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose-d4a7c4847dc971b7.rmeta: crates/langid/examples/diagnose.rs Cargo.toml
+
+crates/langid/examples/diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gesture_recognition-865b33553d4f7a00.d: examples/gesture_recognition.rs
+
+/root/repo/target/debug/examples/gesture_recognition-865b33553d4f7a00: examples/gesture_recognition.rs
+
+examples/gesture_recognition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gesture_recognition-9a692c6ecd97bef8.d: examples/gesture_recognition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgesture_recognition-9a692c6ecd97bef8.rmeta: examples/gesture_recognition.rs Cargo.toml
+
+examples/gesture_recognition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

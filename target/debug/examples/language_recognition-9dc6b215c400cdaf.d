@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/language_recognition-9dc6b215c400cdaf.d: examples/language_recognition.rs
+
+/root/repo/target/debug/examples/language_recognition-9dc6b215c400cdaf: examples/language_recognition.rs
+
+examples/language_recognition.rs:

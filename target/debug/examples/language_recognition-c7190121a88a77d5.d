@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/language_recognition-c7190121a88a77d5.d: examples/language_recognition.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblanguage_recognition-c7190121a88a77d5.rmeta: examples/language_recognition.rs Cargo.toml
+
+examples/language_recognition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/margin_probe-4eed4955e7136979.d: crates/langid/examples/margin_probe.rs
+
+/root/repo/target/debug/examples/margin_probe-4eed4955e7136979: crates/langid/examples/margin_probe.rs
+
+crates/langid/examples/margin_probe.rs:

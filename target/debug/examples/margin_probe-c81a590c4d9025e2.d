@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/margin_probe-c81a590c4d9025e2.d: crates/langid/examples/margin_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmargin_probe-c81a590c4d9025e2.rmeta: crates/langid/examples/margin_probe.rs Cargo.toml
+
+crates/langid/examples/margin_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

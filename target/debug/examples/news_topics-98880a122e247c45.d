@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/news_topics-98880a122e247c45.d: examples/news_topics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnews_topics-98880a122e247c45.rmeta: examples/news_topics.rs Cargo.toml
+
+examples/news_topics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

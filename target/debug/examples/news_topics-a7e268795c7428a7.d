@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_topics-a7e268795c7428a7.d: examples/news_topics.rs
+
+/root/repo/target/debug/examples/news_topics-a7e268795c7428a7: examples/news_topics.rs
+
+examples/news_topics.rs:

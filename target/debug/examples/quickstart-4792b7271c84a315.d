@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4792b7271c84a315.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4792b7271c84a315: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/show_resilience-057a6c7a938d2783.d: crates/bench/examples/show_resilience.rs
+
+/root/repo/target/debug/examples/show_resilience-057a6c7a938d2783: crates/bench/examples/show_resilience.rs
+
+crates/bench/examples/show_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table3_probe-a3ffab854216ee82.d: crates/langid/examples/table3_probe.rs
+
+/root/repo/target/debug/examples/table3_probe-a3ffab854216ee82: crates/langid/examples/table3_probe.rs
+
+crates/langid/examples/table3_probe.rs:

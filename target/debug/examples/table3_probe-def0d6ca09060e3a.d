@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table3_probe-def0d6ca09060e3a.d: crates/langid/examples/table3_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable3_probe-def0d6ca09060e3a.rmeta: crates/langid/examples/table3_probe.rs Cargo.toml
+
+crates/langid/examples/table3_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

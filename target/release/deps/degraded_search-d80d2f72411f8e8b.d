@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/degraded_search-d80d2f72411f8e8b.d: crates/bench/benches/degraded_search.rs
+
+/root/repo/target/release/deps/degraded_search-d80d2f72411f8e8b: crates/bench/benches/degraded_search.rs
+
+crates/bench/benches/degraded_search.rs:

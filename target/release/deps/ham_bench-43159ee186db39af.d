@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/ham_bench-43159ee186db39af.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libham_bench-43159ee186db39af.rlib: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libham_bench-43159ee186db39af.rmeta: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/context.rs:
+crates/bench/src/exp/mod.rs:
+crates/bench/src/exp/ablations.rs:
+crates/bench/src/exp/equivalence.rs:
+crates/bench/src/exp/operating_points.rs:
+crates/bench/src/exp/resilience.rs:
+crates/bench/src/exp/retraining.rs:
+crates/bench/src/exp/fig1.rs:
+crates/bench/src/exp/fig10.rs:
+crates/bench/src/exp/fig11.rs:
+crates/bench/src/exp/fig12.rs:
+crates/bench/src/exp/fig13.rs:
+crates/bench/src/exp/fig4.rs:
+crates/bench/src/exp/fig5.rs:
+crates/bench/src/exp/fig7.rs:
+crates/bench/src/exp/fig9.rs:
+crates/bench/src/exp/table1.rs:
+crates/bench/src/exp/table2.rs:
+crates/bench/src/exp/table3.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ham_experiments-cb94aa5a300f6653.d: crates/bench/src/bin/ham_experiments.rs
+
+/root/repo/target/release/deps/ham_experiments-cb94aa5a300f6653: crates/bench/src/bin/ham_experiments.rs
+
+crates/bench/src/bin/ham_experiments.rs:

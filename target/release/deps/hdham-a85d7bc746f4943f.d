@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hdham-a85d7bc746f4943f.d: src/lib.rs
+
+/root/repo/target/release/deps/libhdham-a85d7bc746f4943f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhdham-a85d7bc746f4943f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/langid-4236f7077cf148cc.d: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+/root/repo/target/release/deps/liblangid-4236f7077cf148cc.rlib: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+/root/repo/target/release/deps/liblangid-4236f7077cf148cc.rmeta: crates/langid/src/lib.rs crates/langid/src/accumulator.rs crates/langid/src/alphabet.rs crates/langid/src/corpus.rs crates/langid/src/eval.rs crates/langid/src/io.rs crates/langid/src/online.rs crates/langid/src/retrain.rs crates/langid/src/synth.rs crates/langid/src/trainer.rs
+
+crates/langid/src/lib.rs:
+crates/langid/src/accumulator.rs:
+crates/langid/src/alphabet.rs:
+crates/langid/src/corpus.rs:
+crates/langid/src/eval.rs:
+crates/langid/src/io.rs:
+crates/langid/src/online.rs:
+crates/langid/src/retrain.rs:
+crates/langid/src/synth.rs:
+crates/langid/src/trainer.rs:

@@ -39,11 +39,15 @@ fn dham_and_rham_report_exact_distances_when_lossless() {
     let dham = DHam::new(&memory).expect("memory nonempty");
     let rham = RHam::new(&memory).expect("memory nonempty");
     assert_eq!(
-        dham.search(&query).expect("search succeeds").measured_distance,
+        dham.search(&query)
+            .expect("search succeeds")
+            .measured_distance,
         exact.distance
     );
     assert_eq!(
-        rham.search(&query).expect("search succeeds").measured_distance,
+        rham.search(&query)
+            .expect("search succeeds")
+            .measured_distance,
         exact.distance
     );
 }
@@ -53,7 +57,9 @@ fn cost_ordering_is_stable_across_the_design_space() {
     for (c, d) in [(6, 512), (21, 2_048), (50, 10_000), (100, 10_000)] {
         let memory = random_memory(c, d, 5);
         let dham = build(DesignKind::Digital, &memory).expect("builds").cost();
-        let rham = build(DesignKind::Resistive, &memory).expect("builds").cost();
+        let rham = build(DesignKind::Resistive, &memory)
+            .expect("builds")
+            .cost();
         let aham = build(DesignKind::Analog, &memory).expect("builds").cost();
         assert!(
             aham.edp().get() < rham.edp().get() && rham.edp().get() < dham.edp().get(),
@@ -91,7 +97,10 @@ fn mismatched_queries_are_rejected_by_every_design() {
         assert!(
             matches!(
                 design.search(&alien),
-                Err(HamError::DimensionMismatch { expected: 256, actual: 512 })
+                Err(HamError::DimensionMismatch {
+                    expected: 256,
+                    actual: 512
+                })
             ),
             "{kind} must reject mismatched queries"
         );

@@ -30,8 +30,12 @@ fn level_encoded_sensor_pipeline_classifies() {
     };
 
     let mut memory = AssociativeMemory::new(dim);
-    memory.insert("low", encode_window(&mut rec, 0.15)).expect("insert");
-    memory.insert("high", encode_window(&mut rec, 0.85)).expect("insert");
+    memory
+        .insert("low", encode_window(&mut rec, 0.15))
+        .expect("insert");
+    memory
+        .insert("high", encode_window(&mut rec, 0.85))
+        .expect("insert");
 
     // Slightly perturbed queries still land on the right state, through
     // the software reference AND the A-HAM hardware model.
@@ -92,7 +96,9 @@ fn ablations_agree_with_shipping_design_points() {
     let aham = AHam::new(&memory).expect("memory nonempty");
     assert_eq!(aham.stages(), 14);
     assert_eq!(
-        rows.iter().find(|r| r.stages == 14).map(|r| r.min_detectable),
+        rows.iter()
+            .find(|r| r.stages == 14)
+            .map(|r| r.min_detectable),
         Some(aham.min_detectable_distance())
     );
 }

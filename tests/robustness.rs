@@ -2,8 +2,8 @@
 //! the paper's central premise, so we stress every error path end to end.
 
 use hdham::circuit_sim::montecarlo::VariationModel;
-use hdham::ham_core::prelude::*;
 use hdham::ham_core::explore::random_memory;
+use hdham::ham_core::prelude::*;
 use hdham::hdc::distortion::ErrorModel;
 use hdham::hdc::prelude::*;
 use rand::rngs::StdRng;
@@ -98,7 +98,10 @@ fn sampling_down_to_the_accuracy_cliff() {
         .expect("class stored")
         .with_flipped_bits(4_000, &mut rng);
     let ok = DHam::with_sampling(&memory, 3_000).expect("valid sampling");
-    assert_eq!(ok.search(&query).expect("search succeeds").class, ClassId(2));
+    assert_eq!(
+        ok.search(&query).expect("search succeeds").class,
+        ClassId(2)
+    );
 
     let tiny = DHam::with_sampling(&memory, 16).expect("valid sampling");
     // With 16 bits the signal (margin ~1.6 bits) drowns; we only require

@@ -50,14 +50,23 @@ fn cycle_counts_scale_as_the_architectures_predict() {
     let query = memory.row(ClassId(0)).expect("class stored").clone();
 
     // D-HAM: counting dominates and scales with 1/lanes.
-    let d64 = DhamCycleSim::new(&memory, 64).expect("builds").run(&query).expect("runs");
-    let d256 = DhamCycleSim::new(&memory, 256).expect("builds").run(&query).expect("runs");
+    let d64 = DhamCycleSim::new(&memory, 64)
+        .expect("builds")
+        .run(&query)
+        .expect("runs");
+    let d256 = DhamCycleSim::new(&memory, 256)
+        .expect("builds")
+        .run(&query)
+        .expect("runs");
     assert!(d64.cycles.count > 3 * d256.cycles.count);
     assert_eq!(d64.cycles.reduce, d256.cycles.reduce);
 
     // R-HAM: the count phase walks blocks (D/4), so at equal lanes it is
     // ~4× shorter than D-HAM's bit-walk (ceil rounding aside).
-    let r64 = RhamPhaseSim::new(&memory, 64).expect("builds").run(&query).expect("runs");
+    let r64 = RhamPhaseSim::new(&memory, 64)
+        .expect("builds")
+        .run(&query)
+        .expect("runs");
     let ratio = d64.cycles.count as f64 / r64.timing.count_cycles as f64;
     assert!((3.5..=4.5).contains(&ratio), "ratio = {ratio}");
     assert_eq!(r64.timing.reduce_cycles, d64.cycles.reduce);
@@ -95,5 +104,7 @@ fn pareto_front_prunes_the_full_sweep() {
     assert!(front.len() < points.len(), "something must be dominated");
     // Smaller configurations cost less on every axis, so the frontier is
     // dominated by the smallest arrays plus the cheapest architecture.
-    assert!(front.iter().all(|p| p.kind == DesignKind::Analog || p.dim <= 2_048));
+    assert!(front
+        .iter()
+        .all(|p| p.kind == DesignKind::Analog || p.dim <= 2_048));
 }

@@ -1,0 +1,312 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Each benchmark runs a short warm-up followed by a fixed time budget of
+//! timed batches and prints the mean iteration time — no statistics engine,
+//! no HTML reports. The CLI honours what cargo passes to `harness = false`
+//! bench targets: `--test` (run every routine once and exit, used by
+//! `cargo test --benches`), flag arguments (ignored), and positional
+//! substring filters on the benchmark id.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the run was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Normal `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test --benches` (`--test` flag): run each routine once.
+    Test,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filters: Vec<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                // Flags with a value we must consume to keep parsing aligned.
+                "--measurement-time" | "--warm-up-time" | "--sample-size" | "--save-baseline"
+                | "--baseline" | "--load-baseline" | "--color" | "--format" | "--logfile"
+                | "--output-format" | "--profile-time" => {
+                    args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                filter => filters.push(filter.to_owned()),
+            }
+        }
+        Criterion {
+            mode,
+            filters,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_owned();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches_filter(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            budget: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {id} ... ok"),
+            Mode::Measure => println!(
+                "{id:<50} {:>14} / iter ({} iters)",
+                format_ns(bencher.mean_ns),
+                bencher.iters
+            ),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declared throughput for reporting; recorded but not rendered.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, in decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// A `group/function/parameter` benchmark id.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the group's throughput (recorded, not rendered).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times one routine.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly within the measurement budget and records
+    /// the mean wall-clock time per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes ≳1ms so timer overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut hits = 0u64;
+        c.benchmark_group("g").bench_function("f", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let c = Criterion {
+            mode: Mode::Test,
+            filters: vec!["only_this".to_owned()],
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.run_one("something_else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("kernel", 128);
+        assert_eq!(id.id, "kernel/128");
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Provides random-sampling property tests without shrinking: each
+//! `proptest!` function runs `ProptestConfig::cases` iterations with inputs
+//! drawn from [`Strategy`] values, seeded deterministically from the test
+//! name so failures reproduce across runs. `prop_assert*` macros map to the
+//! standard `assert*` macros (a failing case panics with the sampled values
+//! in scope instead of shrinking them).
+//!
+//! Supported strategies mirror the repo's call sites: integer/float ranges,
+//! `any::<T>()`, `Just`, tuples, `prop::collection::vec`, `prop_map`,
+//! `prop_oneof!`, and string literals restricted to simple
+//! `atom{m,n}`-style regexes (`[a-z ]{0,40}`, `\PC{0,60}`, …). Unsupported
+//! regex syntax panics loudly rather than sampling the wrong language.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Clone,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A `Vec` of `element` draws with a length drawn from `len`.
+    pub fn vec<S, L>(element: S, len: L) -> VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// One parsed regex atom with its repetition bounds.
+struct RegexPiece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Printable (non-control) palette for `\PC`: full ASCII printable range
+/// plus assorted non-ASCII letters so normalization paths get exercised.
+fn printable_palette() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    chars.extend("àéîõüßñçλΩжश中ھ€…".chars());
+    chars
+}
+
+/// Parses the small regex subset `atom{m,n}`*, where atom is a char class,
+/// `\PC`, or a literal character. Panics on anything else.
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    let mut pieces = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let item = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    if item == ']' {
+                        break;
+                    }
+                    if it.peek() == Some(&'-') {
+                        it.next();
+                        let hi = it
+                            .next()
+                            .unwrap_or_else(|| panic!("bad range in regex {pattern:?}"));
+                        assert!(item <= hi, "reversed range in regex {pattern:?}");
+                        set.extend(item..=hi);
+                    } else {
+                        set.push(item);
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                set
+            }
+            '\\' => match it.next() {
+                Some('P') => {
+                    assert_eq!(
+                        it.next(),
+                        Some('C'),
+                        "only \\PC escape supported in regex {pattern:?}"
+                    );
+                    printable_palette()
+                }
+                other => panic!("unsupported escape \\{other:?} in regex {pattern:?}"),
+            },
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                match it.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in regex {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pattern:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad bound in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "reversed repetition in regex {pattern:?}");
+        pieces.push(RegexPiece { chars, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in parse_regex(self) {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.chars[rng.gen_range(0..piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Deterministic base seed for one property, derived from its full path
+/// (FNV-1a) so every property samples a distinct but reproducible stream.
+pub fn test_seed(path: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fresh RNG for one case of one property.
+pub fn case_rng(base_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base_seed ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let base = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.resolved_cases() {
+                let mut prop_rng = $crate::case_rng(base, case);
+                $(let $pat = $crate::Strategy::sample(&$strat, &mut prop_rng);)*
+                let _ = &mut prop_rng;
+                $body
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Everything a property-test file imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[a-c ]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+        let p = Strategy::sample(&"\\PC{0,60}", &mut rng);
+        assert!(p.chars().count() <= 60);
+        assert!(p.chars().all(|c| !c.is_control()));
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let a = Strategy::sample(
+            &prop::collection::vec(any::<u64>(), 0..9),
+            &mut super::case_rng(42, 7),
+        );
+        let b = Strategy::sample(
+            &prop::collection::vec(any::<u64>(), 0..9),
+            &mut super::case_rng(42, 7),
+        );
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10), v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

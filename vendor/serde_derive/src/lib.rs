@@ -1,0 +1,187 @@
+//! `#[derive(Serialize)]` for the vendored `serde` stub.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment is
+//! offline): supports plain non-generic structs with named fields, tuple
+//! structs (serialized as JSON arrays), unit structs (serialized as `null`)
+//! and enums whose variants are all unit-like (serialized as their name).
+//! Field-level `#[serde(...)]` attributes are not supported and any
+//! unsupported shape produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stub's JSON-writer trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored derive(Serialize) does not support generics (type `{name}`)"
+        ));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_body(&name, g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(g.stream())
+            }
+            // Unit struct (`struct X;`).
+            _ => "out.push_str(\"null\");".to_owned(),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                unit_enum_body(&name, g.stream())?
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive Serialize for `{other}`")),
+    };
+
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize) generated invalid code: {e:?}"))
+}
+
+/// Splits a brace/paren group into top-level comma-separated chunks.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().expect("non-empty").push(tt),
+        }
+    }
+    out.retain(|chunk| !chunk.is_empty());
+    out
+}
+
+/// Extracts the field name from one named-field chunk
+/// (`#[attr…] pub name: Type`).
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0usize;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return Ok(id.to_string()),
+            other => return Err(format!("cannot find field name in {other:?}")),
+        }
+    }
+}
+
+fn named_struct_body(name: &str, fields: TokenStream) -> Result<String, String> {
+    let mut body = String::from("out.push('{');\n");
+    let chunks = split_commas(fields);
+    if chunks.is_empty() {
+        return Err(format!("struct `{name}` has no fields to serialize"));
+    }
+    for (idx, chunk) in chunks.iter().enumerate() {
+        let field = field_name(chunk)?;
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    Ok(body)
+}
+
+fn tuple_struct_body(fields: TokenStream) -> String {
+    let arity = split_commas(fields).len();
+    if arity == 1 {
+        // Newtype structs serialize transparently, like serde.
+        return "serde::Serialize::serialize_json(&self.0, out);".to_owned();
+    }
+    let mut body = String::from("out.push('[');\n");
+    for idx in 0..arity {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "serde::Serialize::serialize_json(&self.{idx}, out);\n"
+        ));
+    }
+    body.push_str("out.push(']');");
+    body
+}
+
+fn unit_enum_body(name: &str, variants: TokenStream) -> Result<String, String> {
+    let mut arms = String::new();
+    for chunk in split_commas(variants) {
+        let mut i = 0usize;
+        while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let variant = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("cannot parse enum variant {other:?}")),
+        };
+        if chunk.get(i + 1).is_some() {
+            return Err(format!(
+                "vendored derive(Serialize) only supports unit enum variants \
+                 (`{name}::{variant}` has data)"
+            ));
+        }
+        arms.push_str(&format!(
+            "{name}::{variant} => out.push_str(\"\\\"{variant}\\\"\"),\n"
+        ));
+    }
+    if arms.is_empty() {
+        return Err(format!("enum `{name}` has no variants"));
+    }
+    Ok(format!("match self {{\n{arms}}}"))
+}

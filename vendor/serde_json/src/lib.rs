@@ -1,0 +1,193 @@
+//! Offline stand-in for the slice of `serde_json` this workspace uses.
+//!
+//! [`Value`] is not a full JSON tree: it is either `Null` or an already
+//! rendered JSON text (produced through the vendored `serde::Serialize`,
+//! which writes JSON directly). That covers every call site in the repo —
+//! `to_value`, `to_string`, `to_string_pretty`, `Value::is_array`,
+//! `Value::is_null` — without a parser.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// A rendered JSON value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// Any other JSON value, stored as its rendered text.
+    Raw(String),
+}
+
+impl Value {
+    /// Returns the rendered JSON text of this value.
+    pub fn as_json_text(&self) -> &str {
+        match self {
+            Value::Null => "null",
+            Value::Raw(s) => s.as_str(),
+        }
+    }
+
+    /// True when the value is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        self.as_json_text() == "null"
+    }
+
+    /// True when the value is a JSON array.
+    pub fn is_array(&self) -> bool {
+        self.as_json_text().starts_with('[')
+    }
+
+    /// True when the value is a JSON object.
+    pub fn is_object(&self) -> bool {
+        self.as_json_text().starts_with('{')
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_json_text())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(self.as_json_text());
+    }
+}
+
+/// Serialization error. The vendored writer is infallible, so this is never
+/// constructed, but the `Result` signatures keep call sites source-compatible
+/// with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` into a [`Value`].
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors real `serde_json`.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    let text = value.to_json_string();
+    Ok(if text == "null" {
+        Value::Null
+    } else {
+        Value::Raw(text)
+    })
+}
+
+/// Renders `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors real `serde_json`.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_string())
+}
+
+/// Renders `value` as indented JSON text.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors real `serde_json`.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&value.to_json_string()))
+}
+
+/// Re-indents compact JSON (2-space indent, newline per element), leaving
+/// string contents untouched.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.peek() {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
+                        out.push(close);
+                        chars.next();
+                        continue;
+                    }
+                }
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_predicates() {
+        assert!(to_value(Option::<u8>::None).unwrap().is_null());
+        assert!(to_value(vec![1u8, 2]).unwrap().is_array());
+        assert!(!to_value(3u8).unwrap().is_array());
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let pretty = prettify(r#"{"a":[1,2],"b":"x,{}y"}"#);
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(pretty.contains("\"x,{}y\""));
+        assert!(pretty.contains("\n  \"b\""));
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(prettify("[]"), "[]");
+        assert_eq!(prettify(r#"{"a":{}}"#), "{\n  \"a\": {}\n}");
+    }
+}
