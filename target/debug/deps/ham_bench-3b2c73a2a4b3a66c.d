@@ -1,15 +1,12 @@
-/root/repo/target/debug/deps/ham_bench-3b2c73a2a4b3a66c.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/ham_bench-3b2c73a2a4b3a66c.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/ham_bench-3b2c73a2a4b3a66c: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/ham_bench-3b2c73a2a4b3a66c: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/exp/mod.rs crates/bench/src/exp/ablations.rs crates/bench/src/exp/equivalence.rs crates/bench/src/exp/fig1.rs crates/bench/src/exp/fig10.rs crates/bench/src/exp/fig11.rs crates/bench/src/exp/fig12.rs crates/bench/src/exp/fig13.rs crates/bench/src/exp/fig4.rs crates/bench/src/exp/fig5.rs crates/bench/src/exp/fig7.rs crates/bench/src/exp/fig9.rs crates/bench/src/exp/operating_points.rs crates/bench/src/exp/resilience.rs crates/bench/src/exp/retraining.rs crates/bench/src/exp/table1.rs crates/bench/src/exp/table2.rs crates/bench/src/exp/table3.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/context.rs:
 crates/bench/src/exp/mod.rs:
 crates/bench/src/exp/ablations.rs:
 crates/bench/src/exp/equivalence.rs:
-crates/bench/src/exp/operating_points.rs:
-crates/bench/src/exp/resilience.rs:
-crates/bench/src/exp/retraining.rs:
 crates/bench/src/exp/fig1.rs:
 crates/bench/src/exp/fig10.rs:
 crates/bench/src/exp/fig11.rs:
@@ -19,6 +16,9 @@ crates/bench/src/exp/fig4.rs:
 crates/bench/src/exp/fig5.rs:
 crates/bench/src/exp/fig7.rs:
 crates/bench/src/exp/fig9.rs:
+crates/bench/src/exp/operating_points.rs:
+crates/bench/src/exp/resilience.rs:
+crates/bench/src/exp/retraining.rs:
 crates/bench/src/exp/table1.rs:
 crates/bench/src/exp/table2.rs:
 crates/bench/src/exp/table3.rs:
