@@ -1,22 +1,66 @@
-//! Criterion bench: software search-kernel throughput of the three HAM
-//! models and the exact reference at the paper's operating point
-//! (`C = 21`, `D = 10,000`).
+//! Criterion bench: software search-kernel throughput.
+//!
+//! Three groups:
+//!
+//! * `search_kernels` — the exact reference (now the fused early-abandon
+//!   engine) and the three HAM models at the paper's operating point
+//!   (`C = 21`, `D = 10,000`), plus the seed's naive per-row scan as the
+//!   baseline the engine must beat;
+//! * `early_abandon` — fused early-abandoning scan vs the full
+//!   (non-abandoning) distance sweep vs the naive baseline over
+//!   `C ∈ {21, 100, 1000}`;
+//! * `batch` — serial vs multi-threaded classification of a 1,000-query
+//!   batch through the exact engine and through `run_batch`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_core::batch::{run_batch, run_batch_parallel, BatchOptions};
 use ham_core::explore::{build, random_memory, DesignKind};
 use hdc::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The seed's scan: separately stored rows, word-zip Hamming per row, then
+/// a two-pass min + runner-up pick — the baseline the packed engine
+/// replaces.
+fn naive_search(rows: &[Hypervector], query: &Hypervector) -> (usize, usize) {
+    let distances: Vec<usize> = rows
+        .iter()
+        .map(|row| {
+            row.as_bitvec()
+                .as_words()
+                .iter()
+                .zip(query.as_bitvec().as_words())
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum()
+        })
+        .collect();
+    let mut best = 0usize;
+    for (i, d) in distances.iter().enumerate().skip(1) {
+        if *d < distances[best] {
+            best = i;
+        }
+    }
+    (best, distances[best])
+}
+
+fn noisy_query(memory: &AssociativeMemory, seed: u64) -> Hypervector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class = ClassId(seed as usize % memory.len());
+    memory
+        .row(class)
+        .unwrap()
+        .with_flipped_bits(memory.dim().get() * 3 / 10, &mut rng)
+}
+
 fn bench_search(c: &mut Criterion) {
     let memory = random_memory(21, 10_000, 7);
-    let mut rng = StdRng::seed_from_u64(1);
-    let query = memory
-        .row(ClassId(7))
-        .unwrap()
-        .with_flipped_bits(3_000, &mut rng);
+    let rows: Vec<Hypervector> = memory.iter().map(|(_, _, hv)| hv.clone()).collect();
+    let query = noisy_query(&memory, 1);
 
     let mut group = c.benchmark_group("search_kernels");
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| naive_search(std::hint::black_box(&rows), std::hint::black_box(&query)))
+    });
     group.bench_function("exact_reference", |b| {
         b.iter(|| memory.search(std::hint::black_box(&query)).unwrap())
     });
@@ -29,5 +73,64 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search);
+fn bench_early_abandon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("early_abandon");
+    for classes in [21usize, 100, 1_000] {
+        let memory = random_memory(classes, 10_000, 11);
+        let rows: Vec<Hypervector> = memory.iter().map(|(_, _, hv)| hv.clone()).collect();
+        let query = noisy_query(&memory, 3);
+        let packed = memory.packed_rows();
+        let words = query.as_bitvec().as_words();
+        group.bench_with_input(BenchmarkId::new("naive", classes), &classes, |b, _| {
+            b.iter(|| naive_search(std::hint::black_box(&rows), std::hint::black_box(&query)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", classes), &classes, |b, _| {
+            b.iter(|| packed.distances(std::hint::black_box(words)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_abandon", classes),
+            &classes,
+            |b, _| b.iter(|| packed.scan_min2(std::hint::black_box(words)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let memory = random_memory(21, 10_000, 13);
+    let queries: Vec<Hypervector> = (0..1_000).map(|i| noisy_query(&memory, i)).collect();
+    let design = build(DesignKind::Digital, &memory).unwrap();
+
+    let mut group = c.benchmark_group("batch");
+    group.bench_function("search_batch/serial", |b| {
+        b.iter(|| {
+            memory
+                .search_batch(std::hint::black_box(&queries), 1)
+                .unwrap()
+        })
+    });
+    group.bench_function("search_batch/parallel", |b| {
+        b.iter(|| {
+            memory
+                .search_batch(std::hint::black_box(&queries), 0)
+                .unwrap()
+        })
+    });
+    group.bench_function("run_batch/serial", |b| {
+        b.iter(|| run_batch(design.as_ref(), std::hint::black_box(&queries)).unwrap())
+    });
+    group.bench_function("run_batch/parallel", |b| {
+        b.iter(|| {
+            run_batch_parallel(
+                design.as_ref(),
+                std::hint::black_box(&queries),
+                BatchOptions::parallel(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_early_abandon, bench_batch);
 criterion_main!(benches);

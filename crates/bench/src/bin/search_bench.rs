@@ -1,0 +1,281 @@
+//! `ham-search-bench` — perf snapshot of the batched search engine.
+//!
+//! Times the software search path three ways and writes the numbers to
+//! `BENCH_search.json` (repo root by default) so the measured speedups
+//! quoted in DESIGN.md stay regenerable:
+//!
+//! 1. single query at the paper's operating point (`C = 21`,
+//!    `D = 10,000`): the seed's naive per-row scan vs the fused
+//!    early-abandoning kernel behind [`AssociativeMemory::search`];
+//! 2. early-abandoning fused scan vs the full distance sweep as the
+//!    class count grows (`C ∈ {21, 100, 1000}`);
+//! 3. a 1,000-query batch classified serially vs sharded across worker
+//!    threads, both through [`AssociativeMemory::search_batch`] and
+//!    through the priced [`ham_core::batch::run_batch_parallel`] path.
+//!
+//! Usage: `ham-search-bench [--out FILE]`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ham_core::batch::{run_batch, run_batch_parallel, BatchOptions};
+use ham_core::explore::{build, random_memory, DesignKind};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Measurement {
+    name: String,
+    /// Nanoseconds per query (or per scan), averaged over all iterations.
+    ns_per_op: f64,
+    iterations: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    classes: usize,
+    dim: usize,
+    baseline: Measurement,
+    contender: Measurement,
+    /// `baseline.ns_per_op / contender.ns_per_op` — >1 means the
+    /// contender is faster.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    host_threads: usize,
+    single_query: Comparison,
+    early_abandon: Vec<Comparison>,
+    batch_1000: Vec<Comparison>,
+}
+
+/// Times `op` for at least `budget` of wall clock and adds the elapsed
+/// time and iteration count to `total`.
+fn time_slice<R>(
+    budget: std::time::Duration,
+    total: &mut (std::time::Duration, usize),
+    op: &mut impl FnMut() -> R,
+) {
+    let start = Instant::now();
+    let mut iterations = 0usize;
+    while start.elapsed() < budget {
+        std::hint::black_box(op());
+        iterations += 1;
+    }
+    total.0 += start.elapsed();
+    total.1 += iterations;
+}
+
+/// Times two operations in short alternating slices (so clock-frequency
+/// drift on a shared host hits both sides equally) and returns the
+/// baseline/contender comparison.
+fn compare<R, S>(
+    classes: usize,
+    dim: usize,
+    budget_ms: u64,
+    baseline_name: &str,
+    mut baseline_op: impl FnMut() -> R,
+    contender_name: &str,
+    mut contender_op: impl FnMut() -> S,
+) -> Comparison {
+    // Warm up caches and let one-off allocation costs fall out.
+    std::hint::black_box(baseline_op());
+    std::hint::black_box(contender_op());
+    const ROUNDS: u64 = 8;
+    let slice = std::time::Duration::from_millis((budget_ms / ROUNDS).max(1));
+    let mut base = (std::time::Duration::ZERO, 0usize);
+    let mut cont = (std::time::Duration::ZERO, 0usize);
+    for _ in 0..ROUNDS {
+        time_slice(slice, &mut base, &mut baseline_op);
+        time_slice(slice, &mut cont, &mut contender_op);
+    }
+    let baseline = Measurement {
+        name: baseline_name.to_owned(),
+        ns_per_op: base.0.as_nanos() as f64 / base.1.max(1) as f64,
+        iterations: base.1,
+    };
+    let contender = Measurement {
+        name: contender_name.to_owned(),
+        ns_per_op: cont.0.as_nanos() as f64 / cont.1.max(1) as f64,
+        iterations: cont.1,
+    };
+    let speedup = baseline.ns_per_op / contender.ns_per_op.max(f64::MIN_POSITIVE);
+    Comparison {
+        classes,
+        dim,
+        baseline,
+        contender,
+        speedup,
+    }
+}
+
+/// The seed's search: independently allocated rows, word-zip Hamming per
+/// row into a distance vector, then a two-pass winner pick.
+fn naive_search(rows: &[Hypervector], query: &Hypervector) -> (usize, usize) {
+    let distances: Vec<usize> = rows
+        .iter()
+        .map(|row| {
+            row.as_bitvec()
+                .as_words()
+                .iter()
+                .zip(query.as_bitvec().as_words())
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum()
+        })
+        .collect();
+    let mut best = 0usize;
+    for (i, d) in distances.iter().enumerate().skip(1) {
+        if *d < distances[best] {
+            best = i;
+        }
+    }
+    (best, distances[best])
+}
+
+fn noisy_query(memory: &AssociativeMemory, seed: u64) -> Hypervector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class = ClassId(seed as usize % memory.len());
+    memory
+        .row(class)
+        .unwrap()
+        .with_flipped_bits(memory.dim().get() * 3 / 10, &mut rng)
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_search.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: ham-search-bench [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host threads: {host_threads}");
+
+    // 1. Single query, paper operating point.
+    let memory = random_memory(21, 10_000, 7);
+    let rows: Vec<Hypervector> = memory.iter().map(|(_, _, hv)| hv.clone()).collect();
+    let query = noisy_query(&memory, 1);
+    let single_query = compare(
+        21,
+        10_000,
+        800,
+        "naive_per_row_scan",
+        || naive_search(&rows, &query),
+        "fused_early_abandon",
+        || memory.search(&query).unwrap(),
+    );
+    println!(
+        "single query C=21 D=10k: naive {:.0} ns vs fused {:.0} ns ({:.2}x)",
+        single_query.baseline.ns_per_op, single_query.contender.ns_per_op, single_query.speedup
+    );
+
+    // 2. Early abandoning vs the full distance sweep as C grows.
+    let mut early_abandon = Vec::new();
+    for classes in [21usize, 100, 1_000] {
+        let memory = random_memory(classes, 10_000, 11);
+        let query = noisy_query(&memory, 3);
+        let packed = memory.packed_rows();
+        let words = query.as_bitvec().as_words();
+        let cmp = compare(
+            classes,
+            10_000,
+            800,
+            "full_distance_sweep",
+            || packed.distances(words),
+            "fused_early_abandon",
+            || packed.scan_min2(words).unwrap(),
+        );
+        println!(
+            "early abandon C={classes}: full {:.0} ns vs fused {:.0} ns ({:.2}x)",
+            cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+        );
+        early_abandon.push(cmp);
+    }
+
+    // 3. 1,000-query batch: seed scan vs engine, then serial vs sharded.
+    let memory = random_memory(21, 10_000, 13);
+    let rows: Vec<Hypervector> = memory.iter().map(|(_, _, hv)| hv.clone()).collect();
+    let queries: Vec<Hypervector> = (0..1_000).map(|i| noisy_query(&memory, i)).collect();
+    let mut batch_1000 = Vec::new();
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "naive_per_row_scan_x1000",
+        || -> usize {
+            queries
+                .iter()
+                .map(|query| naive_search(&rows, query).1)
+                .sum()
+        },
+        "search_batch_parallel",
+        || memory.search_batch(&queries, 0).unwrap(),
+    );
+    println!(
+        "batch x1000 vs seed: naive {:.0} ns vs engine {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    batch_1000.push(cmp);
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "search_batch_serial",
+        || memory.search_batch(&queries, 1).unwrap(),
+        "search_batch_parallel",
+        || memory.search_batch(&queries, 0).unwrap(),
+    );
+    println!(
+        "search_batch x1000: serial {:.0} ns vs parallel {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    batch_1000.push(cmp);
+    let design = build(DesignKind::Digital, &memory).unwrap();
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "run_batch_serial",
+        || run_batch(design.as_ref(), &queries).unwrap(),
+        "run_batch_parallel",
+        || run_batch_parallel(design.as_ref(), &queries, BatchOptions::parallel()).unwrap(),
+    );
+    println!(
+        "run_batch x1000: serial {:.0} ns vs parallel {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    batch_1000.push(cmp);
+
+    let snapshot = Snapshot {
+        host_threads,
+        single_query,
+        early_abandon,
+        batch_1000,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    println!("wrote {}", out.display());
+}

@@ -10,6 +10,15 @@
 //!   search each additional one costs one *initiation interval*, taken
 //!   here as half the search latency (the paper's designs are two-phase:
 //!   precharge + evaluate).
+//!
+//! The software execution of the batch is parallelized too:
+//! [`run_batch_parallel`] shards the queries across scoped worker threads
+//! in [`BatchOptions::chunk`]-sized work units pulled from a shared queue,
+//! so an uneven query mix (e.g. the degradation controller escalating a
+//! few hard queries) still load-balances. Results are bit-identical to
+//! the serial loop, in input order.
+
+use std::sync::Mutex;
 
 use hdc::prelude::*;
 
@@ -19,6 +28,9 @@ use crate::units::{Nanoseconds, Picojoules};
 /// Fraction of the search latency one pipelined query occupies (the
 /// evaluate phase of the two-phase search).
 const INITIATION_FRACTION: f64 = 0.5;
+
+/// One not-yet-/already-searched result slot in the parallel work queue.
+type SearchSlot = Option<Result<HamSearchResult, HamError>>;
 
 /// Cost and outcome of a batch run.
 #[derive(Debug, Clone)]
@@ -51,7 +63,55 @@ impl BatchReport {
     }
 }
 
-/// Runs `queries` through `design` and prices the batch.
+/// How [`run_batch_parallel`] shards a batch across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Queries per work unit pulled from the shared queue. Smaller chunks
+    /// load-balance better when per-query cost varies; larger chunks
+    /// amortize queue contention.
+    pub chunk: usize,
+}
+
+impl BatchOptions {
+    /// One worker per available core, 32 queries per work unit.
+    pub fn parallel() -> Self {
+        BatchOptions {
+            threads: 0,
+            chunk: 32,
+        }
+    }
+
+    /// Single-threaded execution — identical scheduling to [`run_batch`].
+    pub fn serial() -> Self {
+        BatchOptions {
+            threads: 1,
+            chunk: usize::MAX,
+        }
+    }
+
+    /// The worker count after resolving `0` to the available parallelism,
+    /// capped at one worker per query.
+    pub fn resolved_threads(&self, batch_len: usize) -> usize {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        threads.max(1).min(batch_len.max(1))
+    }
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions::parallel()
+    }
+}
+
+/// Runs `queries` through `design` serially and prices the batch.
 ///
 /// # Errors
 ///
@@ -61,20 +121,74 @@ pub fn run_batch(design: &dyn HamDesign, queries: &[Hypervector]) -> Result<Batc
     for query in queries {
         results.push(design.search(query)?);
     }
+    Ok(price_batch(design, results))
+}
+
+/// Runs `queries` through `design` with the batch sharded across scoped
+/// worker threads, then prices it. Results are in input order and
+/// identical to [`run_batch`]; the hardware cost model is unchanged (it
+/// prices the modelled silicon, not the host machine).
+///
+/// # Errors
+///
+/// Propagates the first (in input order) search error.
+pub fn run_batch_parallel(
+    design: &(dyn HamDesign + Sync),
+    queries: &[Hypervector],
+    options: BatchOptions,
+) -> Result<BatchReport, HamError> {
+    let threads = options.resolved_threads(queries.len());
+    if threads <= 1 || queries.len() <= 1 {
+        return run_batch(design, queries);
+    }
+    let chunk = options.chunk.max(1).min(queries.len());
+    let mut slots: Vec<SearchSlot> = vec![None; queries.len()];
+    {
+        // Work queue: (query offset, result chunk) pairs claimed by
+        // whichever worker is free — uneven per-query cost load-balances.
+        let work: Mutex<Vec<(usize, &mut [SearchSlot])>> = Mutex::new(
+            slots
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+                .collect(),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let Some((base, chunk)) = work.lock().expect("queue poisoned").pop() else {
+                        return;
+                    };
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(design.search(&queries[base + offset]));
+                    }
+                });
+            }
+        });
+    }
+    let mut results = Vec::with_capacity(queries.len());
+    for slot in slots {
+        results.push(slot.expect("all slots searched")?);
+    }
+    Ok(price_batch(design, results))
+}
+
+/// Applies the two-phase pipelining cost model to a finished batch.
+fn price_batch(design: &dyn HamDesign, results: Vec<HamSearchResult>) -> BatchReport {
     let cost = design.cost();
-    let n = queries.len() as f64;
+    let n = results.len() as f64;
     let serial = cost.delay * n;
-    let pipelined = if queries.is_empty() {
+    let pipelined = if results.is_empty() {
         Nanoseconds::ZERO
     } else {
         cost.delay + cost.delay * (INITIATION_FRACTION * (n - 1.0))
     };
-    Ok(BatchReport {
+    BatchReport {
         results,
         total_energy: cost.energy * n,
         serial_latency: serial,
         pipelined_latency: pipelined,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +245,75 @@ mod tests {
         let dham = run_batch(build(DesignKind::Digital, &memory).unwrap().as_ref(), &qs).unwrap();
         let aham = run_batch(build(DesignKind::Analog, &memory).unwrap().as_ref(), &qs).unwrap();
         assert!(aham.throughput_qps() > 5.0 * dham.throughput_qps());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch() {
+        let memory = random_memory(11, 2_048, 9);
+        let qs = queries(&memory, 53);
+        for kind in DesignKind::ALL {
+            let design = build(kind, &memory).unwrap();
+            let serial = run_batch(design.as_ref(), &qs).unwrap();
+            for options in [
+                BatchOptions::parallel(),
+                BatchOptions::serial(),
+                BatchOptions {
+                    threads: 3,
+                    chunk: 7,
+                },
+                BatchOptions {
+                    threads: 8,
+                    chunk: 1,
+                },
+            ] {
+                let parallel = run_batch_parallel(design.as_ref(), &qs, options).unwrap();
+                assert_eq!(parallel.results, serial.results, "{kind} {options:?}");
+                assert_eq!(parallel.total_energy, serial.total_energy);
+                assert_eq!(parallel.pipelined_latency, serial.pipelined_latency);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_options_resolution() {
+        assert_eq!(BatchOptions::serial().resolved_threads(100), 1);
+        assert_eq!(
+            BatchOptions {
+                threads: 9,
+                chunk: 4
+            }
+            .resolved_threads(3),
+            3
+        );
+        assert_eq!(
+            BatchOptions {
+                threads: 9,
+                chunk: 4
+            }
+            .resolved_threads(0),
+            1
+        );
+        assert!(BatchOptions::parallel().resolved_threads(64) >= 1);
+        assert_eq!(BatchOptions::default(), BatchOptions::parallel());
+    }
+
+    #[test]
+    fn parallel_mismatched_query_aborts_with_first_error() {
+        let memory = random_memory(2, 1_024, 6);
+        let design = build(DesignKind::Digital, &memory).unwrap();
+        let alien = Hypervector::random(Dimension::new(128).unwrap(), 1);
+        let mut qs = queries(&memory, 9);
+        qs.insert(4, alien);
+        let err = run_batch_parallel(
+            design.as_ref(),
+            &qs,
+            BatchOptions {
+                threads: 3,
+                chunk: 2,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HamError::DimensionMismatch { .. }));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use crate::aham::AHam;
 use crate::dham::DHam;
-use crate::model::{CostMetrics, HamDesign, HamError};
+use crate::model::{CostMetrics, HamDesign as _, HamError, SharedDesign};
 use crate::rham::{RHam, BLOCK_BITS};
 
 /// Which of the three architectures a design point uses.
@@ -78,12 +78,13 @@ pub fn random_memory(classes: usize, dim: usize, seed: u64) -> AssociativeMemory
     am
 }
 
-/// Builds one design over a memory with no approximation.
+/// Builds one design over a memory with no approximation. The box is
+/// `Send + Sync`, so the parallel batch engine can shard queries over it.
 ///
 /// # Errors
 ///
 /// Returns [`HamError::NoClasses`] for an empty memory.
-pub fn build(kind: DesignKind, memory: &AssociativeMemory) -> Result<Box<dyn HamDesign>, HamError> {
+pub fn build(kind: DesignKind, memory: &AssociativeMemory) -> Result<SharedDesign, HamError> {
     Ok(match kind {
         DesignKind::Digital => Box::new(DHam::new(memory)?),
         DesignKind::Resistive => Box::new(RHam::new(memory)?),

@@ -72,8 +72,11 @@ pub mod tech;
 pub mod units;
 
 pub use crate::aham::AHam;
+pub use crate::batch::{run_batch, run_batch_parallel, BatchOptions, BatchReport};
 pub use crate::dham::DHam;
-pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
+pub use crate::model::{
+    CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
+};
 pub use crate::rham::RHam;
 pub use crate::tech::TechnologyModel;
 pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
@@ -81,9 +84,12 @@ pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
 /// Convenience re-exports for typical use of the crate.
 pub mod prelude {
     pub use crate::aham::AHam;
+    pub use crate::batch::{run_batch, run_batch_parallel, BatchOptions, BatchReport};
     pub use crate::dham::DHam;
     pub use crate::explore::DesignKind;
-    pub use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
+    pub use crate::model::{
+        CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
+    };
     pub use crate::resilience::{
         Confidence, DegradationController, DegradationPolicy, EngineStage, FaultInjector,
         QueryOutcome, Scrubber, StuckAtCells, TransientFlips,

@@ -128,14 +128,21 @@ impl MarginSearchResult {
     }
 }
 
+/// A boxed design that can be shared across the batch engine's worker
+/// threads. All three shipped designs are plain data (no interior
+/// mutability), so [`explore::build`](crate::explore::build) hands out this
+/// type and `run_batch_parallel` can shard a batch over it.
+pub type SharedDesign = Box<dyn HamDesign + Send + Sync>;
+
 /// A hyperdimensional associative memory architecture: stores learned
 /// hypervectors and finds the nearest one to a query, with an
 /// energy/delay/area model of the silicon that would do it.
 ///
 /// All three designs (D-HAM, R-HAM, A-HAM) implement this trait, which is
 /// what lets the experiment harness sweep them uniformly. The trait is
-/// object-safe: `Box<dyn HamDesign>` is how the design-space explorer holds
-/// a mixed fleet.
+/// object-safe: `Box<dyn HamDesign>` (or [`SharedDesign`] when the batch
+/// engine needs to share it across threads) is how the design-space
+/// explorer holds a mixed fleet.
 pub trait HamDesign {
     /// Short design name ("D-HAM", "R-HAM", "A-HAM").
     fn name(&self) -> &'static str;

@@ -389,13 +389,7 @@ impl DegradationController {
         escalations += 1;
         let exact = self.memory.search(query).map_err(HamError::Hdc)?;
         let margin = exact.margin();
-        let confidence = if margin >= confident {
-            Confidence::Confident
-        } else if margin >= self.policy.reject_margin {
-            Confidence::Marginal
-        } else {
-            Confidence::Rejected
-        };
+        let confidence = self.exact_confidence(margin);
         Ok(QueryOutcome {
             result: HamSearchResult {
                 class: exact.class,
@@ -406,6 +400,74 @@ impl DegradationController {
             final_engine: EngineStage::Exact,
             margin,
         })
+    }
+
+    /// Classifies a whole query stream, sharding it across `threads`
+    /// scoped worker threads (`0` means one per available core). Query `i`
+    /// of the batch is classified exactly as
+    /// [`classify`](Self::classify)`(…, start_index + i)` would — the
+    /// resample salts depend only on the stream position, so the batched
+    /// ladder is replay-deterministic and bit-identical to the serial
+    /// loop. Outcomes come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in input order) engine error.
+    pub fn classify_batch(
+        &self,
+        queries: &[Hypervector],
+        start_index: u64,
+        threads: usize,
+    ) -> Result<Vec<QueryOutcome>, HamError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len());
+        if threads <= 1 {
+            return queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| self.classify(q, start_index + i as u64))
+                .collect();
+        }
+        let mut slots: Vec<Option<Result<QueryOutcome, HamError>>> = vec![None; queries.len()];
+        let chunk_size = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+                let base = chunk_idx * chunk_size;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let position = base + offset;
+                        *slot =
+                            Some(self.classify(&queries[position], start_index + position as u64));
+                    }
+                });
+            }
+        });
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for slot in slots {
+            outcomes.push(slot.expect("all slots classified")?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Trust class of a margin measured by the *exact* search, the bottom
+    /// rung of the ladder.
+    fn exact_confidence(&self, margin: usize) -> Confidence {
+        if margin >= self.policy.confident_margin {
+            Confidence::Confident
+        } else if margin >= self.policy.reject_margin {
+            Confidence::Marginal
+        } else {
+            Confidence::Rejected
+        }
     }
 }
 
@@ -501,6 +563,48 @@ mod tests {
                 assert_eq!(a, b, "{kind} replay");
             }
         }
+    }
+
+    #[test]
+    fn batched_ladder_matches_serial_ladder() {
+        let memory = random_memory(21, 2_000, 11);
+        let mut rng = StdRng::seed_from_u64(4);
+        // A mix of easy and near-ambiguous queries so some escalate.
+        let queries: Vec<Hypervector> = (0..17)
+            .map(|s| {
+                memory
+                    .row(ClassId(s % 21))
+                    .unwrap()
+                    .with_flipped_bits(if s % 3 == 0 { 950 } else { 200 }, &mut rng)
+            })
+            .collect();
+        for kind in DesignKind::ALL {
+            let controller =
+                DegradationController::for_kind(kind, memory.clone(), policy(2_000)).unwrap();
+            let serial: Vec<QueryOutcome> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| controller.classify(q, 5 + i as u64).unwrap())
+                .collect();
+            for threads in [0usize, 1, 3, 32] {
+                let batched = controller.classify_batch(&queries, 5, threads).unwrap();
+                assert_eq!(batched, serial, "{kind} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_classify_edge_cases() {
+        let memory = random_memory(4, 1_000, 1);
+        let controller =
+            DegradationController::for_kind(DesignKind::Digital, memory, policy(1_000)).unwrap();
+        assert!(controller.classify_batch(&[], 0, 4).unwrap().is_empty());
+        let alien = Hypervector::random(Dimension::new(512).unwrap(), 1);
+        let good = controller.memory().row(ClassId(0)).unwrap().clone();
+        assert!(matches!(
+            controller.classify_batch(&[good, alien], 0, 2),
+            Err(HamError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

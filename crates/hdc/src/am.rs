@@ -12,6 +12,7 @@ use std::fmt;
 use crate::distortion::{DistanceDistorter, SampleMask};
 use crate::error::HdcError;
 use crate::hypervector::{Dimension, Distance, Hypervector};
+use crate::kernel::{Min2, PackedRows};
 
 /// Identifier of a stored class (its row index in the associative memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -71,6 +72,11 @@ impl SearchResult {
 #[derive(Debug, Clone)]
 pub struct AssociativeMemory {
     dim: Dimension,
+    /// The search storage: all rows contiguous in one row-major word
+    /// matrix, scanned by the fused kernel of [`crate::kernel`].
+    packed: PackedRows,
+    /// Per-row `Hypervector` views kept in sync with `packed`, backing the
+    /// borrowing accessors ([`row`](Self::row), [`iter`](Self::iter)).
     rows: Vec<Hypervector>,
     labels: Vec<String>,
 }
@@ -80,6 +86,7 @@ impl AssociativeMemory {
     pub fn new(dim: Dimension) -> Self {
         AssociativeMemory {
             dim,
+            packed: PackedRows::new(dim.get()),
             rows: Vec::new(),
             labels: Vec::new(),
         }
@@ -118,9 +125,15 @@ impl AssociativeMemory {
             });
         }
         let id = ClassId(self.rows.len());
+        self.packed.push(hv.as_bitvec().as_words());
         self.rows.push(hv);
         self.labels.push(label.into());
         Ok(id)
+    }
+
+    /// Borrow of the contiguous packed row matrix the searches scan.
+    pub fn packed_rows(&self) -> &PackedRows {
+        &self.packed
     }
 
     /// The learned hypervector of a class, if stored.
@@ -147,6 +160,7 @@ impl AssociativeMemory {
         let stored = self.rows.len();
         match self.rows.get_mut(class.0) {
             Some(slot) => {
+                self.packed.replace(class.0, hv.as_bitvec().as_words());
                 *slot = hv;
                 Ok(())
             }
@@ -179,10 +193,16 @@ impl AssociativeMemory {
     /// space and [`HdcError::EmptyMemory`] when nothing is stored.
     pub fn distances(&self, query: &Hypervector) -> Result<Vec<Distance>, HdcError> {
         self.check_query(query)?;
-        Ok(self.rows.iter().map(|row| row.hamming(query)).collect())
+        Ok(self
+            .packed
+            .distances(query.as_bitvec().as_words())
+            .into_iter()
+            .map(Distance::new)
+            .collect())
     }
 
-    /// Exact nearest-distance search.
+    /// Exact nearest-distance search, running the fused early-abandoning
+    /// kernel over the packed row matrix.
     ///
     /// Ties resolve to the lowest row index, matching a deterministic
     /// hardware comparator tree.
@@ -191,8 +211,67 @@ impl AssociativeMemory {
     ///
     /// Same conditions as [`distances`](Self::distances).
     pub fn search(&self, query: &Hypervector) -> Result<SearchResult, HdcError> {
-        let distances = self.distances(query)?;
-        Ok(Self::pick_winner(&distances))
+        self.check_query(query)?;
+        let hit = self
+            .packed
+            .scan_min2(query.as_bitvec().as_words())
+            .expect("checked non-empty");
+        Ok(Self::from_min2(hit))
+    }
+
+    /// Classifies a whole batch of queries, sharding them across
+    /// `threads` scoped worker threads; results come back in input order
+    /// and are identical to calling [`search`](Self::search) per query.
+    ///
+    /// `threads` is capped at the batch size; `0` means one thread per
+    /// available core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] when nothing is stored (and the
+    /// batch is nonempty) and [`HdcError::DimensionMismatch`] when any
+    /// query belongs to another space.
+    pub fn search_batch(
+        &self,
+        queries: &[Hypervector],
+        threads: usize,
+    ) -> Result<Vec<SearchResult>, HdcError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate the whole batch up front so workers cannot fail.
+        for query in queries {
+            self.check_query(query)?;
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len());
+        if threads <= 1 {
+            return queries.iter().map(|q| self.search(q)).collect();
+        }
+        let mut results: Vec<Option<SearchResult>> = vec![None; queries.len()];
+        let chunk_size = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+                let base = chunk_idx * chunk_size;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let words = queries[base + offset].as_bitvec().as_words();
+                        let hit = self.packed.scan_min2(words).expect("checked non-empty");
+                        *slot = Some(Self::from_min2(hit));
+                    }
+                });
+            }
+        });
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all slots searched"))
+            .collect())
     }
 
     /// Search with the distance computed only on the dimensions kept by
@@ -214,12 +293,11 @@ impl AssociativeMemory {
                 right: mask.dim().get(),
             });
         }
-        let distances: Vec<Distance> = self
-            .rows
-            .iter()
-            .map(|row| mask.sampled_distance(row, query))
-            .collect();
-        Ok(Self::pick_winner(&distances))
+        let hit = self
+            .packed
+            .scan_min2_masked(query.as_bitvec().as_words(), mask.as_bitvec().as_words())
+            .expect("checked non-empty");
+        Ok(Self::from_min2(hit))
     }
 
     /// Search with per-row distance error injected by `distorter` — the
@@ -297,7 +375,18 @@ impl AssociativeMemory {
         Ok(())
     }
 
-    /// Minimum + runner-up scan shared by every search flavour.
+    /// Lifts a kernel scan outcome into a [`SearchResult`].
+    fn from_min2(hit: Min2) -> SearchResult {
+        SearchResult {
+            class: ClassId(hit.best),
+            distance: Distance::new(hit.best_distance),
+            runner_up: hit.runner_up.map(Distance::new),
+        }
+    }
+
+    /// Minimum + runner-up scan over an explicit distance list — the path
+    /// for distorted distances, where every row's value must exist before
+    /// error injection.
     fn pick_winner(distances: &[Distance]) -> SearchResult {
         debug_assert!(!distances.is_empty());
         let mut best = 0usize;
@@ -460,6 +549,49 @@ mod tests {
                 stored: 3
             })
         );
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let (am, rows) = memory_with(2_048, 13);
+        let mut rng = StdRng::seed_from_u64(17);
+        let queries: Vec<Hypervector> = (0..37)
+            .map(|i| rows[i % rows.len()].with_flipped_bits(400, &mut rng))
+            .collect();
+        let serial: Vec<SearchResult> = queries.iter().map(|q| am.search(q).unwrap()).collect();
+        for threads in [0, 1, 2, 5, 64] {
+            assert_eq!(am.search_batch(&queries, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn batch_search_edge_cases() {
+        let (am, rows) = memory_with(256, 3);
+        assert!(am.search_batch(&[], 4).unwrap().is_empty());
+        let alien = Hypervector::random(dim(128), 1);
+        assert!(am.search_batch(&[rows[0].clone(), alien], 4).is_err());
+        let empty = AssociativeMemory::new(dim(256));
+        assert_eq!(
+            empty.search_batch(&[rows[0].clone()], 2).unwrap_err(),
+            HdcError::EmptyMemory
+        );
+    }
+
+    #[test]
+    fn packed_rows_track_inserts_and_replacements() {
+        let (mut am, rows) = memory_with(300, 4);
+        assert_eq!(am.packed_rows().len(), 4);
+        assert_eq!(am.packed_rows().dim(), 300);
+        assert_eq!(
+            am.packed_rows().row_words(2),
+            rows[2].as_bitvec().as_words()
+        );
+        let new = Hypervector::random(dim(300), 50);
+        am.replace_row(ClassId(1), new.clone()).unwrap();
+        assert_eq!(am.packed_rows().row_words(1), new.as_bitvec().as_words());
+        // The packed copy drives the search: the replaced row wins for its
+        // own pattern.
+        assert_eq!(am.search(&new).unwrap().class, ClassId(1));
     }
 
     #[test]

@@ -167,18 +167,15 @@ impl BitVec {
 
     /// Number of positions at which `self` and `other` differ.
     ///
-    /// This is the Hamming-distance kernel used throughout the crate.
+    /// This is the Hamming-distance kernel used throughout the crate; it
+    /// runs on the carry-save word kernel of [`crate::kernel`].
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "hamming over unequal lengths");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        crate::kernel::hamming_words(&self.words, &other.words)
     }
 
     /// Hamming distance restricted to the positions set in `mask`.
@@ -189,12 +186,7 @@ impl BitVec {
     pub fn hamming_masked(&self, other: &BitVec, mask: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "hamming over unequal lengths");
         assert_eq!(self.len, mask.len, "mask length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .zip(&mask.words)
-            .map(|((a, b), m)| ((a ^ b) & m).count_ones() as usize)
-            .sum()
+        crate::kernel::hamming_words_masked(&self.words, &other.words, &mask.words)
     }
 
     /// In-place XOR with `other`.

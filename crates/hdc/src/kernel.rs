@@ -1,0 +1,629 @@
+//! The software search engine: contiguous row storage and fused Hamming
+//! scan kernels.
+//!
+//! The associative search of the paper — nearest Hamming distance over `C`
+//! rows of `D` bits — is the dominant cost of HD classification, and the
+//! hardware designs in `ham-core` win exactly by co-designing the row
+//! layout with the distance datapath (D-HAM's XOR array feeding a
+//! comparator tree). This module is the software analogue of that
+//! co-design:
+//!
+//! * [`PackedRows`] — a row-major `u64` word matrix holding every stored
+//!   class contiguously, so a full scan is one linear sweep of memory
+//!   instead of `C` pointer chases into separately allocated vectors;
+//! * [`hamming_words`] / [`hamming_words_masked`] — carry-save
+//!   (Harley–Seal) XOR + popcount kernels: 16 XOR words are reduced
+//!   through a tree of software carry-save adders so only one popcount is
+//!   paid per 16-word block instead of one per word, which is the main
+//!   saving when the target CPU has no popcount instruction and
+//!   `count_ones` lowers to a ~12-op SWAR sequence;
+//! * [`PackedRows::scan_min2`] — a fused single-pass min/runner-up scan
+//!   that abandons a row as soon as a *lower bound* on its partial
+//!   distance exceeds the current runner-up bound (*early abandonment*):
+//!   a row that can no longer be the winner or the runner-up cannot
+//!   change the [`SearchResult`](crate::am::SearchResult), so the
+//!   remaining words need not be counted.
+//!
+//! Every kernel here is bit-identical to the naive per-row reference for
+//! all inputs, including dimensions that are not a multiple of 64 (the
+//! zeroed tail of the last word contributes no mismatches). The
+//! equivalence is enforced by the proptest suite in
+//! `tests/kernel_equivalence.rs`.
+
+/// Words per carry-save block: one popcount is paid per this many words.
+const BLOCK_WORDS: usize = 16;
+
+/// One software carry-save adder (full adder over 64 independent bit
+/// lanes): returns `(carry, sum)` with `carry·2 + sum = a + b + c` per
+/// lane, in five bitwise ops instead of three popcounts.
+#[inline(always)]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let partial = a ^ b;
+    ((a & b) | (partial & c), partial ^ c)
+}
+
+/// Streaming Harley–Seal accumulator.
+///
+/// `ones`/`twos`/`fours`/`eights` hold not-yet-counted mismatches with
+/// lane weights 1/2/4/8; every completed 16-word block spills exactly one
+/// weight-16 word which is popcounted immediately into `sixteens`.
+#[derive(Debug, Default, Clone, Copy)]
+struct CsaAccumulator {
+    ones: u64,
+    twos: u64,
+    fours: u64,
+    eights: u64,
+    sixteens: usize,
+}
+
+impl CsaAccumulator {
+    /// Folds one block of 16 XOR words into the accumulator; the only
+    /// popcount is on the spilled weight-16 word.
+    #[inline(always)]
+    fn admit(&mut self, x: &[u64; BLOCK_WORDS]) {
+        let (two_a, ones) = csa(self.ones, x[0], x[1]);
+        let (two_b, ones) = csa(ones, x[2], x[3]);
+        let (four_a, twos) = csa(self.twos, two_a, two_b);
+        let (two_a, ones) = csa(ones, x[4], x[5]);
+        let (two_b, ones) = csa(ones, x[6], x[7]);
+        let (four_b, twos) = csa(twos, two_a, two_b);
+        let (eight_a, fours) = csa(self.fours, four_a, four_b);
+        let (two_a, ones) = csa(ones, x[8], x[9]);
+        let (two_b, ones) = csa(ones, x[10], x[11]);
+        let (four_a, twos) = csa(twos, two_a, two_b);
+        let (two_a, ones) = csa(ones, x[12], x[13]);
+        let (two_b, ones) = csa(ones, x[14], x[15]);
+        let (four_b, twos) = csa(twos, two_a, two_b);
+        let (eight_b, fours) = csa(fours, four_a, four_b);
+        let (sixteen, eights) = csa(self.eights, eight_a, eight_b);
+        self.sixteens += sixteen.count_ones() as usize;
+        self.ones = ones;
+        self.twos = twos;
+        self.fours = fours;
+        self.eights = eights;
+    }
+
+    /// Mismatches proven so far — the residual weight registers are still
+    /// uncounted, so this never exceeds the exact partial distance.
+    #[inline(always)]
+    fn lower_bound(&self) -> usize {
+        BLOCK_WORDS * self.sixteens
+    }
+
+    /// Exact total: spilled blocks plus the residual weight registers.
+    #[inline(always)]
+    fn total(&self) -> usize {
+        BLOCK_WORDS * self.sixteens
+            + 8 * self.eights.count_ones() as usize
+            + 4 * self.fours.count_ones() as usize
+            + 2 * self.twos.count_ones() as usize
+            + self.ones.count_ones() as usize
+    }
+}
+
+/// Exact distance between `a` and `b`, or `None` as soon as a lower bound
+/// on the distance strictly exceeds `bound`. Two independent carry-save
+/// chains cover interleaved 16-word blocks so the CSA dependency chains
+/// overlap; the bound is checked once per 32 words.
+#[inline]
+fn bounded_distance(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+    let (mut even, mut odd) = (CsaAccumulator::default(), CsaAccumulator::default());
+    let mut x = [0u64; BLOCK_WORDS];
+    let mut y = [0u64; BLOCK_WORDS];
+    let mut a32 = a.chunks_exact(2 * BLOCK_WORDS);
+    let mut b32 = b.chunks_exact(2 * BLOCK_WORDS);
+    for (wa, wb) in (&mut a32).zip(&mut b32) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = wa[i] ^ wb[i];
+            y[i] = wa[BLOCK_WORDS + i] ^ wb[BLOCK_WORDS + i];
+        }
+        even.admit(&x);
+        odd.admit(&y);
+        if even.lower_bound() + odd.lower_bound() > bound {
+            return None;
+        }
+    }
+    let mut a16 = a32.remainder().chunks_exact(BLOCK_WORDS);
+    let mut b16 = b32.remainder().chunks_exact(BLOCK_WORDS);
+    for (wa, wb) in (&mut a16).zip(&mut b16) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = wa[i] ^ wb[i];
+        }
+        even.admit(&x);
+    }
+    let (tail_a, tail_b) = (a16.remainder(), b16.remainder());
+    if !tail_a.is_empty() {
+        // Zero-padding the final partial block adds no mismatches, so the
+        // tail rides through the same carry-save tree.
+        x = [0u64; BLOCK_WORDS];
+        for i in 0..tail_a.len() {
+            x[i] = tail_a[i] ^ tail_b[i];
+        }
+        even.admit(&x);
+    }
+    Some(even.total() + odd.total())
+}
+
+/// Masked variant of [`bounded_distance`]: one carry-save chain over
+/// `(a ^ b) & mask` blocks, bound checked once per 16 words.
+#[inline]
+fn bounded_distance_masked(a: &[u64], b: &[u64], mask: &[u64], bound: usize) -> Option<usize> {
+    let mut acc = CsaAccumulator::default();
+    let mut x = [0u64; BLOCK_WORDS];
+    let mut a16 = a.chunks_exact(BLOCK_WORDS);
+    let mut b16 = b.chunks_exact(BLOCK_WORDS);
+    let mut m16 = mask.chunks_exact(BLOCK_WORDS);
+    for ((wa, wb), wm) in (&mut a16).zip(&mut b16).zip(&mut m16) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = (wa[i] ^ wb[i]) & wm[i];
+        }
+        acc.admit(&x);
+        if acc.lower_bound() > bound {
+            return None;
+        }
+    }
+    let (tail_a, tail_b, tail_m) = (a16.remainder(), b16.remainder(), m16.remainder());
+    if !tail_a.is_empty() {
+        x = [0u64; BLOCK_WORDS];
+        for i in 0..tail_a.len() {
+            x[i] = (tail_a[i] ^ tail_b[i]) & tail_m[i];
+        }
+        acc.admit(&x);
+    }
+    Some(acc.total())
+}
+
+/// Number of mismatching bits between two equal-length word slices.
+///
+/// The carry-save (Harley–Seal) XOR + popcount kernel underneath every
+/// Hamming distance in the crate (including [`BitVec::hamming`]). Word
+/// slices must come from [`BitVec`]s of the same logical length; tail bits
+/// beyond the logical length are zero by the `BitVec` invariant and never
+/// count.
+///
+/// [`BitVec::hamming`]: crate::bitvec::BitVec::hamming
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming over unequal word counts");
+    bounded_distance(a, b, usize::MAX).expect("unbounded distance never abandons")
+}
+
+/// Number of mismatching bits restricted to the positions set in `mask`,
+/// with the same carry-save reduction as [`hamming_words`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn hamming_words_masked(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming over unequal word counts");
+    assert_eq!(a.len(), mask.len(), "mask word count mismatch");
+    bounded_distance_masked(a, b, mask, usize::MAX).expect("unbounded distance never abandons")
+}
+
+/// Winner and runner-up of one fused scan over a [`PackedRows`] matrix.
+///
+/// Both distances are *exact*: early abandonment only ever skips rows whose
+/// partial distance already exceeds the runner-up bound, and the distance
+/// of such a row can influence neither field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Min2 {
+    /// Row index of the winner (ties resolve to the lowest index, matching
+    /// a deterministic hardware comparator tree).
+    pub best: usize,
+    /// Exact distance of the winner, in bits.
+    pub best_distance: usize,
+    /// Exact distance of the second-closest row, when at least two rows
+    /// are stored.
+    pub runner_up: Option<usize>,
+}
+
+/// A contiguous, row-major matrix of packed `u64` rows — the software
+/// analogue of the paper's `C × D` storage array.
+///
+/// All rows share one allocation; row `i` occupies words
+/// `[i · words_per_row, (i + 1) · words_per_row)`. Tail bits of each row
+/// beyond `dim` are zero, the same invariant as
+/// [`BitVec`](crate::bitvec::BitVec).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BitVec, kernel::PackedRows};
+///
+/// let mut rows = PackedRows::new(130);
+/// let a = BitVec::ones(130);
+/// let b = BitVec::zeros(130);
+/// rows.push(a.as_words());
+/// rows.push(b.as_words());
+///
+/// let hit = rows.scan_min2(b.as_words()).unwrap();
+/// assert_eq!(hit.best, 1);
+/// assert_eq!(hit.best_distance, 0);
+/// assert_eq!(hit.runner_up, Some(130));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedRows {
+    words: Vec<u64>,
+    words_per_row: usize,
+    dim: usize,
+    rows: usize,
+}
+
+impl PackedRows {
+    /// Creates an empty matrix whose rows are `dim` bits wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "rows must be at least one bit wide");
+        PackedRows {
+            words: Vec::new(),
+            words_per_row: dim.div_ceil(64),
+            dim,
+            rows: 0,
+        }
+    }
+
+    /// Creates an empty matrix with storage reserved for `rows` rows.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        let mut out = PackedRows::new(dim);
+        out.words.reserve(rows * out.words_per_row);
+        out
+    }
+
+    /// Row width in bits.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Words per stored row, `⌈dim / 64⌉`.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of stored rows, `C`.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when no row is stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row and returns its index. `row` must hold exactly
+    /// [`words_per_row`](Self::words_per_row) words with tail bits beyond
+    /// `dim` zero (what [`BitVec::as_words`](crate::BitVec::as_words) of a
+    /// same-length vector provides).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong word count.
+    pub fn push(&mut self, row: &[u64]) -> usize {
+        assert_eq!(row.len(), self.words_per_row, "row word count mismatch");
+        self.words.extend_from_slice(row);
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// Overwrites row `index` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `row` has the wrong word count.
+    pub fn replace(&mut self, index: usize, row: &[u64]) {
+        assert!(index < self.rows, "row index {index} out of range");
+        assert_eq!(row.len(), self.words_per_row, "row word count mismatch");
+        let start = index * self.words_per_row;
+        self.words[start..start + self.words_per_row].copy_from_slice(row);
+    }
+
+    /// Borrow of the packed words of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn row_words(&self, index: usize) -> &[u64] {
+        assert!(index < self.rows, "row index {index} out of range");
+        let start = index * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Borrow of the whole row-major word matrix.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over the rows as word slices, in row order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[u64]> {
+        self.words.chunks_exact(self.words_per_row.max(1))
+    }
+
+    /// Exact distance from `query` to every row, in row order — the full
+    /// (non-abandoning) scan backing APIs that need all `C` distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count.
+    pub fn distances(&self, query: &[u64]) -> Vec<usize> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        self.iter_rows()
+            .map(|row| hamming_words(row, query))
+            .collect()
+    }
+
+    /// Masked distances from `query` to every row, in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count.
+    pub fn distances_masked(&self, query: &[u64], mask: &[u64]) -> Vec<usize> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        self.iter_rows()
+            .map(|row| hamming_words_masked(row, query, mask))
+            .collect()
+    }
+
+    /// Fused single-pass nearest + runner-up scan with early abandonment.
+    ///
+    /// Rows are scored through the carry-save kernel; a row is abandoned
+    /// once a lower bound on its partial distance strictly exceeds the
+    /// current runner-up bound. Distance is monotone in the number of
+    /// scanned words and the lower bound never exceeds the true partial,
+    /// so an abandoned row's final distance provably exceeds the final
+    /// runner-up — abandonment can change neither the winner, nor the
+    /// runner-up, nor either reported distance. Ties resolve to the
+    /// lowest row index.
+    ///
+    /// Returns `None` when the matrix is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count.
+    pub fn scan_min2(&self, query: &[u64]) -> Option<Min2> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        self.scan_min2_impl(query, None)
+    }
+
+    /// [`scan_min2`](Self::scan_min2) restricted to the positions set in
+    /// `mask` — the kernel behind sampled (D-HAM/R-HAM style) search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count.
+    pub fn scan_min2_masked(&self, query: &[u64], mask: &[u64]) -> Option<Min2> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
+        self.scan_min2_impl(query, Some(mask))
+    }
+
+    fn scan_min2_impl(&self, query: &[u64], mask: Option<&[u64]>) -> Option<Min2> {
+        if self.rows == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_distance = usize::MAX;
+        let mut runner_up = usize::MAX;
+        for (index, row) in self.iter_rows().enumerate() {
+            // A row whose distance strictly exceeds the runner-up cannot
+            // affect the result, so the kernel may stop counting it as
+            // soon as that is provable (and `None`/larger distances fall
+            // through the update below without effect).
+            let bound = runner_up;
+            let distance = match mask {
+                None => bounded_distance(row, query, bound),
+                Some(mask) => bounded_distance_masked(row, query, mask, bound),
+            };
+            let Some(distance) = distance else { continue };
+            if distance < best_distance {
+                runner_up = best_distance;
+                best = index;
+                best_distance = distance;
+            } else if distance < runner_up {
+                runner_up = distance;
+            }
+        }
+        Some(Min2 {
+            best,
+            best_distance,
+            runner_up: (runner_up != usize::MAX).then_some(runner_up),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    /// The seed's word-wise zip kernel, kept as the in-module reference.
+    fn naive_hamming(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum()
+    }
+
+    fn pseudo_bits(len: usize, salt: usize) -> BitVec {
+        BitVec::from_bits((0..len).map(|i| (i.wrapping_mul(2_654_435_761) ^ salt) % 7 < 3))
+    }
+
+    fn packed_from(rows: &[BitVec]) -> PackedRows {
+        let mut out = PackedRows::with_capacity(rows[0].len(), rows.len());
+        for row in rows {
+            out.push(row.as_words());
+        }
+        out
+    }
+
+    /// Reference min/runner-up over a full distance list.
+    fn reference_min2(distances: &[usize]) -> Min2 {
+        let mut best = 0usize;
+        for (i, d) in distances.iter().enumerate().skip(1) {
+            if *d < distances[best] {
+                best = i;
+            }
+        }
+        let runner_up = distances
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best)
+            .map(|(_, d)| *d)
+            .min();
+        Min2 {
+            best,
+            best_distance: distances[best],
+            runner_up,
+        }
+    }
+
+    #[test]
+    fn carry_save_kernel_matches_naive_all_tail_widths() {
+        for len in [1usize, 63, 64, 65, 127, 128, 255, 256, 300, 1_000, 10_000] {
+            let a = pseudo_bits(len, 1);
+            let b = pseudo_bits(len, 2);
+            assert_eq!(
+                hamming_words(a.as_words(), b.as_words()),
+                naive_hamming(a.as_words(), b.as_words()),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_kernel_matches_masked_reference() {
+        for len in [5usize, 64, 129, 257, 1_000] {
+            let a = pseudo_bits(len, 1);
+            let b = pseudo_bits(len, 2);
+            let m = pseudo_bits(len, 3);
+            let expected: usize = a
+                .as_words()
+                .iter()
+                .zip(b.as_words())
+                .zip(m.as_words())
+                .map(|((x, y), w)| ((x ^ y) & w).count_ones() as usize)
+                .sum();
+            assert_eq!(
+                hamming_words_masked(a.as_words(), b.as_words(), m.as_words()),
+                expected,
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_reference_across_shapes() {
+        for (c, d) in [
+            (1usize, 70usize),
+            (2, 64),
+            (5, 129),
+            (21, 1_000),
+            (40, 2_048),
+        ] {
+            let rows: Vec<BitVec> = (0..c).map(|i| pseudo_bits(d, i * 11 + 1)).collect();
+            let packed = packed_from(&rows);
+            let query = pseudo_bits(d, 999);
+            let distances = packed.distances(query.as_words());
+            let expected = reference_min2(&distances);
+            assert_eq!(
+                packed.scan_min2(query.as_words()),
+                Some(expected),
+                "{c}x{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn abandonment_triggers_and_stays_exact() {
+        // A near-duplicate of the query makes the runner-up bound tight so
+        // distant rows abandon after the first chunk, yet the scan result
+        // must stay identical to the full reference.
+        let d = 4_096;
+        let query = pseudo_bits(d, 5);
+        let mut near = query.clone();
+        near.flip(17);
+        let mut nearer = query.clone();
+        nearer.flip(3);
+        nearer.flip(1_000);
+        let mut rows = vec![near, nearer];
+        rows.extend((0..30).map(|i| pseudo_bits(d, i + 100)));
+        let packed = packed_from(&rows);
+        let distances = packed.distances(query.as_words());
+        let expected = reference_min2(&distances);
+        let got = packed.scan_min2(query.as_words()).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(got.best, 0);
+        assert_eq!(got.best_distance, 1);
+        assert_eq!(got.runner_up, Some(2));
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index() {
+        let d = 256;
+        let row = pseudo_bits(d, 1);
+        let packed = packed_from(&[row.clone(), row.clone(), row.clone()]);
+        let hit = packed.scan_min2(row.as_words()).unwrap();
+        assert_eq!(hit.best, 0);
+        assert_eq!(hit.best_distance, 0);
+        assert_eq!(hit.runner_up, Some(0));
+    }
+
+    #[test]
+    fn single_row_has_no_runner_up() {
+        let row = pseudo_bits(100, 1);
+        let packed = packed_from(std::slice::from_ref(&row));
+        let hit = packed.scan_min2(row.as_words()).unwrap();
+        assert_eq!(hit.best, 0);
+        assert_eq!(hit.runner_up, None);
+    }
+
+    #[test]
+    fn empty_matrix_scans_to_none() {
+        let packed = PackedRows::new(64);
+        assert!(packed.is_empty());
+        assert_eq!(packed.scan_min2(&[0u64]), None);
+    }
+
+    #[test]
+    fn masked_scan_matches_masked_distances() {
+        let d = 1_234;
+        let rows: Vec<BitVec> = (0..9).map(|i| pseudo_bits(d, i + 1)).collect();
+        let packed = packed_from(&rows);
+        let query = pseudo_bits(d, 77);
+        let mask = pseudo_bits(d, 78);
+        let distances = packed.distances_masked(query.as_words(), mask.as_words());
+        let expected = reference_min2(&distances);
+        assert_eq!(
+            packed.scan_min2_masked(query.as_words(), mask.as_words()),
+            Some(expected)
+        );
+    }
+
+    #[test]
+    fn replace_and_accessors() {
+        let a = pseudo_bits(130, 1);
+        let b = pseudo_bits(130, 2);
+        let mut packed = packed_from(&[a.clone(), b.clone()]);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed.dim(), 130);
+        assert_eq!(packed.words_per_row(), 3);
+        assert_eq!(packed.row_words(1), b.as_words());
+        let c = pseudo_bits(130, 3);
+        packed.replace(0, c.as_words());
+        assert_eq!(packed.row_words(0), c.as_words());
+        assert_eq!(packed.as_words().len(), 6);
+        assert_eq!(packed.iter_rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn push_rejects_wrong_width() {
+        PackedRows::new(130).push(&[0u64]);
+    }
+}

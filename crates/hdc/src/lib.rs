@@ -42,8 +42,11 @@
 //! * [`ops`] — bind (XOR), bundle (bitwise majority), permute (rotation).
 //! * [`item_memory`] — fixed symbol → seed-hypervector assignment.
 //! * [`encoder`] — the letter *n*-gram text encoder of the paper.
+//! * [`kernel`] — the software search engine: contiguous row-major packed
+//!   storage and fused, early-abandoning Hamming scan kernels.
 //! * [`am`] — exact software associative memory (the functional reference
-//!   that the hardware designs in `ham-core` are validated against).
+//!   that the hardware designs in `ham-core` are validated against); its
+//!   search paths run on the [`kernel`] engine.
 //! * [`distortion`] — structured sampling and distance-error injection used
 //!   by the robustness study (paper Fig. 1).
 //! * [`level`] / [`seq`] / [`sparse`] — extension encoders: scalar levels
@@ -59,6 +62,7 @@ pub mod distortion;
 pub mod encoder;
 pub mod hypervector;
 pub mod item_memory;
+pub mod kernel;
 pub mod level;
 pub mod ops;
 pub mod seq;
@@ -76,6 +80,7 @@ pub use crate::encoder::NGramEncoder;
 pub use crate::error::HdcError;
 pub use crate::hypervector::{Dimension, Distance, Hypervector};
 pub use crate::item_memory::ItemMemory;
+pub use crate::kernel::{Min2, PackedRows};
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
 pub use crate::seq::SequenceEncoder;
@@ -90,6 +95,7 @@ pub mod prelude {
     pub use crate::error::HdcError;
     pub use crate::hypervector::{Dimension, Distance, Hypervector};
     pub use crate::item_memory::ItemMemory;
+    pub use crate::kernel::{Min2, PackedRows};
     pub use crate::level::{LevelEncoder, RecordEncoder};
     pub use crate::ops::{Bundler, TieBreak};
     pub use crate::seq::SequenceEncoder;

@@ -171,15 +171,23 @@ impl Evaluation {
 
 /// Evaluates the classifier on a corpus with the exact software search.
 ///
+/// Encoding and classification both use all available cores: the corpus is
+/// encoded in parallel by [`encode_corpus`] and the encoded queries run
+/// through the associative memory's batched search engine
+/// ([`AssociativeMemory::search_batch`]), which is bit-identical to
+/// searching one query at a time.
+///
 /// # Errors
 ///
 /// Propagates [`HdcError`] from encoding or search.
 pub fn evaluate(classifier: &LanguageClassifier, corpus: &Corpus) -> Result<Evaluation, HdcError> {
+    let encoded = encode_corpus(classifier, corpus);
+    let queries: Vec<Hypervector> = encoded.iter().map(|(_, q)| q.clone()).collect();
+    let results = classifier.memory().search_batch(&queries, 0)?;
     let mut confusion = ConfusionMatrix::new();
     let mut margins = Vec::with_capacity(corpus.len());
-    for (truth, query) in encode_corpus(classifier, corpus) {
-        let result = classifier.memory().search(&query)?;
-        confusion.record(truth, classifier.language_of(result.class));
+    for ((truth, _), result) in encoded.iter().zip(&results) {
+        confusion.record(*truth, classifier.language_of(result.class));
         margins.push(result.margin());
     }
     Ok(Evaluation { confusion, margins })

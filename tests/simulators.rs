@@ -18,7 +18,7 @@ fn three_simulators_and_three_models_agree_on_decisions() {
     let dham_sim = DhamCycleSim::new(&memory, 64).expect("builds");
     let rham_sim = RhamPhaseSim::new(&memory, 64).expect("builds");
     let mut aham_sim = AhamAnalogSim::new(&memory, 7).expect("builds");
-    let models: Vec<Box<dyn HamDesign>> = DesignKind::ALL
+    let models: Vec<SharedDesign> = DesignKind::ALL
         .iter()
         .map(|&k| build(k, &memory).expect("builds"))
         .collect();
