@@ -11,7 +11,12 @@
 //!    class count grows (`C ∈ {21, 100, 1000}`);
 //! 3. a 1,000-query batch classified serially vs sharded across worker
 //!    threads, both through [`AssociativeMemory::search_batch`] and
-//!    through the priced [`ham_core::batch::run_batch_parallel`] path.
+//!    through the priced [`ham_core::batch::run_batch_parallel`] path;
+//! 4. the serving runtime's overhead: the panic-isolated resilient batch
+//!    vs the plain parallel batch (healthy), the degraded (tightened)
+//!    escalation ladder vs the base one, and a full quarantine restore
+//!    (checksummed snapshot load + scrub repair) vs one steady-state
+//!    batch.
 //!
 //! Usage: `ham-search-bench [--out FILE]`.
 
@@ -20,6 +25,10 @@ use std::time::Instant;
 
 use ham_core::batch::{run_batch, run_batch_parallel, BatchOptions};
 use ham_core::explore::{build, random_memory, DesignKind};
+use ham_core::resilience::{
+    classify_batch_resilient, load_snapshot_repaired, run_batch_resilient, save_snapshot,
+    DegradationController, DegradationPolicy, ResilientOptions, Scrubber,
+};
 use hdc::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +59,7 @@ struct Snapshot {
     single_query: Comparison,
     early_abandon: Vec<Comparison>,
     batch_1000: Vec<Comparison>,
+    resilience: Vec<Comparison>,
 }
 
 /// Times `op` for at least `budget` of wall clock and adds the elapsed
@@ -266,11 +276,80 @@ fn main() {
     );
     batch_1000.push(cmp);
 
+    // 4. Resilient serving path: what do the safety layers cost?
+    let mut resilience = Vec::new();
+    let options = ResilientOptions::default();
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "run_batch_parallel",
+        || run_batch_parallel(design.as_ref(), &queries, BatchOptions::parallel()).unwrap(),
+        "run_batch_resilient_healthy",
+        || run_batch_resilient(design.as_ref(), &queries, &options),
+    );
+    println!(
+        "resilient x1000 healthy: plain {:.0} ns vs resilient {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    resilience.push(cmp);
+
+    // Degraded serving tightens the escalation ladder the way the health
+    // monitor does on a Degraded transition: wider confidence bands mean
+    // more retries and exact escalations per query.
+    let policy = DegradationPolicy::for_dim(memory.dim().get());
+    let tightened = DegradationPolicy {
+        confident_margin: policy.confident_margin * 2,
+        reject_margin: policy.reject_margin + policy.reject_margin / 2,
+        max_retries: policy.max_retries + 1,
+    };
+    let base_ladder =
+        DegradationController::for_kind(DesignKind::Digital, memory.clone(), policy).unwrap();
+    let tight_ladder =
+        DegradationController::for_kind(DesignKind::Digital, memory.clone(), tightened).unwrap();
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "classify_healthy_ladder",
+        || classify_batch_resilient(&base_ladder, &queries, 0, &options),
+        "classify_degraded_ladder",
+        || classify_batch_resilient(&tight_ladder, &queries, 0, &options),
+    );
+    println!(
+        "classify x1000: healthy ladder {:.0} ns vs degraded ladder {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    resilience.push(cmp);
+
+    // A quarantine restore = checksummed snapshot load + golden-copy
+    // repair + engine rebuild, priced against one steady-state batch so
+    // the ratio reads "a restore costs N batches".
+    let scrubber = Scrubber::from_memory(&memory);
+    let snap_path = std::env::temp_dir().join(format!("ham-bench-snap-{}.ham", std::process::id()));
+    save_snapshot(&memory, &snap_path).expect("snapshot saves");
+    let cmp = compare(
+        21,
+        10_000,
+        1_600,
+        "search_batch_steady",
+        || memory.search_batch(&queries, 0).unwrap(),
+        "quarantine_restore",
+        || load_snapshot_repaired(&snap_path, &scrubber).unwrap(),
+    );
+    println!(
+        "quarantine restore: one batch {:.0} ns vs snapshot restore {:.0} ns ({:.2}x)",
+        cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+    );
+    resilience.push(cmp);
+    std::fs::remove_file(&snap_path).ok();
+
     let snapshot = Snapshot {
         host_threads,
         single_query,
         early_abandon,
         batch_1000,
+        resilience,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| {

@@ -30,7 +30,8 @@ use ham_core::explore::DesignKind;
 use ham_core::model::HamDesign;
 use ham_core::resilience::{
     apply_faults, apply_query_faults, Confidence, DegradationController, DegradationPolicy,
-    EngineStage, FaultInjector, Scrubber, StuckAtCells, TransientFlips,
+    EngineStage, FaultInjector, ResilientServer, Scrubber, StuckAtCells, TransientFlips,
+    PRIORITY_NORMAL,
 };
 use ham_core::rham::RHam;
 use hdc::prelude::*;
@@ -68,6 +69,20 @@ pub struct Row {
     pub exact_fraction: f64,
     /// Mean extra engine invocations per query.
     pub mean_escalations: f64,
+    /// Accuracy of the full serving runtime ([`ResilientServer`]:
+    /// admission, health monitoring, scrub-on-degrade) over the same
+    /// damaged state; rejections, sheds and failures all count wrong.
+    pub served: f64,
+    /// Fraction of queries the server shed at admission.
+    pub shed: f64,
+    /// Fraction of queries that timed out under the serving deadline.
+    pub timed_out: f64,
+    /// Fraction of queries served while the health monitor was Healthy.
+    pub healthy_occupancy: f64,
+    /// Fraction served while Degraded.
+    pub degraded_occupancy: f64,
+    /// Fraction served while Quarantined.
+    pub quarantined_occupancy: f64,
 }
 
 /// The injector pair of one fault rate.
@@ -158,6 +173,33 @@ pub fn sweep(workload: &Workload) -> Vec<Row> {
                     to_exact += 1;
                 }
             }
+            // The serving runtime over the same damaged state: health
+            // monitoring folds the outcome stream, degradation triggers a
+            // scrub from the golden copies, quarantine restores them
+            // wholesale. Chunked submission gives the monitor windows to
+            // close between batches, as a real request stream would.
+            let mut server = ResilientServer::new(kind, faulted.clone(), scrubber.clone(), policy)
+                .expect("memory nonempty");
+            let mut serve_correct = 0usize;
+            let mut shed = 0usize;
+            let mut timed_out = 0usize;
+            for (chunk_index, chunk) in queries.chunks(64).enumerate() {
+                let truths = &workload.queries()[chunk_index * 64..];
+                let report = server.serve(chunk, PRIORITY_NORMAL);
+                shed += report.stats.shed;
+                timed_out += report.stats.timed_out;
+                for ((truth, _), outcome) in truths.iter().zip(&report.outcomes) {
+                    if let Ok(outcome) = outcome {
+                        if outcome.confidence != Confidence::Rejected
+                            && workload.classifier().language_of(outcome.result.class) == *truth
+                        {
+                            serve_correct += 1;
+                        }
+                    }
+                }
+            }
+            let occupancy = server.health().occupancy_fractions();
+
             let n = queries.len().max(1) as f64;
             rows.push(Row {
                 kind: kind.name(),
@@ -169,6 +211,12 @@ pub fn sweep(workload: &Workload) -> Vec<Row> {
                 rejected: rejected as f64 / n,
                 exact_fraction: to_exact as f64 / n,
                 mean_escalations: escalations as f64 / n,
+                served: serve_correct as f64 / n,
+                shed: shed as f64 / n,
+                timed_out: timed_out as f64 / n,
+                healthy_occupancy: occupancy[0],
+                degraded_occupancy: occupancy[1],
+                quarantined_occupancy: occupancy[2],
             });
         }
     }
@@ -195,13 +243,26 @@ pub fn run(workload: &Workload) -> Report {
         "fault-rate vs accuracy under graceful degradation (extension)",
     );
     report.row(format!(
-        "{:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
-        "design", "rate", "raw", "ctrl", "exact", "scrub", "reject", "toexact", "esc"
+        "{:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>6} {:>17}",
+        "design",
+        "rate",
+        "raw",
+        "ctrl",
+        "exact",
+        "scrub",
+        "reject",
+        "toexact",
+        "esc",
+        "served",
+        "shed",
+        "t/o",
+        "occupancy H/D/Q"
     ));
     let rows = sweep(workload);
     for r in &rows {
         report.row(format!(
-            "{:>6} {:>5.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.2}",
+            "{:>6} {:>5.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.2} \
+             {:>6.1}% {:>5.1}% {:>5.1}% {:>5.2}/{:>4.2}/{:>4.2}",
             r.kind,
             r.rate * 100.0,
             r.raw * 100.0,
@@ -211,6 +272,12 @@ pub fn run(workload: &Workload) -> Report {
             r.rejected * 100.0,
             r.exact_fraction * 100.0,
             r.mean_escalations,
+            r.served * 100.0,
+            r.shed * 100.0,
+            r.timed_out * 100.0,
+            r.healthy_occupancy,
+            r.degraded_occupancy,
+            r.quarantined_occupancy,
         ));
     }
     let worst_drop = rows
@@ -241,7 +308,29 @@ mod tests {
                 // No faults: the scrub pass finds nothing to repair, so
                 // the scrubbed engine IS the raw engine.
                 assert_eq!(r.raw, r.scrubbed, "{} clean scrub", r.kind);
+                // …and the serving runtime never leaves the Healthy state,
+                // sheds nothing, and misses no deadline (it has none).
+                assert_eq!(r.healthy_occupancy, 1.0, "{} clean occupancy", r.kind);
+                assert_eq!(r.shed, 0.0, "{} clean shed", r.kind);
+                assert_eq!(r.timed_out, 0.0, "{} clean timeouts", r.kind);
             }
+            // Occupancy fractions partition the served queries.
+            let occ = r.healthy_occupancy + r.degraded_occupancy + r.quarantined_occupancy;
+            assert!(
+                (occ - 1.0).abs() < 1e-9,
+                "{} at {}: occ {occ}",
+                r.kind,
+                r.rate
+            );
+            // The serving runtime is never shedding or timing out in this
+            // offline sweep (unbounded admission and budget), so every
+            // query gets a verdict and accuracy is comparable to ctrl.
+            assert!(
+                r.served >= 0.0 && r.served <= 1.0,
+                "{} served {}",
+                r.kind,
+                r.served
+            );
             // The controller tracks the exact ceiling: it only gives up
             // accuracy on the queries it deliberately abstains from.
             assert!(

@@ -18,16 +18,54 @@
 //! few hard queries) still load-balances. Results are bit-identical to
 //! the serial loop, in input order.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use hdc::prelude::*;
 
-use crate::model::{HamDesign, HamError, HamSearchResult};
+use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
 use crate::units::{Nanoseconds, Picojoules};
 
 /// Fraction of the search latency one pipelined query occupies (the
 /// evaluate phase of the two-phase search).
 const INITIATION_FRACTION: f64 = 0.5;
+
+/// Locks a mutex, taking the guard even from a poisoned lock. The work
+/// queue only ever holds plain indices and slices — a worker that
+/// panicked mid-search leaves the queue itself consistent, so the poison
+/// flag carries no information the batch engine needs, and honoring it
+/// would let one panicking worker take down every other worker's
+/// remaining work.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one search with the panic contained: a panicking design yields
+/// [`HamError::WorkerPanicked`] for this query instead of unwinding into
+/// the worker loop.
+pub(crate) fn search_caught(
+    design: &(dyn HamDesign + Sync),
+    query: &Hypervector,
+    index: usize,
+) -> Result<HamSearchResult, HamError> {
+    catch_unwind(AssertUnwindSafe(|| design.search(query)))
+        .unwrap_or(Err(HamError::WorkerPanicked { query: index }))
+}
+
+/// Prices `n` completed searches with the two-phase pipelining model:
+/// `(total energy, serial latency, pipelined latency)`.
+pub(crate) fn price_completed(
+    cost: CostMetrics,
+    n: usize,
+) -> (Picojoules, Nanoseconds, Nanoseconds) {
+    let n = n as f64;
+    let pipelined = if n == 0.0 {
+        Nanoseconds::ZERO
+    } else {
+        cost.delay + cost.delay * (INITIATION_FRACTION * (n - 1.0))
+    };
+    (cost.energy * n, cost.delay * n, pipelined)
+}
 
 /// One not-yet-/already-searched result slot in the parallel work queue.
 type SearchSlot = Option<Result<HamSearchResult, HamError>>;
@@ -75,6 +113,17 @@ pub struct BatchOptions {
 }
 
 impl BatchOptions {
+    /// Options with the degenerate values clamped at construction:
+    /// `chunk == 0` (a work unit of zero queries would spin the queue
+    /// forever) becomes `1`. `threads == 0` stays, meaning one worker per
+    /// available core.
+    pub fn new(threads: usize, chunk: usize) -> Self {
+        BatchOptions {
+            threads,
+            chunk: chunk.max(1),
+        }
+    }
+
     /// One worker per available core, 32 queries per work unit.
     pub fn parallel() -> Self {
         BatchOptions {
@@ -103,6 +152,25 @@ impl BatchOptions {
         };
         threads.max(1).min(batch_len.max(1))
     }
+
+    /// The per-work-unit query count after clamping to `[1, batch_len]`;
+    /// tolerates struct-literal options that bypassed [`new`](Self::new).
+    pub fn resolved_chunk(&self, batch_len: usize) -> usize {
+        self.chunk.max(1).min(batch_len.max(1))
+    }
+
+    /// Debug-asserts that the resolved thread/chunk combination is sane,
+    /// with a message that prints the offending options.
+    fn debug_check(&self, batch_len: usize) {
+        debug_assert!(
+            self.resolved_threads(batch_len) >= 1 && self.resolved_chunk(batch_len) >= 1,
+            "BatchOptions resolved to a degenerate schedule: \
+             threads={} chunk={} over {batch_len} queries \
+             (use BatchOptions::new to clamp at construction)",
+            self.threads,
+            self.chunk,
+        );
+    }
 }
 
 impl Default for BatchOptions {
@@ -129,6 +197,14 @@ pub fn run_batch(design: &dyn HamDesign, queries: &[Hypervector]) -> Result<Batc
 /// identical to [`run_batch`]; the hardware cost model is unchanged (it
 /// prices the modelled silicon, not the host machine).
 ///
+/// A panicking search is contained to its own query: the panic is caught
+/// in the worker, the work queue survives the poisoned lock, and the
+/// query surfaces as [`HamError::WorkerPanicked`] — which, under this
+/// function's first-error semantics, aborts the batch with a typed error
+/// instead of aborting the process. Use
+/// [`run_batch_resilient`](crate::resilience::serve::run_batch_resilient)
+/// for per-query error slots.
+///
 /// # Errors
 ///
 /// Propagates the first (in input order) search error.
@@ -137,11 +213,12 @@ pub fn run_batch_parallel(
     queries: &[Hypervector],
     options: BatchOptions,
 ) -> Result<BatchReport, HamError> {
+    options.debug_check(queries.len());
     let threads = options.resolved_threads(queries.len());
     if threads <= 1 || queries.len() <= 1 {
         return run_batch(design, queries);
     }
-    let chunk = options.chunk.max(1).min(queries.len());
+    let chunk = options.resolved_chunk(queries.len());
     let mut slots: Vec<SearchSlot> = vec![None; queries.len()];
     {
         // Work queue: (query offset, result chunk) pairs claimed by
@@ -156,38 +233,36 @@ pub fn run_batch_parallel(
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let Some((base, chunk)) = work.lock().expect("queue poisoned").pop() else {
+                    let Some((base, chunk)) = lock_unpoisoned(&work).pop() else {
                         return;
                     };
                     for (offset, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(design.search(&queries[base + offset]));
+                        let index = base + offset;
+                        *slot = Some(search_caught(design, &queries[index], index));
                     }
                 });
             }
         });
     }
     let mut results = Vec::with_capacity(queries.len());
-    for slot in slots {
-        results.push(slot.expect("all slots searched")?);
+    for (index, slot) in slots.into_iter().enumerate() {
+        // Every slot is filled by `search_caught`; an unfilled slot means
+        // its worker died outside the catch (defensive) — a per-query
+        // error, never a process abort.
+        results.push(slot.unwrap_or(Err(HamError::WorkerPanicked { query: index }))?);
     }
     Ok(price_batch(design, results))
 }
 
 /// Applies the two-phase pipelining cost model to a finished batch.
 fn price_batch(design: &dyn HamDesign, results: Vec<HamSearchResult>) -> BatchReport {
-    let cost = design.cost();
-    let n = results.len() as f64;
-    let serial = cost.delay * n;
-    let pipelined = if results.is_empty() {
-        Nanoseconds::ZERO
-    } else {
-        cost.delay + cost.delay * (INITIATION_FRACTION * (n - 1.0))
-    };
+    let (total_energy, serial_latency, pipelined_latency) =
+        price_completed(design.cost(), results.len());
     BatchReport {
         results,
-        total_energy: cost.energy * n,
-        serial_latency: serial,
-        pipelined_latency: pipelined,
+        total_energy,
+        serial_latency,
+        pipelined_latency,
     }
 }
 
@@ -272,6 +347,92 @@ mod tests {
                 assert_eq!(parallel.pipelined_latency, serial.pipelined_latency);
             }
         }
+    }
+
+    #[test]
+    fn degenerate_options_are_clamped_not_fatal() {
+        // chunk == 0 is clamped at construction…
+        assert_eq!(BatchOptions::new(3, 0).chunk, 1);
+        assert_eq!(
+            BatchOptions::new(0, 7),
+            BatchOptions {
+                threads: 0,
+                chunk: 7
+            }
+        );
+        // …and tolerated at resolution for struct-literal options.
+        let literal = BatchOptions {
+            threads: 3,
+            chunk: 0,
+        };
+        assert_eq!(literal.resolved_chunk(10), 1);
+        assert_eq!(literal.resolved_chunk(0), 1);
+        assert_eq!(BatchOptions::new(2, 100).resolved_chunk(5), 5);
+
+        let memory = random_memory(5, 1_024, 2);
+        let design = build(DesignKind::Digital, &memory).unwrap();
+        let qs = queries(&memory, 9);
+        let serial = run_batch(design.as_ref(), &qs).unwrap();
+        for options in [
+            BatchOptions {
+                threads: 3,
+                chunk: 0,
+            }, // zero-chunk literal
+            BatchOptions::new(17, 4), // threads > queries
+        ] {
+            let report = run_batch_parallel(design.as_ref(), &qs, options).unwrap();
+            assert_eq!(report.results, serial.results, "{options:?}");
+        }
+        // Single-query batch takes the serial fast path under any options.
+        let one = run_batch_parallel(design.as_ref(), &qs[..1], BatchOptions::parallel()).unwrap();
+        assert_eq!(one.results, serial.results[..1]);
+    }
+
+    /// A design whose search panics on one specific query pattern.
+    struct PanicOnQuery {
+        inner: crate::model::SharedDesign,
+        trigger: Hypervector,
+    }
+
+    impl HamDesign for PanicOnQuery {
+        fn name(&self) -> &'static str {
+            "panic-on-query"
+        }
+        fn classes(&self) -> usize {
+            self.inner.classes()
+        }
+        fn dim(&self) -> Dimension {
+            self.inner.dim()
+        }
+        fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError> {
+            assert!(query != &self.trigger, "injected panic");
+            self.inner.search(query)
+        }
+        fn cost(&self) -> crate::model::CostMetrics {
+            self.inner.cost()
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_a_typed_error_not_an_abort() {
+        let memory = random_memory(4, 1_024, 8);
+        let mut qs = queries(&memory, 10);
+        let trigger = Hypervector::random(memory.dim(), 99);
+        qs[6] = trigger.clone();
+        let design = PanicOnQuery {
+            inner: build(DesignKind::Digital, &memory).unwrap(),
+            trigger,
+        };
+        let err = run_batch_parallel(
+            &design,
+            &qs,
+            BatchOptions {
+                threads: 3,
+                chunk: 2,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, HamError::WorkerPanicked { query: 6 });
     }
 
     #[test]

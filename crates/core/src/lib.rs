@@ -91,8 +91,10 @@ pub mod prelude {
         CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
     };
     pub use crate::resilience::{
-        Confidence, DegradationController, DegradationPolicy, EngineStage, FaultInjector,
-        QueryOutcome, Scrubber, StuckAtCells, TransientFlips,
+        classify_batch_resilient, load_snapshot, run_batch_resilient, save_snapshot, Confidence,
+        DegradationController, DegradationPolicy, EngineStage, FaultInjector, HealthMonitor,
+        HealthPolicy, HealthState, QueryBudget, QueryOutcome, ResilientOptions, ResilientServer,
+        RetryPolicy, ScrubReport, Scrubber, ServeStats, StuckAtCells, TransientFlips,
     };
     pub use crate::rham::RHam;
     pub use crate::tech::TechnologyModel;

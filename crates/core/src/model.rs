@@ -27,6 +27,34 @@ pub enum HamError {
         /// Classes stored in the scanned memory.
         stored: usize,
     },
+    /// A worker thread panicked while searching this query. The panic is
+    /// contained to the query's result slot; the rest of the batch is
+    /// unaffected.
+    WorkerPanicked {
+        /// Input-order index of the query whose search panicked.
+        query: usize,
+    },
+    /// The batch's deadline expired before this query was searched; the
+    /// queries searched in time carry their real results.
+    TimedOut,
+    /// The admission controller shed this query under overload before it
+    /// reached a worker.
+    Shed {
+        /// The priority the query was submitted with (lower sheds first).
+        priority: u8,
+    },
+}
+
+impl HamError {
+    /// Whether the serving runtime may retry the failed query: `true` for
+    /// faults tied to a single execution (a contained worker panic),
+    /// `false` for errors that are a property of the query or the array
+    /// (dimension mismatches, empty memories) and for terminal serving
+    /// outcomes (deadline expiry, load shedding), which retrying cannot
+    /// change.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HamError::WorkerPanicked { .. })
+    }
 }
 
 impl std::fmt::Display for HamError {
@@ -45,6 +73,13 @@ impl std::fmt::Display for HamError {
                     f,
                     "{golden} golden rows cannot scrub a memory of {stored} classes"
                 )
+            }
+            HamError::WorkerPanicked { query } => {
+                write!(f, "worker panicked while searching query {query}")
+            }
+            HamError::TimedOut => write!(f, "deadline expired before the query was searched"),
+            HamError::Shed { priority } => {
+                write!(f, "query shed under overload (priority {priority})")
             }
         }
     }
@@ -190,6 +225,30 @@ pub trait HamDesign {
     }
 }
 
+impl<T: HamDesign + ?Sized> HamDesign for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn classes(&self) -> usize {
+        (**self).classes()
+    }
+    fn dim(&self) -> Dimension {
+        (**self).dim()
+    }
+    fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError> {
+        (**self).search(query)
+    }
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        (**self).search_with_margin(query)
+    }
+    fn cost(&self) -> CostMetrics {
+        (**self).cost()
+    }
+    fn energy_components(&self) -> Vec<(&'static str, Picojoules)> {
+        (**self).energy_components()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +276,27 @@ mod tests {
         assert!(m.to_string().contains("100") && m.to_string().contains("50"));
         assert!(std::error::Error::source(&m).is_none());
         assert!(!HamError::NoClasses.to_string().is_empty());
+    }
+
+    #[test]
+    fn serving_errors_display_and_classify() {
+        let p = HamError::WorkerPanicked { query: 7 };
+        assert!(p.to_string().contains('7'));
+        assert!(p.is_transient());
+        for permanent in [
+            HamError::TimedOut,
+            HamError::Shed { priority: 3 },
+            HamError::NoClasses,
+            HamError::DimensionMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            HamError::Hdc(HdcError::EmptyMemory),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent}");
+            assert!(!permanent.to_string().is_empty());
+        }
+        assert!(HamError::Shed { priority: 3 }.to_string().contains('3'));
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //! * [`scrub`] — the [`Scrubber`], which detects corrupted stored rows
 //!   by golden-copy comparison and rewrites them, undoing permanent
 //!   storage faults between query batches.
+//! * [`serve`] — the serving runtime: panic-isolated partial batches
+//!   ([`run_batch_resilient`]) with retry-with-backoff and deadline
+//!   budgets, admission control, and the self-healing
+//!   [`ResilientServer`].
+//! * [`health`] — the [`HealthMonitor`] state machine folding query
+//!   telemetry and scrub reports into
+//!   `Healthy → Degraded → Quarantined` decisions.
+//! * [`snapshot`] — checksummed, atomically-published golden-copy
+//!   persistence for [`AssociativeMemory`](hdc::AssociativeMemory) and
+//!   [`Scrubber`] state, whose row-level corruption feeds the scrub path.
 //!
 //! The resilience experiment in `ham-bench` sweeps fault rates over all
 //! three designs and shows the controller holding classification
@@ -25,7 +35,10 @@
 
 pub mod degrade;
 pub mod fault;
+pub mod health;
 pub mod scrub;
+pub mod serve;
+pub mod snapshot;
 
 pub use degrade::{
     Confidence, DegradationController, DegradationPolicy, EngineStage, QueryOutcome,
@@ -34,4 +47,15 @@ pub use fault::{
     apply_faults, apply_query_faults, combined_block_errors, DeviceDrift, FaultInjector, SenseSkew,
     StuckAtCells, TransientFlips,
 };
+pub use health::{HealthMonitor, HealthPolicy, HealthState, HealthTransition};
 pub use scrub::{ScrubReport, Scrubber};
+pub use serve::{
+    classify_batch_resilient, run_batch_resilient, AdmissionPolicy, ChaosDesign, ClassifyReport,
+    Deadline, HealthAction, Priority, QueryBudget, ResilientOptions, ResilientReport,
+    ResilientServer, RetryPolicy, ServeReport, ServeStats, PRIORITY_HIGH, PRIORITY_LOW,
+    PRIORITY_NORMAL,
+};
+pub use snapshot::{
+    load_golden, load_snapshot, load_snapshot_repaired, save_golden, save_snapshot, RepairedLoad,
+    SnapshotError, SnapshotLoad,
+};

@@ -1,0 +1,507 @@
+//! Checksummed, atomically-published snapshots of an associative memory.
+//!
+//! A trained `AssociativeMemory` *is* the deployed model — losing it means
+//! retraining — so the serving runtime persists golden copies durably and
+//! verifies them on the way back in. The format is deliberately dumb and
+//! self-checking:
+//!
+//! * **atomic publish** — the snapshot is written to a sibling temp file,
+//!   fsynced, then `rename`d over the destination, so a crash mid-write
+//!   can never leave a half-written snapshot under the published name;
+//! * **header checksum** — magic, version, dimensionality and class count
+//!   are covered by a CRC-32; a corrupted header fails the load (nothing
+//!   after it can be trusted);
+//! * **per-row CRC-32 over fixed-stride records** — every row record has
+//!   the same byte length (fixed-width label field + row words + CRC), so
+//!   a bit flip anywhere in a row corrupts *that row only*: framing never
+//!   depends on row contents.
+//!
+//! Row corruption is an expected condition, not a load failure: the rows
+//! that fail their CRC come back in [`SnapshotLoad::corrupted`] and feed
+//! straight into the [`Scrubber`](crate::resilience::scrub::Scrubber)
+//! repair path ([`load_snapshot_repaired`]), exactly like stuck-at damage
+//! found in a live array.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use hdc::prelude::*;
+
+use crate::model::HamError;
+use crate::resilience::scrub::{ScrubReport, Scrubber};
+
+/// Snapshot file magic ("HAM snapshot, layout 1").
+pub const MAGIC: [u8; 8] = *b"HAMSNAP1";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes of the fixed-width label field: 1 length byte + the content.
+const LABEL_FIELD: usize = 48;
+/// Maximum label bytes stored (longer labels are truncated on save).
+pub const MAX_LABEL_BYTES: usize = LABEL_FIELD - 1;
+/// Header bytes before its CRC: magic + version + dim + classes.
+const HEADER_BODY: usize = 8 + 4 + 8 + 8;
+
+/// Errors of the snapshot path. Only *structural* damage (I/O, header
+/// corruption) is an error — row corruption is data, not failure.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The header failed its checksum (or declares an impossible layout);
+    /// nothing after it can be trusted.
+    HeaderCorrupt,
+    /// A golden-copy snapshot has corrupted rows; a damaged reference
+    /// must never be used to repair anything.
+    GoldenCorrupt {
+        /// Number of golden rows that failed their CRC.
+        rows: usize,
+    },
+    /// The post-load scrub/repair pass failed (e.g. the scrubber's golden
+    /// rows do not match the snapshot's class count).
+    Repair(HamError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a HAM snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::HeaderCorrupt => write!(f, "snapshot header failed its checksum"),
+            SnapshotError::GoldenCorrupt { rows } => {
+                write!(f, "golden snapshot has {rows} corrupted rows")
+            }
+            SnapshotError::Repair(e) => write!(f, "post-load repair failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Repair(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<HamError> for SnapshotError {
+    fn from(e: HamError) -> Self {
+        SnapshotError::Repair(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The outcome of loading a snapshot: the reconstructed memory plus the
+/// rows whose records failed their CRC (loaded as-read — or zeroed when
+/// the file was truncated mid-row — and awaiting scrub/repair).
+#[derive(Debug, Clone)]
+pub struct SnapshotLoad {
+    /// The reconstructed memory, corrupted rows included.
+    pub memory: AssociativeMemory,
+    /// Rows that failed their CRC, in class order.
+    pub corrupted: Vec<ClassId>,
+}
+
+impl SnapshotLoad {
+    /// Whether every row passed its checksum.
+    pub fn is_clean(&self) -> bool {
+        self.corrupted.is_empty()
+    }
+}
+
+/// A snapshot load followed by a scrub/repair pass over the damage.
+#[derive(Debug, Clone)]
+pub struct RepairedLoad {
+    /// The memory after repair.
+    pub memory: AssociativeMemory,
+    /// Rows whose on-disk records failed their CRC.
+    pub corrupted_on_disk: Vec<ClassId>,
+    /// The scrubber's report (covers disk damage *and* any rows that
+    /// drifted from the golden copies for other reasons).
+    pub scrub: ScrubReport,
+}
+
+fn words_per_row(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+fn row_stride(dim: usize) -> usize {
+    LABEL_FIELD + words_per_row(dim) * 8 + 4
+}
+
+fn encode(memory: &AssociativeMemory) -> Vec<u8> {
+    let dim = memory.dim().get();
+    let mut bytes = Vec::with_capacity(HEADER_BODY + 4 + memory.len() * row_stride(dim));
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(dim as u64).to_le_bytes());
+    bytes.extend_from_slice(&(memory.len() as u64).to_le_bytes());
+    let header_crc = crc32(&bytes);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
+    for (_, label, hv) in memory.iter() {
+        let record_start = bytes.len();
+        let label_bytes = label.as_bytes();
+        let kept = label_bytes.len().min(MAX_LABEL_BYTES);
+        bytes.push(kept as u8);
+        bytes.extend_from_slice(&label_bytes[..kept]);
+        bytes.resize(record_start + LABEL_FIELD, 0);
+        for word in hv.as_bitvec().as_words() {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        let row_crc = crc32(&bytes[record_start..]);
+        bytes.extend_from_slice(&row_crc.to_le_bytes());
+    }
+    bytes
+}
+
+/// Saves a checksummed snapshot of `memory` to `path` atomically: the
+/// bytes are written to a sibling temp file, fsynced, and `rename`d over
+/// the destination, so readers only ever observe a complete snapshot.
+///
+/// Labels longer than [`MAX_LABEL_BYTES`] bytes are truncated.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = encode(memory);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "snapshot".into());
+    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Loads a snapshot, verifying the header and every row record.
+///
+/// Rows that fail their CRC (or sit past a truncation point) do **not**
+/// fail the load: they are reconstructed from whatever bytes are present
+/// (zeros when truncated) and reported in [`SnapshotLoad::corrupted`] so
+/// the caller can feed them to a scrubber — or use
+/// [`load_snapshot_repaired`], which does exactly that.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] only for structural damage: I/O failures,
+/// a bad magic, an unsupported version, or a header that fails its
+/// checksum or declares an impossible geometry.
+pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_BODY + 4 {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let le_u32 = |b: &[u8]| u32::from_le_bytes(b[..4].try_into().expect("4 bytes"));
+    let le_u64 = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+    let version = le_u32(&bytes[8..]);
+    let stored_crc = le_u32(&bytes[HEADER_BODY..]);
+    if crc32(&bytes[..HEADER_BODY]) != stored_crc {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let dim = le_u64(&bytes[12..]) as usize;
+    let classes = le_u64(&bytes[20..]) as usize;
+    let Ok(dimension) = Dimension::new(dim) else {
+        return Err(SnapshotError::HeaderCorrupt);
+    };
+    // Geometry sanity: the declared row count must not be wildly beyond
+    // what the file could hold (a checksummed header makes this nearly
+    // redundant, but it bounds allocation on adversarial input).
+    if classes > bytes.len() {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+
+    let stride = row_stride(dim);
+    let wpr = words_per_row(dim);
+    let mut memory = AssociativeMemory::new(dimension);
+    let mut corrupted = Vec::new();
+    let body = &bytes[HEADER_BODY + 4..];
+    for class in 0..classes {
+        let start = class * stride;
+        let (label, row_words, ok) = if body.len() >= start + stride {
+            let record = &body[start..start + stride];
+            let stored = le_u32(&record[stride - 4..]);
+            let ok = crc32(&record[..stride - 4]) == stored;
+            let label_len = (record[0] as usize).min(MAX_LABEL_BYTES);
+            let label = String::from_utf8_lossy(&record[1..1 + label_len]).into_owned();
+            let words: Vec<u64> = (0..wpr)
+                .map(|w| le_u64(&record[LABEL_FIELD + w * 8..]))
+                .collect();
+            (label, words, ok)
+        } else {
+            // Truncated mid-row: nothing trustworthy remains for this or
+            // any later row.
+            (format!("lost-{class}"), vec![0u64; wpr], false)
+        };
+        let bits = BitVec::from_bits((0..dim).map(|i| (row_words[i / 64] >> (i % 64)) & 1 == 1));
+        let hv = Hypervector::from_bitvec(bits).expect("dim ≥ 1 checked above");
+        memory
+            .insert(label, hv)
+            .expect("row rebuilt in the memory's own space");
+        if !ok {
+            corrupted.push(ClassId(class));
+        }
+    }
+    Ok(SnapshotLoad { memory, corrupted })
+}
+
+/// Loads a snapshot and immediately repairs it against `scrubber`'s
+/// golden copies — the quarantine-restore path of the serving runtime.
+///
+/// # Errors
+///
+/// Structural snapshot damage as in [`load_snapshot`], plus
+/// [`SnapshotError::Repair`] when the scrubber does not match the
+/// snapshot's geometry.
+pub fn load_snapshot_repaired(
+    path: &Path,
+    scrubber: &Scrubber,
+) -> Result<RepairedLoad, SnapshotError> {
+    let load = load_snapshot(path)?;
+    let mut memory = load.memory;
+    let scrub = scrubber.repair(&mut memory)?;
+    Ok(RepairedLoad {
+        memory,
+        corrupted_on_disk: load.corrupted,
+        scrub,
+    })
+}
+
+/// Saves a scrubber's golden rows as a snapshot (labels `golden-<i>`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_golden(scrubber: &Scrubber, path: &Path) -> Result<(), SnapshotError> {
+    let first = scrubber
+        .golden_row(ClassId(0))
+        .expect("a scrubber holds at least one golden row");
+    let mut memory = AssociativeMemory::new(first.dim());
+    for class in 0..scrubber.classes() {
+        let row = scrubber
+            .golden_row(ClassId(class))
+            .expect("class index in range")
+            .clone();
+        memory
+            .insert(format!("golden-{class}"), row)
+            .expect("golden rows share one space");
+    }
+    save_snapshot(&memory, path)
+}
+
+/// Loads a scrubber's golden rows back from a snapshot. Unlike a model
+/// load, **any** corruption is fatal: a damaged reference copy must never
+/// be used to repair a live array.
+///
+/// # Errors
+///
+/// Structural damage as in [`load_snapshot`], plus
+/// [`SnapshotError::GoldenCorrupt`] when any golden row failed its CRC
+/// and [`SnapshotError::Repair`] when the file holds no rows at all.
+pub fn load_golden(path: &Path) -> Result<Scrubber, SnapshotError> {
+    let load = load_snapshot(path)?;
+    if !load.is_clean() {
+        return Err(SnapshotError::GoldenCorrupt {
+            rows: load.corrupted.len(),
+        });
+    }
+    let golden: Vec<Hypervector> = load.memory.iter().map(|(_, _, hv)| hv.clone()).collect();
+    Scrubber::new(golden).map_err(SnapshotError::Repair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::random_memory;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hdham-snapshot-{tag}-{}.ham", std::process::id()))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let memory = random_memory(9, 1_000, 3);
+        let path = temp_path("roundtrip");
+        save_snapshot(&memory, &path).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert!(load.is_clean());
+        assert_eq!(load.memory.dim(), memory.dim());
+        assert_eq!(load.memory.len(), memory.len());
+        for (class, label, row) in memory.iter() {
+            assert_eq!(load.memory.label(class), Some(label));
+            assert_eq!(load.memory.row(class), Some(row));
+        }
+        // Atomic overwrite: saving again over the published name works.
+        save_snapshot(&memory, &path).unwrap();
+        assert!(load_snapshot(&path).unwrap().is_clean());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn flipped_row_bytes_are_detected_and_repaired() {
+        let memory = random_memory(6, 500, 7);
+        let scrubber = Scrubber::from_memory(&memory);
+        let path = temp_path("rowflip");
+        save_snapshot(&memory, &path).unwrap();
+
+        // Flip bytes inside row 3's word region.
+        let mut bytes = fs::read(&path).unwrap();
+        let offset = HEADER_BODY + 4 + 3 * row_stride(500) + LABEL_FIELD + 10;
+        bytes[offset] ^= 0xFF;
+        bytes[offset + 1] ^= 0x0F;
+        fs::write(&path, &bytes).unwrap();
+
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.corrupted, vec![ClassId(3)]);
+        assert_ne!(load.memory.row(ClassId(3)), memory.row(ClassId(3)));
+
+        let repaired = load_snapshot_repaired(&path, &scrubber).unwrap();
+        assert_eq!(repaired.corrupted_on_disk, vec![ClassId(3)]);
+        assert!(repaired.scrub.repaired.contains(&ClassId(3)));
+        for (class, _, row) in memory.iter() {
+            assert_eq!(repaired.memory.row(class), Some(row), "{class}");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_header_fails_the_load() {
+        let memory = random_memory(3, 256, 1);
+        let path = temp_path("header");
+        save_snapshot(&memory, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[14] ^= 0xA5; // inside the dim field
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(SnapshotError::HeaderCorrupt)
+        ));
+        bytes[14] ^= 0xA5;
+        bytes[0] = b'X'; // magic
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_snapshot(&path), Err(SnapshotError::BadMagic)));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_file_marks_the_missing_rows_corrupted() {
+        let memory = random_memory(5, 320, 9);
+        let scrubber = Scrubber::from_memory(&memory);
+        let path = temp_path("truncated");
+        save_snapshot(&memory, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Cut into the middle of row 3's record.
+        let cut = HEADER_BODY + 4 + 3 * row_stride(320) + 20;
+        fs::write(&path, &bytes[..cut]).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.corrupted, vec![ClassId(3), ClassId(4)]);
+        assert_eq!(load.memory.len(), 5);
+        let repaired = load_snapshot_repaired(&path, &scrubber).unwrap();
+        for (class, _, row) in memory.iter() {
+            assert_eq!(repaired.memory.row(class), Some(row), "{class}");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn golden_round_trip_and_corruption_policy() {
+        let memory = random_memory(4, 200, 11);
+        let scrubber = Scrubber::from_memory(&memory);
+        let path = temp_path("golden");
+        save_golden(&scrubber, &path).unwrap();
+        let back = load_golden(&path).unwrap();
+        assert_eq!(back.classes(), 4);
+        for c in 0..4 {
+            assert_eq!(back.golden_row(ClassId(c)), scrubber.golden_row(ClassId(c)));
+        }
+        // A damaged golden snapshot must refuse to become a scrubber.
+        let mut bytes = fs::read(&path).unwrap();
+        let offset = HEADER_BODY + 4 + row_stride(200) + LABEL_FIELD + 2;
+        bytes[offset] ^= 0x80;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_golden(&path),
+            Err(SnapshotError::GoldenCorrupt { rows: 1 })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion(9),
+            SnapshotError::HeaderCorrupt,
+            SnapshotError::GoldenCorrupt { rows: 2 },
+            SnapshotError::Repair(HamError::NoClasses),
+            SnapshotError::Io(io::Error::other("x")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Fault-injection integration tests of the serving runtime, end to end.
+//!
+//! These drive the public API the way a deployment would — injected
+//! worker panics, malformed queries, corrupted snapshots on disk, and
+//! deadlines shorter than the batch — and pin down the acceptance
+//! contract: damage is contained to exactly the affected query slots (or
+//! rows), and everything else stays bit-identical to the undamaged path.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use ham_core::batch::BatchOptions;
+use ham_core::explore::{build, random_memory, DesignKind};
+use ham_core::model::{HamDesign, HamError, HamSearchResult, MarginSearchResult};
+use ham_core::resilience::{
+    apply_query_faults, classify_batch_resilient, load_snapshot, load_snapshot_repaired,
+    run_batch_resilient, save_snapshot, ChaosDesign, DegradationController, DegradationPolicy,
+    FaultInjector, QueryBudget, ResilientOptions, RetryPolicy, Scrubber, TransientFlips,
+};
+use hdc::prelude::*;
+use proptest::prelude::*;
+
+/// Keeps injected panics out of the test output while still forwarding
+/// every unexpected panic to the default hook.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains("injected") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn noisy_queries(memory: &AssociativeMemory, n: usize, seed: u64) -> Vec<Hypervector> {
+    (0..n)
+        .map(|i| Hypervector::random(memory.dim(), seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[test]
+fn injected_panic_and_mismatch_cost_exactly_their_slots() {
+    silence_injected_panics();
+    let memory = random_memory(12, 1_024, 5);
+    let poison = Hypervector::random(memory.dim(), 0xBAD);
+    let mut queries = noisy_queries(&memory, 16, 77);
+    queries[4] = poison.clone();
+    queries[9] = Hypervector::random(Dimension::new(512).unwrap(), 1);
+
+    let chaos = ChaosDesign::new(build(DesignKind::Digital, &memory).unwrap()).panic_always(poison);
+    let options = ResilientOptions {
+        batch: BatchOptions::new(3, 2),
+        retry: RetryPolicy::none(),
+        budget: QueryBudget::unbounded(),
+    };
+    let report = run_batch_resilient(&chaos, &queries, &options);
+    assert_eq!(report.results.len(), queries.len());
+
+    // The undamaged serial reference for every other slot.
+    let reference = build(DesignKind::Digital, &memory).unwrap();
+    for (i, result) in report.results.iter().enumerate() {
+        match i {
+            4 => assert_eq!(result, &Err(HamError::WorkerPanicked { query: 4 })),
+            9 => assert_eq!(
+                result,
+                &Err(HamError::DimensionMismatch {
+                    expected: 1_024,
+                    actual: 512,
+                })
+            ),
+            _ => assert_eq!(
+                result.as_ref().expect("healthy slot"),
+                &reference.search(&queries[i]).unwrap(),
+                "slot {i} must be bit-identical to the serial search"
+            ),
+        }
+    }
+    assert_eq!(report.stats.completed, 14);
+    assert_eq!(report.stats.failed, 2);
+    assert_eq!(report.stats.timed_out, 0);
+}
+
+#[test]
+fn transient_panic_is_retried_to_a_real_result() {
+    silence_injected_panics();
+    let memory = random_memory(8, 512, 11);
+    let flaky = memory.row(ClassId(3)).unwrap().clone();
+    let mut queries = noisy_queries(&memory, 6, 23);
+    queries[2] = flaky.clone();
+
+    let chaos =
+        ChaosDesign::new(build(DesignKind::Digital, &memory).unwrap()).panic_times(flaky, 1);
+    let options = ResilientOptions {
+        batch: BatchOptions::serial(),
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        },
+        budget: QueryBudget::unbounded(),
+    };
+    let report = run_batch_resilient(&chaos, &queries, &options);
+    let hit = report.results[2].as_ref().expect("retry recovers the slot");
+    assert_eq!(hit.class, ClassId(3));
+    assert!(report.stats.retries >= 1, "the first attempt panicked");
+    assert_eq!(report.stats.failed, 0);
+}
+
+/// A design whose matching query takes longer than the whole deadline —
+/// the only way to get a *deterministic* partial batch out of a
+/// wall-clock budget.
+struct SlowDesign<D> {
+    inner: D,
+    slow_query: Hypervector,
+    delay: Duration,
+}
+
+impl<D: HamDesign> HamDesign for SlowDesign<D> {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn classes(&self) -> usize {
+        self.inner.classes()
+    }
+    fn dim(&self) -> Dimension {
+        self.inner.dim()
+    }
+    fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError> {
+        if *query == self.slow_query {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.search(query)
+    }
+    fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        self.inner.search_with_margin(query)
+    }
+    fn cost(&self) -> ham_core::model::CostMetrics {
+        self.inner.cost()
+    }
+    fn energy_components(&self) -> Vec<(&'static str, ham_core::units::Picojoules)> {
+        self.inner.energy_components()
+    }
+}
+
+#[test]
+fn deadline_shorter_than_the_batch_yields_partial_results_with_timeouts() {
+    let memory = random_memory(8, 512, 31);
+    let queries = noisy_queries(&memory, 5, 41);
+    let design = SlowDesign {
+        inner: build(DesignKind::Digital, &memory).unwrap(),
+        slow_query: queries[1].clone(),
+        delay: Duration::from_millis(60),
+    };
+    let options =
+        ResilientOptions::serial().with_budget(QueryBudget::per_batch(Duration::from_millis(20)));
+    let report = run_batch_resilient(&design, &queries, &options);
+
+    // Query 0 ran inside the budget; query 1 overran it (its own result
+    // still stands — it was already in flight); everything after the
+    // expiry is an explicit timeout, not a silent miss.
+    assert!(report.results[0].is_ok(), "first query beat the deadline");
+    assert!(report.results[1].is_ok(), "in-flight query completes");
+    for i in 2..queries.len() {
+        assert_eq!(report.results[i], Err(HamError::TimedOut), "slot {i}");
+    }
+    assert_eq!(report.stats.timed_out, 3);
+    assert_eq!(report.stats.completed, 2);
+
+    // The same batch under an unbounded budget completes fully.
+    let unbounded = run_batch_resilient(&design, &queries, &ResilientOptions::serial());
+    assert_eq!(unbounded.stats.completed, queries.len());
+    assert_eq!(unbounded.stats.timed_out, 0);
+}
+
+#[test]
+fn corrupted_snapshot_is_reported_row_exact_and_repaired() {
+    let memory = random_memory(10, 1_024, 99);
+    let dir = std::env::temp_dir().join(format!("ham-serving-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("array.snap");
+    save_snapshot(&memory, &path).unwrap();
+
+    // Flip a byte inside rows 2 and 7. Layout: a 32-byte checksummed
+    // header, then fixed-stride records of 48 label bytes + packed row
+    // words + a 4-byte CRC (dim 1024 → 16 words → 180-byte stride).
+    let header = 32;
+    let stride = 48 + (1_024 / 64) * 8 + 4;
+    let mut bytes = std::fs::read(&path).unwrap();
+    for class in [2usize, 7] {
+        bytes[header + class * stride + 48 + 5] ^= 0x10;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The load survives, reporting exactly the damaged rows.
+    let load = load_snapshot(&path).unwrap();
+    assert_eq!(load.corrupted, vec![ClassId(2), ClassId(7)]);
+    assert!(!load.is_clean());
+
+    // The repairing load hands back a bit-identical array.
+    let scrubber = Scrubber::from_memory(&memory);
+    let repaired = load_snapshot_repaired(&path, &scrubber).unwrap();
+    assert_eq!(repaired.corrupted_on_disk, vec![ClassId(2), ClassId(7)]);
+    for (class, label, row) in memory.iter() {
+        assert_eq!(repaired.memory.label(class), Some(label));
+        assert_eq!(repaired.memory.row(class), Some(row), "row {class:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under transient query noise *and* an injected permanent panic, the
+    /// resilient batch returns input-order results where only the
+    /// poisoned slot errors and every other slot is bit-identical to the
+    /// serial search over the same damaged queries.
+    #[test]
+    fn resilient_batch_is_input_ordered_and_bit_identical_off_the_poison(
+        n in 1usize..20,
+        seed in any::<u64>(),
+        poison_slot in 0usize..20,
+        rate_pct in 0usize..30,
+    ) {
+        silence_injected_panics();
+        let poison_slot = poison_slot % n;
+        let memory = random_memory(8, 512, seed);
+        let flips: Vec<Box<dyn FaultInjector>> =
+            vec![Box::new(TransientFlips::new(rate_pct as f64 / 100.0, seed ^ 0xF1))];
+        let mut queries: Vec<Hypervector> = noisy_queries(&memory, n, seed ^ 0x9)
+            .iter()
+            .enumerate()
+            .map(|(i, q)| apply_query_faults(&flips, q, i as u64).unwrap_or_else(|| q.clone()))
+            .collect();
+        let poison = Hypervector::random(memory.dim(), seed ^ 0xDEAD);
+        queries[poison_slot] = poison.clone();
+
+        let chaos = ChaosDesign::new(build(DesignKind::Digital, &memory).unwrap())
+            .panic_always(poison);
+        let options = ResilientOptions {
+            batch: BatchOptions::new(3, 2),
+            retry: RetryPolicy::none(),
+            budget: QueryBudget::unbounded(),
+        };
+        let report = run_batch_resilient(&chaos, &queries, &options);
+        prop_assert_eq!(report.results.len(), n);
+
+        let reference = build(DesignKind::Digital, &memory).unwrap();
+        for (i, result) in report.results.iter().enumerate() {
+            if i == poison_slot {
+                prop_assert_eq!(result, &Err(HamError::WorkerPanicked { query: i }));
+            } else {
+                prop_assert_eq!(
+                    result.as_ref().unwrap(),
+                    &reference.search(&queries[i]).unwrap(),
+                    "slot {}", i
+                );
+            }
+        }
+    }
+
+    /// The escalation ladder's full telemetry — not just the verdicts —
+    /// is identical whether queries run serially, through the parallel
+    /// batch, or through the resilient scheduler.
+    #[test]
+    fn classify_telemetry_is_identical_serial_parallel_resilient(
+        n in 1usize..16,
+        seed in any::<u64>(),
+        noise in 0usize..200,
+    ) {
+        let memory = random_memory(8, 512, seed);
+        let controller = DegradationController::for_kind(
+            DesignKind::Digital,
+            memory.clone(),
+            DegradationPolicy::for_dim(512),
+        )
+        .unwrap();
+        let queries: Vec<Hypervector> = (0..n)
+            .map(|i| {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    seed ^ i as u64,
+                );
+                memory
+                    .row(ClassId(i % 8))
+                    .unwrap()
+                    .with_flipped_bits(noise, &mut rng)
+            })
+            .collect();
+
+        let serial: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| controller.classify(q, i as u64).unwrap())
+            .collect();
+        let parallel = controller.classify_batch(&queries, 0, 3).unwrap();
+        let resilient = classify_batch_resilient(
+            &controller,
+            &queries,
+            0,
+            &ResilientOptions::default(),
+        );
+
+        prop_assert_eq!(&serial, &parallel);
+        for (i, outcome) in resilient.outcomes.iter().enumerate() {
+            prop_assert_eq!(outcome.as_ref().unwrap(), &serial[i], "query {}", i);
+        }
+        prop_assert_eq!(resilient.stats.completed, n);
+        prop_assert_eq!(resilient.stats.failed, 0);
+    }
+}

@@ -274,6 +274,56 @@ impl AssociativeMemory {
             .collect())
     }
 
+    /// [`search_batch`](Self::search_batch) with the serving contract: one
+    /// `Result` per query in input order, so an invalid query (or a worker
+    /// panic, contained via `catch_unwind` and surfaced as
+    /// [`HdcError::SearchPanicked`]) costs exactly its own slot instead of
+    /// the whole batch. An empty memory fails every slot with
+    /// [`HdcError::EmptyMemory`].
+    pub fn search_batch_resilient(
+        &self,
+        queries: &[Hypervector],
+        threads: usize,
+    ) -> Vec<Result<SearchResult, HdcError>> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let caught = |index: usize| -> Result<SearchResult, HdcError> {
+            catch_unwind(AssertUnwindSafe(|| self.search(&queries[index])))
+                .unwrap_or(Err(HdcError::SearchPanicked { query: index }))
+        };
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len());
+        if threads <= 1 {
+            return (0..queries.len()).map(caught).collect();
+        }
+        let mut results: Vec<Option<Result<SearchResult, HdcError>>> = vec![None; queries.len()];
+        let chunk_size = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+                let base = chunk_idx * chunk_size;
+                let caught = &caught;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(caught(base + offset));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| slot.unwrap_or(Err(HdcError::SearchPanicked { query: index })))
+            .collect()
+    }
+
     /// Search with the distance computed only on the dimensions kept by
     /// `mask` — the structured-sampling approximation of D-HAM/R-HAM.
     ///
@@ -575,6 +625,32 @@ mod tests {
             empty.search_batch(&[rows[0].clone()], 2).unwrap_err(),
             HdcError::EmptyMemory
         );
+    }
+
+    #[test]
+    fn resilient_batch_search_isolates_bad_queries() {
+        let (am, rows) = memory_with(256, 4);
+        let mut queries: Vec<Hypervector> = rows.clone();
+        queries.insert(2, Hypervector::random(dim(128), 9)); // alien space
+        for threads in [1, 3] {
+            let results = am.search_batch_resilient(&queries, threads);
+            assert_eq!(results.len(), 5);
+            assert!(matches!(
+                results[2],
+                Err(HdcError::DimensionMismatch { .. })
+            ));
+            // Every other slot is bit-identical to the serial search.
+            for (i, result) in results.iter().enumerate() {
+                if i != 2 {
+                    let q = &queries[i];
+                    assert_eq!(result.as_ref().unwrap(), &am.search(q).unwrap());
+                }
+            }
+        }
+        assert!(am.search_batch_resilient(&[], 4).is_empty());
+        let empty = AssociativeMemory::new(dim(256));
+        let results = empty.search_batch_resilient(&rows[..2], 2);
+        assert!(results.iter().all(|r| r == &Err(HdcError::EmptyMemory)));
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub enum HdcError {
         /// Number of stored classes.
         stored: usize,
     },
+    /// A batch-search worker panicked on this query; the panic was
+    /// contained to the query's result slot.
+    SearchPanicked {
+        /// Input-order index of the query whose search panicked.
+        query: usize,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -43,6 +49,9 @@ impl fmt::Display for HdcError {
             HdcError::EmptySample => write!(f, "sample mask must keep at least one dimension"),
             HdcError::UnknownClass { class, stored } => {
                 write!(f, "class {class} is not stored ({stored} classes)")
+            }
+            HdcError::SearchPanicked { query } => {
+                write!(f, "search worker panicked on query {query}")
             }
         }
     }
@@ -62,6 +71,7 @@ mod tests {
             HdcError::EmptyMemory.to_string(),
             HdcError::ZeroNGram.to_string(),
             HdcError::EmptySample.to_string(),
+            HdcError::SearchPanicked { query: 4 }.to_string(),
         ];
         for m in messages {
             assert!(!m.is_empty());

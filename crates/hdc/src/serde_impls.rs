@@ -8,7 +8,7 @@
 use serde::de::Error as _;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-use crate::am::ClassId;
+use crate::am::{AssociativeMemory, ClassId};
 use crate::bitvec::BitVec;
 use crate::hypervector::{Dimension, Distance, Hypervector};
 
@@ -84,6 +84,48 @@ impl<'de> Deserialize<'de> for Distance {
     }
 }
 
+#[derive(Serialize, Deserialize)]
+struct MemoryRepr {
+    dim: Dimension,
+    labels: Vec<String>,
+    rows: Vec<Hypervector>,
+}
+
+impl Serialize for AssociativeMemory {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut labels = Vec::with_capacity(self.len());
+        let mut rows = Vec::with_capacity(self.len());
+        for (_, label, row) in self.iter() {
+            labels.push(label.to_owned());
+            rows.push(row.clone());
+        }
+        MemoryRepr {
+            dim: self.dim(),
+            labels,
+            rows,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for AssociativeMemory {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = MemoryRepr::deserialize(deserializer)?;
+        if repr.labels.len() != repr.rows.len() {
+            return Err(D::Error::custom("label/row count mismatch"));
+        }
+        // Rebuild through `insert` so every row is validated against the
+        // declared space (and the packed matrix is reconstructed).
+        let mut memory = AssociativeMemory::new(repr.dim);
+        for (label, row) in repr.labels.into_iter().zip(repr.rows) {
+            memory
+                .insert(label, row)
+                .map_err(|e| D::Error::custom(e.to_string()))?;
+        }
+        Ok(memory)
+    }
+}
+
 impl Serialize for ClassId {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         self.0.serialize(serializer)
@@ -128,6 +170,32 @@ mod tests {
         let bad = r#"{"len": 0, "words": []}"#;
         assert!(serde_json::from_str::<Hypervector>(bad).is_err());
         assert!(serde_json::from_str::<Dimension>("0").is_err());
+    }
+
+    #[test]
+    fn associative_memory_round_trips_and_validates() {
+        let dim = Dimension::new(300).unwrap();
+        let mut am = AssociativeMemory::new(dim);
+        for s in 0..4u64 {
+            am.insert(format!("lang-{s}"), Hypervector::random(dim, s))
+                .unwrap();
+        }
+        let json = serde_json::to_string(&am).unwrap();
+        let back: AssociativeMemory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dim(), am.dim());
+        assert_eq!(back.len(), am.len());
+        for (class, label, row) in am.iter() {
+            assert_eq!(back.label(class), Some(label));
+            assert_eq!(back.row(class), Some(row));
+        }
+        // The packed search matrix was rebuilt, not just the views.
+        let hit = back.search(am.row(ClassId(2)).unwrap()).unwrap();
+        assert_eq!(hit.class, ClassId(2));
+
+        // A row from another space is rejected at deserialization.
+        let mut bad: serde_json::Value = serde_json::from_str(&json).unwrap();
+        bad["dim"] = serde_json::Value::from(400u64);
+        assert!(serde_json::from_str::<AssociativeMemory>(&bad.to_string()).is_err());
     }
 
     #[test]

@@ -105,6 +105,7 @@ impl FamilyBreakdown {
 pub struct Evaluation {
     confusion: ConfusionMatrix,
     margins: Vec<usize>,
+    failed: usize,
 }
 
 impl Evaluation {
@@ -130,6 +131,14 @@ impl Evaluation {
     /// The confusion matrix.
     pub fn confusion(&self) -> &ConfusionMatrix {
         &self.confusion
+    }
+
+    /// Number of samples whose search failed (e.g. a panicked worker
+    /// contained by the resilient batch path). Failed samples are excluded
+    /// from the confusion matrix and the margins, so `accuracy` reflects
+    /// only the decisions actually made.
+    pub fn failed(&self) -> usize {
+        self.failed
     }
 
     /// Winner-to-runner-up distance margins of every decision, in sample
@@ -173,24 +182,47 @@ impl Evaluation {
 ///
 /// Encoding and classification both use all available cores: the corpus is
 /// encoded in parallel by [`encode_corpus`] and the encoded queries run
-/// through the associative memory's batched search engine
-/// ([`AssociativeMemory::search_batch`]), which is bit-identical to
-/// searching one query at a time.
+/// through the associative memory's panic-isolated batched search
+/// ([`AssociativeMemory::search_batch_resilient`]), which is bit-identical
+/// to searching one query at a time. A query whose search fails is counted
+/// in [`Evaluation::failed`] instead of aborting the whole evaluation.
 ///
 /// # Errors
 ///
-/// Propagates [`HdcError`] from encoding or search.
+/// Returns an error only when *every* sample fails for the same structural
+/// reason (e.g. an empty memory), surfacing that first error; per-query
+/// failures in an otherwise working evaluation are reported via
+/// [`Evaluation::failed`].
 pub fn evaluate(classifier: &LanguageClassifier, corpus: &Corpus) -> Result<Evaluation, HdcError> {
     let encoded = encode_corpus(classifier, corpus);
     let queries: Vec<Hypervector> = encoded.iter().map(|(_, q)| q.clone()).collect();
-    let results = classifier.memory().search_batch(&queries, 0)?;
+    let results = classifier.memory().search_batch_resilient(&queries, 0);
     let mut confusion = ConfusionMatrix::new();
     let mut margins = Vec::with_capacity(corpus.len());
+    let mut failed = 0;
+    let mut first_error = None;
     for ((truth, _), result) in encoded.iter().zip(&results) {
-        confusion.record(*truth, classifier.language_of(result.class));
-        margins.push(result.margin());
+        match result {
+            Ok(result) => {
+                confusion.record(*truth, classifier.language_of(result.class));
+                margins.push(result.margin());
+            }
+            Err(e) => {
+                failed += 1;
+                if first_error.is_none() {
+                    first_error = Some(e.clone());
+                }
+            }
+        }
     }
-    Ok(Evaluation { confusion, margins })
+    if failed > 0 && failed == results.len() {
+        return Err(first_error.expect("failed > 0 implies an error was seen"));
+    }
+    Ok(Evaluation {
+        confusion,
+        margins,
+        failed,
+    })
 }
 
 /// Evaluates with a caller-supplied searcher — the hook the hardware
@@ -218,6 +250,7 @@ where
     Ok(Evaluation {
         confusion,
         margins: Vec::new(),
+        failed: 0,
     })
 }
 
@@ -276,6 +309,7 @@ mod tests {
         let eval = evaluate(&classifier, &test).unwrap();
         assert_eq!(eval.total(), test.len());
         assert_eq!(eval.margins().len(), test.len());
+        assert_eq!(eval.failed(), 0, "healthy path loses no samples");
         assert!(eval.correct() <= eval.total());
         assert!(eval.accuracy() > 0.5);
         assert!(eval.min_margin().is_some());
@@ -319,6 +353,7 @@ mod tests {
         let eval = Evaluation {
             confusion: m,
             margins: Vec::new(),
+            failed: 0,
         };
         assert_eq!(eval.accuracy(), 0.0);
     }
@@ -353,6 +388,7 @@ mod family_tests {
         let eval = Evaluation {
             confusion: m,
             margins: Vec::new(),
+            failed: 0,
         };
         let fb = eval.family_breakdown();
         assert_eq!(fb.intra_family_errors, 1);
@@ -384,6 +420,7 @@ mod family_tests {
         let eval = Evaluation {
             confusion: ConfusionMatrix::new(),
             margins: Vec::new(),
+            failed: 0,
         };
         assert_eq!(eval.family_breakdown().total_errors(), 0);
         assert_eq!(eval.family_breakdown().intra_family_share(), 1.0);

@@ -50,6 +50,7 @@ pub use crate::accumulator::Accumulators;
 pub use crate::alphabet::Alphabet;
 pub use crate::corpus::{Corpus, CorpusSpec, Sample};
 pub use crate::eval::{evaluate, evaluate_with, ConfusionMatrix, Evaluation, FamilyBreakdown};
+pub use crate::io::{load_model, save_model};
 pub use crate::online::OnlineClassifier;
 pub use crate::retrain::{retrain, RetrainOptions, RetrainReport};
 pub use crate::synth::{LanguageId, LanguageModel, SyntheticEurope, LANGUAGE_COUNT};
