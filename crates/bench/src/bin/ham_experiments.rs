@@ -19,7 +19,7 @@ use ham_bench::context::{Workload, WorkloadScale};
 use ham_bench::exp;
 use ham_bench::report::Report;
 
-const ALL_IDS: [&str; 17] = [
+const ALL_IDS: [&str; 18] = [
     "fig1",
     "table1",
     "table2",
@@ -37,6 +37,7 @@ const ALL_IDS: [&str; 17] = [
     "retraining",
     "operating_points",
     "resilience",
+    "online_update",
 ];
 
 fn main() {
@@ -81,7 +82,7 @@ fn main() {
     let needs_workload = ids.iter().any(|id| {
         matches!(
             id.as_str(),
-            "fig1" | "fig13" | "equivalence" | "operating_points" | "resilience"
+            "fig1" | "fig13" | "equivalence" | "operating_points" | "resilience" | "online_update"
         )
     });
     let workload: Option<Workload> = needs_workload.then(|| {
@@ -114,6 +115,7 @@ fn main() {
                 exp::operating_points::run(workload.as_ref().expect("built above"))
             }
             "resilience" => exp::resilience::run(workload.as_ref().expect("built above")),
+            "online_update" => exp::online::run(workload.as_ref().expect("built above")),
             "fig13" => exp::fig13::run(workload.as_ref().expect("built above")),
             _ => unreachable!("ids validated above"),
         };

@@ -16,7 +16,12 @@
 //!    vs the plain parallel batch (healthy), the degraded (tightened)
 //!    escalation ladder vs the base one, and a full quarantine restore
 //!    (checksummed snapshot load + scrub repair) vs one steady-state
-//!    batch.
+//!    batch;
+//! 5. the sharded scatter-gather engine: single-query throughput of
+//!    `K ∈ {1, 2, 4, 8}` shard workers vs the serial scan on a large
+//!    array (`K = 1` prices the pure scatter/gather overhead), and the
+//!    copy-on-write publish latency of one online row update vs one
+//!    steady-state sharded query.
 //!
 //! Usage: `ham-search-bench [--out FILE]`.
 
@@ -29,6 +34,7 @@ use ham_core::resilience::{
     classify_batch_resilient, load_snapshot_repaired, run_batch_resilient, save_snapshot,
     DegradationController, DegradationPolicy, ResilientOptions, Scrubber,
 };
+use ham_core::shard::{OnlineUpdater, ShardedMemory};
 use hdc::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +66,8 @@ struct Snapshot {
     early_abandon: Vec<Comparison>,
     batch_1000: Vec<Comparison>,
     resilience: Vec<Comparison>,
+    shard_scaling: Vec<Comparison>,
+    online_update: Comparison,
 }
 
 /// Times `op` for at least `budget` of wall clock and adds the elapsed
@@ -176,9 +184,7 @@ fn main() {
         }
     }
 
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_threads = hdc::available_threads();
     println!("host threads: {host_threads}");
 
     // 1. Single query, paper operating point.
@@ -344,12 +350,63 @@ fn main() {
     resilience.push(cmp);
     std::fs::remove_file(&snap_path).ok();
 
+    // 5. Shard scaling: scatter-gather throughput vs the serial scan on
+    // an array big enough for per-shard work to dwarf the mailbox hops.
+    // K = 1 runs the full protocol over one worker, so its slowdown *is*
+    // the gather overhead.
+    let big = random_memory(1_000, 10_000, 17);
+    let query = noisy_query(&big, 5);
+    let mut shard_scaling = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let sharded = ShardedMemory::new(big.clone(), shards);
+        let cmp = compare(
+            1_000,
+            10_000,
+            800,
+            "serial_scan",
+            || big.search(&query).unwrap(),
+            &format!("sharded_k{shards}"),
+            || sharded.search(&query).unwrap(),
+        );
+        println!(
+            "shard scaling K={shards}: serial {:.0} ns vs sharded {:.0} ns ({:.2}x)",
+            cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+        );
+        shard_scaling.push(cmp);
+    }
+
+    // Online-update publish latency: one copy-on-write row re-threshold
+    // (clone + mutate + atomic publish + epoch retire) priced against one
+    // steady-state sharded query on the same array.
+    let sharded = ShardedMemory::new(big.clone(), 4);
+    let updater = OnlineUpdater::new(sharded.versioned().clone());
+    let replacement = Hypervector::random(big.dim(), 4_242);
+    let online_update = compare(
+        1_000,
+        10_000,
+        800,
+        "sharded_query",
+        || sharded.search(&query).unwrap(),
+        "cow_publish_rethreshold",
+        || {
+            updater
+                .rethreshold_row(ClassId(0), replacement.clone())
+                .unwrap()
+        },
+    );
+    println!(
+        "online update: query {:.0} ns vs publish {:.0} ns ({:.2}x)",
+        online_update.baseline.ns_per_op, online_update.contender.ns_per_op, online_update.speedup
+    );
+
     let snapshot = Snapshot {
         host_threads,
         single_query,
         early_abandon,
         batch_1000,
         resilience,
+        shard_scaling,
+        online_update,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| {

@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod online;
 pub mod operating_points;
 pub mod resilience;
 pub mod retraining;

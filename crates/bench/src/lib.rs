@@ -24,6 +24,7 @@
 //! | Retraining recovery | [`exp::retraining`] | extension |
 //! | Operating-point comparison | [`exp::operating_points`] | extension |
 //! | Fault-rate resilience sweep | [`exp::resilience`] | extension |
+//! | Online learning while serving | [`exp::online`] | extension |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -143,14 +143,7 @@ impl BatchOptions {
     /// The worker count after resolving `0` to the available parallelism,
     /// capped at one worker per query.
     pub fn resolved_threads(&self, batch_len: usize) -> usize {
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-        threads.max(1).min(batch_len.max(1))
+        hdc::default_threads(self.threads, batch_len)
     }
 
     /// The per-work-unit query count after clamping to `[1, batch_len]`;

@@ -67,6 +67,7 @@ pub mod resilience;
 pub mod rham;
 pub mod rham_cycle;
 pub mod sensitivity;
+pub mod shard;
 pub mod switching;
 pub mod tech;
 pub mod units;
@@ -78,6 +79,9 @@ pub use crate::model::{
     CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
 };
 pub use crate::rham::RHam;
+pub use crate::shard::{
+    MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, VersionedMemory,
+};
 pub use crate::tech::TechnologyModel;
 pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
 
@@ -97,6 +101,9 @@ pub mod prelude {
         RetryPolicy, ScrubReport, Scrubber, ServeStats, StuckAtCells, TransientFlips,
     };
     pub use crate::rham::RHam;
+    pub use crate::shard::{
+        MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, VersionedMemory,
+    };
     pub use crate::tech::TechnologyModel;
     pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
 }

@@ -43,6 +43,12 @@ pub enum HamError {
         /// The priority the query was submitted with (lower sheds first).
         priority: u8,
     },
+    /// A shard worker's mailbox is disconnected — its long-lived thread
+    /// exited — so the sharded memory can no longer scatter to it.
+    ShardDown {
+        /// Index of the unreachable shard.
+        shard: usize,
+    },
 }
 
 impl HamError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for HamError {
             HamError::TimedOut => write!(f, "deadline expired before the query was searched"),
             HamError::Shed { priority } => {
                 write!(f, "query shed under overload (priority {priority})")
+            }
+            HamError::ShardDown { shard } => {
+                write!(f, "shard {shard} worker is down")
             }
         }
     }

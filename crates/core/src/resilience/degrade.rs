@@ -422,14 +422,7 @@ impl DegradationController {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(queries.len());
+        let threads = hdc::default_threads(threads, queries.len());
         if threads <= 1 {
             return queries
                 .iter()

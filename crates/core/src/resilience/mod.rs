@@ -56,6 +56,6 @@ pub use serve::{
     PRIORITY_NORMAL,
 };
 pub use snapshot::{
-    load_golden, load_snapshot, load_snapshot_repaired, save_golden, save_snapshot, RepairedLoad,
-    SnapshotError, SnapshotLoad,
+    load_golden, load_snapshot, load_snapshot_repaired, load_snapshot_rows, save_golden,
+    save_snapshot, RepairedLoad, SnapshotError, SnapshotLoad, SnapshotSlice,
 };

@@ -21,10 +21,16 @@
 //! straight into the [`Scrubber`](crate::resilience::scrub::Scrubber)
 //! repair path ([`load_snapshot_repaired`]), exactly like stuck-at damage
 //! found in a live array.
+//!
+//! Because every record has the same stride, a contiguous row range can
+//! be decoded *without reading the rest of the file*:
+//! [`load_snapshot_rows`] seeks straight to the slice — the restore path
+//! a quarantined shard uses to rebuild only its own rows.
 
 use std::fmt;
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::ops::Range;
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -167,6 +173,67 @@ fn row_stride(dim: usize) -> usize {
     LABEL_FIELD + words_per_row(dim) * 8 + 4
 }
 
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+/// Validates the magic, version, and header CRC of `header` (the first
+/// `HEADER_BODY + 4` bytes of a snapshot) and returns `(dim, classes)`.
+fn parse_header(header: &[u8]) -> Result<(Dimension, usize), SnapshotError> {
+    if header.len() < HEADER_BODY + 4 {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+    if header[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = le_u32(&header[8..]);
+    let stored_crc = le_u32(&header[HEADER_BODY..]);
+    if crc32(&header[..HEADER_BODY]) != stored_crc {
+        return Err(SnapshotError::HeaderCorrupt);
+    }
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let dim = le_u64(&header[12..]) as usize;
+    let classes = le_u64(&header[20..]) as usize;
+    let Ok(dimension) = Dimension::new(dim) else {
+        return Err(SnapshotError::HeaderCorrupt);
+    };
+    Ok((dimension, classes))
+}
+
+/// Decodes one row record of `body` (label, row words, CRC verdict).
+/// `class` is the record's global row index; a record past the available
+/// bytes decodes as lost (zero row, `ok = false`).
+fn decode_record(body: &[u8], class: usize, start: usize, dim: usize) -> (String, Vec<u64>, bool) {
+    let stride = row_stride(dim);
+    let wpr = words_per_row(dim);
+    if body.len() >= start + stride {
+        let record = &body[start..start + stride];
+        let stored = le_u32(&record[stride - 4..]);
+        let ok = crc32(&record[..stride - 4]) == stored;
+        let label_len = (record[0] as usize).min(MAX_LABEL_BYTES);
+        let label = String::from_utf8_lossy(&record[1..1 + label_len]).into_owned();
+        let words: Vec<u64> = (0..wpr)
+            .map(|w| le_u64(&record[LABEL_FIELD + w * 8..]))
+            .collect();
+        (label, words, ok)
+    } else {
+        // Truncated mid-row: nothing trustworthy remains for this or any
+        // later row.
+        (format!("lost-{class}"), vec![0u64; wpr], false)
+    }
+}
+
+fn words_to_hv(words: &[u64], dim: usize) -> Hypervector {
+    let bits = BitVec::from_bits((0..dim).map(|i| (words[i / 64] >> (i % 64)) & 1 == 1));
+    Hypervector::from_bitvec(bits).expect("dim ≥ 1 checked by the header")
+}
+
 fn encode(memory: &AssociativeMemory) -> Vec<u8> {
     let dim = memory.dim().get();
     let mut bytes = Vec::with_capacity(HEADER_BODY + 4 + memory.len() * row_stride(dim));
@@ -236,27 +303,7 @@ pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), Snap
 /// checksum or declares an impossible geometry.
 pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
     let bytes = fs::read(path)?;
-    if bytes.len() < HEADER_BODY + 4 {
-        return Err(SnapshotError::HeaderCorrupt);
-    }
-    if bytes[..8] != MAGIC {
-        return Err(SnapshotError::BadMagic);
-    }
-    let le_u32 = |b: &[u8]| u32::from_le_bytes(b[..4].try_into().expect("4 bytes"));
-    let le_u64 = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
-    let version = le_u32(&bytes[8..]);
-    let stored_crc = le_u32(&bytes[HEADER_BODY..]);
-    if crc32(&bytes[..HEADER_BODY]) != stored_crc {
-        return Err(SnapshotError::HeaderCorrupt);
-    }
-    if version != VERSION {
-        return Err(SnapshotError::UnsupportedVersion(version));
-    }
-    let dim = le_u64(&bytes[12..]) as usize;
-    let classes = le_u64(&bytes[20..]) as usize;
-    let Ok(dimension) = Dimension::new(dim) else {
-        return Err(SnapshotError::HeaderCorrupt);
-    };
+    let (dimension, classes) = parse_header(&bytes)?;
     // Geometry sanity: the declared row count must not be wildly beyond
     // what the file could hold (a checksummed header makes this nearly
     // redundant, but it bounds allocation on adversarial input).
@@ -264,38 +311,128 @@ pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
         return Err(SnapshotError::HeaderCorrupt);
     }
 
+    let dim = dimension.get();
     let stride = row_stride(dim);
-    let wpr = words_per_row(dim);
     let mut memory = AssociativeMemory::new(dimension);
     let mut corrupted = Vec::new();
     let body = &bytes[HEADER_BODY + 4..];
     for class in 0..classes {
-        let start = class * stride;
-        let (label, row_words, ok) = if body.len() >= start + stride {
-            let record = &body[start..start + stride];
-            let stored = le_u32(&record[stride - 4..]);
-            let ok = crc32(&record[..stride - 4]) == stored;
-            let label_len = (record[0] as usize).min(MAX_LABEL_BYTES);
-            let label = String::from_utf8_lossy(&record[1..1 + label_len]).into_owned();
-            let words: Vec<u64> = (0..wpr)
-                .map(|w| le_u64(&record[LABEL_FIELD + w * 8..]))
-                .collect();
-            (label, words, ok)
-        } else {
-            // Truncated mid-row: nothing trustworthy remains for this or
-            // any later row.
-            (format!("lost-{class}"), vec![0u64; wpr], false)
-        };
-        let bits = BitVec::from_bits((0..dim).map(|i| (row_words[i / 64] >> (i % 64)) & 1 == 1));
-        let hv = Hypervector::from_bitvec(bits).expect("dim ≥ 1 checked above");
+        let (label, row_words, ok) = decode_record(body, class, class * stride, dim);
         memory
-            .insert(label, hv)
+            .insert(label, words_to_hv(&row_words, dim))
             .expect("row rebuilt in the memory's own space");
         if !ok {
             corrupted.push(ClassId(class));
         }
     }
     Ok(SnapshotLoad { memory, corrupted })
+}
+
+/// A contiguous row range decoded out of a snapshot — the unit a
+/// quarantined shard restores from, without touching the other shards'
+/// records.
+#[derive(Debug, Clone)]
+pub struct SnapshotSlice {
+    dim: Dimension,
+    start: usize,
+    labels: Vec<String>,
+    rows: Vec<Hypervector>,
+    clean: Vec<bool>,
+}
+
+impl SnapshotSlice {
+    /// The dimensionality the snapshot header declares.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// The global row range this slice covers (the requested range
+    /// clamped to the snapshot's class count).
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.rows.len()
+    }
+
+    /// The label and row of a class — `Some` only when the class lies in
+    /// this slice **and** its record passed its CRC. Corrupt records
+    /// never hand out rows: a restore must fall back to another source
+    /// for them.
+    pub fn clean_row(&self, class: ClassId) -> Option<(&str, &Hypervector)> {
+        let offset = class.0.checked_sub(self.start)?;
+        if !*self.clean.get(offset)? {
+            return None;
+        }
+        Some((self.labels[offset].as_str(), &self.rows[offset]))
+    }
+
+    /// The classes in this slice whose records failed their CRC.
+    pub fn corrupted(&self) -> Vec<ClassId> {
+        self.clean
+            .iter()
+            .enumerate()
+            .filter(|&(_, ok)| !ok)
+            .map(|(offset, _)| ClassId(self.start + offset))
+            .collect()
+    }
+}
+
+/// Decodes only the records of `range` (global row indices) out of a
+/// snapshot, seeking straight to them — fixed-stride records make the
+/// offsets exact, so the cost scales with the slice, not the file. The
+/// range is clamped to the snapshot's class count.
+///
+/// # Errors
+///
+/// Structural damage only, as in [`load_snapshot`]; a corrupt or
+/// truncated record inside the slice is reported per row via
+/// [`SnapshotSlice::clean_row`] / [`SnapshotSlice::corrupted`].
+pub fn load_snapshot_rows(
+    path: &Path,
+    range: Range<usize>,
+) -> Result<SnapshotSlice, SnapshotError> {
+    let mut file = fs::File::open(path)?;
+    let mut header = [0u8; HEADER_BODY + 4];
+    let got = file.read(&mut header)?;
+    let (dimension, classes) = parse_header(&header[..got])?;
+
+    let dim = dimension.get();
+    let stride = row_stride(dim);
+    let start = range.start.min(classes);
+    let end = range.end.min(classes);
+    let mut body = vec![0u8; (end - start) * stride];
+    if !body.is_empty() {
+        file.seek(SeekFrom::Start((HEADER_BODY + 4 + start * stride) as u64))?;
+        // A short read (truncated file) leaves the tail zeroed, which the
+        // per-record CRC then rejects — same contract as a full load.
+        let mut filled = 0;
+        loop {
+            let n = file.read(&mut body[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+            if filled == body.len() {
+                break;
+            }
+        }
+        body.truncate(filled);
+    }
+
+    let mut labels = Vec::with_capacity(end - start);
+    let mut rows = Vec::with_capacity(end - start);
+    let mut clean = Vec::with_capacity(end - start);
+    for class in start..end {
+        let (label, row_words, ok) = decode_record(&body, class, (class - start) * stride, dim);
+        labels.push(label);
+        rows.push(words_to_hv(&row_words, dim));
+        clean.push(ok);
+    }
+    Ok(SnapshotSlice {
+        dim: dimension,
+        start,
+        labels,
+        rows,
+        clean,
+    })
 }
 
 /// Loads a snapshot and immediately repairs it against `scrubber`'s
@@ -480,6 +617,64 @@ mod tests {
         assert!(matches!(
             load_golden(&path),
             Err(SnapshotError::GoldenCorrupt { rows: 1 })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn slice_load_matches_the_full_load() {
+        let memory = random_memory(11, 700, 21);
+        let path = temp_path("slice");
+        save_snapshot(&memory, &path).unwrap();
+        for range in [0..4, 4..8, 8..11, 0..11, 5..5] {
+            let slice = load_snapshot_rows(&path, range.clone()).unwrap();
+            assert_eq!(slice.range(), range.clone());
+            assert_eq!(slice.dim(), memory.dim());
+            assert!(slice.corrupted().is_empty());
+            for class in range.map(ClassId) {
+                let (label, row) = slice.clean_row(class).unwrap();
+                assert_eq!(Some(label), memory.label(class));
+                assert_eq!(Some(row), memory.row(class));
+            }
+        }
+        // Out-of-slice and out-of-snapshot classes hand out nothing.
+        let slice = load_snapshot_rows(&path, 4..8).unwrap();
+        assert!(slice.clean_row(ClassId(3)).is_none());
+        assert!(slice.clean_row(ClassId(8)).is_none());
+        // Ranges past the class count clamp instead of failing.
+        let clamped = load_snapshot_rows(&path, 9..40).unwrap();
+        assert_eq!(clamped.range(), 9..11);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn slice_load_reports_damage_without_handing_out_rows() {
+        let memory = random_memory(8, 400, 5);
+        let path = temp_path("slicedamage");
+        save_snapshot(&memory, &path).unwrap();
+        // Flip a byte inside row 5's word region.
+        let mut bytes = fs::read(&path).unwrap();
+        let offset = HEADER_BODY + 4 + 5 * row_stride(400) + LABEL_FIELD + 3;
+        bytes[offset] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let slice = load_snapshot_rows(&path, 4..8).unwrap();
+        assert_eq!(slice.corrupted(), vec![ClassId(5)]);
+        assert!(slice.clean_row(ClassId(5)).is_none());
+        assert!(slice.clean_row(ClassId(4)).is_some());
+
+        // Truncation inside the slice marks the lost tail corrupt.
+        fs::write(&path, &bytes[..HEADER_BODY + 4 + 6 * row_stride(400) + 9]).unwrap();
+        let cut = load_snapshot_rows(&path, 4..8).unwrap();
+        assert_eq!(cut.corrupted(), vec![ClassId(5), ClassId(6), ClassId(7)]);
+        assert!(cut.clean_row(ClassId(4)).is_some());
+
+        // A corrupt header still fails the slice load outright.
+        bytes[14] ^= 0xA5;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot_rows(&path, 0..2),
+            Err(SnapshotError::HeaderCorrupt)
         ));
         cleanup(&path);
     }

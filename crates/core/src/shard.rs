@@ -1,0 +1,978 @@
+//! Sharded scatter-gather search over an epoch-versioned, online-updatable
+//! associative memory.
+//!
+//! The paper's HAM is one monolithic `C × D` array searched in a single
+//! sweep. Serving at scale needs two axes the monolith lacks, and this
+//! module adds both without changing a single search result:
+//!
+//! * **Row-space sharding** — [`ShardedMemory`] partitions the rows into
+//!   `K` contiguous shards, each owned by a long-lived worker thread with
+//!   an mpsc mailbox. A query *scatters* to every non-empty shard, each
+//!   worker runs the existing fused kernel
+//!   ([`PackedRows::scan_min2_range`]) on its slice, and the *gather*
+//!   step merges the per-shard (winner, runner-up) pairs through
+//!   [`Min2::merge`]. The merge is exact — the hardware analogue is
+//!   MEMHD-style sub-arrays whose partial winners feed one comparator
+//!   tree — so plain, masked, margin, and top-k results are
+//!   **bit-identical** to the unsharded scan for every `K`, including
+//!   `K = 1` and `K >` rows (trailing shards simply own empty ranges).
+//! * **Epoch-versioned copy-on-write updates** — the memory lives behind
+//!   a [`VersionedMemory`]: readers [`load`](VersionedMemory::load) an
+//!   immutable [`MemoryVersion`] handle and search it without holding any
+//!   lock (acquisition is one brief `RwLock` read to clone an `Arc`),
+//!   while an [`OnlineUpdater`] clones the current version, applies a
+//!   mutation (add a class — e.g. one binarized from
+//!   `langid::Accumulators` — retire a class, re-threshold a row) and
+//!   *publishes* the successor atomically by swapping the `Arc`. A
+//!   scatter pins **one** version `Arc` and hands that same handle to
+//!   every shard, so a search can never observe a torn mix of two
+//!   versions. Old versions are *epoch-retired*: the publisher keeps a
+//!   `Weak` log of superseded epochs, each version stays alive exactly as
+//!   long as some reader still pins it, and fully-drained epochs leave
+//!   the log on the next publish.
+//!
+//! Per-shard resilience rides on the PR 3 machinery: a
+//! [`ShardSupervisor`] gives every shard its own
+//! [`HealthMonitor`], scrubs a shard's row range against golden copies,
+//! and — when a shard is quarantined — restores *only that shard's slice*
+//! from a checksummed snapshot
+//! ([`load_snapshot_rows`](crate::resilience::snapshot::load_snapshot_rows)),
+//! published as a new version while the other shards keep serving.
+//!
+//! # Example
+//!
+//! ```
+//! use hdc::prelude::*;
+//! use ham_core::explore::random_memory;
+//! use ham_core::shard::{OnlineUpdater, ShardedMemory};
+//!
+//! let memory = random_memory(21, 1_000, 7);
+//! let sharded = ShardedMemory::new(memory.clone(), 4);
+//! let query = memory.row(ClassId(5)).unwrap().clone();
+//!
+//! // Bit-identical to the unsharded scan.
+//! assert_eq!(sharded.search(&query)?, memory.search(&query)?);
+//!
+//! // Publish a new class while the shards keep serving.
+//! let updater = OnlineUpdater::new(sharded.versioned().clone());
+//! let novel = Hypervector::random(memory.dim(), 99);
+//! let (class, epoch) = updater.add_class("novel", novel.clone())?;
+//! assert_eq!(class, ClassId(21));
+//! assert_eq!(epoch, 1);
+//! assert_eq!(sharded.search(&novel)?.class, class);
+//! # Ok::<(), ham_core::HamError>(())
+//! ```
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
+use std::thread::JoinHandle;
+
+use hdc::prelude::*;
+
+use crate::batch::lock_unpoisoned;
+use crate::model::{HamError, MarginSearchResult};
+use crate::resilience::degrade::{Confidence, DegradationPolicy, EngineStage, QueryOutcome};
+use crate::resilience::health::{HealthMonitor, HealthPolicy, HealthState};
+use crate::resilience::scrub::{ScrubReport, Scrubber};
+use crate::resilience::snapshot::{load_snapshot_rows, save_snapshot, SnapshotError};
+
+/// The contiguous partition of `rows` rows into `shards` shards.
+///
+/// Shard `i` owns the global row range `[i·⌈rows/K⌉, (i+1)·⌈rows/K⌉)`
+/// clamped to `rows` — ascending and disjoint, so global row indices
+/// order shards and the gather tie-break ("lowest global index wins")
+/// matches the serial scan. When `K > rows` the trailing shards own
+/// empty ranges and simply sit out the scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    rows: usize,
+    chunk: usize,
+}
+
+impl ShardPlan {
+    /// The plan for `rows` rows over `shards` shards (`shards` is
+    /// clamped to at least 1).
+    pub fn new(shards: usize, rows: usize) -> Self {
+        let shards = shards.max(1);
+        ShardPlan {
+            shards,
+            rows,
+            chunk: rows.div_ceil(shards).max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total rows partitioned.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The global row range shard `shard` owns (empty for trailing
+    /// shards when `shards > rows`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        (shard * self.chunk).min(self.rows)..((shard + 1) * self.chunk).min(self.rows)
+    }
+
+    /// The shard that owns global row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn shard_of_row(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        row / self.chunk
+    }
+}
+
+/// One immutable, epoch-stamped snapshot of the associative memory.
+///
+/// Readers hold a version through an `Arc` and search it without any
+/// lock; the version (and its row storage) is freed when the last reader
+/// drops it, which is what retires its epoch.
+#[derive(Debug)]
+pub struct MemoryVersion {
+    epoch: u64,
+    memory: AssociativeMemory,
+}
+
+impl MemoryVersion {
+    /// The publication epoch (0 for the initial version, +1 per publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The memory this version snapshots.
+    pub fn memory(&self) -> &AssociativeMemory {
+        &self.memory
+    }
+}
+
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The epoch-versioned memory cell: an atomically swappable current
+/// version plus a retirement log of superseded epochs.
+///
+/// * [`load`](Self::load) — clone the current version's `Arc` (one brief
+///   read lock; the search itself then runs lock-free on the snapshot).
+/// * [`publish`](Self::publish) — install a successor version and move
+///   the old epoch into the retirement log.
+/// * [`update`](Self::update) — serialized copy-on-write read-modify-
+///   publish for concurrent updaters (last-write-wins races are excluded
+///   by an update mutex; readers are never blocked by it).
+#[derive(Debug)]
+pub struct VersionedMemory {
+    current: RwLock<Arc<MemoryVersion>>,
+    /// Serializes copy-on-write updates so two updaters cannot both
+    /// clone epoch `e` and publish conflicting `e + 1` versions.
+    updates: Mutex<()>,
+    /// Superseded epochs still (possibly) pinned by readers. Entries
+    /// whose last `Arc` dropped are pruned on the next publish/inspect —
+    /// that pruning *is* the epoch retirement.
+    retired: Mutex<Vec<(u64, Weak<MemoryVersion>)>>,
+}
+
+impl VersionedMemory {
+    /// Wraps `memory` as epoch 0.
+    pub fn new(memory: AssociativeMemory) -> Self {
+        VersionedMemory {
+            current: RwLock::new(Arc::new(MemoryVersion { epoch: 0, memory })),
+            updates: Mutex::new(()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current version, pinned. Searches against the returned handle
+    /// are immune to concurrent publishes: the snapshot it points at is
+    /// immutable and stays alive until the handle drops.
+    pub fn load(&self) -> Arc<MemoryVersion> {
+        Arc::clone(&read_unpoisoned(&self.current))
+    }
+
+    /// The epoch of the current version.
+    pub fn current_epoch(&self) -> u64 {
+        read_unpoisoned(&self.current).epoch
+    }
+
+    /// Atomically installs `memory` as the next version and returns its
+    /// epoch. The superseded version moves into the retirement log,
+    /// where it lives exactly as long as some reader still pins it.
+    pub fn publish(&self, memory: AssociativeMemory) -> u64 {
+        let mut current = write_unpoisoned(&self.current);
+        let epoch = current.epoch + 1;
+        let next = Arc::new(MemoryVersion { epoch, memory });
+        let old = std::mem::replace(&mut *current, next);
+        drop(current);
+        let mut retired = lock_unpoisoned(&self.retired);
+        retired.push((old.epoch, Arc::downgrade(&old)));
+        drop(old); // retire immediately if no reader pins it
+        retired.retain(|(_, weak)| weak.strong_count() > 0);
+        epoch
+    }
+
+    /// Serialized copy-on-write update: clones the current memory, lets
+    /// `mutate` edit the clone, and publishes the result. Readers keep
+    /// serving the old version until the publish instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `mutate`'s error without publishing anything.
+    pub fn update<F>(&self, mutate: F) -> Result<u64, HamError>
+    where
+        F: FnOnce(&mut AssociativeMemory) -> Result<(), HamError>,
+    {
+        let _guard = lock_unpoisoned(&self.updates);
+        let mut memory = self.load().memory.clone();
+        mutate(&mut memory)?;
+        Ok(self.publish(memory))
+    }
+
+    /// The superseded epochs still pinned by at least one reader, in
+    /// retirement order. An epoch disappears from this list once its last
+    /// reader drops the version — observable epoch retirement.
+    pub fn pinned_epochs(&self) -> Vec<u64> {
+        let mut retired = lock_unpoisoned(&self.retired);
+        retired.retain(|(_, weak)| weak.strong_count() > 0);
+        retired.iter().map(|&(epoch, _)| epoch).collect()
+    }
+}
+
+/// What a shard worker sends back through the per-query reply channel.
+enum ShardFinding {
+    Min2(Option<Min2>),
+    TopK(Vec<(usize, usize)>),
+}
+
+/// One mailbox message to a shard worker. Every request carries the
+/// pinned version it must search — the scatter hands the *same* `Arc` to
+/// all shards, which is what makes a gathered result torn-proof.
+enum ShardRequest {
+    Scan {
+        version: Arc<MemoryVersion>,
+        range: Range<usize>,
+        query: Arc<Vec<u64>>,
+        mask: Option<Arc<Vec<u64>>>,
+        reply: Sender<(usize, ShardFinding)>,
+    },
+    TopK {
+        version: Arc<MemoryVersion>,
+        range: Range<usize>,
+        query: Arc<Vec<u64>>,
+        k: usize,
+        reply: Sender<(usize, ShardFinding)>,
+    },
+    Shutdown,
+}
+
+fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
+    while let Ok(request) = inbox.recv() {
+        match request {
+            ShardRequest::Scan {
+                version,
+                range,
+                query,
+                mask,
+                reply,
+            } => {
+                let packed = version.memory().packed_rows();
+                let hit = match &mask {
+                    None => packed.scan_min2_range(&query, range),
+                    Some(mask) => packed.scan_min2_masked_range(&query, mask, range),
+                };
+                let _ = reply.send((shard, ShardFinding::Min2(hit)));
+            }
+            ShardRequest::TopK {
+                version,
+                range,
+                query,
+                k,
+                reply,
+            } => {
+                let ranked = version.memory().packed_rows().top_k_range(&query, range, k);
+                let _ = reply.send((shard, ShardFinding::TopK(ranked)));
+            }
+            ShardRequest::Shutdown => break,
+        }
+    }
+}
+
+/// Scatter-gather search over `K` shard worker threads, bit-identical to
+/// the unsharded [`AssociativeMemory`] scan — see the [module docs]
+/// (self) for the protocol and the exactness argument.
+///
+/// The shard count is fixed at construction; the row partition is
+/// recomputed per query from the pinned version's row count, so online
+/// updates that grow or shrink the memory re-balance automatically.
+#[derive(Debug)]
+pub struct ShardedMemory {
+    versioned: Arc<VersionedMemory>,
+    mailboxes: Vec<Sender<ShardRequest>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedMemory {
+    /// Shards `memory` over `shards` worker threads (clamped to ≥ 1),
+    /// wrapping it as epoch 0 of a fresh [`VersionedMemory`].
+    pub fn new(memory: AssociativeMemory, shards: usize) -> Self {
+        ShardedMemory::over(Arc::new(VersionedMemory::new(memory)), shards)
+    }
+
+    /// Shards an existing versioned cell — the constructor to use when an
+    /// [`OnlineUpdater`] (or several sharded views) should share it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    pub fn over(versioned: Arc<VersionedMemory>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut mailboxes = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("ham-shard-{shard}"))
+                .spawn(move || worker_loop(shard, rx))
+                .expect("spawn shard worker thread");
+            mailboxes.push(tx);
+            workers.push(handle);
+        }
+        ShardedMemory {
+            versioned,
+            mailboxes,
+            workers,
+        }
+    }
+
+    /// The shared versioned cell (clone it for an [`OnlineUpdater`]).
+    pub fn versioned(&self) -> &Arc<VersionedMemory> {
+        &self.versioned
+    }
+
+    /// Number of shard workers, `K`.
+    pub fn shards(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The row partition for the current version.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(self.shards(), self.versioned.load().memory().len())
+    }
+
+    fn check_query(version: &MemoryVersion, dim: Dimension) -> Result<(), HamError> {
+        let expected = version.memory().dim();
+        if dim != expected {
+            return Err(HamError::DimensionMismatch {
+                expected: expected.get(),
+                actual: dim.get(),
+            });
+        }
+        if version.memory().is_empty() {
+            return Err(HamError::NoClasses);
+        }
+        Ok(())
+    }
+
+    /// Scatters `request_of` to every non-empty shard of `version` and
+    /// gathers the findings in arrival order.
+    fn scatter(
+        &self,
+        version: &Arc<MemoryVersion>,
+        request_of: impl Fn(Range<usize>, Sender<(usize, ShardFinding)>) -> ShardRequest,
+    ) -> Result<Vec<ShardFinding>, HamError> {
+        let plan = ShardPlan::new(self.shards(), version.memory().len());
+        let (reply, inbox) = mpsc::channel();
+        let mut outstanding = Vec::new();
+        for shard in 0..self.shards() {
+            let range = plan.range(shard);
+            if range.is_empty() {
+                continue;
+            }
+            self.mailboxes[shard]
+                .send(request_of(range, reply.clone()))
+                .map_err(|_| HamError::ShardDown { shard })?;
+            outstanding.push(shard);
+        }
+        drop(reply);
+        let mut findings = Vec::with_capacity(outstanding.len());
+        let mut heard = vec![false; self.shards()];
+        for _ in 0..outstanding.len() {
+            let (shard, finding) = inbox.recv().map_err(|_| HamError::ShardDown {
+                // All reply senders dropped before every shard answered:
+                // report the first silent one.
+                shard: outstanding
+                    .iter()
+                    .copied()
+                    .find(|&s| !heard[s])
+                    .unwrap_or(0),
+            })?;
+            heard[shard] = true;
+            findings.push(finding);
+        }
+        Ok(findings)
+    }
+
+    fn gather_min2(
+        &self,
+        version: &Arc<MemoryVersion>,
+        query: &Hypervector,
+        mask: Option<&SampleMask>,
+    ) -> Result<Min2, HamError> {
+        Self::check_query(version, query.dim())?;
+        if let Some(mask) = mask {
+            if mask.dim() != version.memory().dim() {
+                return Err(HamError::DimensionMismatch {
+                    expected: version.memory().dim().get(),
+                    actual: mask.dim().get(),
+                });
+            }
+        }
+        let query = Arc::new(query.as_bitvec().as_words().to_vec());
+        let mask = mask.map(|m| Arc::new(m.as_bitvec().as_words().to_vec()));
+        let findings = self.scatter(version, |range, reply| ShardRequest::Scan {
+            version: Arc::clone(version),
+            range,
+            query: Arc::clone(&query),
+            mask: mask.clone(),
+            reply,
+        })?;
+        let parts = findings.into_iter().filter_map(|finding| match finding {
+            ShardFinding::Min2(hit) => hit,
+            ShardFinding::TopK(_) => None,
+        });
+        Min2::merge(parts).ok_or(HamError::NoClasses)
+    }
+
+    /// Exact nearest + runner-up search on a pinned version — the core
+    /// scatter-gather, exposed so callers (tests, supervisors) can hold
+    /// one version across several searches.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::DimensionMismatch`] for a query from another space,
+    /// [`HamError::NoClasses`] when the version is empty, and
+    /// [`HamError::ShardDown`] when a worker thread has exited.
+    pub fn search_on(
+        &self,
+        version: &Arc<MemoryVersion>,
+        query: &Hypervector,
+    ) -> Result<SearchResult, HamError> {
+        self.gather_min2(version, query, None).map(to_search_result)
+    }
+
+    /// Exact search against the current version; bit-identical to
+    /// [`AssociativeMemory::search`] on that version's memory.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search(&self, query: &Hypervector) -> Result<SearchResult, HamError> {
+        self.search_on(&self.versioned.load(), query)
+    }
+
+    /// Masked (structured-sampling) search against the current version;
+    /// bit-identical to [`AssociativeMemory::search_sampled`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on), plus
+    /// [`HamError::DimensionMismatch`] for a mask of the wrong length.
+    pub fn search_sampled(
+        &self,
+        query: &Hypervector,
+        mask: &SampleMask,
+    ) -> Result<SearchResult, HamError> {
+        self.gather_min2(&self.versioned.load(), query, Some(mask))
+            .map(to_search_result)
+    }
+
+    /// Search with the runner-up distance exposed for margin gating —
+    /// the sharded analogue of `HamDesign::search_with_margin`, so the
+    /// PR 3 degradation/health machinery plugs in unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
+        self.search_with_margin_on(&self.versioned.load(), query)
+    }
+
+    /// [`search_with_margin`](Self::search_with_margin) on a pinned
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search_with_margin_on(
+        &self,
+        version: &Arc<MemoryVersion>,
+        query: &Hypervector,
+    ) -> Result<MarginSearchResult, HamError> {
+        let hit = self.gather_min2(version, query, None)?;
+        Ok(MarginSearchResult {
+            class: ClassId(hit.best),
+            measured_distance: Distance::new(hit.best_distance),
+            runner_up: hit.runner_up.map(Distance::new),
+        })
+    }
+
+    /// The `k` nearest classes of the current version, gathered from
+    /// per-shard rankings under the shared `(distance, row)` tie-break —
+    /// bit-identical to [`AssociativeMemory::search_top_k`], including
+    /// `k = 0` (empty) and `k >` classes (all of them).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search_top_k(
+        &self,
+        query: &Hypervector,
+        k: usize,
+    ) -> Result<Vec<(ClassId, Distance)>, HamError> {
+        let version = self.versioned.load();
+        Self::check_query(&version, query.dim())?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let query = Arc::new(query.as_bitvec().as_words().to_vec());
+        let findings = self.scatter(&version, |range, reply| ShardRequest::TopK {
+            version: Arc::clone(&version),
+            range,
+            query: Arc::clone(&query),
+            k,
+            reply,
+        })?;
+        let mut gathered: Vec<(usize, usize)> = findings
+            .into_iter()
+            .flat_map(|finding| match finding {
+                ShardFinding::TopK(ranked) => ranked,
+                ShardFinding::Min2(_) => Vec::new(),
+            })
+            .collect();
+        gathered.sort_by_key(|&(row, distance)| (distance, row));
+        gathered.truncate(k);
+        Ok(gathered
+            .into_iter()
+            .map(|(row, distance)| (ClassId(row), Distance::new(distance)))
+            .collect())
+    }
+}
+
+impl Drop for ShardedMemory {
+    fn drop(&mut self) {
+        for mailbox in &self.mailboxes {
+            let _ = mailbox.send(ShardRequest::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn to_search_result(hit: Min2) -> SearchResult {
+    SearchResult {
+        class: ClassId(hit.best),
+        distance: Distance::new(hit.best_distance),
+        runner_up: hit.runner_up.map(Distance::new),
+    }
+}
+
+/// Live mutations against a [`VersionedMemory`], each published as one
+/// new copy-on-write version while readers keep serving the old one.
+///
+/// All mutations serialize through the cell's update mutex, so several
+/// updaters can share one cell without lost updates.
+#[derive(Debug, Clone)]
+pub struct OnlineUpdater {
+    versioned: Arc<VersionedMemory>,
+}
+
+impl OnlineUpdater {
+    /// An updater over `versioned` (clone the `Arc` from
+    /// [`ShardedMemory::versioned`]).
+    pub fn new(versioned: Arc<VersionedMemory>) -> Self {
+        OnlineUpdater { versioned }
+    }
+
+    /// The cell this updater publishes to.
+    pub fn versioned(&self) -> &Arc<VersionedMemory> {
+        &self.versioned
+    }
+
+    /// Adds a class — e.g. a row binarized from `langid`'s per-class
+    /// accumulators — and publishes the grown memory. Returns the new
+    /// class id and the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::Hdc`] when the hypervector belongs to another space.
+    pub fn add_class(
+        &self,
+        label: impl Into<String>,
+        hv: Hypervector,
+    ) -> Result<(ClassId, u64), HamError> {
+        let label = label.into();
+        let mut added = ClassId(0);
+        let epoch = self.versioned.update(|memory| {
+            added = memory.insert(label, hv).map_err(HamError::Hdc)?;
+            Ok(())
+        })?;
+        Ok((added, epoch))
+    }
+
+    /// Retires a class: the published successor holds every other row,
+    /// with rows past the retired one shifted down by one (labels are
+    /// the stable identity across versions; class ids are per-version
+    /// row indices). Returns the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::Hdc`] ([`HdcError::UnknownClass`]) when the class is
+    /// not stored and [`HamError::NoClasses`] when retiring the last
+    /// remaining class — an empty memory cannot serve.
+    pub fn retire_class(&self, class: ClassId) -> Result<u64, HamError> {
+        self.versioned.update(|memory| {
+            let stored = memory.len();
+            if class.0 >= stored {
+                return Err(HamError::Hdc(HdcError::UnknownClass {
+                    class: class.0,
+                    stored,
+                }));
+            }
+            if stored == 1 {
+                return Err(HamError::NoClasses);
+            }
+            let mut survivor = AssociativeMemory::new(memory.dim());
+            for (id, label, hv) in memory.iter() {
+                if id != class {
+                    survivor
+                        .insert(label, hv.clone())
+                        .expect("surviving rows share the space");
+                }
+            }
+            *memory = survivor;
+            Ok(())
+        })
+    }
+
+    /// Replaces one class's stored row — the "re-threshold" path after
+    /// its accumulators absorbed new observations — and publishes.
+    /// Returns the published epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::Hdc`] for an unknown class or a row from another
+    /// space.
+    pub fn rethreshold_row(&self, class: ClassId, hv: Hypervector) -> Result<u64, HamError> {
+        self.versioned
+            .update(|memory| memory.replace_row(class, hv).map_err(HamError::Hdc))
+    }
+}
+
+/// One shard's scrub outcome under a [`ShardSupervisor`].
+#[derive(Debug, Clone)]
+pub struct ShardScrub {
+    /// The scrubbed shard.
+    pub shard: usize,
+    /// The golden-copy scan over the shard's row range (global class
+    /// ids; `scanned` counts only this shard's rows).
+    pub report: ScrubReport,
+    /// The shard's health state after folding the scan in.
+    pub state: HealthState,
+    /// Rows rewritten by this pass (from the snapshot slice on a
+    /// quarantine restore, from golden copies otherwise).
+    pub repaired: Vec<ClassId>,
+    /// Whether the repair rows came from the checksummed snapshot slice
+    /// (`true` only on a quarantine restore with a configured snapshot).
+    pub restored_from_snapshot: bool,
+    /// The epoch published by the repair, when one was needed.
+    pub epoch: Option<u64>,
+}
+
+/// The outcome of one margin-gated sharded classification.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The winning class with its runner-up distance.
+    pub result: MarginSearchResult,
+    /// The shard that owned the winning row.
+    pub shard: usize,
+    /// Trust under the winning shard's effective policy (tightened when
+    /// that shard is degraded or quarantined).
+    pub confidence: Confidence,
+}
+
+/// Per-shard health over a [`ShardedMemory`]: every shard gets its own
+/// [`HealthMonitor`], margin telemetry is attributed to the shard that
+/// produced the winner, and scrub/restore repairs touch only the sick
+/// shard's row range — the other shards keep serving the same versioned
+/// cell throughout.
+#[derive(Debug)]
+pub struct ShardSupervisor {
+    sharded: ShardedMemory,
+    scrubber: Scrubber,
+    monitors: Vec<HealthMonitor>,
+    base_policy: DegradationPolicy,
+    snapshot_path: Option<PathBuf>,
+}
+
+impl ShardSupervisor {
+    /// Supervises `memory` sharded `shards` ways, with one monitor per
+    /// shard under `health` and golden copies snapshotted from the
+    /// memory itself.
+    pub fn new(memory: AssociativeMemory, shards: usize, health: HealthPolicy) -> Self {
+        let base_policy = DegradationPolicy::for_dim(memory.dim().get());
+        let scrubber = Scrubber::from_memory(&memory);
+        let sharded = ShardedMemory::new(memory, shards);
+        let monitors = (0..sharded.shards())
+            .map(|_| HealthMonitor::new(health))
+            .collect();
+        ShardSupervisor {
+            sharded,
+            scrubber,
+            monitors,
+            base_policy,
+            snapshot_path: None,
+        }
+    }
+
+    /// Configures (and immediately writes) the checksummed snapshot that
+    /// quarantined shards restore their slice from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot I/O errors.
+    pub fn with_snapshot(mut self, path: PathBuf) -> Result<Self, SnapshotError> {
+        save_snapshot(self.sharded.versioned().load().memory(), &path)?;
+        self.snapshot_path = Some(path);
+        Ok(self)
+    }
+
+    /// The supervised sharded memory.
+    pub fn sharded(&self) -> &ShardedMemory {
+        &self.sharded
+    }
+
+    /// The shared versioned cell (for wiring an [`OnlineUpdater`]).
+    pub fn versioned(&self) -> &Arc<VersionedMemory> {
+        self.sharded.versioned()
+    }
+
+    /// A shard's current health state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_state(&self, shard: usize) -> HealthState {
+        self.monitors[shard].state()
+    }
+
+    /// A shard's health monitor (telemetry: occupancy, transitions,
+    /// margin histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn monitor(&self, shard: usize) -> &HealthMonitor {
+        &self.monitors[shard]
+    }
+
+    /// Margin-gated classification: one exact scatter-gather search,
+    /// judged against the *winning shard's* effective policy — the base
+    /// policy while that shard is healthy, the monitor-tightened one
+    /// once it degrades — with the outcome folded into that shard's
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedMemory::search_on`].
+    pub fn classify(&mut self, query: &Hypervector) -> Result<ShardedOutcome, HamError> {
+        let version = self.sharded.versioned().load();
+        let result = match self.sharded.search_with_margin_on(&version, query) {
+            Ok(result) => result,
+            Err(error) => {
+                // Attribute hard failures to every shard: a scatter that
+                // cannot complete is not one shard's margin problem.
+                for monitor in &mut self.monitors {
+                    monitor.observe_error(&error);
+                }
+                return Err(error);
+            }
+        };
+        let plan = ShardPlan::new(self.sharded.shards(), version.memory().len());
+        let shard = plan.shard_of_row(result.class.0);
+        let policy = match self.monitors[shard].state() {
+            HealthState::Healthy => self.base_policy,
+            _ => self.monitors[shard].tightened(self.base_policy),
+        };
+        let margin = result.margin();
+        let confidence = if margin >= policy.confident_margin {
+            Confidence::Confident
+        } else if margin < policy.reject_margin {
+            Confidence::Rejected
+        } else {
+            Confidence::Marginal
+        };
+        let outcome = QueryOutcome {
+            result: result.clone().into_result(),
+            confidence,
+            escalations: 0,
+            final_engine: EngineStage::Exact,
+            margin,
+        };
+        self.monitors[shard].observe_outcome(&outcome);
+        Ok(ShardedOutcome {
+            result,
+            shard,
+            confidence,
+        })
+    }
+
+    /// Scans one shard's row range against the golden copies — no
+    /// repair, no monitor update.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::GoldenMismatch`] when online updates changed the
+    /// class count since the goldens were taken (call
+    /// [`refresh_golden`](Self::refresh_golden) after publishing
+    /// add/retire updates).
+    pub fn scan_shard(&self, shard: usize) -> Result<ScrubReport, HamError> {
+        let version = self.sharded.versioned().load();
+        let memory = version.memory();
+        if memory.len() != self.scrubber.classes() {
+            return Err(HamError::GoldenMismatch {
+                golden: self.scrubber.classes(),
+                stored: memory.len(),
+            });
+        }
+        let range = ShardPlan::new(self.sharded.shards(), memory.len()).range(shard);
+        let corrupted: Vec<(ClassId, Distance)> = range
+            .clone()
+            .filter_map(|row| {
+                let class = ClassId(row);
+                let stored = memory.row(class).expect("row in range");
+                let golden = self.scrubber.golden_row(class).expect("golden in range");
+                let damage = stored.hamming(golden);
+                (damage > Distance::ZERO).then_some((class, damage))
+            })
+            .collect();
+        Ok(ScrubReport {
+            scanned: range.len(),
+            corrupted,
+            repaired: Vec::new(),
+        })
+    }
+
+    /// Scrubs one shard: scans its range, folds the report into the
+    /// shard's monitor, and — when damage was found — publishes **one**
+    /// new version with the damaged rows rewritten. A quarantined shard
+    /// restores its rows from the checksummed snapshot slice (clean
+    /// records only; rows whose snapshot record is itself corrupt fall
+    /// back to the golden copy) and is marked restored; a merely
+    /// degraded shard repairs straight from the golden copies. Healthy
+    /// shards and the rest of the row space are never touched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`scan_shard`](Self::scan_shard).
+    pub fn scrub_shard(&mut self, shard: usize) -> Result<ShardScrub, HamError> {
+        let mut report = self.scan_shard(shard)?;
+        self.monitors[shard].observe_scrub(&report);
+        let state = self.monitors[shard].state();
+        if report.is_clean() {
+            return Ok(ShardScrub {
+                shard,
+                report,
+                state,
+                repaired: Vec::new(),
+                restored_from_snapshot: false,
+                epoch: None,
+            });
+        }
+
+        // Pull the replacement rows: snapshot slice on quarantine (when
+        // configured and readable), golden copies otherwise.
+        let range = {
+            let version = self.sharded.versioned().load();
+            ShardPlan::new(self.sharded.shards(), version.memory().len()).range(shard)
+        };
+        let snapshot_rows = if state == HealthState::Quarantined {
+            self.snapshot_path
+                .as_ref()
+                .and_then(|path| load_snapshot_rows(path, range.clone()).ok())
+        } else {
+            None
+        };
+        let restored_from_snapshot = snapshot_rows.is_some();
+        let repairs: Vec<(ClassId, Hypervector)> = report
+            .corrupted
+            .iter()
+            .map(|&(class, _)| {
+                let from_snapshot = snapshot_rows
+                    .as_ref()
+                    .and_then(|slice| slice.clean_row(class).map(|(_, hv)| hv.clone()));
+                let row = from_snapshot.unwrap_or_else(|| {
+                    self.scrubber
+                        .golden_row(class)
+                        .expect("golden in range")
+                        .clone()
+                });
+                (class, row)
+            })
+            .collect();
+        let epoch = self.sharded.versioned().update(|memory| {
+            for (class, row) in &repairs {
+                memory
+                    .replace_row(*class, row.clone())
+                    .map_err(HamError::Hdc)?;
+            }
+            Ok(())
+        })?;
+        report.repaired = report.corrupted.iter().map(|&(class, _)| class).collect();
+        if state == HealthState::Quarantined {
+            self.monitors[shard].mark_restored();
+        }
+        Ok(ShardScrub {
+            shard,
+            report: report.clone(),
+            state: self.monitors[shard].state(),
+            repaired: report.repaired,
+            restored_from_snapshot,
+            epoch: Some(epoch),
+        })
+    }
+
+    /// Re-snapshots the golden copies (and the on-disk snapshot, when
+    /// configured) from the *current* version — required after an
+    /// [`OnlineUpdater`] added or retired classes, since golden copies
+    /// are per-class and the class set changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot I/O errors; the in-memory goldens are
+    /// refreshed even if the snapshot write fails.
+    pub fn refresh_golden(&mut self) -> Result<(), SnapshotError> {
+        let version = self.sharded.versioned().load();
+        self.scrubber = Scrubber::from_memory(version.memory());
+        if let Some(path) = &self.snapshot_path {
+            save_snapshot(version.memory(), path)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,475 @@
+//! The sharded scatter-gather contract: for *every* shard count —
+//! including `K = 1` and `K >` rows — sharded plain, masked, margin, and
+//! top-k searches are bit-identical to the serial kernel, and readers
+//! racing an online updater always observe exactly one published version.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ham_core::explore::random_memory;
+use ham_core::resilience::{HealthPolicy, HealthState};
+use ham_core::shard::{OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory};
+use ham_core::HamError;
+use hdc::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_search_is_bit_identical_for_any_shard_count(
+        classes in 1usize..24,
+        dim in 64usize..700,
+        shards in 1usize..33,
+        seed in any::<u64>(),
+    ) {
+        let memory = random_memory(classes, dim, seed);
+        let sharded = ShardedMemory::new(memory.clone(), shards);
+        let dimension = memory.dim();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AD);
+
+        // Exact-row, noisy, and unrelated queries.
+        let queries = [
+            memory.row(ClassId(seed as usize % classes)).unwrap().clone(),
+            memory
+                .row(ClassId((seed as usize + 1) % classes))
+                .unwrap()
+                .with_flipped_bits(dim / 10, &mut rng),
+            Hypervector::random(dimension, seed ^ 0xBEEF),
+        ];
+        let mask = SampleMask::keep_random(dimension, (dim / 2).max(1), seed ^ 7).unwrap();
+        for query in &queries {
+            let serial = memory.search(query).unwrap();
+            prop_assert_eq!(sharded.search(query).unwrap(), serial.clone());
+
+            let margin = sharded.search_with_margin(query).unwrap();
+            prop_assert_eq!(margin.class, serial.class);
+            prop_assert_eq!(margin.measured_distance, serial.distance);
+            prop_assert_eq!(margin.runner_up, serial.runner_up);
+            prop_assert_eq!(margin.margin(), serial.margin());
+
+            prop_assert_eq!(
+                sharded.search_sampled(query, &mask).unwrap(),
+                memory.search_sampled(query, &mask).unwrap()
+            );
+
+            for k in [0, 1, classes / 2, classes, classes + 5] {
+                prop_assert_eq!(
+                    sharded.search_top_k(query, k).unwrap(),
+                    memory.search_top_k(query, k).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_exactly(
+        rows in 0usize..200,
+        shards in 1usize..40,
+    ) {
+        let plan = ShardPlan::new(shards, rows);
+        prop_assert_eq!(plan.shards(), shards);
+        prop_assert_eq!(plan.rows(), rows);
+        // Ranges are ascending, disjoint, and cover 0..rows.
+        let mut next = 0;
+        for shard in 0..shards {
+            let range = plan.range(shard);
+            prop_assert_eq!(range.start, next.min(rows));
+            prop_assert!(range.end >= range.start);
+            next = range.end;
+        }
+        prop_assert_eq!(next, rows);
+        for row in 0..rows {
+            let owner = plan.shard_of_row(row);
+            prop_assert!(plan.range(owner).contains(&row));
+        }
+    }
+
+    #[test]
+    fn online_updates_always_match_a_serial_mirror(
+        classes in 2usize..10,
+        shards in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        // Apply the same add/retire/re-threshold sequence to a plain
+        // memory and through the updater: after every publish the sharded
+        // view is bit-identical to the mirror, and epochs count publishes.
+        let dim = Dimension::new(256).unwrap();
+        let mut mirror = random_memory(classes, 256, seed);
+        let sharded = ShardedMemory::new(mirror.clone(), shards);
+        let updater = OnlineUpdater::new(sharded.versioned().clone());
+        let probe = Hypervector::random(dim, seed ^ 0xCAFE);
+
+        for step in 0..6u64 {
+            let epoch = match step % 3 {
+                0 => {
+                    let hv = Hypervector::random(dim, seed ^ (step + 1));
+                    mirror.insert(format!("new-{step}"), hv.clone()).unwrap();
+                    let (class, epoch) = updater.add_class(format!("new-{step}"), hv).unwrap();
+                    prop_assert_eq!(class, ClassId(mirror.len() - 1));
+                    epoch
+                }
+                1 => {
+                    let retired = ClassId(step as usize % mirror.len());
+                    let mut survivor = AssociativeMemory::new(dim);
+                    for (id, label, hv) in mirror.iter() {
+                        if id != retired {
+                            survivor.insert(label, hv.clone()).unwrap();
+                        }
+                    }
+                    mirror = survivor;
+                    updater.retire_class(retired).unwrap()
+                }
+                _ => {
+                    let target = ClassId(step as usize % mirror.len());
+                    let hv = Hypervector::random(dim, seed ^ (step + 77));
+                    mirror.replace_row(target, hv.clone()).unwrap();
+                    updater.rethreshold_row(target, hv).unwrap()
+                }
+            };
+            prop_assert_eq!(epoch, step + 1);
+            prop_assert_eq!(sharded.versioned().current_epoch(), epoch);
+            prop_assert_eq!(
+                sharded.search(&probe).unwrap(),
+                mirror.search(&probe).unwrap()
+            );
+            let version = sharded.versioned().load();
+            prop_assert_eq!(version.memory().len(), mirror.len());
+            for (class, label, hv) in mirror.iter() {
+                prop_assert_eq!(version.memory().label(class), Some(label));
+                prop_assert_eq!(version.memory().row(class), Some(hv));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_and_more_shards_than_rows_degenerate_cleanly() {
+    let memory = random_memory(3, 512, 11);
+    let query = Hypervector::random(memory.dim(), 5);
+    let serial = memory.search(&query).unwrap();
+    for shards in [1, 3, 4, 64] {
+        let sharded = ShardedMemory::new(memory.clone(), shards);
+        assert_eq!(sharded.shards(), shards);
+        assert_eq!(sharded.search(&query).unwrap(), serial);
+        assert_eq!(
+            sharded.search_top_k(&query, 3).unwrap(),
+            memory.search_top_k(&query, 3).unwrap()
+        );
+    }
+    // `0` shards clamps to one rather than building a shardless memory.
+    assert_eq!(ShardedMemory::new(memory, 0).shards(), 1);
+}
+
+#[test]
+fn cross_shard_ties_keep_the_lowest_global_row() {
+    // Four identical rows over two shards: the winner and runner-up both
+    // sit in shard 0, and shard 1's equal-distance winner must lose the
+    // gather on row index.
+    let dim = Dimension::new(128).unwrap();
+    let hv = Hypervector::random(dim, 9);
+    let mut memory = AssociativeMemory::new(dim);
+    for _ in 0..4 {
+        memory.insert("dup", hv.clone()).unwrap();
+    }
+    for shards in [2, 3, 4] {
+        let sharded = ShardedMemory::new(memory.clone(), shards);
+        let hit = sharded.search(&hv).unwrap();
+        assert_eq!(hit.class, ClassId(0));
+        assert_eq!(hit.distance, Distance::ZERO);
+        assert_eq!(hit.runner_up, Some(Distance::ZERO));
+        let ranked = sharded.search_top_k(&hv, 4).unwrap();
+        let rows: Vec<usize> = ranked.iter().map(|(c, _)| c.0).collect();
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+    }
+}
+
+#[test]
+fn sharded_errors_match_the_serving_contract() {
+    let memory = random_memory(4, 256, 3);
+    let sharded = ShardedMemory::new(memory.clone(), 2);
+    let alien = Hypervector::random(Dimension::new(64).unwrap(), 1);
+    assert!(matches!(
+        sharded.search(&alien),
+        Err(HamError::DimensionMismatch {
+            expected: 256,
+            actual: 64
+        })
+    ));
+    let short_mask = SampleMask::keep_first(Dimension::new(64).unwrap(), 8).unwrap();
+    let query = memory.row(ClassId(0)).unwrap().clone();
+    assert!(matches!(
+        sharded.search_sampled(&query, &short_mask),
+        Err(HamError::DimensionMismatch { .. })
+    ));
+    let empty = ShardedMemory::new(AssociativeMemory::new(memory.dim()), 2);
+    assert!(matches!(empty.search(&query), Err(HamError::NoClasses)));
+    assert!(matches!(
+        empty.search_top_k(&query, 0),
+        Err(HamError::NoClasses)
+    ));
+}
+
+#[test]
+fn retiring_the_last_class_or_an_unknown_class_is_refused() {
+    let memory = random_memory(2, 128, 1);
+    let sharded = ShardedMemory::new(memory, 2);
+    let updater = OnlineUpdater::new(sharded.versioned().clone());
+    assert!(matches!(
+        updater.retire_class(ClassId(7)),
+        Err(HamError::Hdc(HdcError::UnknownClass {
+            class: 7,
+            stored: 2
+        }))
+    ));
+    updater.retire_class(ClassId(0)).unwrap();
+    assert!(matches!(
+        updater.retire_class(ClassId(0)),
+        Err(HamError::NoClasses)
+    ));
+    // Refused updates publish nothing.
+    assert_eq!(sharded.versioned().current_epoch(), 1);
+}
+
+#[test]
+fn pinned_versions_survive_publishes_and_epochs_retire_when_released() {
+    let memory = random_memory(3, 256, 21);
+    let sharded = ShardedMemory::new(memory.clone(), 2);
+    let updater = OnlineUpdater::new(sharded.versioned().clone());
+    let probe = Hypervector::random(memory.dim(), 99);
+    let before = memory.search(&probe).unwrap();
+
+    let pinned = sharded.versioned().load();
+    assert_eq!(pinned.epoch(), 0);
+
+    let replacement = Hypervector::random(memory.dim(), 1234);
+    updater
+        .rethreshold_row(before.class, replacement.clone())
+        .unwrap();
+
+    // The pinned epoch-0 snapshot still answers exactly as before…
+    assert_eq!(sharded.search_on(&pinned, &probe).unwrap(), before);
+    // …while unpinned searches see the published successor.
+    let mut mirror = memory.clone();
+    mirror.replace_row(before.class, replacement).unwrap();
+    assert_eq!(
+        sharded.search(&probe).unwrap(),
+        mirror.search(&probe).unwrap()
+    );
+    // Epoch 0 is held alive by the pin, and retires once it drops.
+    assert_eq!(sharded.versioned().pinned_epochs(), vec![0]);
+    drop(pinned);
+    assert!(sharded.versioned().pinned_epochs().is_empty());
+}
+
+/// Readers hammering the sharded memory while an updater publishes new
+/// classes must only ever observe results that some *published* version
+/// would have produced serially — never a torn mix of two versions.
+#[test]
+fn concurrent_readers_observe_exactly_one_published_version() {
+    let memory = random_memory(4, 512, 77);
+    let dim = memory.dim();
+    let sharded = Arc::new(ShardedMemory::new(memory.clone(), 3));
+    let updater = OnlineUpdater::new(sharded.versioned().clone());
+    let probe = Hypervector::random(dim, 4242);
+    let publishes = 24;
+
+    // Serial ground truth per version: versions only change on publish,
+    // and publishes happen only below, so snapshotting each published
+    // memory gives the complete version set.
+    let mut expected: HashSet<(usize, usize, Option<usize>)> = HashSet::new();
+    let fingerprint = |r: &SearchResult| {
+        (
+            r.class.0,
+            r.distance.as_usize(),
+            r.runner_up.map(|d| d.as_usize()),
+        )
+    };
+    expected.insert(fingerprint(&memory.search(&probe).unwrap()));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let observations: Vec<(usize, usize, Option<usize>)> = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let sharded = Arc::clone(&sharded);
+            let done = Arc::clone(&done);
+            let probe = probe.clone();
+            readers.push(scope.spawn(move || {
+                // At least one search always lands, even if the updater
+                // outruns this thread's first iteration under load.
+                let mut seen = Vec::new();
+                loop {
+                    let hit = sharded.search(&probe).unwrap();
+                    seen.push((
+                        hit.class.0,
+                        hit.distance.as_usize(),
+                        hit.runner_up.map(|d| d.as_usize()),
+                    ));
+                    if done.load(Ordering::Relaxed) {
+                        break seen;
+                    }
+                }
+            }));
+        }
+
+        for i in 0..publishes {
+            let hv = Hypervector::random(dim, 10_000 + i);
+            updater.add_class(format!("live-{i}"), hv).unwrap();
+            let version = sharded.versioned().load();
+            expected.insert(fingerprint(&version.memory().search(&probe).unwrap()));
+        }
+        done.store(true, Ordering::Relaxed);
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().unwrap())
+            .collect()
+    });
+
+    assert!(!observations.is_empty());
+    for observed in &observations {
+        assert!(
+            expected.contains(observed),
+            "observed {observed:?} matches no published version"
+        );
+    }
+    assert_eq!(sharded.versioned().current_epoch(), publishes);
+}
+
+#[test]
+fn quarantined_shard_restores_its_slice_from_the_snapshot() {
+    let memory = random_memory(12, 400, 55);
+    let dim = memory.dim();
+    let policy = HealthPolicy {
+        degrade_corrupted_rows: 1,
+        quarantine_corrupted_rows: 3,
+        ..HealthPolicy::default()
+    };
+    let path = std::env::temp_dir().join(format!("hdham-shard-restore-{}.ham", std::process::id()));
+    let mut supervisor = ShardSupervisor::new(memory.clone(), 4, policy)
+        .with_snapshot(path.clone())
+        .unwrap();
+    let updater = OnlineUpdater::new(supervisor.versioned().clone());
+
+    // Clean scrubs touch nothing and publish nothing.
+    for shard in 0..4 {
+        let scrub = supervisor.scrub_shard(shard).unwrap();
+        assert!(scrub.report.is_clean());
+        assert_eq!(scrub.epoch, None);
+        assert_eq!(scrub.state, HealthState::Healthy);
+    }
+
+    // Corrupt every row of shard 1 (rows 3..6) — enough to quarantine it.
+    let plan = ShardPlan::new(4, 12);
+    for row in plan.range(1) {
+        updater
+            .rethreshold_row(ClassId(row), Hypervector::random(dim, 900 + row as u64))
+            .unwrap();
+    }
+    // And one row of shard 2 — enough only to degrade.
+    let degraded_row = plan.range(2).start;
+    updater
+        .rethreshold_row(ClassId(degraded_row), Hypervector::random(dim, 777))
+        .unwrap();
+
+    let scrub = supervisor.scrub_shard(1).unwrap();
+    assert_eq!(scrub.report.corrupted.len(), 3);
+    assert!(scrub.restored_from_snapshot);
+    assert_eq!(scrub.repaired.len(), 3);
+    // Quarantine ends in probation after the restore.
+    assert_eq!(scrub.state, HealthState::Degraded);
+    assert!(scrub.epoch.is_some());
+
+    let scrub = supervisor.scrub_shard(2).unwrap();
+    assert_eq!(scrub.report.corrupted.len(), 1);
+    assert!(!scrub.restored_from_snapshot);
+    assert_eq!(scrub.state, HealthState::Degraded);
+
+    // Shards 0 and 3 never stopped being healthy, and the whole memory is
+    // back to its golden state.
+    assert_eq!(supervisor.shard_state(0), HealthState::Healthy);
+    assert_eq!(supervisor.shard_state(3), HealthState::Healthy);
+    let version = supervisor.versioned().load();
+    for (class, _, row) in memory.iter() {
+        assert_eq!(version.memory().row(class), Some(row), "{class}");
+    }
+    for shard in 0..4 {
+        assert!(supervisor.scan_shard(shard).unwrap().is_clean());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn classify_attributes_outcomes_to_the_winning_shard() {
+    let memory = random_memory(12, 1_000, 8);
+    let mut supervisor = ShardSupervisor::new(memory.clone(), 4, HealthPolicy::default());
+    let plan = ShardPlan::new(4, 12);
+    for class in [0usize, 5, 11] {
+        let query = memory.row(ClassId(class)).unwrap().clone();
+        let outcome = supervisor.classify(&query).unwrap();
+        assert_eq!(outcome.result.class, ClassId(class));
+        assert_eq!(outcome.shard, plan.shard_of_row(class));
+        assert_eq!(
+            outcome.confidence,
+            ham_core::resilience::Confidence::Confident
+        );
+    }
+    // Three confident hits land in monitors 0, 1, and 3.
+    assert_eq!(
+        supervisor
+            .monitor(0)
+            .margin_histogram()
+            .iter()
+            .sum::<usize>(),
+        1
+    );
+    assert_eq!(
+        supervisor
+            .monitor(1)
+            .margin_histogram()
+            .iter()
+            .sum::<usize>(),
+        1
+    );
+    assert_eq!(
+        supervisor
+            .monitor(2)
+            .margin_histogram()
+            .iter()
+            .sum::<usize>(),
+        0
+    );
+    assert_eq!(
+        supervisor
+            .monitor(3)
+            .margin_histogram()
+            .iter()
+            .sum::<usize>(),
+        1
+    );
+}
+
+#[test]
+fn golden_refresh_follows_online_class_changes() {
+    let memory = random_memory(6, 300, 13);
+    let dim = memory.dim();
+    let mut supervisor = ShardSupervisor::new(memory, 2, HealthPolicy::default());
+    let updater = OnlineUpdater::new(supervisor.versioned().clone());
+    updater
+        .add_class("novel", Hypervector::random(dim, 321))
+        .unwrap();
+    // Stale goldens (6 rows) cannot scrub a 7-class memory.
+    assert!(matches!(
+        supervisor.scan_shard(0),
+        Err(HamError::GoldenMismatch {
+            golden: 6,
+            stored: 7
+        })
+    ));
+    supervisor.refresh_golden().unwrap();
+    for shard in 0..2 {
+        assert!(supervisor.scan_shard(shard).unwrap().is_clean());
+    }
+}

@@ -13,6 +13,7 @@ use crate::distortion::{DistanceDistorter, SampleMask};
 use crate::error::HdcError;
 use crate::hypervector::{Dimension, Distance, Hypervector};
 use crate::kernel::{Min2, PackedRows};
+use crate::parallel::default_threads;
 
 /// Identifier of a stored class (its row index in the associative memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -243,14 +244,7 @@ impl AssociativeMemory {
         for query in queries {
             self.check_query(query)?;
         }
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(queries.len());
+        let threads = default_threads(threads, queries.len());
         if threads <= 1 {
             return queries.iter().map(|q| self.search(q)).collect();
         }
@@ -293,14 +287,7 @@ impl AssociativeMemory {
         if queries.is_empty() {
             return Vec::new();
         }
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(queries.len());
+        let threads = default_threads(threads, queries.len());
         if threads <= 1 {
             return (0..queries.len()).map(caught).collect();
         }
@@ -369,14 +356,20 @@ impl AssociativeMemory {
         Ok(Self::pick_winner(&distorted))
     }
 
-    /// The `k` nearest classes in increasing distance order (ties keep
-    /// the lower row index first). Returns fewer than `k` entries when the
-    /// memory holds fewer classes.
+    /// The `k` nearest classes in increasing `(distance, row)` order —
+    /// ties anywhere in the ranking, including at the cut, keep the
+    /// lower row index. Returns fewer than `k` entries when the memory
+    /// holds fewer classes, and an empty list for `k == 0` (a valid
+    /// "rank nothing" request, not an error).
+    ///
+    /// The ranking runs on [`PackedRows::top_k_range`], the same
+    /// tie-break rule the sharded gather merge uses, so sharded and
+    /// unsharded top-k agree exactly.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`distances`](Self::distances), plus
-    /// [`HdcError::EmptySample`] when `k == 0`.
+    /// Same conditions as [`distances`](Self::distances) — an invalid
+    /// query is rejected even when `k == 0`.
     ///
     /// # Examples
     ///
@@ -391,6 +384,7 @@ impl AssociativeMemory {
     /// let top = am.search_top_k(am.row(ClassId(2)).unwrap(), 3)?;
     /// assert_eq!(top[0].0, ClassId(2));
     /// assert!(top[0].1 < top[1].1);
+    /// assert!(am.search_top_k(am.row(ClassId(2)).unwrap(), 0)?.is_empty());
     /// # Ok::<(), hdc::HdcError>(())
     /// ```
     pub fn search_top_k(
@@ -398,18 +392,14 @@ impl AssociativeMemory {
         query: &Hypervector,
         k: usize,
     ) -> Result<Vec<(ClassId, Distance)>, HdcError> {
-        if k == 0 {
-            return Err(HdcError::EmptySample);
-        }
-        let distances = self.distances(query)?;
-        let mut ranked: Vec<(ClassId, Distance)> = distances
+        self.check_query(query)?;
+        let ranked = self
+            .packed
+            .top_k_range(query.as_bitvec().as_words(), 0..self.packed.len(), k);
+        Ok(ranked
             .into_iter()
-            .enumerate()
-            .map(|(i, d)| (ClassId(i), d))
-            .collect();
-        ranked.sort_by_key(|&(id, d)| (d, id.0));
-        ranked.truncate(k);
-        Ok(ranked)
+            .map(|(row, distance)| (ClassId(row), Distance::new(distance)))
+            .collect())
     }
 
     fn check_query(&self, query: &Hypervector) -> Result<(), HdcError> {
@@ -699,8 +689,37 @@ mod top_k_tests {
         let all = am.search_top_k(&q, 100).unwrap();
         assert_eq!(all.len(), 6);
         assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
-        // k = 0 is rejected.
-        assert_eq!(am.search_top_k(&q, 0).unwrap_err(), HdcError::EmptySample);
+        // k = 0 is an empty ranking, not an error…
+        assert!(am.search_top_k(&q, 0).unwrap().is_empty());
+        // …but invalid queries are still rejected even at k = 0.
+        let alien = Hypervector::random(Dimension::new(64).unwrap(), 1);
+        assert!(am.search_top_k(&alien, 0).is_err());
+        let empty = AssociativeMemory::new(Dimension::new(64).unwrap());
+        assert_eq!(
+            empty.search_top_k(&alien, 0).unwrap_err(),
+            HdcError::EmptyMemory
+        );
+    }
+
+    #[test]
+    fn top_k_ties_at_the_cut_keep_the_lowest_rows() {
+        let dim = Dimension::new(512).unwrap();
+        let a = Hypervector::random(dim, 1);
+        let b = Hypervector::random(dim, 2);
+        // Rows: [b, a, a, a] — querying `a` ties rows 1, 2, 3 at distance
+        // zero, and every cut through the tie keeps the lowest indices.
+        let mut am = AssociativeMemory::new(dim);
+        for hv in [b.clone(), a.clone(), a.clone(), a.clone()] {
+            am.insert("x", hv).unwrap();
+        }
+        let top2 = am.search_top_k(&a, 2).unwrap();
+        assert_eq!(top2[0], (ClassId(1), Distance::ZERO));
+        assert_eq!(top2[1], (ClassId(2), Distance::ZERO));
+        let top3 = am.search_top_k(&a, 3).unwrap();
+        assert_eq!(top3[2], (ClassId(3), Distance::ZERO));
+        // The far row ranks last only once the ties are exhausted.
+        let all = am.search_top_k(&a, 4).unwrap();
+        assert_eq!(all[3].0, ClassId(0));
     }
 
     #[test]

@@ -222,6 +222,54 @@ pub struct Min2 {
     pub runner_up: Option<usize>,
 }
 
+impl Min2 {
+    /// Merges partial scans of *disjoint* row ranges into the scan of
+    /// their union — the exact gather step of a scatter-gather search.
+    ///
+    /// Each part must carry row indices from the shared (global) index
+    /// space, which is what the range scans
+    /// ([`PackedRows::scan_min2_range`]) return. Because every part is an
+    /// exact (winner, runner-up) over its own rows, the union's winner is
+    /// one of the part winners and the union's runner-up is either the
+    /// winning part's runner-up or another part's winner; ties resolve to
+    /// the lowest global row index, so the merge is bit-identical to one
+    /// serial [`PackedRows::scan_min2`] over all rows, in any merge order.
+    ///
+    /// Returns `None` when `parts` is empty.
+    pub fn merge(parts: impl IntoIterator<Item = Min2>) -> Option<Min2> {
+        parts.into_iter().fold(None, |merged, part| {
+            Some(match merged {
+                None => part,
+                Some(acc) => acc.join(part),
+            })
+        })
+    }
+
+    /// Merges two partial scans over disjoint row sets.
+    fn join(self, other: Min2) -> Min2 {
+        // The union's winner: smaller distance, lowest global index on a
+        // tie (indices are unique across disjoint ranges).
+        let (winner, loser) = if (other.best_distance, other.best) < (self.best_distance, self.best)
+        {
+            (other, self)
+        } else {
+            (self, other)
+        };
+        // The union's second-smallest distance is the winning side's
+        // runner-up or the losing side's winner — the losing side's
+        // runner-up is dominated by its own winner.
+        let runner_up = Some(match winner.runner_up {
+            Some(r) => r.min(loser.best_distance),
+            None => loser.best_distance,
+        });
+        Min2 {
+            best: winner.best,
+            best_distance: winner.best_distance,
+            runner_up,
+        }
+    }
+}
+
 /// A contiguous, row-major matrix of packed `u64` rows — the software
 /// analogue of the paper's `C × D` storage array.
 ///
@@ -388,7 +436,7 @@ impl PackedRows {
     /// Panics if `query` has the wrong word count.
     pub fn scan_min2(&self, query: &[u64]) -> Option<Min2> {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        self.scan_min2_impl(query, None)
+        self.scan_min2_impl(query, None, 0..self.rows)
     }
 
     /// [`scan_min2`](Self::scan_min2) restricted to the positions set in
@@ -400,17 +448,100 @@ impl PackedRows {
     pub fn scan_min2_masked(&self, query: &[u64], mask: &[u64]) -> Option<Min2> {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
         assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
-        self.scan_min2_impl(query, Some(mask))
+        self.scan_min2_impl(query, Some(mask), 0..self.rows)
     }
 
-    fn scan_min2_impl(&self, query: &[u64], mask: Option<&[u64]>) -> Option<Min2> {
-        if self.rows == 0 {
+    /// [`scan_min2`](Self::scan_min2) restricted to the rows in
+    /// `range` — the per-shard kernel of a scatter-gather search. The
+    /// returned indices are **global** row indices, so partial results
+    /// from disjoint ranges merge directly through [`Min2::merge`].
+    ///
+    /// Returns `None` when the range is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count or `range` exceeds the
+    /// stored rows.
+    pub fn scan_min2_range(&self, query: &[u64], range: std::ops::Range<usize>) -> Option<Min2> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        assert!(range.end <= self.rows, "row range out of bounds");
+        self.scan_min2_impl(query, None, range)
+    }
+
+    /// [`scan_min2_range`](Self::scan_min2_range) with the distance
+    /// restricted to the positions set in `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count or `range`
+    /// exceeds the stored rows.
+    pub fn scan_min2_masked_range(
+        &self,
+        query: &[u64],
+        mask: &[u64],
+        range: std::ops::Range<usize>,
+    ) -> Option<Min2> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
+        assert!(range.end <= self.rows, "row range out of bounds");
+        self.scan_min2_impl(query, Some(mask), range)
+    }
+
+    /// The `k` nearest rows of `range` as `(global row, distance)` pairs
+    /// in increasing `(distance, row)` order — the **one** tie-break rule
+    /// shared by [`AssociativeMemory::search_top_k`] and the sharded
+    /// top-k merge, so ranked lists from disjoint ranges concatenate,
+    /// re-sort and truncate into exactly the serial ranking.
+    ///
+    /// Returns fewer than `k` pairs when the range is shorter, and an
+    /// empty list for `k == 0`.
+    ///
+    /// [`AssociativeMemory::search_top_k`]: crate::am::AssociativeMemory::search_top_k
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count or `range` exceeds the
+    /// stored rows.
+    pub fn top_k_range(
+        &self,
+        query: &[u64],
+        range: std::ops::Range<usize>,
+        k: usize,
+    ) -> Vec<(usize, usize)> {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        assert!(range.end <= self.rows, "row range out of bounds");
+        if k == 0 || range.is_empty() {
+            return Vec::new();
+        }
+        let start = range.start;
+        let mut ranked: Vec<(usize, usize)> = self.words
+            [start * self.words_per_row..range.end * self.words_per_row]
+            .chunks_exact(self.words_per_row)
+            .enumerate()
+            .map(|(offset, row)| (start + offset, hamming_words(row, query)))
+            .collect();
+        ranked.sort_by_key(|&(row, distance)| (distance, row));
+        ranked.truncate(k);
+        ranked
+    }
+
+    fn scan_min2_impl(
+        &self,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: std::ops::Range<usize>,
+    ) -> Option<Min2> {
+        if range.is_empty() {
             return None;
         }
+        let start = range.start;
+        let rows = self.words[start * self.words_per_row..range.end * self.words_per_row]
+            .chunks_exact(self.words_per_row);
         let mut best = 0usize;
         let mut best_distance = usize::MAX;
         let mut runner_up = usize::MAX;
-        for (index, row) in self.iter_rows().enumerate() {
+        for (offset, row) in rows.enumerate() {
+            let index = start + offset;
             // A row whose distance strictly exceeds the runner-up cannot
             // affect the result, so the kernel may stop counting it as
             // soon as that is provable (and `None`/larger distances fall
@@ -625,5 +756,97 @@ mod tests {
     #[should_panic(expected = "word count mismatch")]
     fn push_rejects_wrong_width() {
         PackedRows::new(130).push(&[0u64]);
+    }
+
+    /// Splits `0..rows` into `k` contiguous chunks the way a shard plan
+    /// does.
+    fn ranges(rows: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+        let chunk = rows.div_ceil(k);
+        (0..k)
+            .map(|i| (i * chunk).min(rows)..((i + 1) * chunk).min(rows))
+            .collect()
+    }
+
+    #[test]
+    fn range_scans_merge_to_the_serial_scan() {
+        let d = 777;
+        let rows: Vec<BitVec> = (0..23).map(|i| pseudo_bits(d, i * 3 + 1)).collect();
+        let packed = packed_from(&rows);
+        let query = pseudo_bits(d, 500);
+        let mask = pseudo_bits(d, 501);
+        let serial = packed.scan_min2(query.as_words());
+        let serial_masked = packed.scan_min2_masked(query.as_words(), mask.as_words());
+        for k in [1usize, 2, 3, 7, 23, 40] {
+            let parts = ranges(rows.len(), k)
+                .into_iter()
+                .filter_map(|r| packed.scan_min2_range(query.as_words(), r));
+            assert_eq!(Min2::merge(parts), serial, "k={k}");
+            let parts = ranges(rows.len(), k).into_iter().filter_map(|r| {
+                packed.scan_min2_masked_range(query.as_words(), mask.as_words(), r)
+            });
+            assert_eq!(Min2::merge(parts), serial_masked, "masked k={k}");
+        }
+    }
+
+    #[test]
+    fn range_scan_indices_are_global_and_empty_ranges_yield_none() {
+        let rows: Vec<BitVec> = (0..6).map(|i| pseudo_bits(200, i + 1)).collect();
+        let packed = packed_from(&rows);
+        // Query row 4 exactly: a scan over 3..6 must report global index 4.
+        let hit = packed.scan_min2_range(rows[4].as_words(), 3..6).unwrap();
+        assert_eq!(hit.best, 4);
+        assert_eq!(hit.best_distance, 0);
+        assert_eq!(packed.scan_min2_range(rows[0].as_words(), 2..2), None);
+        assert_eq!(Min2::merge(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn merge_breaks_cross_shard_ties_to_the_lowest_global_index() {
+        let row = pseudo_bits(128, 9);
+        let other = pseudo_bits(128, 10);
+        // Identical winners in shards {0..2} and {2..4}: merged winner
+        // must be the lowest global index (0), runner-up its duplicate.
+        let packed = packed_from(&[row.clone(), other.clone(), row.clone(), other.clone()]);
+        let serial = packed.scan_min2(row.as_words()).unwrap();
+        let merged = Min2::merge(
+            [0..2, 2..4]
+                .into_iter()
+                .filter_map(|r| packed.scan_min2_range(row.as_words(), r)),
+        )
+        .unwrap();
+        assert_eq!(merged, serial);
+        assert_eq!(merged.best, 0);
+        assert_eq!(merged.runner_up, Some(0));
+        // Merge order must not matter.
+        let reversed = Min2::merge(
+            [2..4, 0..2]
+                .into_iter()
+                .filter_map(|r| packed.scan_min2_range(row.as_words(), r)),
+        )
+        .unwrap();
+        assert_eq!(reversed, serial);
+    }
+
+    #[test]
+    fn top_k_range_ranks_by_distance_then_row() {
+        let d = 300;
+        let rows: Vec<BitVec> = (0..9).map(|i| pseudo_bits(d, i + 1)).collect();
+        let packed = packed_from(&rows);
+        let query = pseudo_bits(d, 42);
+        let full = packed.top_k_range(query.as_words(), 0..9, 9);
+        assert_eq!(full.len(), 9);
+        assert!(full.windows(2).all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+        // Concatenating per-range rankings and re-sorting reproduces the
+        // serial top-k for every k — the sharded top-k contract.
+        for k in [0usize, 1, 4, 9, 20] {
+            let mut gathered: Vec<(usize, usize)> = ranges(9, 3)
+                .into_iter()
+                .flat_map(|r| packed.top_k_range(query.as_words(), r, k))
+                .collect();
+            gathered.sort_by_key(|&(row, distance)| (distance, row));
+            gathered.truncate(k);
+            assert_eq!(gathered, packed.top_k_range(query.as_words(), 0..9, k));
+        }
+        assert!(packed.top_k_range(query.as_words(), 4..4, 3).is_empty());
     }
 }

@@ -47,6 +47,8 @@
 //! * [`am`] — exact software associative memory (the functional reference
 //!   that the hardware designs in `ham-core` are validated against); its
 //!   search paths run on the [`kernel`] engine.
+//! * [`parallel`] — the shared worker-count policy (`0` = one worker per
+//!   core) behind every batch API in the workspace.
 //! * [`distortion`] — structured sampling and distance-error injection used
 //!   by the robustness study (paper Fig. 1).
 //! * [`level`] / [`seq`] / [`sparse`] — extension encoders: scalar levels
@@ -65,6 +67,7 @@ pub mod item_memory;
 pub mod kernel;
 pub mod level;
 pub mod ops;
+pub mod parallel;
 pub mod seq;
 pub mod sparse;
 
@@ -83,6 +86,7 @@ pub use crate::item_memory::ItemMemory;
 pub use crate::kernel::{Min2, PackedRows};
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
+pub use crate::parallel::{available_threads, default_threads};
 pub use crate::seq::SequenceEncoder;
 pub use crate::sparse::{SparseHypervector, SparseShape};
 
@@ -98,6 +102,7 @@ pub mod prelude {
     pub use crate::kernel::{Min2, PackedRows};
     pub use crate::level::{LevelEncoder, RecordEncoder};
     pub use crate::ops::{Bundler, TieBreak};
+    pub use crate::parallel::{available_threads, default_threads};
     pub use crate::seq::SequenceEncoder;
     pub use crate::sparse::{SparseHypervector, SparseShape};
 }

@@ -1,0 +1,58 @@
+//! Worker-count resolution shared by every batch API in the workspace.
+//!
+//! Every parallel path in the repo accepts a `threads` knob with the same
+//! contract — `0` means "one worker per available core" — and before this
+//! module each call site carried its own copy of the
+//! `available_parallelism` fallback (with drifting fallback constants).
+//! The two functions here are now the single source of that policy.
+
+/// One worker per available core, or `1` when the host cannot report its
+/// parallelism (the conservative fallback every caller now shares).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a user-supplied worker count for a batch of `jobs` items:
+/// `0` becomes [`available_threads`], and the result is clamped to
+/// `1..=max(jobs, 1)` so callers never spawn more workers than work.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::parallel::default_threads;
+///
+/// assert_eq!(default_threads(3, 100), 3);
+/// assert_eq!(default_threads(8, 2), 2); // capped at one worker per job
+/// assert!(default_threads(0, 100) >= 1); // resolved from the host
+/// assert_eq!(default_threads(5, 0), 1); // empty batches still get one
+/// ```
+pub fn default_threads(requested: usize, jobs: usize) -> usize {
+    let threads = if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    };
+    threads.max(1).min(jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_pass_through_capped() {
+        assert_eq!(default_threads(4, 1_000), 4);
+        assert_eq!(default_threads(64, 3), 3);
+        assert_eq!(default_threads(1, 0), 1);
+    }
+
+    #[test]
+    fn zero_resolves_to_host_parallelism() {
+        let host = available_threads();
+        assert!(host >= 1);
+        assert_eq!(default_threads(0, usize::MAX), host);
+        assert_eq!(default_threads(0, 1), 1);
+    }
+}

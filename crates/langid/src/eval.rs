@@ -265,10 +265,7 @@ pub fn encode_corpus(
         return Vec::new();
     }
     let mut encoded: Vec<Option<(LanguageId, Hypervector)>> = vec![None; samples.len()];
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(samples.len());
+    let threads = hdc::default_threads(0, samples.len());
     let chunk_size = samples.len().div_ceil(threads);
     std::thread::scope(|scope| {
         for (chunk_idx, chunk) in encoded.chunks_mut(chunk_size).enumerate() {

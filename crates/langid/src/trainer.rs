@@ -146,10 +146,7 @@ impl LanguageClassifier {
 
         let samples = training.samples();
         let mut encoded: Vec<Option<Hypervector>> = vec![None; samples.len()];
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(samples.len());
+        let threads = hdc::default_threads(0, samples.len());
         std::thread::scope(|scope| {
             for (chunk_idx, chunk) in encoded
                 .chunks_mut(samples.len().div_ceil(threads))
