@@ -10,12 +10,15 @@
 //!   (non-abandoning) distance sweep vs the naive baseline over
 //!   `C ∈ {21, 100, 1000}`;
 //! * `batch` — serial vs multi-threaded classification of a 1,000-query
-//!   batch through the exact engine and through `run_batch`.
+//!   batch through the exact engine and through `run_batch`;
+//! * `backends` — every enabled distance backend × scan strategy on the
+//!   `C = 1000`, `D = 10,000` single-query scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ham_core::batch::{run_batch, run_batch_parallel, BatchOptions};
 use ham_core::explore::{build, random_memory, DesignKind};
 use hdc::prelude::*;
+use hdc::{enabled_backends, ScanStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,5 +135,42 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_early_abandon, bench_batch);
+fn bench_backends(c: &mut Criterion) {
+    let memory = random_memory(1_000, 10_000, 19);
+    let query = noisy_query(&memory, 9);
+    let packed = memory.packed_rows();
+    let words = query.as_bitvec().as_words();
+
+    let mut group = c.benchmark_group("backends");
+    for backend in enabled_backends() {
+        for (strategy, tag) in [
+            (ScanStrategy::Direct, "direct"),
+            (ScanStrategy::Cascade, "cascade"),
+        ] {
+            let id = BenchmarkId::new(backend.name(), tag);
+            group.bench_with_input(id, &strategy, |b, &strategy| {
+                b.iter(|| {
+                    packed
+                        .scan_min2_with(
+                            backend,
+                            strategy,
+                            std::hint::black_box(words),
+                            None,
+                            0..1_000,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search,
+    bench_early_abandon,
+    bench_batch,
+    bench_backends
+);
 criterion_main!(benches);

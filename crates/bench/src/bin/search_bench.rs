@@ -21,7 +21,13 @@
 //!    `K ∈ {1, 2, 4, 8}` shard workers vs the serial scan on a large
 //!    array (`K = 1` prices the pure scatter/gather overhead), and the
 //!    copy-on-write publish latency of one online row update vs one
-//!    steady-state sharded query.
+//!    steady-state sharded query;
+//! 6. the kernel backends: every enabled SIMD datapath × scan strategy
+//!    against the scalar fused early-abandoning scan at `C = 1000`,
+//!    `D = 10,000` (one query, uniform rows);
+//! 7. the sampled-prefilter cascade on its natural shape — planted
+//!    near-duplicate rows in an otherwise random array — vs the direct
+//!    scan on the same backend.
 //!
 //! Usage: `ham-search-bench [--out FILE]`.
 
@@ -36,6 +42,7 @@ use ham_core::resilience::{
 };
 use ham_core::shard::{OnlineUpdater, ShardedMemory};
 use hdc::prelude::*;
+use hdc::{active_backend, enabled_backends, ScanStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -62,12 +69,19 @@ struct Comparison {
 #[derive(Debug, Serialize)]
 struct Snapshot {
     host_threads: usize,
+    /// The runtime-selected distance kernel every non-pinned section ran
+    /// on ([`hdc::active_backend_name`]).
+    kernel_backend: &'static str,
     single_query: Comparison,
     early_abandon: Vec<Comparison>,
     batch_1000: Vec<Comparison>,
     resilience: Vec<Comparison>,
     shard_scaling: Vec<Comparison>,
     online_update: Comparison,
+    /// Backend × strategy sweep against the scalar fused scan.
+    backends: Vec<Comparison>,
+    /// Direct vs cascade on the planted near-duplicate shape.
+    cascade: Vec<Comparison>,
 }
 
 /// Times `op` for at least `budget` of wall clock and adds the elapsed
@@ -399,14 +413,112 @@ fn main() {
         online_update.baseline.ns_per_op, online_update.contender.ns_per_op, online_update.speedup
     );
 
+    // 6. Kernel backends: every enabled datapath × strategy vs the scalar
+    // fused early-abandoning scan at C = 1000, D = 10,000. The baseline
+    // re-runs inside every comparison so each speedup is measured against
+    // a fresh interleaved scalar slice, not a stale number.
+    let memory = random_memory(1_000, 10_000, 19);
+    let query = noisy_query(&memory, 9);
+    let packed = memory.packed_rows();
+    let words = query.as_bitvec().as_words();
+    let scalar = enabled_backends()[0];
+    let mut backends = Vec::new();
+    for backend in enabled_backends() {
+        for (strategy, tag) in [
+            (ScanStrategy::Direct, "direct"),
+            (ScanStrategy::Cascade, "cascade"),
+        ] {
+            let cmp = compare(
+                1_000,
+                10_000,
+                600,
+                "scalar_fused_early_abandon",
+                || {
+                    packed
+                        .scan_min2_with(scalar, ScanStrategy::Direct, words, None, 0..1_000)
+                        .unwrap()
+                },
+                &format!("{}_{tag}", backend.name()),
+                || {
+                    packed
+                        .scan_min2_with(backend, strategy, words, None, 0..1_000)
+                        .unwrap()
+                },
+            );
+            println!(
+                "backend C=1000 D=10k: scalar {:.0} ns vs {}_{tag} {:.0} ns ({:.2}x)",
+                cmp.baseline.ns_per_op,
+                backend.name(),
+                cmp.contender.ns_per_op,
+                cmp.speedup
+            );
+            backends.push(cmp);
+        }
+    }
+
+    // 7. The cascade's natural shape: a query adjacent to a few stored
+    // rows with the rest of the array ~D/2 away. The runner-up collapses
+    // after the planted rows, so the sorted sampled pass prunes nearly
+    // every full-width rescore; the direct scan still has to walk each
+    // row to its first bound check.
+    let dim = Dimension::new(10_000).unwrap();
+    let base = Hypervector::random(dim, 31);
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut clustered = PackedRows::with_capacity(10_000, 1_000);
+    for i in 0..1_000u64 {
+        let row = if i == 137 || i == 612 {
+            base.with_flipped_bits(40 + i as usize % 7, &mut rng)
+        } else {
+            Hypervector::random(dim, 1_000 + i)
+        };
+        clustered.push(row.as_bitvec().as_words());
+    }
+    let probe = base.with_flipped_bits(25, &mut rng);
+    let probe_words = probe.as_bitvec().as_words();
+    let mut cascade = Vec::new();
+    let mut cascade_backends = vec![scalar];
+    if active_backend().name() != scalar.name() {
+        cascade_backends.push(active_backend());
+    }
+    for backend in cascade_backends {
+        let cmp = compare(
+            1_000,
+            10_000,
+            600,
+            &format!("{}_direct_planted", backend.name()),
+            || {
+                clustered
+                    .scan_min2_with(backend, ScanStrategy::Direct, probe_words, None, 0..1_000)
+                    .unwrap()
+            },
+            &format!("{}_cascade_planted", backend.name()),
+            || {
+                clustered
+                    .scan_min2_with(backend, ScanStrategy::Cascade, probe_words, None, 0..1_000)
+                    .unwrap()
+            },
+        );
+        println!(
+            "cascade planted {}: direct {:.0} ns vs cascade {:.0} ns ({:.2}x)",
+            backend.name(),
+            cmp.baseline.ns_per_op,
+            cmp.contender.ns_per_op,
+            cmp.speedup
+        );
+        cascade.push(cmp);
+    }
+
     let snapshot = Snapshot {
         host_threads,
+        kernel_backend: hdc::active_backend_name(),
         single_query,
         early_abandon,
         batch_1000,
         resilience,
         shard_scaling,
         online_update,
+        backends,
+        cascade,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| {

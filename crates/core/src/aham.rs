@@ -24,7 +24,9 @@ use circuit_sim::analog::ResolutionModel;
 use circuit_sim::montecarlo::VariationModel;
 use hdc::prelude::*;
 
-use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult};
+use crate::model::{
+    CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SearchScratch,
+};
 use crate::tech::TechnologyModel;
 use crate::units::Picojoules;
 
@@ -55,7 +57,7 @@ use crate::units::Picojoules;
 /// ```
 #[derive(Debug, Clone)]
 pub struct AHam {
-    rows: Vec<Hypervector>,
+    rows: PackedRows,
     dim: Dimension,
     resolution: ResolutionModel,
     variation: VariationModel,
@@ -87,8 +89,12 @@ impl AHam {
         if memory.is_empty() {
             return Err(HamError::NoClasses);
         }
+        let mut rows = PackedRows::with_capacity(memory.dim().get(), memory.len());
+        for (_, _, hv) in memory.iter() {
+            rows.push(hv.as_bitvec().as_words());
+        }
         let mut aham = AHam {
-            rows: memory.iter().map(|(_, _, hv)| hv.clone()).collect(),
+            rows,
             dim: memory.dim(),
             resolution,
             variation: VariationModel::NOMINAL,
@@ -148,6 +154,20 @@ impl AHam {
         self.min_detectable
     }
 
+    /// Fills `out` with the exact distance from `query` to every row,
+    /// through the packed scan kernel (and whatever SIMD backend it
+    /// dispatched) — the current readout the LTA tree compares.
+    fn distances_into(&self, query: &Hypervector, out: &mut Vec<usize>) -> Result<(), HamError> {
+        if query.dim() != self.dim {
+            return Err(HamError::DimensionMismatch {
+                expected: self.dim.get(),
+                actual: query.dim().get(),
+            });
+        }
+        self.rows.distances_into(query.as_bitvec().as_words(), out);
+        Ok(())
+    }
+
     /// The LTA tournament over exact distances: comparisons within the
     /// minimum detectable distance are unresolved and keep the
     /// earlier-indexed row.
@@ -191,23 +211,21 @@ impl HamDesign for AHam {
     }
 
     fn search(&self, query: &Hypervector) -> Result<HamSearchResult, HamError> {
-        if query.dim() != self.dim {
-            return Err(HamError::DimensionMismatch {
-                expected: self.dim.get(),
-                actual: query.dim().get(),
-            });
-        }
-        let distances: Vec<usize> = self
-            .rows
-            .iter()
-            .map(|row| row.hamming(query).as_usize())
-            .collect();
-        let winner = self.tournament(&distances);
+        self.search_scratch(query, &mut SearchScratch::new())
+    }
+
+    fn search_scratch(
+        &self,
+        query: &Hypervector,
+        scratch: &mut SearchScratch,
+    ) -> Result<HamSearchResult, HamError> {
+        self.distances_into(query, &mut scratch.distances)?;
+        let winner = self.tournament(&scratch.distances);
         // The analog tree never reports a digital distance; the nearest
         // quantized estimate is the true distance rounded to the
         // resolution grid.
         let grid = self.min_detectable.max(1);
-        let measured = distances[winner] / grid * grid;
+        let measured = scratch.distances[winner] / grid * grid;
         Ok(HamSearchResult {
             class: ClassId(winner),
             measured_distance: Distance::new(measured),
@@ -215,17 +233,8 @@ impl HamDesign for AHam {
     }
 
     fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
-        if query.dim() != self.dim {
-            return Err(HamError::DimensionMismatch {
-                expected: self.dim.get(),
-                actual: query.dim().get(),
-            });
-        }
-        let distances: Vec<usize> = self
-            .rows
-            .iter()
-            .map(|row| row.hamming(query).as_usize())
-            .collect();
+        let mut distances = Vec::with_capacity(self.rows.len());
+        self.distances_into(query, &mut distances)?;
         let winner = self.tournament(&distances);
         let grid = self.min_detectable.max(1);
         let runner_up = distances
@@ -434,6 +443,28 @@ mod tests {
         let grid = aham.min_detectable_distance();
         assert_eq!(hit.measured_distance.as_usize() % grid, 0);
         assert!(hit.measured_distance.as_usize() <= 1_234);
+    }
+
+    #[test]
+    fn scratch_search_reuses_the_buffer_and_matches_search() {
+        let am = memory(21, 10_000);
+        let aham = AHam::new(&am).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut scratch = SearchScratch::new();
+        for s in [0usize, 7, 20] {
+            let q = am
+                .row(ClassId(s))
+                .unwrap()
+                .with_flipped_bits(2_000, &mut rng);
+            assert_eq!(
+                aham.search_scratch(&q, &mut scratch).unwrap(),
+                aham.search(&q).unwrap()
+            );
+            assert_eq!(scratch.distances.len(), 21, "one distance per class");
+        }
+        // A mismatched query errors through the scratch path too.
+        let alien = Hypervector::random(Dimension::new(128).unwrap(), 5);
+        assert!(aham.search_scratch(&alien, &mut scratch).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use hdc::prelude::*;
 
-use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult};
+use crate::model::{CostMetrics, HamDesign, HamError, HamSearchResult, SearchScratch};
 use crate::units::{Nanoseconds, Picojoules};
 
 /// Fraction of the search latency one pipelined query occupies (the
@@ -42,13 +42,16 @@ pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Runs one search with the panic contained: a panicking design yields
 /// [`HamError::WorkerPanicked`] for this query instead of unwinding into
-/// the worker loop.
+/// the worker loop. Searches go through the worker's [`SearchScratch`]
+/// so per-query buffers amortize across the work queue (a panic may
+/// leave the scratch partially filled — the next search clears it).
 pub(crate) fn search_caught(
     design: &(dyn HamDesign + Sync),
     query: &Hypervector,
     index: usize,
+    scratch: &mut SearchScratch,
 ) -> Result<HamSearchResult, HamError> {
-    catch_unwind(AssertUnwindSafe(|| design.search(query)))
+    catch_unwind(AssertUnwindSafe(|| design.search_scratch(query, scratch)))
         .unwrap_or(Err(HamError::WorkerPanicked { query: index }))
 }
 
@@ -178,9 +181,10 @@ impl Default for BatchOptions {
 ///
 /// Propagates the first search error (e.g. a dimension mismatch).
 pub fn run_batch(design: &dyn HamDesign, queries: &[Hypervector]) -> Result<BatchReport, HamError> {
+    let mut scratch = SearchScratch::new();
     let mut results = Vec::with_capacity(queries.len());
     for query in queries {
-        results.push(design.search(query)?);
+        results.push(design.search_scratch(query, &mut scratch)?);
     }
     Ok(price_batch(design, results))
 }
@@ -225,13 +229,19 @@ pub fn run_batch_parallel(
         );
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let Some((base, chunk)) = lock_unpoisoned(&work).pop() else {
-                        return;
-                    };
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let index = base + offset;
-                        *slot = Some(search_caught(design, &queries[index], index));
+                scope.spawn(|| {
+                    // One scratch per worker, reused across every chunk it
+                    // claims — zero per-query allocations in steady state.
+                    let mut scratch = SearchScratch::new();
+                    loop {
+                        let Some((base, chunk)) = lock_unpoisoned(&work).pop() else {
+                            return;
+                        };
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            let index = base + offset;
+                            *slot =
+                                Some(search_caught(design, &queries[index], index, &mut scratch));
+                        }
                     }
                 });
             }

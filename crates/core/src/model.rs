@@ -178,6 +178,27 @@ impl MarginSearchResult {
 /// type and `run_batch_parallel` can shard a batch over it.
 pub type SharedDesign = Box<dyn HamDesign + Send + Sync>;
 
+/// Reusable per-worker buffers for the allocation-free search path
+/// ([`HamDesign::search_scratch`]).
+///
+/// Batch and shard workers hold one of these for their whole work queue,
+/// so designs that materialize per-row state (A-HAM's full distance
+/// vector for the LTA tournament) stop paying a heap allocation per
+/// query. A scratch is plain state — using the same one across different
+/// designs or queries is fine; every search clears what it uses.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Per-row distance buffer, cleared and refilled by each search.
+    pub distances: Vec<usize>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
 /// A hyperdimensional associative memory architecture: stores learned
 /// hypervectors and finds the nearest one to a query, with an
 /// energy/delay/area model of the silicon that would do it.
@@ -223,6 +244,26 @@ pub trait HamDesign {
         })
     }
 
+    /// One query search through caller-owned scratch buffers
+    /// ([`SearchScratch`]), for hot loops that search thousands of
+    /// queries back to back. The default delegates to
+    /// [`search`](HamDesign::search) — correct for designs that allocate
+    /// nothing per query; designs that build per-row state (A-HAM)
+    /// override it to reuse the scratch. Results are identical to
+    /// [`search`](HamDesign::search).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](HamDesign::search).
+    fn search_scratch(
+        &self,
+        query: &Hypervector,
+        scratch: &mut SearchScratch,
+    ) -> Result<HamSearchResult, HamError> {
+        let _ = scratch;
+        self.search(query)
+    }
+
     /// The design point's cost metrics.
     fn cost(&self) -> CostMetrics;
 
@@ -249,6 +290,13 @@ impl<T: HamDesign + ?Sized> HamDesign for Box<T> {
     }
     fn search_with_margin(&self, query: &Hypervector) -> Result<MarginSearchResult, HamError> {
         (**self).search_with_margin(query)
+    }
+    fn search_scratch(
+        &self,
+        query: &Hypervector,
+        scratch: &mut SearchScratch,
+    ) -> Result<HamSearchResult, HamError> {
+        (**self).search_scratch(query, scratch)
     }
     fn cost(&self) -> CostMetrics {
         (**self).cost()

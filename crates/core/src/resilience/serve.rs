@@ -254,6 +254,10 @@ pub struct ResilientReport {
     pub serial_latency: Nanoseconds,
     /// Modelled two-phase pipelined latency of the completed searches.
     pub pipelined_latency: Nanoseconds,
+    /// The distance kernel that produced this batch
+    /// ([`hdc::active_backend_name`]), so a perf report always says which
+    /// datapath it measured.
+    pub kernel_backend: &'static str,
 }
 
 impl ResilientReport {
@@ -396,6 +400,7 @@ pub fn run_batch_resilient(
         total_energy,
         serial_latency,
         pipelined_latency,
+        kernel_backend: hdc::active_backend_name(),
     }
 }
 
@@ -498,6 +503,9 @@ pub struct ServeReport {
     pub health: HealthState,
     /// Self-healing actions taken while serving this batch.
     pub actions: Vec<HealthAction>,
+    /// The distance kernel that served this batch
+    /// ([`hdc::active_backend_name`]).
+    pub kernel_backend: &'static str,
 }
 
 /// The self-healing serving runtime: a [`DegradationController`] wrapped
@@ -661,6 +669,7 @@ impl ResilientServer {
             elapsed,
             health: self.monitor.state(),
             actions,
+            kernel_backend: hdc::active_backend_name(),
         }
     }
 
@@ -907,6 +916,7 @@ mod tests {
             assert_eq!(got, serial.results);
             assert_eq!(report.total_energy, serial.total_energy);
             assert_eq!(report.pipelined_latency, serial.pipelined_latency);
+            assert_eq!(report.kernel_backend, hdc::active_backend_name());
         }
     }
 

@@ -282,6 +282,10 @@ enum ShardRequest {
 }
 
 fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
+    // Ranking buffer reused across this worker's whole lifetime: the
+    // range-sized fill happens in place, and only the ≤ k surviving pairs
+    // are cloned into the reply.
+    let mut ranked: Vec<(usize, usize)> = Vec::new();
     while let Ok(request) = inbox.recv() {
         match request {
             ShardRequest::Scan {
@@ -305,8 +309,11 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
                 k,
                 reply,
             } => {
-                let ranked = version.memory().packed_rows().top_k_range(&query, range, k);
-                let _ = reply.send((shard, ShardFinding::TopK(ranked)));
+                version
+                    .memory()
+                    .packed_rows()
+                    .top_k_range_into(&query, range, k, &mut ranked);
+                let _ = reply.send((shard, ShardFinding::TopK(ranked.clone())));
             }
             ShardRequest::Shutdown => break,
         }

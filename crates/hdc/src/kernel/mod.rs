@@ -1,5 +1,5 @@
-//! The software search engine: contiguous row storage and fused Hamming
-//! scan kernels.
+//! The software search engine: contiguous row storage, runtime-dispatched
+//! SIMD distance backends, and fused Hamming scan kernels.
 //!
 //! The associative search of the paper — nearest Hamming distance over `C`
 //! rows of `D` bits — is the dominant cost of HD classification, and the
@@ -11,176 +11,60 @@
 //! * [`PackedRows`] — a row-major `u64` word matrix holding every stored
 //!   class contiguously, so a full scan is one linear sweep of memory
 //!   instead of `C` pointer chases into separately allocated vectors;
-//! * [`hamming_words`] / [`hamming_words_masked`] — carry-save
-//!   (Harley–Seal) XOR + popcount kernels: 16 XOR words are reduced
-//!   through a tree of software carry-save adders so only one popcount is
-//!   paid per 16-word block instead of one per word, which is the main
-//!   saving when the target CPU has no popcount instruction and
-//!   `count_ones` lowers to a ~12-op SWAR sequence;
+//! * [`DistanceBackend`] — the pluggable XOR + popcount datapath. One
+//!   backend is selected per process ([`active_backend`]) from the widest
+//!   the host supports: AVX-512 `VPOPCNTDQ` ([`avx512`]) ≻ AVX2
+//!   nibble-LUT carry-save ([`avx2`]) ≻ NEON `CNT` ([`neon`]) ≻ the
+//!   portable scalar Harley–Seal kernel ([`scalar`]); `HAM_KERNEL_BACKEND`
+//!   forces any of them by name. [`hamming_words`] /
+//!   [`hamming_words_masked`] are the scalar-callable faces of the active
+//!   backend;
 //! * [`PackedRows::scan_min2`] — a fused single-pass min/runner-up scan
 //!   that abandons a row as soon as a *lower bound* on its partial
 //!   distance exceeds the current runner-up bound (*early abandonment*):
 //!   a row that can no longer be the winner or the runner-up cannot
 //!   change the [`SearchResult`](crate::am::SearchResult), so the
-//!   remaining words need not be counted.
+//!   remaining words need not be counted;
+//! * the sampled-prefilter **cascade** ([`ScanStrategy::Cascade`]) — the
+//!   paper's §III-C structured-sampling knob reused as an *exact* pruner:
+//!   a first pass scores every row on a seeded contiguous window of
+//!   words (a sound lower bound on the full distance), rows are then
+//!   rescored best-first on the complement words only, and a row is
+//!   skipped outright once its sampled bound exceeds the running
+//!   runner-up. The sampled distance is *reused* as part of the full
+//!   distance, so no popcount work is repeated; the cascade collapses
+//!   the scan to near-window cost when memories cluster, but its extra
+//!   per-row calls and sort still lose to the direct scan on uniform
+//!   random rows — see [`ScanStrategy::Auto`] for the measured policy.
 //!
 //! Every kernel here is bit-identical to the naive per-row reference for
 //! all inputs, including dimensions that are not a multiple of 64 (the
 //! zeroed tail of the last word contributes no mismatches). The
-//! equivalence is enforced by the proptest suite in
-//! `tests/kernel_equivalence.rs`.
+//! equivalence is enforced by the proptest suites in
+//! `tests/kernel_equivalence.rs` and `tests/backend_equivalence.rs`,
+//! the latter holding every enabled backend and the cascade bit-identical
+//! to the scalar full scan.
 
-/// Words per carry-save block: one popcount is paid per this many words.
-const BLOCK_WORDS: usize = 16;
+pub mod backend;
 
-/// One software carry-save adder (full adder over 64 independent bit
-/// lanes): returns `(carry, sum)` with `carry·2 + sum = a + b + c` per
-/// lane, in five bitwise ops instead of three popcounts.
-#[inline(always)]
-fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
-    let partial = a ^ b;
-    ((a & b) | (partial & c), partial ^ c)
-}
+mod avx2;
+mod avx512;
+mod neon;
+mod scalar;
 
-/// Streaming Harley–Seal accumulator.
+pub use backend::{active_backend, active_backend_name, enabled_backends, DistanceBackend};
+
+use std::cell::RefCell;
+
+/// Number of mismatching bits between two equal-length word slices,
+/// computed by the [`active_backend`].
 ///
-/// `ones`/`twos`/`fours`/`eights` hold not-yet-counted mismatches with
-/// lane weights 1/2/4/8; every completed 16-word block spills exactly one
-/// weight-16 word which is popcounted immediately into `sixteens`.
-#[derive(Debug, Default, Clone, Copy)]
-struct CsaAccumulator {
-    ones: u64,
-    twos: u64,
-    fours: u64,
-    eights: u64,
-    sixteens: usize,
-}
-
-impl CsaAccumulator {
-    /// Folds one block of 16 XOR words into the accumulator; the only
-    /// popcount is on the spilled weight-16 word.
-    #[inline(always)]
-    fn admit(&mut self, x: &[u64; BLOCK_WORDS]) {
-        let (two_a, ones) = csa(self.ones, x[0], x[1]);
-        let (two_b, ones) = csa(ones, x[2], x[3]);
-        let (four_a, twos) = csa(self.twos, two_a, two_b);
-        let (two_a, ones) = csa(ones, x[4], x[5]);
-        let (two_b, ones) = csa(ones, x[6], x[7]);
-        let (four_b, twos) = csa(twos, two_a, two_b);
-        let (eight_a, fours) = csa(self.fours, four_a, four_b);
-        let (two_a, ones) = csa(ones, x[8], x[9]);
-        let (two_b, ones) = csa(ones, x[10], x[11]);
-        let (four_a, twos) = csa(twos, two_a, two_b);
-        let (two_a, ones) = csa(ones, x[12], x[13]);
-        let (two_b, ones) = csa(ones, x[14], x[15]);
-        let (four_b, twos) = csa(twos, two_a, two_b);
-        let (eight_b, fours) = csa(fours, four_a, four_b);
-        let (sixteen, eights) = csa(self.eights, eight_a, eight_b);
-        self.sixteens += sixteen.count_ones() as usize;
-        self.ones = ones;
-        self.twos = twos;
-        self.fours = fours;
-        self.eights = eights;
-    }
-
-    /// Mismatches proven so far — the residual weight registers are still
-    /// uncounted, so this never exceeds the exact partial distance.
-    #[inline(always)]
-    fn lower_bound(&self) -> usize {
-        BLOCK_WORDS * self.sixteens
-    }
-
-    /// Exact total: spilled blocks plus the residual weight registers.
-    #[inline(always)]
-    fn total(&self) -> usize {
-        BLOCK_WORDS * self.sixteens
-            + 8 * self.eights.count_ones() as usize
-            + 4 * self.fours.count_ones() as usize
-            + 2 * self.twos.count_ones() as usize
-            + self.ones.count_ones() as usize
-    }
-}
-
-/// Exact distance between `a` and `b`, or `None` as soon as a lower bound
-/// on the distance strictly exceeds `bound`. Two independent carry-save
-/// chains cover interleaved 16-word blocks so the CSA dependency chains
-/// overlap; the bound is checked once per 32 words.
-#[inline]
-fn bounded_distance(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
-    let (mut even, mut odd) = (CsaAccumulator::default(), CsaAccumulator::default());
-    let mut x = [0u64; BLOCK_WORDS];
-    let mut y = [0u64; BLOCK_WORDS];
-    let mut a32 = a.chunks_exact(2 * BLOCK_WORDS);
-    let mut b32 = b.chunks_exact(2 * BLOCK_WORDS);
-    for (wa, wb) in (&mut a32).zip(&mut b32) {
-        for i in 0..BLOCK_WORDS {
-            x[i] = wa[i] ^ wb[i];
-            y[i] = wa[BLOCK_WORDS + i] ^ wb[BLOCK_WORDS + i];
-        }
-        even.admit(&x);
-        odd.admit(&y);
-        if even.lower_bound() + odd.lower_bound() > bound {
-            return None;
-        }
-    }
-    let mut a16 = a32.remainder().chunks_exact(BLOCK_WORDS);
-    let mut b16 = b32.remainder().chunks_exact(BLOCK_WORDS);
-    for (wa, wb) in (&mut a16).zip(&mut b16) {
-        for i in 0..BLOCK_WORDS {
-            x[i] = wa[i] ^ wb[i];
-        }
-        even.admit(&x);
-    }
-    let (tail_a, tail_b) = (a16.remainder(), b16.remainder());
-    if !tail_a.is_empty() {
-        // Zero-padding the final partial block adds no mismatches, so the
-        // tail rides through the same carry-save tree.
-        x = [0u64; BLOCK_WORDS];
-        for i in 0..tail_a.len() {
-            x[i] = tail_a[i] ^ tail_b[i];
-        }
-        even.admit(&x);
-    }
-    Some(even.total() + odd.total())
-}
-
-/// Masked variant of [`bounded_distance`]: one carry-save chain over
-/// `(a ^ b) & mask` blocks, bound checked once per 16 words.
-#[inline]
-fn bounded_distance_masked(a: &[u64], b: &[u64], mask: &[u64], bound: usize) -> Option<usize> {
-    let mut acc = CsaAccumulator::default();
-    let mut x = [0u64; BLOCK_WORDS];
-    let mut a16 = a.chunks_exact(BLOCK_WORDS);
-    let mut b16 = b.chunks_exact(BLOCK_WORDS);
-    let mut m16 = mask.chunks_exact(BLOCK_WORDS);
-    for ((wa, wb), wm) in (&mut a16).zip(&mut b16).zip(&mut m16) {
-        for i in 0..BLOCK_WORDS {
-            x[i] = (wa[i] ^ wb[i]) & wm[i];
-        }
-        acc.admit(&x);
-        if acc.lower_bound() > bound {
-            return None;
-        }
-    }
-    let (tail_a, tail_b, tail_m) = (a16.remainder(), b16.remainder(), m16.remainder());
-    if !tail_a.is_empty() {
-        x = [0u64; BLOCK_WORDS];
-        for i in 0..tail_a.len() {
-            x[i] = (tail_a[i] ^ tail_b[i]) & tail_m[i];
-        }
-        acc.admit(&x);
-    }
-    Some(acc.total())
-}
-
-/// Number of mismatching bits between two equal-length word slices.
+/// This is the kernel underneath every Hamming distance in the crate
+/// (including [`BitVec::hamming`]). Word slices must come from
+/// [`BitVec`]s of the same logical length; tail bits beyond the logical
+/// length are zero by the `BitVec` invariant and never count.
 ///
-/// The carry-save (Harley–Seal) XOR + popcount kernel underneath every
-/// Hamming distance in the crate (including [`BitVec::hamming`]). Word
-/// slices must come from [`BitVec`]s of the same logical length; tail bits
-/// beyond the logical length are zero by the `BitVec` invariant and never
-/// count.
-///
+/// [`BitVec`]: crate::bitvec::BitVec
 /// [`BitVec::hamming`]: crate::bitvec::BitVec::hamming
 ///
 /// # Panics
@@ -189,11 +73,13 @@ fn bounded_distance_masked(a: &[u64], b: &[u64], mask: &[u64], bound: usize) -> 
 #[inline]
 pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming over unequal word counts");
-    bounded_distance(a, b, usize::MAX).expect("unbounded distance never abandons")
+    active_backend()
+        .bounded_distance(a, b, usize::MAX)
+        .expect("unbounded distance never abandons")
 }
 
 /// Number of mismatching bits restricted to the positions set in `mask`,
-/// with the same carry-save reduction as [`hamming_words`].
+/// computed by the [`active_backend`].
 ///
 /// # Panics
 ///
@@ -202,7 +88,9 @@ pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
 pub fn hamming_words_masked(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming over unequal word counts");
     assert_eq!(a.len(), mask.len(), "mask word count mismatch");
-    bounded_distance_masked(a, b, mask, usize::MAX).expect("unbounded distance never abandons")
+    active_backend()
+        .bounded_distance_masked(a, b, mask, usize::MAX)
+        .expect("unbounded distance never abandons")
 }
 
 /// Winner and runner-up of one fused scan over a [`PackedRows`] matrix.
@@ -268,6 +156,50 @@ impl Min2 {
             runner_up,
         }
     }
+}
+
+/// How a [`PackedRows`] scan traverses its rows.
+///
+/// Every strategy returns bit-identical results; they differ only in how
+/// much distance work they can skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanStrategy {
+    /// Let the library pick. Currently always the direct scan: measured
+    /// on uniform random arrays (the associative-memory common case) the
+    /// cascade's extra per-row backend calls and its sampled sort cost
+    /// more than its pruning saves, while on clustered arrays the direct
+    /// scan's own early abandonment already prunes well. Callers whose
+    /// workload plants near-duplicates next to the query can opt into
+    /// [`ScanStrategy::Cascade`] explicitly (see the `cascade` section of
+    /// `BENCH_search.json` for both shapes).
+    #[default]
+    Auto,
+    /// One bounded-distance pass per row in index order.
+    Direct,
+    /// Sampled prefilter + best-first complement rescore (exact).
+    Cascade,
+}
+
+/// Sampled window target: `words_per_row / 4`, at least 16 words.
+const CASCADE_WINDOW_DENOM: usize = 4;
+const CASCADE_WINDOW_MIN_WORDS: usize = 16;
+
+/// Seed for the structured-sample window placement (arbitrary constant;
+/// fixed so results are reproducible across runs and processes).
+const CASCADE_SEED: u64 = 0x4841_4D5F_5341_4D50;
+
+/// `splitmix64` — a tiny stateless mixer for the window placement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    /// Per-thread `(sampled distance, row)` scratch for the cascade, so a
+    /// scan allocates nothing after the first call on a thread.
+    static CASCADE_SCRATCH: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A contiguous, row-major matrix of packed `u64` rows — the software
@@ -345,6 +277,21 @@ impl PackedRows {
         self.rows == 0
     }
 
+    /// Debug-checks the [`BitVec`](crate::bitvec::BitVec) tail invariant:
+    /// bits of the last word beyond `dim` must be zero. A nonzero tail
+    /// would silently corrupt every unmasked distance against this row.
+    fn debug_assert_tail_zero(&self, row: &[u64]) {
+        let spare = self.words_per_row * 64 - self.dim;
+        if spare > 0 {
+            debug_assert_eq!(
+                row[self.words_per_row - 1] >> (64 - spare),
+                0,
+                "row tail bits beyond dim={} must be zero",
+                self.dim
+            );
+        }
+    }
+
     /// Appends a row and returns its index. `row` must hold exactly
     /// [`words_per_row`](Self::words_per_row) words with tail bits beyond
     /// `dim` zero (what [`BitVec::as_words`](crate::BitVec::as_words) of a
@@ -352,9 +299,11 @@ impl PackedRows {
     ///
     /// # Panics
     ///
-    /// Panics if `row` has the wrong word count.
+    /// Panics if `row` has the wrong word count, and in debug builds if
+    /// the tail bits beyond `dim` are not zero.
     pub fn push(&mut self, row: &[u64]) -> usize {
         assert_eq!(row.len(), self.words_per_row, "row word count mismatch");
+        self.debug_assert_tail_zero(row);
         self.words.extend_from_slice(row);
         self.rows += 1;
         self.rows - 1
@@ -364,10 +313,13 @@ impl PackedRows {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range or `row` has the wrong word count.
+    /// Panics if `index` is out of range or `row` has the wrong word
+    /// count, and in debug builds if the tail bits beyond `dim` are not
+    /// zero.
     pub fn replace(&mut self, index: usize, row: &[u64]) {
         assert!(index < self.rows, "row index {index} out of range");
         assert_eq!(row.len(), self.words_per_row, "row word count mismatch");
+        self.debug_assert_tail_zero(row);
         let start = index * self.words_per_row;
         self.words[start..start + self.words_per_row].copy_from_slice(row);
     }
@@ -400,10 +352,27 @@ impl PackedRows {
     ///
     /// Panics if `query` has the wrong word count.
     pub fn distances(&self, query: &[u64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.distances_into(query, &mut out);
+        out
+    }
+
+    /// [`distances`](Self::distances) into a caller-owned buffer, so hot
+    /// loops (batch and shard workers) pay the `Vec` allocation once per
+    /// worker instead of once per query. The buffer is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count.
+    pub fn distances_into(&self, query: &[u64], out: &mut Vec<usize>) {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        self.iter_rows()
-            .map(|row| hamming_words(row, query))
-            .collect()
+        let backend = active_backend();
+        out.clear();
+        out.extend(self.iter_rows().map(|row| {
+            backend
+                .bounded_distance(row, query, usize::MAX)
+                .expect("unbounded distance never abandons")
+        }));
     }
 
     /// Masked distances from `query` to every row, in row order.
@@ -412,22 +381,40 @@ impl PackedRows {
     ///
     /// Panics if `query` or `mask` has the wrong word count.
     pub fn distances_masked(&self, query: &[u64], mask: &[u64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.distances_masked_into(query, mask, &mut out);
+        out
+    }
+
+    /// [`distances_masked`](Self::distances_masked) into a caller-owned
+    /// buffer. The buffer is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count.
+    pub fn distances_masked_into(&self, query: &[u64], mask: &[u64], out: &mut Vec<usize>) {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        self.iter_rows()
-            .map(|row| hamming_words_masked(row, query, mask))
-            .collect()
+        assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
+        let backend = active_backend();
+        out.clear();
+        out.extend(self.iter_rows().map(|row| {
+            backend
+                .bounded_distance_masked(row, query, mask, usize::MAX)
+                .expect("unbounded distance never abandons")
+        }));
     }
 
     /// Fused single-pass nearest + runner-up scan with early abandonment.
     ///
-    /// Rows are scored through the carry-save kernel; a row is abandoned
+    /// Rows are scored through the [`active_backend`]; a row is abandoned
     /// once a lower bound on its partial distance strictly exceeds the
     /// current runner-up bound. Distance is monotone in the number of
     /// scanned words and the lower bound never exceeds the true partial,
     /// so an abandoned row's final distance provably exceeds the final
     /// runner-up — abandonment can change neither the winner, nor the
     /// runner-up, nor either reported distance. Ties resolve to the
-    /// lowest row index.
+    /// lowest row index. Large matrices additionally route through the
+    /// exact sampled-prefilter cascade ([`ScanStrategy::Auto`]).
     ///
     /// Returns `None` when the matrix is empty.
     ///
@@ -435,8 +422,13 @@ impl PackedRows {
     ///
     /// Panics if `query` has the wrong word count.
     pub fn scan_min2(&self, query: &[u64]) -> Option<Min2> {
-        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        self.scan_min2_impl(query, None, 0..self.rows)
+        self.scan_min2_with(
+            active_backend(),
+            ScanStrategy::Auto,
+            query,
+            None,
+            0..self.rows,
+        )
     }
 
     /// [`scan_min2`](Self::scan_min2) restricted to the positions set in
@@ -446,9 +438,13 @@ impl PackedRows {
     ///
     /// Panics if `query` or `mask` has the wrong word count.
     pub fn scan_min2_masked(&self, query: &[u64], mask: &[u64]) -> Option<Min2> {
-        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
-        self.scan_min2_impl(query, Some(mask), 0..self.rows)
+        self.scan_min2_with(
+            active_backend(),
+            ScanStrategy::Auto,
+            query,
+            Some(mask),
+            0..self.rows,
+        )
     }
 
     /// [`scan_min2`](Self::scan_min2) restricted to the rows in
@@ -463,9 +459,7 @@ impl PackedRows {
     /// Panics if `query` has the wrong word count or `range` exceeds the
     /// stored rows.
     pub fn scan_min2_range(&self, query: &[u64], range: std::ops::Range<usize>) -> Option<Min2> {
-        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        assert!(range.end <= self.rows, "row range out of bounds");
-        self.scan_min2_impl(query, None, range)
+        self.scan_min2_with(active_backend(), ScanStrategy::Auto, query, None, range)
     }
 
     /// [`scan_min2_range`](Self::scan_min2_range) with the distance
@@ -481,10 +475,49 @@ impl PackedRows {
         mask: &[u64],
         range: std::ops::Range<usize>,
     ) -> Option<Min2> {
+        self.scan_min2_with(
+            active_backend(),
+            ScanStrategy::Auto,
+            query,
+            Some(mask),
+            range,
+        )
+    }
+
+    /// The fully explicit scan: any [`DistanceBackend`], any
+    /// [`ScanStrategy`], optional mask, row range. Every convenience scan
+    /// above delegates here; benchmarks and the equivalence suites use it
+    /// to pin backend × strategy pairs. Results are bit-identical across
+    /// all backend × strategy combinations.
+    ///
+    /// Returns `None` when the range is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count or `range`
+    /// exceeds the stored rows.
+    pub fn scan_min2_with(
+        &self,
+        backend: &dyn DistanceBackend,
+        strategy: ScanStrategy,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: std::ops::Range<usize>,
+    ) -> Option<Min2> {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
+        if let Some(mask) = mask {
+            assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
+        }
         assert!(range.end <= self.rows, "row range out of bounds");
-        self.scan_min2_impl(query, Some(mask), range)
+        if range.is_empty() {
+            return None;
+        }
+        let cascade = matches!(strategy, ScanStrategy::Cascade);
+        if cascade {
+            self.scan_min2_cascade(backend, query, mask, range)
+        } else {
+            self.scan_min2_direct(backend, query, mask, range)
+        }
     }
 
     /// The `k` nearest rows of `range` as `(global row, distance)` pairs
@@ -508,32 +541,58 @@ impl PackedRows {
         range: std::ops::Range<usize>,
         k: usize,
     ) -> Vec<(usize, usize)> {
-        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
-        assert!(range.end <= self.rows, "row range out of bounds");
-        if k == 0 || range.is_empty() {
-            return Vec::new();
-        }
-        let start = range.start;
-        let mut ranked: Vec<(usize, usize)> = self.words
-            [start * self.words_per_row..range.end * self.words_per_row]
-            .chunks_exact(self.words_per_row)
-            .enumerate()
-            .map(|(offset, row)| (start + offset, hamming_words(row, query)))
-            .collect();
-        ranked.sort_by_key(|&(row, distance)| (distance, row));
-        ranked.truncate(k);
+        let mut ranked = Vec::new();
+        self.top_k_range_into(query, range, k, &mut ranked);
         ranked
     }
 
-    fn scan_min2_impl(
+    /// [`top_k_range`](Self::top_k_range) into a caller-owned buffer, so
+    /// shard workers rank thousands of queries without a `Vec` allocation
+    /// each. The buffer is cleared first and holds at most `k` pairs on
+    /// return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong word count or `range` exceeds the
+    /// stored rows.
+    pub fn top_k_range_into(
         &self,
+        query: &[u64],
+        range: std::ops::Range<usize>,
+        k: usize,
+        ranked: &mut Vec<(usize, usize)>,
+    ) {
+        assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
+        assert!(range.end <= self.rows, "row range out of bounds");
+        ranked.clear();
+        if k == 0 || range.is_empty() {
+            return;
+        }
+        let backend = active_backend();
+        let start = range.start;
+        ranked.extend(
+            self.words[start * self.words_per_row..range.end * self.words_per_row]
+                .chunks_exact(self.words_per_row)
+                .enumerate()
+                .map(|(offset, row)| {
+                    let distance = backend
+                        .bounded_distance(row, query, usize::MAX)
+                        .expect("unbounded distance never abandons");
+                    (start + offset, distance)
+                }),
+        );
+        ranked.sort_by_key(|&(row, distance)| (distance, row));
+        ranked.truncate(k);
+    }
+
+    /// Direct strategy: one bounded pass per row in index order.
+    fn scan_min2_direct(
+        &self,
+        backend: &dyn DistanceBackend,
         query: &[u64],
         mask: Option<&[u64]>,
         range: std::ops::Range<usize>,
     ) -> Option<Min2> {
-        if range.is_empty() {
-            return None;
-        }
         let start = range.start;
         let rows = self.words[start * self.words_per_row..range.end * self.words_per_row]
             .chunks_exact(self.words_per_row);
@@ -548,8 +607,8 @@ impl PackedRows {
             // through the update below without effect).
             let bound = runner_up;
             let distance = match mask {
-                None => bounded_distance(row, query, bound),
-                Some(mask) => bounded_distance_masked(row, query, mask, bound),
+                None => backend.bounded_distance(row, query, bound),
+                Some(mask) => backend.bounded_distance_masked(row, query, mask, bound),
             };
             let Some(distance) = distance else { continue };
             if distance < best_distance {
@@ -564,6 +623,129 @@ impl PackedRows {
             best,
             best_distance,
             runner_up: (runner_up != usize::MAX).then_some(runner_up),
+        })
+    }
+
+    /// The seeded structured-sample window `[offset, offset + len)`, in
+    /// words. Deterministic per row width, so every scan of a matrix (and
+    /// every shard of a scatter-gather scan) samples the same columns.
+    fn cascade_window(&self) -> (usize, usize) {
+        let len = (self.words_per_row / CASCADE_WINDOW_DENOM)
+            .max(CASCADE_WINDOW_MIN_WORDS)
+            .min(self.words_per_row);
+        let span = self.words_per_row - len;
+        let offset = match span {
+            0 => 0,
+            _ => {
+                (splitmix64(CASCADE_SEED ^ self.words_per_row as u64) % (span as u64 + 1)) as usize
+            }
+        };
+        (offset, len)
+    }
+
+    /// Cascade strategy: exact two-pass scan.
+    ///
+    /// Pass 1 scores every row on the sampled window — a *sound lower
+    /// bound* on its full distance, because the complement words can only
+    /// add mismatches. Pass 2 walks rows in ascending (sampled, row)
+    /// order, rescoring **only the complement words** with the budget
+    /// `runner_up − sampled`; the walk stops at the first row whose
+    /// sampled bound alone exceeds the running runner-up (every later row
+    /// bounds at least as high, and the runner-up only tightens).
+    ///
+    /// Exactness: a row is skipped only when a lower bound on its full
+    /// distance strictly exceeds the runner-up at that moment, which
+    /// never increases — so a skipped row's distance strictly exceeds the
+    /// *final* runner-up and can influence neither reported field. Best
+    /// and runner-up are tracked by `(distance, row)`, making the result
+    /// independent of traversal order and therefore bit-identical to
+    /// [`scan_min2_direct`](Self::scan_min2_direct).
+    fn scan_min2_cascade(
+        &self,
+        backend: &dyn DistanceBackend,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: std::ops::Range<usize>,
+    ) -> Option<Min2> {
+        let (off, len) = self.cascade_window();
+        let end = off + len;
+        let wpr = self.words_per_row;
+        CASCADE_SCRATCH.with(|cell| {
+            let order = &mut *cell.borrow_mut();
+            order.clear();
+            let start = range.start;
+            for (offset, row) in self.words[start * wpr..range.end * wpr]
+                .chunks_exact(wpr)
+                .enumerate()
+            {
+                let sampled = match mask {
+                    None => backend.bounded_distance(&row[off..end], &query[off..end], usize::MAX),
+                    Some(mask) => backend.bounded_distance_masked(
+                        &row[off..end],
+                        &query[off..end],
+                        &mask[off..end],
+                        usize::MAX,
+                    ),
+                }
+                .expect("unbounded distance never abandons");
+                order.push((sampled, start + offset));
+            }
+            order.sort_unstable();
+            let mut best = 0usize;
+            let mut best_distance = usize::MAX;
+            let mut runner_up = usize::MAX;
+            for &(sampled, index) in order.iter() {
+                if sampled > runner_up {
+                    break;
+                }
+                let row = self.row_words(index);
+                // Complement rescore budget: the row only matters if its
+                // full distance can be ≤ the running runner-up.
+                let budget = match runner_up {
+                    usize::MAX => usize::MAX,
+                    r => r - sampled,
+                };
+                let prefix = match mask {
+                    None => backend.bounded_distance(&row[..off], &query[..off], budget),
+                    Some(mask) => backend.bounded_distance_masked(
+                        &row[..off],
+                        &query[..off],
+                        &mask[..off],
+                        budget,
+                    ),
+                };
+                let Some(prefix) = prefix else { continue };
+                if prefix > budget {
+                    continue;
+                }
+                let suffix_budget = match budget {
+                    usize::MAX => usize::MAX,
+                    b => b - prefix,
+                };
+                let suffix = match mask {
+                    None => backend.bounded_distance(&row[end..], &query[end..], suffix_budget),
+                    Some(mask) => backend.bounded_distance_masked(
+                        &row[end..],
+                        &query[end..],
+                        &mask[end..],
+                        suffix_budget,
+                    ),
+                };
+                let Some(suffix) = suffix else { continue };
+                let distance = sampled + prefix + suffix;
+                if (distance, index) < (best_distance, best) {
+                    runner_up = runner_up.min(best_distance);
+                    best = index;
+                    best_distance = distance;
+                } else if distance < runner_up {
+                    runner_up = distance;
+                }
+            }
+            Some(Min2 {
+                best,
+                best_distance,
+                runner_up: (runner_up != usize::MAX).then_some(runner_up),
+            })
         })
     }
 }
@@ -758,6 +940,24 @@ mod tests {
         PackedRows::new(130).push(&[0u64]);
     }
 
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tail bits beyond dim=70 must be zero")]
+    fn push_rejects_nonzero_tail_bits() {
+        // Bit 71 of a 70-bit row lives beyond `dim` and must be rejected:
+        // it would silently count in every unmasked distance.
+        PackedRows::new(70).push(&[0u64, 1 << 20]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tail bits beyond dim=70 must be zero")]
+    fn replace_rejects_nonzero_tail_bits() {
+        let mut packed = PackedRows::new(70);
+        packed.push(&[!0u64, (1 << 6) - 1]);
+        packed.replace(0, &[0u64, 1 << 63]);
+    }
+
     /// Splits `0..rows` into `k` contiguous chunks the way a shard plan
     /// does.
     fn ranges(rows: usize, k: usize) -> Vec<std::ops::Range<usize>> {
@@ -848,5 +1048,137 @@ mod tests {
             assert_eq!(gathered, packed.top_k_range(query.as_words(), 0..9, k));
         }
         assert!(packed.top_k_range(query.as_words(), 4..4, 3).is_empty());
+    }
+
+    #[test]
+    fn every_backend_and_strategy_agree_on_every_scan() {
+        // 160 rows × 2500 bits crosses both Auto thresholds; a planted
+        // near-duplicate pair makes cascade pruning and early abandonment
+        // actually fire.
+        let d = 2_500;
+        let query = pseudo_bits(d, 7);
+        let mut near = query.clone();
+        near.flip(100);
+        near.flip(2_400);
+        let mut rows = vec![near, query.clone()];
+        rows.extend((0..158).map(|i| pseudo_bits(d, i * 13 + 21)));
+        let packed = packed_from(&rows);
+        let mask = pseudo_bits(d, 1_000);
+        let expected = reference_min2(&packed.distances(query.as_words()));
+        let expected_masked =
+            reference_min2(&packed.distances_masked(query.as_words(), mask.as_words()));
+        for backend in enabled_backends() {
+            for strategy in [
+                ScanStrategy::Auto,
+                ScanStrategy::Direct,
+                ScanStrategy::Cascade,
+            ] {
+                let name = backend.name();
+                assert_eq!(
+                    packed.scan_min2_with(backend, strategy, query.as_words(), None, 0..160),
+                    Some(expected),
+                    "{name} {strategy:?}"
+                );
+                assert_eq!(
+                    packed.scan_min2_with(
+                        backend,
+                        strategy,
+                        query.as_words(),
+                        Some(mask.as_words()),
+                        0..160
+                    ),
+                    Some(expected_masked),
+                    "masked {name} {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_matches_direct_on_ranges_and_small_shapes() {
+        // Shapes below the Auto thresholds, forced through the cascade:
+        // the window clamps to the whole row and results must not change.
+        for (c, d) in [(1usize, 70usize), (3, 64), (17, 300), (40, 1_100)] {
+            let rows: Vec<BitVec> = (0..c).map(|i| pseudo_bits(d, i * 5 + 2)).collect();
+            let packed = packed_from(&rows);
+            let query = pseudo_bits(d, 888);
+            for range in [0..c, 0..c / 2, c / 3..c] {
+                let direct = packed.scan_min2_with(
+                    &scalar::Scalar,
+                    ScanStrategy::Direct,
+                    query.as_words(),
+                    None,
+                    range.clone(),
+                );
+                let cascade = packed.scan_min2_with(
+                    &scalar::Scalar,
+                    ScanStrategy::Cascade,
+                    query.as_words(),
+                    None,
+                    range.clone(),
+                );
+                assert_eq!(cascade, direct, "{c}x{d} range {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_ties_resolve_to_lowest_index_like_direct() {
+        // Identical rows give identical sampled distances; the cascade's
+        // (distance, row) tracking must still pick the lowest index.
+        let d = 3_000;
+        let row = pseudo_bits(d, 4);
+        let rows: Vec<BitVec> = (0..130).map(|_| row.clone()).collect();
+        let packed = packed_from(&rows);
+        let hit = packed
+            .scan_min2_with(
+                &scalar::Scalar,
+                ScanStrategy::Cascade,
+                row.as_words(),
+                None,
+                0..130,
+            )
+            .unwrap();
+        assert_eq!(hit.best, 0);
+        assert_eq!(hit.best_distance, 0);
+        assert_eq!(hit.runner_up, Some(0));
+    }
+
+    #[test]
+    fn distances_into_reuses_the_buffer() {
+        let d = 500;
+        let rows: Vec<BitVec> = (0..7).map(|i| pseudo_bits(d, i + 1)).collect();
+        let packed = packed_from(&rows);
+        let q1 = pseudo_bits(d, 50);
+        let q2 = pseudo_bits(d, 60);
+        let mask = pseudo_bits(d, 70);
+        let mut buffer = Vec::new();
+        packed.distances_into(q1.as_words(), &mut buffer);
+        assert_eq!(buffer, packed.distances(q1.as_words()));
+        // A second query through the same buffer replaces, not appends.
+        packed.distances_into(q2.as_words(), &mut buffer);
+        assert_eq!(buffer, packed.distances(q2.as_words()));
+        packed.distances_masked_into(q1.as_words(), mask.as_words(), &mut buffer);
+        assert_eq!(
+            buffer,
+            packed.distances_masked(q1.as_words(), mask.as_words())
+        );
+    }
+
+    #[test]
+    fn top_k_range_into_matches_the_allocating_variant() {
+        let d = 400;
+        let rows: Vec<BitVec> = (0..11).map(|i| pseudo_bits(d, i + 3)).collect();
+        let packed = packed_from(&rows);
+        let query = pseudo_bits(d, 9);
+        let mut buffer = vec![(99usize, 99usize); 40];
+        for k in [0usize, 1, 5, 11, 30] {
+            packed.top_k_range_into(query.as_words(), 0..11, k, &mut buffer);
+            assert_eq!(
+                buffer,
+                packed.top_k_range(query.as_words(), 0..11, k),
+                "k={k}"
+            );
+        }
     }
 }

@@ -1,0 +1,209 @@
+//! NEON backend: byte-lane popcount (`CNT`) with pairwise-widening
+//! accumulation.
+//!
+//! AArch64 has a vector popcount, but only at byte granularity
+//! (`vcntq_u8`). The classic shape is to keep an 8-bit accumulator hot
+//! for as many iterations as the lanes can hold without overflow and pay
+//! the widening `vpaddlq` chain once per block: each byte of a 128-bit
+//! XOR holds at most 8 mismatches, so 16 vectors (32 words) sum to at
+//! most 128 per lane — comfortably inside `u8`. The bound is checked
+//! after each block flush; the flushed sum is the exact distance of the
+//! words seen so far, hence a sound lower bound.
+//!
+//! Safety: `neon` is mandatory on AArch64, but selection still goes
+//! through `is_aarch64_feature_detected!` for symmetry with x86.
+#![allow(unsafe_code)]
+#![cfg(target_arch = "aarch64")]
+
+use std::arch::aarch64::*;
+
+use super::backend::DistanceBackend;
+
+/// Whether the host can run this backend.
+pub(super) fn available() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+/// Vectors per block: 16 × max byte-popcount 8 = 128 < 255, no overflow.
+const BLOCK_VECS: usize = 16;
+
+/// Generates the popcount-accumulate body for the plain and masked
+/// loads. `$fetch(word_index)` must yield the next XOR (and mask) vector.
+macro_rules! cnt_body {
+    ($n:expr, $bound:expr, $fetch:expr) => {{
+        let fetch = $fetch;
+        let n: usize = $n;
+        let bound: usize = $bound;
+        let mut acc = vdupq_n_u64(0);
+        let mut i = 0usize;
+        while i + 2 * BLOCK_VECS <= n {
+            let mut bytes = vdupq_n_u8(0);
+            for v in 0..BLOCK_VECS {
+                bytes = vaddq_u8(bytes, vcntq_u8(vreinterpretq_u8_u64(fetch(i + 2 * v))));
+            }
+            acc = vpadalq_u32(acc, vpaddlq_u16(vpaddlq_u8(bytes)));
+            i += 2 * BLOCK_VECS;
+            // The flushed lanes are the exact distance of the words seen
+            // so far — a sound abandonment bound.
+            if (vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1)) as usize > bound {
+                return None;
+            }
+        }
+        while i + 2 <= n {
+            let counted = vcntq_u8(vreinterpretq_u8_u64(fetch(i)));
+            acc = vpadalq_u32(acc, vpaddlq_u16(vpaddlq_u8(counted)));
+            i += 2;
+        }
+        let total = (vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1)) as usize;
+        (total, i)
+    }};
+}
+
+/// Exact distance or abandonment strictly above `bound`; see the
+/// [`DistanceBackend`] contract.
+#[target_feature(enable = "neon")]
+unsafe fn bounded_distance_neon(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let (mut total, mut i) = cnt_body!(a.len(), bound, |w: usize| {
+        veorq_u64(vld1q_u64(ap.add(w)), vld1q_u64(bp.add(w)))
+    });
+    while i < a.len() {
+        total += (*ap.add(i) ^ *bp.add(i)).count_ones() as usize;
+        i += 1;
+    }
+    Some(total)
+}
+
+/// Masked variant: counts `(a ^ b) & mask` through the same reduction.
+#[target_feature(enable = "neon")]
+unsafe fn bounded_distance_masked_neon(
+    a: &[u64],
+    b: &[u64],
+    mask: &[u64],
+    bound: usize,
+) -> Option<usize> {
+    let (ap, bp, mp) = (a.as_ptr(), b.as_ptr(), mask.as_ptr());
+    let (mut total, mut i) = cnt_body!(a.len(), bound, |w: usize| {
+        vandq_u64(
+            veorq_u64(vld1q_u64(ap.add(w)), vld1q_u64(bp.add(w))),
+            vld1q_u64(mp.add(w)),
+        )
+    });
+    while i < a.len() {
+        total += ((*ap.add(i) ^ *bp.add(i)) & *mp.add(i)).count_ones() as usize;
+        i += 1;
+    }
+    Some(total)
+}
+
+/// The NEON `CNT` backend for AArch64 hosts.
+#[derive(Debug)]
+pub struct Neon;
+
+impl DistanceBackend for Neon {
+    fn name(&self) -> &'static str {
+        "neon"
+    }
+
+    fn bounded_distance(&self, a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+        debug_assert!(available(), "neon backend dispatched on a non-neon host");
+        // SAFETY: slices are equal-length (caller contract) and the
+        // dispatcher only selects this backend when NEON is detected.
+        unsafe { bounded_distance_neon(a, b, bound) }
+    }
+
+    fn bounded_distance_masked(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        mask: &[u64],
+        bound: usize,
+    ) -> Option<usize> {
+        debug_assert!(available(), "neon backend dispatched on a non-neon host");
+        // SAFETY: as above.
+        unsafe { bounded_distance_masked_neon(a, b, mask, bound) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense pseudo-random words (splitmix64 stream): the XOR of two
+    /// streams averages ~32 mismatches per word, so abandonment bounds
+    /// rise the way they do on real hypervectors.
+    fn pseudo_words(len: usize, salt: u64) -> Vec<u64> {
+        (0..len as u64)
+            .map(|i| {
+                let mut x = i.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            })
+            .collect()
+    }
+
+    fn naive(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum()
+    }
+
+    #[test]
+    fn matches_naive_across_word_counts() {
+        if !available() {
+            return;
+        }
+        // Cover: empty, odd tails, sub-block tails, exact blocks.
+        for len in [0usize, 1, 2, 3, 31, 32, 33, 63, 64, 65, 157] {
+            let a = pseudo_words(len, 1);
+            let b = pseudo_words(len, 2);
+            assert_eq!(
+                Neon.bounded_distance(&a, &b, usize::MAX),
+                Some(naive(&a, &b)),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_matches_naive_across_word_counts() {
+        if !available() {
+            return;
+        }
+        for len in [0usize, 1, 2, 31, 33, 64, 65, 157] {
+            let a = pseudo_words(len, 3);
+            let b = pseudo_words(len, 4);
+            let m = pseudo_words(len, 5);
+            let expected: usize = a
+                .iter()
+                .zip(&b)
+                .zip(&m)
+                .map(|((x, y), w)| ((x ^ y) & w).count_ones() as usize)
+                .sum();
+            assert_eq!(
+                Neon.bounded_distance_masked(&a, &b, &m, usize::MAX),
+                Some(expected),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_bounds_never_corrupt_a_returned_distance() {
+        if !available() {
+            return;
+        }
+        let a = pseudo_words(200, 8);
+        let b = pseudo_words(200, 9);
+        let exact = naive(&a, &b);
+        assert_eq!(Neon.bounded_distance(&a, &b, exact), Some(exact));
+        for bound in [0usize, exact / 2, exact.saturating_sub(1)] {
+            if let Some(d) = Neon.bounded_distance(&a, &b, bound) {
+                assert_eq!(d, exact);
+            }
+        }
+        assert_eq!(Neon.bounded_distance(&a, &b, 0), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! The portable carry-save (Harley–Seal) backend — the reference every
+//! SIMD backend is held bit-identical to.
+//!
+//! 16 XOR words are reduced through a tree of software carry-save adders
+//! so only one popcount is paid per 16-word block instead of one per
+//! word, which is the main saving when the target CPU has no popcount
+//! instruction and `count_ones` lowers to a ~12-op SWAR sequence.
+
+use super::backend::DistanceBackend;
+
+/// Words per carry-save block: one popcount is paid per this many words.
+const BLOCK_WORDS: usize = 16;
+
+/// One software carry-save adder (full adder over 64 independent bit
+/// lanes): returns `(carry, sum)` with `carry·2 + sum = a + b + c` per
+/// lane, in five bitwise ops instead of three popcounts.
+#[inline(always)]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let partial = a ^ b;
+    ((a & b) | (partial & c), partial ^ c)
+}
+
+/// Streaming Harley–Seal accumulator.
+///
+/// `ones`/`twos`/`fours`/`eights` hold not-yet-counted mismatches with
+/// lane weights 1/2/4/8; every completed 16-word block spills exactly one
+/// weight-16 word which is popcounted immediately into `sixteens`.
+#[derive(Debug, Default, Clone, Copy)]
+struct CsaAccumulator {
+    ones: u64,
+    twos: u64,
+    fours: u64,
+    eights: u64,
+    sixteens: usize,
+}
+
+impl CsaAccumulator {
+    /// Folds one block of 16 XOR words into the accumulator; the only
+    /// popcount is on the spilled weight-16 word.
+    #[inline(always)]
+    fn admit(&mut self, x: &[u64; BLOCK_WORDS]) {
+        let (two_a, ones) = csa(self.ones, x[0], x[1]);
+        let (two_b, ones) = csa(ones, x[2], x[3]);
+        let (four_a, twos) = csa(self.twos, two_a, two_b);
+        let (two_a, ones) = csa(ones, x[4], x[5]);
+        let (two_b, ones) = csa(ones, x[6], x[7]);
+        let (four_b, twos) = csa(twos, two_a, two_b);
+        let (eight_a, fours) = csa(self.fours, four_a, four_b);
+        let (two_a, ones) = csa(ones, x[8], x[9]);
+        let (two_b, ones) = csa(ones, x[10], x[11]);
+        let (four_a, twos) = csa(twos, two_a, two_b);
+        let (two_a, ones) = csa(ones, x[12], x[13]);
+        let (two_b, ones) = csa(ones, x[14], x[15]);
+        let (four_b, twos) = csa(twos, two_a, two_b);
+        let (eight_b, fours) = csa(fours, four_a, four_b);
+        let (sixteen, eights) = csa(self.eights, eight_a, eight_b);
+        self.sixteens += sixteen.count_ones() as usize;
+        self.ones = ones;
+        self.twos = twos;
+        self.fours = fours;
+        self.eights = eights;
+    }
+
+    /// Mismatches proven so far — the residual weight registers are still
+    /// uncounted, so this never exceeds the exact partial distance.
+    #[inline(always)]
+    fn lower_bound(&self) -> usize {
+        BLOCK_WORDS * self.sixteens
+    }
+
+    /// Exact total: spilled blocks plus the residual weight registers.
+    #[inline(always)]
+    fn total(&self) -> usize {
+        BLOCK_WORDS * self.sixteens
+            + 8 * self.eights.count_ones() as usize
+            + 4 * self.fours.count_ones() as usize
+            + 2 * self.twos.count_ones() as usize
+            + self.ones.count_ones() as usize
+    }
+}
+
+/// Exact distance between `a` and `b`, or `None` as soon as a lower bound
+/// on the distance strictly exceeds `bound`. Two independent carry-save
+/// chains cover interleaved 16-word blocks so the CSA dependency chains
+/// overlap; the bound is checked once per 32 words.
+#[inline]
+pub(super) fn bounded_distance(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+    let (mut even, mut odd) = (CsaAccumulator::default(), CsaAccumulator::default());
+    let mut x = [0u64; BLOCK_WORDS];
+    let mut y = [0u64; BLOCK_WORDS];
+    let mut a32 = a.chunks_exact(2 * BLOCK_WORDS);
+    let mut b32 = b.chunks_exact(2 * BLOCK_WORDS);
+    for (wa, wb) in (&mut a32).zip(&mut b32) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = wa[i] ^ wb[i];
+            y[i] = wa[BLOCK_WORDS + i] ^ wb[BLOCK_WORDS + i];
+        }
+        even.admit(&x);
+        odd.admit(&y);
+        if even.lower_bound() + odd.lower_bound() > bound {
+            return None;
+        }
+    }
+    let mut a16 = a32.remainder().chunks_exact(BLOCK_WORDS);
+    let mut b16 = b32.remainder().chunks_exact(BLOCK_WORDS);
+    for (wa, wb) in (&mut a16).zip(&mut b16) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = wa[i] ^ wb[i];
+        }
+        even.admit(&x);
+    }
+    let (tail_a, tail_b) = (a16.remainder(), b16.remainder());
+    if !tail_a.is_empty() {
+        // Zero-padding the final partial block adds no mismatches, so the
+        // tail rides through the same carry-save tree.
+        x = [0u64; BLOCK_WORDS];
+        for i in 0..tail_a.len() {
+            x[i] = tail_a[i] ^ tail_b[i];
+        }
+        even.admit(&x);
+    }
+    Some(even.total() + odd.total())
+}
+
+/// Masked variant of [`bounded_distance`]: one carry-save chain over
+/// `(a ^ b) & mask` blocks, bound checked once per 16 words.
+#[inline]
+pub(super) fn bounded_distance_masked(
+    a: &[u64],
+    b: &[u64],
+    mask: &[u64],
+    bound: usize,
+) -> Option<usize> {
+    let mut acc = CsaAccumulator::default();
+    let mut x = [0u64; BLOCK_WORDS];
+    let mut a16 = a.chunks_exact(BLOCK_WORDS);
+    let mut b16 = b.chunks_exact(BLOCK_WORDS);
+    let mut m16 = mask.chunks_exact(BLOCK_WORDS);
+    for ((wa, wb), wm) in (&mut a16).zip(&mut b16).zip(&mut m16) {
+        for i in 0..BLOCK_WORDS {
+            x[i] = (wa[i] ^ wb[i]) & wm[i];
+        }
+        acc.admit(&x);
+        if acc.lower_bound() > bound {
+            return None;
+        }
+    }
+    let (tail_a, tail_b, tail_m) = (a16.remainder(), b16.remainder(), m16.remainder());
+    if !tail_a.is_empty() {
+        x = [0u64; BLOCK_WORDS];
+        for i in 0..tail_a.len() {
+            x[i] = (tail_a[i] ^ tail_b[i]) & tail_m[i];
+        }
+        acc.admit(&x);
+    }
+    Some(acc.total())
+}
+
+/// The portable backend: available on every host, and the bit-identity
+/// reference for all SIMD backends.
+#[derive(Debug)]
+pub struct Scalar;
+
+impl DistanceBackend for Scalar {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn bounded_distance(&self, a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+        bounded_distance(a, b, bound)
+    }
+
+    fn bounded_distance_masked(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        mask: &[u64],
+        bound: usize,
+    ) -> Option<usize> {
+        bounded_distance_masked(a, b, mask, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense pseudo-random words (splitmix64 stream): the XOR of two
+    /// streams averages ~32 mismatches per word, so abandonment bounds
+    /// rise the way they do on real hypervectors.
+    fn pseudo_words(len: usize, salt: u64) -> Vec<u64> {
+        (0..len as u64)
+            .map(|i| {
+                let mut x = i.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            })
+            .collect()
+    }
+
+    fn naive(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum()
+    }
+
+    #[test]
+    fn matches_naive_across_word_counts() {
+        for len in [0usize, 1, 2, 15, 16, 17, 31, 32, 33, 64, 157, 256] {
+            let a = pseudo_words(len, 1);
+            let b = pseudo_words(len, 2);
+            assert_eq!(
+                bounded_distance(&a, &b, usize::MAX),
+                Some(naive(&a, &b)),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn abandons_only_above_the_bound() {
+        let a = pseudo_words(200, 3);
+        let b = pseudo_words(200, 4);
+        let exact = naive(&a, &b);
+        assert_eq!(bounded_distance(&a, &b, exact), Some(exact));
+        // A bound of zero must abandon any nonzero distance eventually or
+        // return the exact value — both are contract-conformant; what it
+        // must never do is return a wrong Some.
+        if let Some(d) = bounded_distance(&a, &b, 0) {
+            assert_eq!(d, exact);
+        }
+    }
+
+    #[test]
+    fn masked_matches_naive() {
+        let a = pseudo_words(100, 5);
+        let b = pseudo_words(100, 6);
+        let m = pseudo_words(100, 7);
+        let expected: usize = a
+            .iter()
+            .zip(&b)
+            .zip(&m)
+            .map(|((x, y), w)| ((x ^ y) & w).count_ones() as usize)
+            .sum();
+        assert_eq!(
+            bounded_distance_masked(&a, &b, &m, usize::MAX),
+            Some(expected)
+        );
+    }
+}

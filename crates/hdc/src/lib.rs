@@ -43,7 +43,10 @@
 //! * [`item_memory`] — fixed symbol → seed-hypervector assignment.
 //! * [`encoder`] — the letter *n*-gram text encoder of the paper.
 //! * [`kernel`] — the software search engine: contiguous row-major packed
-//!   storage and fused, early-abandoning Hamming scan kernels.
+//!   storage, runtime-dispatched SIMD distance backends (AVX-512
+//!   `VPOPCNTDQ`, AVX2, NEON, portable scalar — forceable via
+//!   `HAM_KERNEL_BACKEND`), and fused, early-abandoning Hamming scan
+//!   kernels with an exact sampled-prefilter cascade.
 //! * [`am`] — exact software associative memory (the functional reference
 //!   that the hardware designs in `ham-core` are validated against); its
 //!   search paths run on the [`kernel`] engine.
@@ -54,7 +57,10 @@
 //! * [`level`] / [`seq`] / [`sparse`] — extension encoders: scalar levels
 //!   and records, generic token sequences, and sparse block codes.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the SIMD backend modules under
+// `kernel`, which opt back in (`#![allow(unsafe_code)]`) for the
+// feature-gated intrinsics and document each use with a SAFETY comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -83,7 +89,10 @@ pub use crate::encoder::NGramEncoder;
 pub use crate::error::HdcError;
 pub use crate::hypervector::{Dimension, Distance, Hypervector};
 pub use crate::item_memory::ItemMemory;
-pub use crate::kernel::{Min2, PackedRows};
+pub use crate::kernel::{
+    active_backend, active_backend_name, enabled_backends, DistanceBackend, Min2, PackedRows,
+    ScanStrategy,
+};
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
 pub use crate::parallel::{available_threads, default_threads};
