@@ -1,0 +1,378 @@
+//! `ham-serve-bench` — open-loop load generator for the TCP serving
+//! front end, demonstrating tenant isolation under overload.
+//!
+//! Three phases against one live loopback [`Server`]:
+//!
+//! 1. **Unloaded baseline** — only the well-behaved tenant sends, at a
+//!    modest seeded open-loop rate; its p50/p99/p999 here are the
+//!    reference latencies.
+//! 2. **Overload** — the well-behaved tenant keeps its rate while a
+//!    noisy tenant offers ~5× its own quota. The noisy overflow must
+//!    come back as typed `QUOTA_EXCEEDED`/`SHED` rejects, and the
+//!    well-behaved tenant's p99 must stay within 2× its unloaded p99 —
+//!    the isolation acceptance criterion, recorded in the JSON.
+//! 3. **Drain** — graceful shutdown; the report's thread accounting is
+//!    recorded too.
+//!
+//! Arrivals are open-loop: each worker thread walks a precomputed
+//! seeded schedule and sends at the scheduled instant whether or not
+//! earlier responses have returned, so server slowdown cannot throttle
+//! the offered load. Writes `BENCH_serve.json` (repo root by default).
+//!
+//! Usage: `ham-serve-bench [--out FILE]`.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ham_core::explore::{random_memory, DesignKind};
+use ham_core::resilience::ResilientOptions;
+use ham_serve::frame::{STATUS_OK, STATUS_QUOTA_EXCEEDED, STATUS_SHED, STATUS_TIMED_OUT};
+use ham_serve::{HamClient, QuotaPolicy, ServeConfig, Server, TenantSpec};
+use hdc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const DIM: usize = 2_048;
+const CLASSES: usize = 16;
+const WELL_BEHAVED: u16 = 1;
+const NOISY: u16 = 2;
+/// Well-behaved offered load, queries/second (constant across phases).
+const WELL_BEHAVED_QPS: f64 = 100.0;
+/// The noisy tenant's quota refill rate; it offers ~5× this.
+const NOISY_QUOTA_QPS: f64 = 200.0;
+const NOISY_OFFERED_QPS: f64 = 1_000.0;
+const WARMUP_SECS: f64 = 0.5;
+const BASELINE_SECS: f64 = 3.0;
+const OVERLOAD_SECS: f64 = 3.0;
+
+#[derive(Debug, Serialize)]
+struct Percentiles {
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TenantLoadReport {
+    tenant: u16,
+    offered_qps: f64,
+    sent: usize,
+    ok: usize,
+    quota_rejected: usize,
+    shed: usize,
+    timed_out_slots: usize,
+    io_errors: usize,
+    /// Requests answered `STATUS_OK` per second of wall clock — the
+    /// goodput the isolation story is about.
+    goodput_qps: f64,
+    latency: Percentiles,
+}
+
+#[derive(Debug, Serialize)]
+struct Isolation {
+    unloaded_p99_us: f64,
+    overloaded_p99_us: f64,
+    ratio: f64,
+    /// The acceptance criterion: the well-behaved tenant's overloaded
+    /// p99 stays within 2× its unloaded p99 while its neighbour is
+    /// driven 5× past quota.
+    within_2x: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct DrainSummary {
+    accept_loops_joined: usize,
+    connection_threads_joined: usize,
+    forced_shutdowns: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    dim: usize,
+    classes: usize,
+    noisy_quota_qps: f64,
+    unloaded: TenantLoadReport,
+    overload_well_behaved: TenantLoadReport,
+    overload_noisy: TenantLoadReport,
+    isolation: Isolation,
+    drain: DrainSummary,
+}
+
+/// One worker's tally of an open-loop run.
+#[derive(Debug, Default)]
+struct Tally {
+    sent: usize,
+    ok: usize,
+    quota_rejected: usize,
+    shed: usize,
+    timed_out_slots: usize,
+    io_errors: usize,
+    latencies_us: Vec<f64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.quota_rejected += other.quota_rejected;
+        self.shed += other.shed;
+        self.timed_out_slots += other.timed_out_slots;
+        self.io_errors += other.io_errors;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Drives one tenant open-loop: `workers` connections, each following a
+/// precomputed seeded arrival schedule at `qps / workers` per thread.
+fn drive_tenant(
+    addr: SocketAddr,
+    tenant: u16,
+    memory: &AssociativeMemory,
+    qps: f64,
+    secs: f64,
+    workers: usize,
+    seed: u64,
+) -> std::thread::JoinHandle<Tally> {
+    let memory = memory.clone();
+    std::thread::spawn(move || {
+        let per_worker = qps / workers as f64;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let memory = memory.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (w as u64) << 17);
+                    // Jittered open-loop schedule: mean gap 1/rate, drawn
+                    // up front so send times never depend on responses.
+                    let mean_gap = 1.0 / per_worker;
+                    let mut offsets = Vec::new();
+                    let mut t = 0.0;
+                    while t < secs {
+                        t += rng.gen_range(0.5 * mean_gap..1.5 * mean_gap);
+                        offsets.push(t);
+                    }
+                    let mut tally = Tally::default();
+                    let Ok(mut client) = HamClient::connect(addr, Duration::from_secs(10)) else {
+                        tally.io_errors += 1;
+                        return tally;
+                    };
+                    let start = Instant::now();
+                    for offset in offsets {
+                        let due = Duration::from_secs_f64(offset);
+                        if let Some(wait) = due.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let class = ClassId(rng.gen_range(0..CLASSES));
+                        let query = memory.row(class).expect("class in range").clone();
+                        tally.sent += 1;
+                        let sent_at = Instant::now();
+                        match client.request(
+                            tenant,
+                            128,
+                            Some(Duration::from_millis(250)),
+                            &[query],
+                        ) {
+                            Ok(response) => {
+                                let rtt = sent_at.elapsed().as_secs_f64() * 1e6;
+                                match response.status {
+                                    STATUS_OK => {
+                                        tally.ok += 1;
+                                        tally.latencies_us.push(rtt);
+                                        for slot in &response.slots {
+                                            if matches!(slot, ham_serve::SlotResult::TimedOut) {
+                                                tally.timed_out_slots += 1;
+                                            }
+                                        }
+                                    }
+                                    STATUS_QUOTA_EXCEEDED => tally.quota_rejected += 1,
+                                    STATUS_SHED => tally.shed += 1,
+                                    STATUS_TIMED_OUT => tally.timed_out_slots += 1,
+                                    _ => tally.io_errors += 1,
+                                }
+                            }
+                            Err(_) => tally.io_errors += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        let mut total = Tally::default();
+        for handle in handles {
+            total.merge(handle.join().expect("load worker panicked"));
+        }
+        total
+    })
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(tenant: u16, offered_qps: f64, secs: f64, mut tally: Tally) -> TenantLoadReport {
+    tally
+        .latencies_us
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    TenantLoadReport {
+        tenant,
+        offered_qps,
+        sent: tally.sent,
+        ok: tally.ok,
+        quota_rejected: tally.quota_rejected,
+        shed: tally.shed,
+        timed_out_slots: tally.timed_out_slots,
+        io_errors: tally.io_errors,
+        goodput_qps: tally.ok as f64 / secs,
+        latency: Percentiles {
+            p50_us: percentile(&tally.latencies_us, 0.50),
+            p99_us: percentile(&tally.latencies_us, 0.99),
+            p999_us: percentile(&tally.latencies_us, 0.999),
+        },
+    }
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let well_memory = random_memory(CLASSES, DIM, 0xB1);
+    let noisy_memory = random_memory(CLASSES, DIM, 0xB2);
+    // Single-query requests gain nothing from the parallel batch
+    // scheduler; serial engine options avoid a thread spawn per request
+    // (which on small hosts dominates tail latency).
+    let config = ServeConfig {
+        options: ResilientOptions::serial(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        config,
+        vec![
+            TenantSpec::new(
+                WELL_BEHAVED,
+                "well-behaved",
+                DesignKind::Digital,
+                well_memory.clone(),
+            ),
+            TenantSpec::new(NOISY, "noisy", DesignKind::Digital, noisy_memory.clone()).with_quota(
+                QuotaPolicy {
+                    burst: 50.0,
+                    per_second: NOISY_QUOTA_QPS,
+                },
+            ),
+        ],
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    eprintln!("warmup ({WARMUP_SECS}s)");
+    drive_tenant(
+        addr,
+        WELL_BEHAVED,
+        &well_memory,
+        WELL_BEHAVED_QPS,
+        WARMUP_SECS,
+        2,
+        0xCAFE,
+    )
+    .join()
+    .expect("warmup driver");
+
+    eprintln!("phase 1: unloaded baseline ({BASELINE_SECS}s, {WELL_BEHAVED_QPS} qps)");
+    let baseline = drive_tenant(
+        addr,
+        WELL_BEHAVED,
+        &well_memory,
+        WELL_BEHAVED_QPS,
+        BASELINE_SECS,
+        2,
+        0xA11CE,
+    )
+    .join()
+    .expect("baseline driver");
+    let unloaded = summarize(WELL_BEHAVED, WELL_BEHAVED_QPS, BASELINE_SECS, baseline);
+
+    eprintln!(
+        "phase 2: overload ({OVERLOAD_SECS}s; noisy offers {NOISY_OFFERED_QPS} qps \
+         against a {NOISY_QUOTA_QPS} qps quota)"
+    );
+    let well_handle = drive_tenant(
+        addr,
+        WELL_BEHAVED,
+        &well_memory,
+        WELL_BEHAVED_QPS,
+        OVERLOAD_SECS,
+        2,
+        0xBEE,
+    );
+    let noisy_handle = drive_tenant(
+        addr,
+        NOISY,
+        &noisy_memory,
+        NOISY_OFFERED_QPS,
+        OVERLOAD_SECS,
+        4,
+        0xF10,
+    );
+    let overload_well = summarize(
+        WELL_BEHAVED,
+        WELL_BEHAVED_QPS,
+        OVERLOAD_SECS,
+        well_handle.join().expect("well-behaved driver"),
+    );
+    let overload_noisy = summarize(
+        NOISY,
+        NOISY_OFFERED_QPS,
+        OVERLOAD_SECS,
+        noisy_handle.join().expect("noisy driver"),
+    );
+
+    let drain = server.drain();
+    let ratio = overload_well.latency.p99_us / unloaded.latency.p99_us;
+    let report = Report {
+        dim: DIM,
+        classes: CLASSES,
+        noisy_quota_qps: NOISY_QUOTA_QPS,
+        isolation: Isolation {
+            unloaded_p99_us: unloaded.latency.p99_us,
+            overloaded_p99_us: overload_well.latency.p99_us,
+            ratio,
+            within_2x: ratio <= 2.0,
+        },
+        unloaded,
+        overload_well_behaved: overload_well,
+        overload_noisy,
+        drain: DrainSummary {
+            accept_loops_joined: drain.accept_loops_joined,
+            connection_threads_joined: drain.connection_threads_joined,
+            forced_shutdowns: drain.forced_shutdowns,
+        },
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    eprintln!(
+        "isolation: unloaded p99 {:.0}µs → overloaded p99 {:.0}µs (ratio {:.2}, within 2×: {})",
+        report.isolation.unloaded_p99_us,
+        report.isolation.overloaded_p99_us,
+        report.isolation.ratio,
+        report.isolation.within_2x
+    );
+    eprintln!("wrote {}", out.display());
+    if !report.isolation.within_2x {
+        std::process::exit(1);
+    }
+}

@@ -36,7 +36,12 @@ const INITIATION_FRACTION: f64 = 0.5;
 /// flag carries no information the batch engine needs, and honoring it
 /// would let one panicking worker take down every other worker's
 /// remaining work.
-pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+///
+/// Public because every serving layer stacked on this engine (the shard
+/// workers, the TCP front end's connection registry) shares the same
+/// invariant: panics are contained per work item, so a poisoned registry
+/// lock must keep working rather than cascade the panic.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -73,7 +73,7 @@ pub mod tech;
 pub mod units;
 
 pub use crate::aham::AHam;
-pub use crate::batch::{run_batch, run_batch_parallel, BatchOptions, BatchReport};
+pub use crate::batch::{lock_unpoisoned, run_batch, run_batch_parallel, BatchOptions, BatchReport};
 pub use crate::dham::DHam;
 pub use crate::model::{
     CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,

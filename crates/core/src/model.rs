@@ -49,17 +49,57 @@ pub enum HamError {
         /// Index of the unreachable shard.
         shard: usize,
     },
+    /// A shard worker panicked while scanning its slice. The panic was
+    /// contained inside the worker (which keeps serving later requests),
+    /// so this is a transient, per-query failure — unlike
+    /// [`ShardDown`](HamError::ShardDown), where the worker is gone.
+    ShardPanicked {
+        /// Index of the shard whose scan panicked.
+        shard: usize,
+    },
+    /// The tenant named in a request is not provisioned on this server.
+    UnknownTenant {
+        /// The wire tenant id the request carried.
+        tenant: u16,
+    },
+    /// The tenant exhausted its request quota; the request was rejected
+    /// before reaching a worker. A per-tenant condition: other tenants'
+    /// requests are unaffected.
+    QuotaExceeded {
+        /// The tenant whose quota ran dry.
+        tenant: u16,
+    },
+    /// The server is draining (graceful shutdown): in-flight work is
+    /// finished, but nothing new is admitted.
+    Draining,
 }
 
 impl HamError {
     /// Whether the serving runtime may retry the failed query: `true` for
-    /// faults tied to a single execution (a contained worker panic),
-    /// `false` for errors that are a property of the query or the array
-    /// (dimension mismatches, empty memories) and for terminal serving
-    /// outcomes (deadline expiry, load shedding), which retrying cannot
-    /// change.
+    /// faults tied to a single execution (a contained worker or shard
+    /// panic), `false` for errors that are a property of the query or the
+    /// array (dimension mismatches, empty memories) and for terminal
+    /// serving outcomes (deadline expiry, load shedding, quota
+    /// exhaustion, drain), which retrying cannot change.
     pub fn is_transient(&self) -> bool {
-        matches!(self, HamError::WorkerPanicked { .. })
+        matches!(
+            self,
+            HamError::WorkerPanicked { .. } | HamError::ShardPanicked { .. }
+        )
+    }
+
+    /// Whether this error is a *load-control* outcome — the serving layer
+    /// declining work (deadline expiry, shedding, quota, drain) rather
+    /// than the array failing. Load control says nothing about array
+    /// health, so health monitors must not count it toward error rates.
+    pub fn is_load_control(&self) -> bool {
+        matches!(
+            self,
+            HamError::TimedOut
+                | HamError::Shed { .. }
+                | HamError::QuotaExceeded { .. }
+                | HamError::Draining
+        )
     }
 }
 
@@ -90,6 +130,16 @@ impl std::fmt::Display for HamError {
             HamError::ShardDown { shard } => {
                 write!(f, "shard {shard} worker is down")
             }
+            HamError::ShardPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked during the scan")
+            }
+            HamError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not provisioned")
+            }
+            HamError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant} exceeded its request quota")
+            }
+            HamError::Draining => write!(f, "server is draining; request not admitted"),
         }
     }
 }
@@ -340,6 +390,7 @@ mod tests {
         let p = HamError::WorkerPanicked { query: 7 };
         assert!(p.to_string().contains('7'));
         assert!(p.is_transient());
+        assert!(HamError::ShardPanicked { shard: 2 }.is_transient());
         for permanent in [
             HamError::TimedOut,
             HamError::Shed { priority: 3 },
@@ -349,11 +400,37 @@ mod tests {
                 actual: 2,
             },
             HamError::Hdc(HdcError::EmptyMemory),
+            HamError::ShardDown { shard: 1 },
+            HamError::UnknownTenant { tenant: 9 },
+            HamError::QuotaExceeded { tenant: 9 },
+            HamError::Draining,
         ] {
             assert!(!permanent.is_transient(), "{permanent}");
             assert!(!permanent.to_string().is_empty());
         }
         assert!(HamError::Shed { priority: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn load_control_is_distinct_from_array_failure() {
+        for load in [
+            HamError::TimedOut,
+            HamError::Shed { priority: 0 },
+            HamError::QuotaExceeded { tenant: 4 },
+            HamError::Draining,
+        ] {
+            assert!(load.is_load_control(), "{load}");
+            assert!(!load.is_transient(), "{load}");
+        }
+        for failure in [
+            HamError::WorkerPanicked { query: 0 },
+            HamError::ShardPanicked { shard: 0 },
+            HamError::ShardDown { shard: 0 },
+            HamError::UnknownTenant { tenant: 4 },
+            HamError::NoClasses,
+        ] {
+            assert!(!failure.is_load_control(), "{failure}");
+        }
     }
 
     #[test]

@@ -231,15 +231,15 @@ impl HealthMonitor {
     }
 
     /// Folds one per-query serving error (worker panic, timeout, shed)
-    /// into the stream. Load-control outcomes (`TimedOut`, `Shed`) say
-    /// nothing about array health and only advance the window; real
-    /// failures count as errors.
+    /// into the stream. Load-control outcomes
+    /// ([`HamError::is_load_control`]: timeouts, shedding, quota
+    /// rejection, drain) say nothing about array health and only advance
+    /// the window; real failures count as errors.
     pub fn observe_error(&mut self, error: &HamError) -> Option<HealthTransition> {
         self.occupancy[self.state.index()] += 1;
         self.window.seen += 1;
-        match error {
-            HamError::TimedOut | HamError::Shed { .. } => {}
-            _ => self.window.errors += 1,
+        if !error.is_load_control() {
+            self.window.errors += 1;
         }
         self.maybe_close_window()
     }
@@ -447,10 +447,11 @@ mod tests {
         // A window full of sheds and timeouts is a load problem, not an
         // array problem.
         for i in 0..10 {
-            let e = if i % 2 == 0 {
-                HamError::TimedOut
-            } else {
-                HamError::Shed { priority: 0 }
+            let e = match i % 4 {
+                0 => HamError::TimedOut,
+                1 => HamError::Shed { priority: 0 },
+                2 => HamError::QuotaExceeded { tenant: 7 },
+                _ => HamError::Draining,
             };
             assert_eq!(m.observe_error(&e), None);
         }

@@ -105,6 +105,21 @@ impl QueryBudget {
             None => Deadline::unbounded(),
         }
     }
+
+    /// The tighter of two budgets — how a wire deadline ("this request
+    /// has 2 ms left") folds into a server-side cap. Unbounded is the
+    /// identity; a zero budget stays zero (and saturates to immediate
+    /// [`HamError::TimedOut`] slots when armed — never underflow, never
+    /// panic).
+    pub fn intersect(self, other: QueryBudget) -> QueryBudget {
+        QueryBudget {
+            batch_budget: match (self.batch_budget, other.batch_budget) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            },
+        }
+    }
 }
 
 /// Bounded, seeded retry-with-backoff for transient-classed errors
@@ -318,6 +333,16 @@ fn run_resilient<T: Send>(
         }
         result
     };
+
+    // A budget that is already spent (zero, or an expired wire deadline)
+    // saturates to immediate typed `TimedOut` slots: no worker threads
+    // are spawned and no shard is touched.
+    if deadline.expired() {
+        cancelled.store(true, Ordering::Relaxed);
+        let results: Vec<Result<T, HamError>> = (0..n).map(|_| Err(HamError::TimedOut)).collect();
+        let stats = ServeStats::tally(&results, 0);
+        return (results, stats, started.elapsed());
+    }
 
     let threads = options.batch.resolved_threads(n);
     if threads <= 1 || n <= 1 {
@@ -616,6 +641,22 @@ impl ResilientServer {
     /// Serves one batch at `priority`. Never fails as a whole: shed,
     /// timed-out, and errored queries surface in their own slots.
     pub fn serve(&mut self, queries: &[Hypervector], priority: Priority) -> ServeReport {
+        self.serve_with_budget(queries, priority, QueryBudget::unbounded())
+    }
+
+    /// [`serve`](Self::serve) under an additional per-call time budget —
+    /// the hook a network front end uses to propagate a request's
+    /// remaining wire deadline into the batch engine. The effective
+    /// budget is the *tighter* of the configured one and `budget`
+    /// ([`QueryBudget::intersect`]); an already-spent budget yields
+    /// immediate typed [`HamError::TimedOut`] slots without touching a
+    /// worker.
+    pub fn serve_with_budget(
+        &mut self,
+        queries: &[Hypervector],
+        priority: Priority,
+        budget: QueryBudget,
+    ) -> ServeReport {
         let mut actions = Vec::new();
         // A quarantine left over from the previous batch is resolved
         // before serving anything new.
@@ -639,6 +680,10 @@ impl ResilientServer {
 
         let start_index = self.next_index;
         self.next_index += queries.len() as u64;
+        let options = ResilientOptions {
+            budget: self.options.budget.intersect(budget),
+            ..self.options
+        };
         let ClassifyReport {
             mut outcomes,
             mut stats,
@@ -647,7 +692,7 @@ impl ResilientServer {
             &self.controller,
             &queries[..admitted],
             start_index,
-            &self.options,
+            &options,
         );
         for _ in admitted..queries.len() {
             outcomes.push(Err(HamError::Shed { priority }));
@@ -671,6 +716,19 @@ impl ResilientServer {
             actions,
             kernel_backend: hdc::active_backend_name(),
         }
+    }
+
+    /// Writes the *currently served* memory to `path` as a checksummed
+    /// atomic snapshot — the drain-time flush a front end performs so a
+    /// warm restart replays exactly what was being served (including any
+    /// online updates since boot), not the boot-time golden state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot I/O errors; the served memory is untouched
+    /// either way.
+    pub fn flush_snapshot(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        save_snapshot(self.controller.memory(), path)
     }
 
     /// Runs a scrub pass right now, folds the report into the health
@@ -1020,6 +1078,94 @@ mod tests {
         assert!(QueryBudget::per_batch(Duration::from_secs(1))
             .batch_budget
             .is_some());
+    }
+
+    #[test]
+    fn extreme_budgets_saturate_without_underflow_or_panic() {
+        // Duration::MAX must neither overflow arming nor remaining().
+        let huge = Deadline::within(Duration::MAX);
+        assert!(!huge.expired());
+        assert!(huge.remaining().unwrap() > Duration::from_secs(1 << 40));
+        // A zero deadline is expired from the instant it is armed, and
+        // remaining() saturates to zero instead of underflowing.
+        let spent = Deadline::within(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(spent.expired());
+        assert_eq!(spent.remaining(), Some(Duration::ZERO));
+        // A 1 ns budget behaves like zero by the time anyone looks.
+        let hair = QueryBudget::per_batch(Duration::from_nanos(1)).arm();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(hair.expired());
+        assert_eq!(hair.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn budget_intersection_takes_the_tighter_bound() {
+        let unbounded = QueryBudget::unbounded();
+        let short = QueryBudget::per_batch(Duration::from_millis(2));
+        let long = QueryBudget::per_batch(Duration::from_secs(5));
+        assert_eq!(unbounded.intersect(unbounded), unbounded);
+        assert_eq!(unbounded.intersect(short), short);
+        assert_eq!(short.intersect(unbounded), short);
+        assert_eq!(short.intersect(long), short);
+        assert_eq!(long.intersect(short), short);
+        // Zero is absorbing: a request that arrives with nothing left
+        // stays at nothing regardless of the server's own cap.
+        let zero = QueryBudget::per_batch(Duration::ZERO);
+        assert_eq!(zero.intersect(long), zero);
+        assert_eq!(long.intersect(zero), zero);
+    }
+
+    #[test]
+    fn expired_budget_times_out_without_spawning_workers() {
+        let memory = random_memory(4, 1_024, 41);
+        let design = build(DesignKind::Digital, &memory).unwrap();
+        let qs = queries(&memory, 64);
+        // Parallel schedule + already-spent budget: the fast path must
+        // fill every slot with TimedOut without starting worker threads —
+        // the whole batch resolves in far less time than a real scan.
+        let options = ResilientOptions {
+            batch: BatchOptions::new(8, 4),
+            retry: RetryPolicy::default(),
+            budget: QueryBudget::per_batch(Duration::ZERO),
+        };
+        let report = run_batch_resilient(design.as_ref(), &qs, &options);
+        assert_eq!(report.stats.timed_out, 64);
+        assert_eq!(report.stats.completed, 0);
+        assert_eq!(report.stats.retries, 0, "no retry budget burned");
+        assert!(report.results.iter().all(|r| r == &Err(HamError::TimedOut)));
+        // Empty batches under a spent budget are well-defined too.
+        let empty = run_batch_resilient(design.as_ref(), &[], &options);
+        assert_eq!(empty.stats, ServeStats::default());
+    }
+
+    #[test]
+    fn wire_budget_tightens_the_served_batch() {
+        let memory = random_memory(5, 1_024, 42);
+        let scrubber = Scrubber::from_memory(&memory);
+        let mut server = ResilientServer::new(
+            DesignKind::Digital,
+            memory.clone(),
+            scrubber,
+            DegradationPolicy::for_dim(1_024),
+        )
+        .unwrap()
+        .with_options(ResilientOptions::serial());
+        let qs = queries(&memory, 8);
+        // An expired wire deadline sheds the whole batch as TimedOut…
+        let report =
+            server.serve_with_budget(&qs, PRIORITY_NORMAL, QueryBudget::per_batch(Duration::ZERO));
+        assert_eq!(report.stats.timed_out, 8);
+        assert_eq!(report.stats.completed, 0);
+        // …and a timeout-only batch is load control, not array damage.
+        assert_eq!(report.health, HealthState::Healthy);
+        // A generous wire deadline serves normally.
+        let report = server.serve_with_budget(
+            &qs,
+            PRIORITY_NORMAL,
+            QueryBudget::per_batch(Duration::from_secs(30)),
+        );
+        assert_eq!(report.stats.completed, 8);
     }
 
     #[test]

@@ -285,6 +285,19 @@ pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), Snap
         let _ = fs::remove_file(&tmp);
         return Err(e.into());
     }
+    // The rename is atomic but not durable until the directory entry
+    // itself is on disk: fsync the parent so a crash right after publish
+    // cannot roll the name back to the old (or no) snapshot.
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = fs::File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
     Ok(())
 }
 

@@ -258,6 +258,11 @@ impl VersionedMemory {
 enum ShardFinding {
     Min2(Option<Min2>),
     TopK(Vec<(usize, usize)>),
+    /// The scan panicked inside the worker. The panic was contained
+    /// ([`catch_unwind`]) so the worker keeps serving later requests and
+    /// joins cleanly on drop; the query that tripped it surfaces as
+    /// [`HamError::ShardPanicked`].
+    Panicked,
 }
 
 /// One mailbox message to a shard worker. Every request carries the
@@ -278,14 +283,36 @@ enum ShardRequest {
         k: usize,
         reply: Sender<(usize, ShardFinding)>,
     },
+    /// Arms the worker's chaos counter: its next `panics` scans panic
+    /// (inside the contained region), then it serves normally again.
+    Chaos {
+        panics: usize,
+    },
     Shutdown,
 }
 
+/// Decrements the worker's armed chaos budget, panicking while it lasts.
+/// The decrement happens *before* the panic so a single armed panic
+/// cannot re-fire on the next request.
+fn trip_chaos(pending: &mut usize) {
+    if *pending > 0 {
+        *pending -= 1;
+        panic!("injected shard worker panic ({} left)", *pending);
+    }
+}
+
 fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     // Ranking buffer reused across this worker's whole lifetime: the
     // range-sized fill happens in place, and only the ≤ k surviving pairs
-    // are cloned into the reply.
+    // are cloned into the reply. (A contained panic may leave it mid-fill;
+    // the next top-k refills it from scratch.)
     let mut ranked: Vec<(usize, usize)> = Vec::new();
+    let mut chaos_panics = 0usize;
+    // Every scan runs under `catch_unwind`: a panicking kernel (or an
+    // injected chaos panic) is contained to its own reply — the worker
+    // thread survives, keeps draining its mailbox, and joins cleanly on
+    // drop instead of wedging the supervisor behind a dead mailbox.
     while let Ok(request) = inbox.recv() {
         match request {
             ShardRequest::Scan {
@@ -295,12 +322,19 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
                 mask,
                 reply,
             } => {
-                let packed = version.memory().packed_rows();
-                let hit = match &mask {
-                    None => packed.scan_min2_range(&query, range),
-                    Some(mask) => packed.scan_min2_masked_range(&query, mask, range),
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    trip_chaos(&mut chaos_panics);
+                    let packed = version.memory().packed_rows();
+                    match &mask {
+                        None => packed.scan_min2_range(&query, range),
+                        Some(mask) => packed.scan_min2_masked_range(&query, mask, range),
+                    }
+                }));
+                let finding = match outcome {
+                    Ok(hit) => ShardFinding::Min2(hit),
+                    Err(_) => ShardFinding::Panicked,
                 };
-                let _ = reply.send((shard, ShardFinding::Min2(hit)));
+                let _ = reply.send((shard, finding));
             }
             ShardRequest::TopK {
                 version,
@@ -309,12 +343,21 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
                 k,
                 reply,
             } => {
-                version
-                    .memory()
-                    .packed_rows()
-                    .top_k_range_into(&query, range, k, &mut ranked);
-                let _ = reply.send((shard, ShardFinding::TopK(ranked.clone())));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    trip_chaos(&mut chaos_panics);
+                    version
+                        .memory()
+                        .packed_rows()
+                        .top_k_range_into(&query, range, k, &mut ranked);
+                    ranked.clone()
+                }));
+                let finding = match outcome {
+                    Ok(pairs) => ShardFinding::TopK(pairs),
+                    Err(_) => ShardFinding::Panicked,
+                };
+                let _ = reply.send((shard, finding));
             }
+            ShardRequest::Chaos { panics } => chaos_panics = panics,
             ShardRequest::Shutdown => break,
         }
     }
@@ -430,9 +473,35 @@ impl ShardedMemory {
                     .unwrap_or(0),
             })?;
             heard[shard] = true;
+            if matches!(finding, ShardFinding::Panicked) {
+                // Contained worker panic: the query dies with a typed,
+                // transient error; the worker itself is still alive.
+                return Err(HamError::ShardPanicked { shard });
+            }
             findings.push(finding);
         }
         Ok(findings)
+    }
+
+    /// Arms shard `shard`'s chaos counter: its next `panics` scans panic
+    /// inside the worker (each surfacing as a typed
+    /// [`HamError::ShardPanicked`]), after which it serves normally.
+    /// This is the wire-level fault injector's hook into the scatter
+    /// path — intentionally public so integration tests and benches can
+    /// prove the containment without reaching into worker internals.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::ShardDown`] when the worker's mailbox is disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn inject_worker_panics(&self, shard: usize, panics: usize) -> Result<(), HamError> {
+        assert!(shard < self.shards(), "shard {shard} out of range");
+        self.mailboxes[shard]
+            .send(ShardRequest::Chaos { panics })
+            .map_err(|_| HamError::ShardDown { shard })
     }
 
     fn gather_min2(
@@ -461,7 +530,8 @@ impl ShardedMemory {
         })?;
         let parts = findings.into_iter().filter_map(|finding| match finding {
             ShardFinding::Min2(hit) => hit,
-            ShardFinding::TopK(_) => None,
+            // Panicked findings abort the scatter before gathering.
+            ShardFinding::TopK(_) | ShardFinding::Panicked => None,
         });
         Min2::merge(parts).ok_or(HamError::NoClasses)
     }
@@ -569,7 +639,7 @@ impl ShardedMemory {
             .into_iter()
             .flat_map(|finding| match finding {
                 ShardFinding::TopK(ranked) => ranked,
-                ShardFinding::Min2(_) => Vec::new(),
+                ShardFinding::Min2(_) | ShardFinding::Panicked => Vec::new(),
             })
             .collect();
         gathered.sort_by_key(|&(row, distance)| (distance, row));

@@ -473,3 +473,95 @@ fn golden_refresh_follows_online_class_changes() {
         assert!(supervisor.scan_shard(shard).unwrap().is_clean());
     }
 }
+
+/// Satellite regression (PR 6): a worker panic mid-query is contained —
+/// the query dies with a typed, transient error, the worker survives to
+/// serve later queries bit-identically, and dropping the sharded memory
+/// joins every worker cleanly instead of wedging the supervisor.
+#[test]
+fn worker_panic_is_contained_and_workers_join_on_drop() {
+    let memory = random_memory(12, 512, 77);
+    let sharded = ShardedMemory::new(memory.clone(), 4);
+    let query = memory.row(ClassId(3)).unwrap().clone();
+
+    // Two armed panics on shard 1: the next two scatters that reach it
+    // fail with a typed error attributed to that shard.
+    sharded.inject_worker_panics(1, 2).unwrap();
+    assert_eq!(
+        sharded.search(&query),
+        Err(HamError::ShardPanicked { shard: 1 })
+    );
+    assert!(HamError::ShardPanicked { shard: 1 }.is_transient());
+    assert_eq!(
+        sharded.search_top_k(&query, 3),
+        Err(HamError::ShardPanicked { shard: 1 })
+    );
+
+    // Chaos budget spent: the same worker now serves again, and results
+    // are bit-identical to the serial scan — the panic corrupted nothing.
+    assert_eq!(
+        sharded.search(&query).unwrap(),
+        memory.search(&query).unwrap()
+    );
+    assert_eq!(
+        sharded.search_top_k(&query, 5).unwrap(),
+        memory.search_top_k(&query, 5).unwrap()
+    );
+
+    // Drop with a *pending* armed panic: shutdown must still join every
+    // worker (the wedge this test pins: a panicked/armed worker leaving
+    // the supervisor stuck on drop). Run the drop on a watchdogged thread
+    // so a regression fails the test instead of hanging it.
+    sharded.inject_worker_panics(2, 1).unwrap();
+    let dropper = std::thread::spawn(move || drop(sharded));
+    let started = std::time::Instant::now();
+    while !dropper.is_finished() {
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "drop wedged: shard workers did not join"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    dropper.join().expect("drop itself must not panic");
+}
+
+/// The panic container also catches *real* kernel panics raised inside
+/// the worker's scan (not just injected ones): a panic thrown under
+/// `catch_unwind` in the caller's frame never crosses the mailbox.
+#[test]
+fn contained_panic_does_not_poison_concurrent_searches() {
+    let memory = random_memory(16, 1_024, 78);
+    let sharded = Arc::new(ShardedMemory::new(memory.clone(), 3));
+    let query = memory.row(ClassId(5)).unwrap().clone();
+
+    // Arm one panic, then race 4 reader threads. Exactly the unlucky
+    // scatter(s) that hit the armed worker fail; every success is
+    // bit-identical to serial, and afterwards the memory still serves.
+    sharded.inject_worker_panics(0, 1).unwrap();
+    let expected = memory.search(&query).unwrap();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let sharded = Arc::clone(&sharded);
+                let query = query.clone();
+                handles.push(scope.spawn(move || sharded.search(&query)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread must not panic"))
+                .collect::<Vec<_>>()
+        })
+    }));
+    let results = outcome.expect("no panic may escape the scatter path");
+    let mut panicked = 0;
+    for result in results {
+        match result {
+            Ok(hit) => assert_eq!(hit, expected),
+            Err(HamError::ShardPanicked { shard: 0 }) => panicked += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(panicked, 1, "exactly the armed panic fired");
+    assert_eq!(sharded.search(&query).unwrap(), expected);
+}

@@ -1,0 +1,65 @@
+//! Tier-1 smoke test for the TCP serving front end: a live loopback
+//! server, one well-behaved client, one hostile injector, and a clean
+//! drain. The deep suites live in `crates/serve/tests/`.
+
+use std::time::Duration;
+
+use ham_core::explore::{build, random_memory, DesignKind};
+use ham_serve::frame::STATUS_OK;
+use ham_serve::{
+    ChaosFault, ChaosTransport, HamClient, ServeConfig, Server, SlotResult, TenantSpec,
+};
+use hdc::prelude::*;
+
+#[test]
+fn loopback_round_trip_survives_chaos_and_drains_clean() {
+    let memory = random_memory(8, 1_024, 0x5E57);
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(300),
+        drain_grace: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        config,
+        vec![TenantSpec::new(
+            1,
+            "smoke",
+            DesignKind::Digital,
+            memory.clone(),
+        )],
+    )
+    .unwrap();
+
+    // Wire answers match the direct engine bit for bit.
+    let design = build(DesignKind::Digital, &memory).unwrap();
+    let mut client = HamClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let queries: Vec<Hypervector> = (0..8)
+        .map(|i| memory.row(ClassId(i)).unwrap().clone())
+        .collect();
+    let response = client.request(1, 128, None, &queries).unwrap();
+    assert_eq!(response.status, STATUS_OK);
+    for (i, slot) in response.slots.iter().enumerate() {
+        let expected = design.search(&queries[i]).unwrap();
+        match slot {
+            SlotResult::Hit {
+                class, distance, ..
+            } => {
+                assert_eq!(*class as usize, expected.class.0);
+                assert_eq!(*distance as usize, expected.measured_distance.as_usize());
+            }
+            other => panic!("slot {i} degraded: {other:?}"),
+        }
+    }
+
+    // One full hostile sweep; the server must keep serving after it.
+    let mut chaos = ChaosTransport::new(server.local_addr(), 1, 1_024, 0xBAD);
+    for fault in ChaosFault::ALL {
+        chaos.inject(fault).unwrap();
+    }
+    let response = client.request(1, 128, None, &queries).unwrap();
+    assert_eq!(response.status, STATUS_OK);
+
+    let report = server.drain();
+    assert_eq!(report.accept_loops_joined, 2);
+    assert!(report.flush_failures.is_empty());
+}
