@@ -27,9 +27,14 @@
 //!    `D = 10,000` (one query, uniform rows);
 //! 7. the sampled-prefilter cascade on its natural shape — planted
 //!    near-duplicate rows in an otherwise random array — vs the direct
-//!    scan on the same backend.
+//!    scan on the same backend;
+//! 8. the two-level bucket index: `C ∈ {1k, 10k, 100k}` × clustered /
+//!    adversarial-uniform rows × {exact indexed, probe, auto} against
+//!    the fused linear scan, with measured recall for the probe mode —
+//!    the exactness-preserving speedup (and the Auto fallback's "never
+//!    much slower than linear" floor) quoted in DESIGN.md §14.
 //!
-//! Usage: `ham-search-bench [--out FILE]`.
+//! Usage: `ham-search-bench [--out FILE] [--quick]`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -42,7 +47,7 @@ use ham_core::resilience::{
 };
 use ham_core::shard::{OnlineUpdater, ShardedMemory};
 use hdc::prelude::*;
-use hdc::{active_backend, enabled_backends, ScanStrategy};
+use hdc::{active_backend, enabled_backends, BucketIndex, IndexBuildOptions, ScanStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -66,6 +71,30 @@ struct Comparison {
     speedup: f64,
 }
 
+/// One bucket-index operating point: a row shape × class count × scan
+/// mode against the fused linear scan.
+#[derive(Debug, Serialize)]
+struct IndexScaling {
+    /// `"clustered"` (32 tight anchors) or `"uniform"` (adversarial:
+    /// pruning can never fire).
+    shape: &'static str,
+    /// `"exact"`, `"probe<n>"`, or `"auto"`.
+    mode: String,
+    buckets: usize,
+    mean_radius: usize,
+    mean_separation: usize,
+    /// Whether [`hdc::IndexStats::pruning_friendly`] picked the indexed
+    /// walk for `ScanStrategy::Auto` on this shape.
+    auto_picks_index: bool,
+    /// Fraction of probe queries whose winner matched the exact scan
+    /// (1.0 by construction for exact and auto modes).
+    recall: f64,
+    /// Mean rows scanned / pruned per query in this mode (counters).
+    rows_scanned_per_query: f64,
+    rows_pruned_per_query: f64,
+    comparison: Comparison,
+}
+
 #[derive(Debug, Serialize)]
 struct Snapshot {
     host_threads: usize,
@@ -82,6 +111,8 @@ struct Snapshot {
     backends: Vec<Comparison>,
     /// Direct vs cascade on the planted near-duplicate shape.
     cascade: Vec<Comparison>,
+    /// Bucket-index sweep: shape × C × mode vs the linear scan.
+    index_scaling: Vec<IndexScaling>,
 }
 
 /// Times `op` for at least `budget` of wall clock and adds the elapsed
@@ -178,6 +209,7 @@ fn noisy_query(memory: &AssociativeMemory, seed: u64) -> Hypervector {
 
 fn main() {
     let mut out = PathBuf::from("BENCH_search.json");
+    let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -187,8 +219,10 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--quick" => quick = true,
             "--help" | "-h" => {
-                println!("usage: ham-search-bench [--out FILE]");
+                println!("usage: ham-search-bench [--out FILE] [--quick]");
+                println!("  --quick  cap the index sweep at C = 10k (smoke run)");
                 return;
             }
             other => {
@@ -508,6 +542,168 @@ fn main() {
         cascade.push(cmp);
     }
 
+    // 8. The bucket index: clustered rows (the shape the triangle bound
+    // was built for) and adversarial uniform rows (where pruning can
+    // never fire and Auto must fall back to the linear scan), swept
+    // across C with D = 10,000. Exact and auto modes are bit-identical
+    // to the linear scan by construction; the probe mode's recall is
+    // measured over the query set.
+    let mut index_scaling = Vec::new();
+    let dim = 10_000usize;
+    let dimension = Dimension::new(dim).unwrap();
+    let backend = active_backend();
+    let sweep: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &classes in sweep {
+        for clustered_shape in [true, false] {
+            let shape = if clustered_shape {
+                "clustered"
+            } else {
+                "uniform"
+            };
+            let mut rng = StdRng::seed_from_u64(classes as u64 ^ 0x1DE7);
+            let anchors: Vec<Hypervector> = (0..32)
+                .map(|a| Hypervector::random(dimension, 0x7000 + a))
+                .collect();
+            let mut packed = PackedRows::with_capacity(dim, classes);
+            for i in 0..classes as u64 {
+                let row = if clustered_shape {
+                    anchors[i as usize % anchors.len()].with_flipped_bits(dim / 50, &mut rng)
+                } else {
+                    Hypervector::random(dimension, 0x9000 + i)
+                };
+                packed.push(row.as_bitvec().as_words());
+            }
+            let index = BucketIndex::build(&packed, backend, IndexBuildOptions::default())
+                .expect("non-empty matrix builds");
+            let stats = index.stats();
+            let auto_picks_index = stats.pruning_friendly(dim);
+            let nprobe = (index.buckets() / 8).max(1);
+            let queries: Vec<Vec<u64>> = (0..32u64)
+                .map(|q| {
+                    let near = if clustered_shape {
+                        anchors[q as usize % anchors.len()].with_flipped_bits(dim / 40, &mut rng)
+                    } else {
+                        Hypervector::random(dimension, 0xB000 + q)
+                    };
+                    near.as_bitvec().as_words().to_vec()
+                })
+                .collect();
+
+            // Probe-mode recall + per-mode counters over the query set.
+            let mut probe_hits = 0usize;
+            for words in &queries {
+                let exact = packed
+                    .scan_min2_planned(
+                        backend,
+                        ScanStrategy::Direct,
+                        None,
+                        words,
+                        None,
+                        0..classes,
+                        None,
+                    )
+                    .unwrap();
+                let probed = packed
+                    .scan_min2_planned(
+                        backend,
+                        ScanStrategy::Probe { nprobe },
+                        Some(&index),
+                        words,
+                        None,
+                        0..classes,
+                        None,
+                    )
+                    .unwrap();
+                if probed.best == exact.best {
+                    probe_hits += 1;
+                }
+            }
+
+            for (mode, strategy, recall) in [
+                ("exact".to_owned(), ScanStrategy::Indexed, 1.0),
+                (
+                    format!("probe{nprobe}"),
+                    ScanStrategy::Probe { nprobe },
+                    probe_hits as f64 / queries.len() as f64,
+                ),
+                ("auto".to_owned(), ScanStrategy::Auto, 1.0),
+            ] {
+                let mut counters = ScanCounters::default();
+                for words in &queries {
+                    packed.scan_min2_planned(
+                        backend,
+                        strategy,
+                        Some(&index),
+                        words,
+                        None,
+                        0..classes,
+                        Some(&mut counters),
+                    );
+                }
+                let per_query = |n: u64| n as f64 / queries.len() as f64;
+                let mut base_at = 0usize;
+                let mut cont_at = 0usize;
+                let cmp = compare(
+                    classes,
+                    dim,
+                    600,
+                    "linear_direct",
+                    || {
+                        let words = &queries[base_at % queries.len()];
+                        base_at += 1;
+                        packed
+                            .scan_min2_planned(
+                                backend,
+                                ScanStrategy::Direct,
+                                None,
+                                words,
+                                None,
+                                0..classes,
+                                None,
+                            )
+                            .unwrap()
+                    },
+                    &format!("indexed_{mode}"),
+                    || {
+                        let words = &queries[cont_at % queries.len()];
+                        cont_at += 1;
+                        packed
+                            .scan_min2_planned(
+                                backend,
+                                strategy,
+                                Some(&index),
+                                words,
+                                None,
+                                0..classes,
+                                None,
+                            )
+                            .unwrap()
+                    },
+                );
+                println!(
+                    "index {shape} C={classes} {mode}: linear {:.0} ns vs indexed {:.0} ns ({:.2}x, recall {recall:.3})",
+                    cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+                );
+                index_scaling.push(IndexScaling {
+                    shape,
+                    mode,
+                    buckets: index.buckets(),
+                    mean_radius: stats.mean_radius,
+                    mean_separation: stats.mean_separation,
+                    auto_picks_index,
+                    recall,
+                    rows_scanned_per_query: per_query(counters.rows_scanned),
+                    rows_pruned_per_query: per_query(counters.rows_pruned),
+                    comparison: cmp,
+                });
+            }
+        }
+    }
+
     let snapshot = Snapshot {
         host_threads,
         kernel_backend: hdc::active_backend_name(),
@@ -519,6 +715,7 @@ fn main() {
         online_update,
         backends,
         cascade,
+        index_scaling,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| {

@@ -61,6 +61,7 @@ pub mod batch;
 pub mod dham;
 pub mod dham_cycle;
 pub mod explore;
+pub mod index;
 pub mod model;
 pub mod pareto;
 pub mod resilience;
@@ -75,6 +76,7 @@ pub mod units;
 pub use crate::aham::AHam;
 pub use crate::batch::{lock_unpoisoned, run_batch, run_batch_parallel, BatchOptions, BatchReport};
 pub use crate::dham::DHam;
+pub use crate::index::{ensure_indexed, IndexPolicy};
 pub use crate::model::{
     CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
 };
@@ -91,6 +93,7 @@ pub mod prelude {
     pub use crate::batch::{run_batch, run_batch_parallel, BatchOptions, BatchReport};
     pub use crate::dham::DHam;
     pub use crate::explore::DesignKind;
+    pub use crate::index::{ensure_indexed, IndexPolicy};
     pub use crate::model::{
         CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
     };

@@ -240,6 +240,11 @@ pub type SharedDesign = Box<dyn HamDesign + Send + Sync>;
 pub struct SearchScratch {
     /// Per-row distance buffer, cleared and refilled by each search.
     pub distances: Vec<usize>,
+    /// Accumulated scan-work telemetry (rows scanned vs. pruned by the
+    /// bucket index) across every query served through this scratch.
+    /// Never cleared by searches — the worker that owns the scratch
+    /// reads and resets it when it reports.
+    pub scan: hdc::ScanCounters,
 }
 
 impl SearchScratch {

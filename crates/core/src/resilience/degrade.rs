@@ -111,6 +111,10 @@ pub struct QueryOutcome {
     pub final_engine: EngineStage,
     /// The winner-to-runner-up margin of the final answer, in bits.
     pub margin: usize,
+    /// Scan-work telemetry of the exact rung (rows scanned vs. pruned
+    /// by the bucket index). Zero for queries the approximate rungs
+    /// settled — only the exact scan routes through the counted kernel.
+    pub scan: hdc::ScanCounters,
 }
 
 impl QueryOutcome {
@@ -122,6 +126,7 @@ impl QueryOutcome {
             escalations,
             final_engine: stage,
             margin,
+            scan: hdc::ScanCounters::default(),
         }
     }
 }
@@ -387,7 +392,7 @@ impl DegradationController {
         }
 
         escalations += 1;
-        let exact = self.memory.search(query).map_err(HamError::Hdc)?;
+        let (exact, scan) = self.memory.search_counted(query).map_err(HamError::Hdc)?;
         let margin = exact.margin();
         let confidence = self.exact_confidence(margin);
         Ok(QueryOutcome {
@@ -399,6 +404,7 @@ impl DegradationController {
             escalations,
             final_engine: EngineStage::Exact,
             margin,
+            scan,
         })
     }
 

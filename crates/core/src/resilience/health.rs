@@ -347,6 +347,7 @@ mod tests {
             escalations: usize::from(engine != EngineStage::Primary),
             final_engine: engine,
             margin,
+            scan: ScanCounters::default(),
         }
     }
 

@@ -531,6 +531,11 @@ pub struct ServeReport {
     /// The distance kernel that served this batch
     /// ([`hdc::active_backend_name`]).
     pub kernel_backend: &'static str,
+    /// Scan telemetry summed over every successful outcome in the
+    /// batch: centroids probed, rows scanned, and rows pruned by the
+    /// bucket index's triangle bound (all zero when every query settled
+    /// on an approximate rung or the memory is unindexed).
+    pub scan: hdc::ScanCounters,
 }
 
 /// The self-healing serving runtime: a [`DegradationController`] wrapped
@@ -700,9 +705,13 @@ impl ResilientServer {
         }
 
         // Fold telemetry, then act on whatever state it lands in.
+        let mut scan = hdc::ScanCounters::default();
         for outcome in &outcomes {
             match outcome {
-                Ok(o) => self.monitor.observe_outcome(o),
+                Ok(o) => {
+                    scan.absorb(o.scan);
+                    self.monitor.observe_outcome(o)
+                }
                 Err(e) => self.monitor.observe_error(e),
             };
         }
@@ -715,6 +724,7 @@ impl ResilientServer {
             health: self.monitor.state(),
             actions,
             kernel_backend: hdc::active_backend_name(),
+            scan,
         }
     }
 

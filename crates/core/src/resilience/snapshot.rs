@@ -26,6 +26,22 @@
 //! be decoded *without reading the rest of the file*:
 //! [`load_snapshot_rows`] seeks straight to the slice — the restore path
 //! a quarantined shard uses to rebuild only its own rows.
+//!
+//! # Format versions
+//!
+//! * **v1** — header + row records, exactly as above.
+//! * **v2** — v1 plus one CRC-framed *index section* after the last row
+//!   record, serializing the memory's [`hdc::BucketIndex`] (bucket
+//!   count, dirty counter, per-bucket radii, centroid words, per-row
+//!   bucket assignments). An unindexed memory still saves as a
+//!   byte-identical v1 file, and both versions load. The index section
+//!   is strictly best-effort on the way back in: any inconsistency — a
+//!   failed section CRC, truncation, out-of-range assignments, nonzero
+//!   centroid tail bits, or *any* corrupted row record (whose true
+//!   distance could violate the stored radii) — silently yields an
+//!   unindexed load for the serving layer to rebuild, never a failed
+//!   one. Row decoding (full, slice, and repair paths) is untouched:
+//!   the section sits past every fixed-stride record offset.
 
 use std::fmt;
 use std::fs;
@@ -41,8 +57,12 @@ use crate::resilience::scrub::{ScrubReport, Scrubber};
 
 /// Snapshot file magic ("HAM snapshot, layout 1").
 pub const MAGIC: [u8; 8] = *b"HAMSNAP1";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version (v2 = v1 + optional bucket-index section;
+/// unindexed memories still save as byte-identical v1 files).
+const VERSION: u32 = 2;
+/// Index-section bytes before the per-bucket arrays: bucket count +
+/// dirty counter.
+const INDEX_SECTION_HEAD: usize = 8 + 8;
 /// Bytes of the fixed-width label field: 1 length byte + the content.
 const LABEL_FIELD: usize = 48;
 /// Maximum label bytes stored (longer labels are truncated on save).
@@ -182,8 +202,9 @@ fn le_u64(b: &[u8]) -> u64 {
 }
 
 /// Validates the magic, version, and header CRC of `header` (the first
-/// `HEADER_BODY + 4` bytes of a snapshot) and returns `(dim, classes)`.
-fn parse_header(header: &[u8]) -> Result<(Dimension, usize), SnapshotError> {
+/// `HEADER_BODY + 4` bytes of a snapshot) and returns
+/// `(dim, classes, version)`.
+fn parse_header(header: &[u8]) -> Result<(Dimension, usize, u32), SnapshotError> {
     if header.len() < HEADER_BODY + 4 {
         return Err(SnapshotError::HeaderCorrupt);
     }
@@ -195,7 +216,7 @@ fn parse_header(header: &[u8]) -> Result<(Dimension, usize), SnapshotError> {
     if crc32(&header[..HEADER_BODY]) != stored_crc {
         return Err(SnapshotError::HeaderCorrupt);
     }
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let dim = le_u64(&header[12..]) as usize;
@@ -203,7 +224,7 @@ fn parse_header(header: &[u8]) -> Result<(Dimension, usize), SnapshotError> {
     let Ok(dimension) = Dimension::new(dim) else {
         return Err(SnapshotError::HeaderCorrupt);
     };
-    Ok((dimension, classes))
+    Ok((dimension, classes, version))
 }
 
 /// Decodes one row record of `body` (label, row words, CRC verdict).
@@ -236,9 +257,14 @@ fn words_to_hv(words: &[u64], dim: usize) -> Hypervector {
 
 fn encode(memory: &AssociativeMemory) -> Vec<u8> {
     let dim = memory.dim().get();
+    let index = memory.index().filter(|index| index.buckets() > 0);
+    // An unindexed memory still writes a byte-identical v1 file, so
+    // pre-index snapshots and post-index snapshots of the same rows
+    // only differ when there is an index to carry.
+    let version: u32 = if index.is_some() { VERSION } else { 1 };
     let mut bytes = Vec::with_capacity(HEADER_BODY + 4 + memory.len() * row_stride(dim));
     bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&version.to_le_bytes());
     bytes.extend_from_slice(&(dim as u64).to_le_bytes());
     bytes.extend_from_slice(&(memory.len() as u64).to_le_bytes());
     let header_crc = crc32(&bytes);
@@ -256,7 +282,85 @@ fn encode(memory: &AssociativeMemory) -> Vec<u8> {
         let row_crc = crc32(&bytes[record_start..]);
         bytes.extend_from_slice(&row_crc.to_le_bytes());
     }
+    if let Some(index) = index {
+        encode_index_section(index, &mut bytes);
+    }
     bytes
+}
+
+/// Appends the v2 index section: bucket count, dirty counter, radii,
+/// centroid words, assignments, and a CRC-32 over all of it.
+fn encode_index_section(index: &hdc::BucketIndex, bytes: &mut Vec<u8>) {
+    let section_start = bytes.len();
+    bytes.extend_from_slice(&(index.buckets() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(index.dirty() as u64).to_le_bytes());
+    for &radius in index.radii() {
+        bytes.extend_from_slice(&(radius as u64).to_le_bytes());
+    }
+    for word in index.centroids().as_words() {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    for &bucket in index.assignments() {
+        bytes.extend_from_slice(&bucket.to_le_bytes());
+    }
+    let section_crc = crc32(&bytes[section_start..]);
+    bytes.extend_from_slice(&section_crc.to_le_bytes());
+}
+
+/// Decodes the v2 index section out of `section` (the bytes after the
+/// last row record). `None` on *any* inconsistency — short section,
+/// failed CRC, impossible geometry, nonzero centroid tail bits — since
+/// a best-effort index must never poison an otherwise good load.
+fn decode_index_section(section: &[u8], dim: usize, classes: usize) -> Option<hdc::BucketIndex> {
+    if section.len() < INDEX_SECTION_HEAD + 4 {
+        return None;
+    }
+    let buckets = le_u64(section) as usize;
+    let dirty = le_u64(&section[8..]) as usize;
+    // A built index compacts empty buckets, so B ≤ C always holds; a
+    // declared count past that is corruption, and bounding it here also
+    // bounds the allocation below.
+    if buckets == 0 || buckets > classes {
+        return None;
+    }
+    let wpr = words_per_row(dim);
+    let expected = INDEX_SECTION_HEAD + buckets * 8 + buckets * wpr * 8 + classes * 4 + 4;
+    if section.len() < expected {
+        return None;
+    }
+    let stored_crc = le_u32(&section[expected - 4..]);
+    if crc32(&section[..expected - 4]) != stored_crc {
+        return None;
+    }
+    let radii: Vec<usize> = (0..buckets)
+        .map(|b| le_u64(&section[INDEX_SECTION_HEAD + b * 8..]) as usize)
+        .collect();
+    let words_start = INDEX_SECTION_HEAD + buckets * 8;
+    let tail_mask = if dim.is_multiple_of(64) {
+        0
+    } else {
+        !0u64 << (dim % 64)
+    };
+    let mut centroids = PackedRows::new(dim);
+    let mut row = vec![0u64; wpr];
+    for b in 0..buckets {
+        for (w, word) in row.iter_mut().enumerate() {
+            *word = le_u64(&section[words_start + (b * wpr + w) * 8..]);
+        }
+        // Spare bits past `dim` must be zero or every unmasked distance
+        // against this centroid would be silently wrong.
+        if let Some(&last) = row.last() {
+            if last & tail_mask != 0 {
+                return None;
+            }
+        }
+        centroids.push(&row);
+    }
+    let assign_start = words_start + buckets * wpr * 8;
+    let assignments: Vec<u32> = (0..classes)
+        .map(|c| le_u32(&section[assign_start + c * 4..]))
+        .collect();
+    hdc::BucketIndex::from_parts(centroids, radii, assignments, dirty, hdc::active_backend())
 }
 
 /// Saves a checksummed snapshot of `memory` to `path` atomically: the
@@ -316,7 +420,7 @@ pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), Snap
 /// checksum or declares an impossible geometry.
 pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
     let bytes = fs::read(path)?;
-    let (dimension, classes) = parse_header(&bytes)?;
+    let (dimension, classes, version) = parse_header(&bytes)?;
     // Geometry sanity: the declared row count must not be wildly beyond
     // what the file could hold (a checksummed header makes this nearly
     // redundant, but it bounds allocation on adversarial input).
@@ -336,6 +440,19 @@ pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
             .expect("row rebuilt in the memory's own space");
         if !ok {
             corrupted.push(ClassId(class));
+        }
+    }
+    // The v2 index section only attaches when every row came back
+    // clean: the radius bound is a promise about the *saved* rows, and
+    // a corrupt row's true distance could violate it, breaking the
+    // pruned scan's exactness. Any section damage degrades to an
+    // unindexed load — the serving layer's `ensure_indexed` rebuilds.
+    if version >= 2 && corrupted.is_empty() {
+        if let Some(index) = body
+            .get(classes * stride..)
+            .and_then(|section| decode_index_section(section, dim, classes))
+        {
+            let _ = memory.attach_index(std::sync::Arc::new(index));
         }
     }
     Ok(SnapshotLoad { memory, corrupted })
@@ -405,7 +522,7 @@ pub fn load_snapshot_rows(
     let mut file = fs::File::open(path)?;
     let mut header = [0u8; HEADER_BODY + 4];
     let got = file.read(&mut header)?;
-    let (dimension, classes) = parse_header(&header[..got])?;
+    let (dimension, classes, _version) = parse_header(&header[..got])?;
 
     let dim = dimension.get();
     let stride = row_stride(dim);
@@ -689,6 +806,94 @@ mod tests {
             load_snapshot_rows(&path, 0..2),
             Err(SnapshotError::HeaderCorrupt)
         ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unindexed_memories_save_as_version_1() {
+        let memory = random_memory(5, 300, 13);
+        assert!(memory.index().is_none());
+        let path = temp_path("v1compat");
+        save_snapshot(&memory, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(le_u32(&bytes[8..]), 1, "unindexed snapshot stays v1");
+        assert_eq!(bytes.len(), HEADER_BODY + 4 + 5 * row_stride(300));
+        assert!(load_snapshot(&path).unwrap().memory.index().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn indexed_round_trip_restores_the_index() {
+        let mut memory = random_memory(24, 320, 17);
+        memory
+            .build_index(hdc::IndexBuildOptions::default())
+            .unwrap();
+        let path = temp_path("v2roundtrip");
+        save_snapshot(&memory, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(le_u32(&bytes[8..]), 2, "indexed snapshot is v2");
+
+        let load = load_snapshot(&path).unwrap();
+        assert!(load.is_clean());
+        assert_eq!(load.memory.index(), memory.index(), "index survives");
+        for (class, label, row) in memory.iter() {
+            assert_eq!(load.memory.label(class), Some(label));
+            assert_eq!(load.memory.row(class), Some(row));
+        }
+        // Slice loads seek by row stride and never touch the section.
+        let slice = load_snapshot_rows(&path, 20..24).unwrap();
+        assert!(slice.corrupted().is_empty());
+        assert_eq!(
+            slice.clean_row(ClassId(23)).map(|(_, hv)| hv),
+            memory.row(ClassId(23))
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_index_section_degrades_to_an_unindexed_load() {
+        let mut memory = random_memory(16, 256, 19);
+        memory
+            .build_index(hdc::IndexBuildOptions::default())
+            .unwrap();
+        let path = temp_path("v2badsection");
+        save_snapshot(&memory, &path).unwrap();
+        let clean = fs::read(&path).unwrap();
+        let rows_end = HEADER_BODY + 4 + 16 * row_stride(256);
+
+        // A flipped byte inside the section fails its CRC.
+        let mut bytes = clean.clone();
+        bytes[rows_end + 20] ^= 0x5A;
+        fs::write(&path, &bytes).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert!(load.is_clean(), "rows are untouched");
+        assert!(load.memory.index().is_none(), "damaged section dropped");
+
+        // A truncated section degrades the same way.
+        fs::write(&path, &clean[..rows_end + 10]).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert!(load.is_clean());
+        assert!(load.memory.index().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_rows_keep_the_index_detached() {
+        let mut memory = random_memory(16, 256, 23);
+        memory
+            .build_index(hdc::IndexBuildOptions::default())
+            .unwrap();
+        let path = temp_path("v2badrow");
+        save_snapshot(&memory, &path).unwrap();
+        // Damage one row record; the section itself is intact, but the
+        // radius bound can no longer be trusted over the loaded rows.
+        let mut bytes = fs::read(&path).unwrap();
+        let offset = HEADER_BODY + 4 + 7 * row_stride(256) + LABEL_FIELD + 2;
+        bytes[offset] ^= 0x11;
+        fs::write(&path, &bytes).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.corrupted, vec![ClassId(7)]);
+        assert!(load.memory.index().is_none());
         cleanup(&path);
     }
 

@@ -16,6 +16,15 @@
 //!   tree — so plain, masked, margin, and top-k results are
 //!   **bit-identical** to the unsharded scan for every `K`, including
 //!   `K = 1` and `K >` rows (trailing shards simply own empty ranges).
+//!   When the pinned version's memory carries a bucket index
+//!   ([`hdc::BucketIndex`]), min2 scatters partition *buckets* instead
+//!   of raw row ranges: each worker walks its contiguous bucket slice
+//!   through the triangle-bound pruned scan
+//!   ([`BucketIndex::scan_min2_buckets`](hdc::BucketIndex::scan_min2_buckets)),
+//!   which stays exact per shard (every bucket member is scanned or
+//!   provably prunable against the shard-local runner-up) and therefore
+//!   exact after the merge. Workers also report [`ScanCounters`], which
+//!   the gather sums.
 //! * **Epoch-versioned copy-on-write updates** — the memory lives behind
 //!   a [`VersionedMemory`]: readers [`load`](VersionedMemory::load) an
 //!   immutable [`MemoryVersion`] handle and search it without holding any
@@ -72,6 +81,7 @@ use std::thread::JoinHandle;
 use hdc::prelude::*;
 
 use crate::batch::lock_unpoisoned;
+use crate::index::{ensure_indexed, IndexPolicy};
 use crate::model::{HamError, MarginSearchResult};
 use crate::resilience::degrade::{Confidence, DegradationPolicy, EngineStage, QueryOutcome};
 use crate::resilience::health::{HealthMonitor, HealthPolicy, HealthState};
@@ -256,7 +266,7 @@ impl VersionedMemory {
 
 /// What a shard worker sends back through the per-query reply channel.
 enum ShardFinding {
-    Min2(Option<Min2>),
+    Min2(Option<Min2>, ScanCounters),
     TopK(Vec<(usize, usize)>),
     /// The scan panicked inside the worker. The panic was contained
     /// ([`catch_unwind`]) so the worker keeps serving later requests and
@@ -265,13 +275,23 @@ enum ShardFinding {
     Panicked,
 }
 
+/// The slice of the memory one scan request covers: a raw row range
+/// when the version is unindexed, a contiguous bucket range when it
+/// carries a [`hdc::BucketIndex`] (the bucket walk prunes with the
+/// triangle bound, so workers touch only the rows they cannot prove
+/// away).
+enum ShardSlice {
+    Rows(Range<usize>),
+    Buckets(Range<usize>),
+}
+
 /// One mailbox message to a shard worker. Every request carries the
 /// pinned version it must search — the scatter hands the *same* `Arc` to
 /// all shards, which is what makes a gathered result torn-proof.
 enum ShardRequest {
     Scan {
         version: Arc<MemoryVersion>,
-        range: Range<usize>,
+        slice: ShardSlice,
         query: Arc<Vec<u64>>,
         mask: Option<Arc<Vec<u64>>>,
         reply: Sender<(usize, ShardFinding)>,
@@ -317,21 +337,43 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
         match request {
             ShardRequest::Scan {
                 version,
-                range,
+                slice,
                 query,
                 mask,
                 reply,
             } => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     trip_chaos(&mut chaos_panics);
-                    let packed = version.memory().packed_rows();
-                    match &mask {
-                        None => packed.scan_min2_range(&query, range),
-                        Some(mask) => packed.scan_min2_masked_range(&query, mask, range),
-                    }
+                    let memory = version.memory();
+                    let packed = memory.packed_rows();
+                    let mask_words = mask.as_deref().map(Vec::as_slice);
+                    let mut counters = ScanCounters::default();
+                    let hit = match &slice {
+                        ShardSlice::Rows(range) => {
+                            counters.rows_scanned += range.len() as u64;
+                            match mask_words {
+                                None => packed.scan_min2_range(&query, range.clone()),
+                                Some(mask) => {
+                                    packed.scan_min2_masked_range(&query, mask, range.clone())
+                                }
+                            }
+                        }
+                        ShardSlice::Buckets(range) => memory
+                            .index()
+                            .expect("bucket slice implies an indexed version")
+                            .scan_min2_buckets(
+                                packed,
+                                hdc::active_backend(),
+                                &query,
+                                mask_words,
+                                range.clone(),
+                                Some(&mut counters),
+                            ),
+                    };
+                    (hit, counters)
                 }));
                 let finding = match outcome {
-                    Ok(hit) => ShardFinding::Min2(hit),
+                    Ok((hit, counters)) => ShardFinding::Min2(hit, counters),
                     Err(_) => ShardFinding::Panicked,
                 };
                 let _ = reply.send((shard, finding));
@@ -439,14 +481,24 @@ impl ShardedMemory {
         Ok(())
     }
 
-    /// Scatters `request_of` to every non-empty shard of `version` and
-    /// gathers the findings in arrival order.
+    /// The min2 scatter partition for `version`: over buckets when the
+    /// memory carries an index (with `true`), over raw rows otherwise.
+    fn min2_plan(&self, version: &MemoryVersion) -> (ShardPlan, bool) {
+        match version.memory().index() {
+            Some(index) if index.buckets() > 0 => {
+                (ShardPlan::new(self.shards(), index.buckets()), true)
+            }
+            _ => (ShardPlan::new(self.shards(), version.memory().len()), false),
+        }
+    }
+
+    /// Scatters `request_of` over `plan`'s non-empty slices and gathers
+    /// the findings in arrival order.
     fn scatter(
         &self,
-        version: &Arc<MemoryVersion>,
+        plan: ShardPlan,
         request_of: impl Fn(Range<usize>, Sender<(usize, ShardFinding)>) -> ShardRequest,
     ) -> Result<Vec<ShardFinding>, HamError> {
-        let plan = ShardPlan::new(self.shards(), version.memory().len());
         let (reply, inbox) = mpsc::channel();
         let mut outstanding = Vec::new();
         for shard in 0..self.shards() {
@@ -509,7 +561,7 @@ impl ShardedMemory {
         version: &Arc<MemoryVersion>,
         query: &Hypervector,
         mask: Option<&SampleMask>,
-    ) -> Result<Min2, HamError> {
+    ) -> Result<(Min2, ScanCounters), HamError> {
         Self::check_query(version, query.dim())?;
         if let Some(mask) = mask {
             if mask.dim() != version.memory().dim() {
@@ -521,19 +573,29 @@ impl ShardedMemory {
         }
         let query = Arc::new(query.as_bitvec().as_words().to_vec());
         let mask = mask.map(|m| Arc::new(m.as_bitvec().as_words().to_vec()));
-        let findings = self.scatter(version, |range, reply| ShardRequest::Scan {
+        let (plan, indexed) = self.min2_plan(version);
+        let findings = self.scatter(plan, |range, reply| ShardRequest::Scan {
             version: Arc::clone(version),
-            range,
+            slice: if indexed {
+                ShardSlice::Buckets(range)
+            } else {
+                ShardSlice::Rows(range)
+            },
             query: Arc::clone(&query),
             mask: mask.clone(),
             reply,
         })?;
+        let mut scan = ScanCounters::default();
         let parts = findings.into_iter().filter_map(|finding| match finding {
-            ShardFinding::Min2(hit) => hit,
+            ShardFinding::Min2(hit, counters) => {
+                scan.absorb(counters);
+                hit
+            }
             // Panicked findings abort the scatter before gathering.
             ShardFinding::TopK(_) | ShardFinding::Panicked => None,
         });
-        Min2::merge(parts).ok_or(HamError::NoClasses)
+        let hit = Min2::merge(parts).ok_or(HamError::NoClasses)?;
+        Ok((hit, scan))
     }
 
     /// Exact nearest + runner-up search on a pinned version — the core
@@ -550,7 +612,25 @@ impl ShardedMemory {
         version: &Arc<MemoryVersion>,
         query: &Hypervector,
     ) -> Result<SearchResult, HamError> {
-        self.gather_min2(version, query, None).map(to_search_result)
+        self.gather_min2(version, query, None)
+            .map(|(hit, _)| to_search_result(hit))
+    }
+
+    /// [`search`](Self::search) plus the gathered scan telemetry: the
+    /// per-shard [`ScanCounters`] summed over the whole scatter. On an
+    /// indexed version `rows_scanned + rows_pruned` equals the row
+    /// count and `buckets_probed` counts centroid evaluations; on an
+    /// unindexed version `rows_scanned` is simply the row count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search_counted(
+        &self,
+        query: &Hypervector,
+    ) -> Result<(SearchResult, ScanCounters), HamError> {
+        self.gather_min2(&self.versioned.load(), query, None)
+            .map(|(hit, scan)| (to_search_result(hit), scan))
     }
 
     /// Exact search against the current version; bit-identical to
@@ -576,7 +656,7 @@ impl ShardedMemory {
         mask: &SampleMask,
     ) -> Result<SearchResult, HamError> {
         self.gather_min2(&self.versioned.load(), query, Some(mask))
-            .map(to_search_result)
+            .map(|(hit, _)| to_search_result(hit))
     }
 
     /// Search with the runner-up distance exposed for margin gating —
@@ -601,12 +681,30 @@ impl ShardedMemory {
         version: &Arc<MemoryVersion>,
         query: &Hypervector,
     ) -> Result<MarginSearchResult, HamError> {
-        let hit = self.gather_min2(version, query, None)?;
-        Ok(MarginSearchResult {
+        self.search_with_margin_counted_on(version, query)
+            .map(|(result, _)| result)
+    }
+
+    /// [`search_with_margin_on`](Self::search_with_margin_on) plus the
+    /// gathered [`ScanCounters`] — the margin path the
+    /// [`ShardSupervisor`] uses so its [`QueryOutcome`] telemetry
+    /// carries real pruning numbers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_on`](Self::search_on).
+    pub fn search_with_margin_counted_on(
+        &self,
+        version: &Arc<MemoryVersion>,
+        query: &Hypervector,
+    ) -> Result<(MarginSearchResult, ScanCounters), HamError> {
+        let (hit, scan) = self.gather_min2(version, query, None)?;
+        let result = MarginSearchResult {
             class: ClassId(hit.best),
             measured_distance: Distance::new(hit.best_distance),
             runner_up: hit.runner_up.map(Distance::new),
-        })
+        };
+        Ok((result, scan))
     }
 
     /// The `k` nearest classes of the current version, gathered from
@@ -628,7 +726,13 @@ impl ShardedMemory {
             return Ok(Vec::new());
         }
         let query = Arc::new(query.as_bitvec().as_words().to_vec());
-        let findings = self.scatter(&version, |range, reply| ShardRequest::TopK {
+        // Top-k scatters stay row-partitioned even on indexed versions:
+        // per-shard rankings merge exactly under the shared
+        // `(distance, row)` tie-break regardless of how rows were
+        // sliced, and the k-th-distance pruning bound is weakest when
+        // split per shard, so bucket-gather buys little here.
+        let plan = ShardPlan::new(self.shards(), version.memory().len());
+        let findings = self.scatter(plan, |range, reply| ShardRequest::TopK {
             version: Arc::clone(&version),
             range,
             query: Arc::clone(&query),
@@ -639,7 +743,7 @@ impl ShardedMemory {
             .into_iter()
             .flat_map(|finding| match finding {
                 ShardFinding::TopK(ranked) => ranked,
-                ShardFinding::Min2(_) | ShardFinding::Panicked => Vec::new(),
+                ShardFinding::Min2(..) | ShardFinding::Panicked => Vec::new(),
             })
             .collect();
         gathered.sort_by_key(|&(row, distance)| (distance, row));
@@ -675,21 +779,47 @@ fn to_search_result(hit: Min2) -> SearchResult {
 ///
 /// All mutations serialize through the cell's update mutex, so several
 /// updaters can share one cell without lost updates.
+///
+/// With [`with_index_policy`](Self::with_index_policy), every mutation
+/// also runs [`ensure_indexed`] inside its copy-on-write closure, so a
+/// bucket-index (re)build publishes atomically with the epoch that made
+/// it necessary — readers either see the old version with the old index
+/// or the new version with a coherent one, never a torn mix.
 #[derive(Debug, Clone)]
 pub struct OnlineUpdater {
     versioned: Arc<VersionedMemory>,
+    index_policy: Option<IndexPolicy>,
 }
 
 impl OnlineUpdater {
     /// An updater over `versioned` (clone the `Arc` from
-    /// [`ShardedMemory::versioned`]).
+    /// [`ShardedMemory::versioned`]). No index maintenance until
+    /// [`with_index_policy`](Self::with_index_policy).
     pub fn new(versioned: Arc<VersionedMemory>) -> Self {
-        OnlineUpdater { versioned }
+        OnlineUpdater {
+            versioned,
+            index_policy: None,
+        }
+    }
+
+    /// Maintains the memory's bucket index under `policy`: each
+    /// mutation's published successor is re-checked (and rebuilt past
+    /// the dirtiness threshold) before the epoch swap.
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.index_policy = Some(policy);
+        self
     }
 
     /// The cell this updater publishes to.
     pub fn versioned(&self) -> &Arc<VersionedMemory> {
         &self.versioned
+    }
+
+    /// Re-checks the index policy after a mutation edited the clone.
+    fn maintain_index(&self, memory: &mut AssociativeMemory) {
+        if let Some(policy) = &self.index_policy {
+            ensure_indexed(memory, policy);
+        }
     }
 
     /// Adds a class — e.g. a row binarized from `langid`'s per-class
@@ -708,6 +838,7 @@ impl OnlineUpdater {
         let mut added = ClassId(0);
         let epoch = self.versioned.update(|memory| {
             added = memory.insert(label, hv).map_err(HamError::Hdc)?;
+            self.maintain_index(memory);
             Ok(())
         })?;
         Ok((added, epoch))
@@ -744,6 +875,7 @@ impl OnlineUpdater {
                 }
             }
             *memory = survivor;
+            self.maintain_index(memory);
             Ok(())
         })
     }
@@ -757,8 +889,11 @@ impl OnlineUpdater {
     /// [`HamError::Hdc`] for an unknown class or a row from another
     /// space.
     pub fn rethreshold_row(&self, class: ClassId, hv: Hypervector) -> Result<u64, HamError> {
-        self.versioned
-            .update(|memory| memory.replace_row(class, hv).map_err(HamError::Hdc))
+        self.versioned.update(|memory| {
+            memory.replace_row(class, hv).map_err(HamError::Hdc)?;
+            self.maintain_index(memory);
+            Ok(())
+        })
     }
 }
 
@@ -880,8 +1015,8 @@ impl ShardSupervisor {
     /// Same conditions as [`ShardedMemory::search_on`].
     pub fn classify(&mut self, query: &Hypervector) -> Result<ShardedOutcome, HamError> {
         let version = self.sharded.versioned().load();
-        let result = match self.sharded.search_with_margin_on(&version, query) {
-            Ok(result) => result,
+        let (result, scan) = match self.sharded.search_with_margin_counted_on(&version, query) {
+            Ok(found) => found,
             Err(error) => {
                 // Attribute hard failures to every shard: a scatter that
                 // cannot complete is not one shard's margin problem.
@@ -891,8 +1026,16 @@ impl ShardSupervisor {
                 return Err(error);
             }
         };
-        let plan = ShardPlan::new(self.sharded.shards(), version.memory().len());
-        let shard = plan.shard_of_row(result.class.0);
+        // Attribute the winner to the shard that scanned it: under a
+        // bucket-partitioned scatter that is the shard owning the
+        // winning row's *bucket*, not its raw row range.
+        let (plan, indexed) = self.sharded.min2_plan(&version);
+        let shard = if indexed {
+            let index = version.memory().index().expect("indexed plan");
+            plan.shard_of_row(index.bucket_of(result.class.0))
+        } else {
+            plan.shard_of_row(result.class.0)
+        };
         let policy = match self.monitors[shard].state() {
             HealthState::Healthy => self.base_policy,
             _ => self.monitors[shard].tightened(self.base_policy),
@@ -911,6 +1054,7 @@ impl ShardSupervisor {
             escalations: 0,
             final_engine: EngineStage::Exact,
             margin,
+            scan,
         };
         self.monitors[shard].observe_outcome(&outcome);
         Ok(ShardedOutcome {

@@ -8,11 +8,15 @@
 //! approximation knobs are disabled.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::distortion::{DistanceDistorter, SampleMask};
 use crate::error::HdcError;
 use crate::hypervector::{Dimension, Distance, Hypervector};
-use crate::kernel::{Min2, PackedRows};
+use crate::kernel::{
+    active_backend, BucketIndex, IndexBuildOptions, IndexStats, Min2, PackedRows, ScanCounters,
+    ScanStrategy,
+};
 use crate::parallel::default_threads;
 
 /// Identifier of a stored class (its row index in the associative memory).
@@ -80,6 +84,16 @@ pub struct AssociativeMemory {
     /// borrowing accessors ([`row`](Self::row), [`iter`](Self::iter)).
     rows: Vec<Hypervector>,
     labels: Vec<String>,
+    /// Optional two-level bucket index over `packed`
+    /// ([`build_index`](Self::build_index)). Behind an `Arc` so cloning
+    /// a memory (the COW epoch publish of `VersionedMemory`) shares the
+    /// index until one side mutates — `insert`/`replace_row` go through
+    /// `Arc::make_mut`, so a clone never mutates the index a published
+    /// version is still scanning.
+    index: Option<Arc<BucketIndex>>,
+    /// How searches traverse `packed`; [`ScanStrategy::Auto`] resolves
+    /// against the index stats on every scan.
+    strategy: ScanStrategy,
 }
 
 impl AssociativeMemory {
@@ -90,6 +104,8 @@ impl AssociativeMemory {
             packed: PackedRows::new(dim.get()),
             rows: Vec::new(),
             labels: Vec::new(),
+            index: None,
+            strategy: ScanStrategy::Auto,
         }
     }
 
@@ -129,12 +145,100 @@ impl AssociativeMemory {
         self.packed.push(hv.as_bitvec().as_words());
         self.rows.push(hv);
         self.labels.push(label.into());
+        if let Some(index) = self.index.as_mut() {
+            Arc::make_mut(index).assign_row(&self.packed, active_backend(), id.0);
+        }
         Ok(id)
     }
 
     /// Borrow of the contiguous packed row matrix the searches scan.
     pub fn packed_rows(&self) -> &PackedRows {
         &self.packed
+    }
+
+    /// How searches traverse the packed matrix. The default
+    /// [`ScanStrategy::Auto`] resolves against the index stats on every
+    /// scan, so attaching an index is enough to enable pruning when the
+    /// data shape supports it.
+    pub fn scan_strategy(&self) -> ScanStrategy {
+        self.strategy
+    }
+
+    /// Sets the scan strategy for every subsequent search.
+    pub fn set_scan_strategy(&mut self, strategy: ScanStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Builder-style [`set_scan_strategy`](Self::set_scan_strategy).
+    pub fn with_scan_strategy(mut self, strategy: ScanStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builds (or rebuilds) the two-level bucket index over the current
+    /// rows and attaches it, returning its stats — `None` when the
+    /// memory is empty (nothing to index). Exact search results are
+    /// unchanged by construction; only the work per query changes.
+    pub fn build_index(&mut self, options: IndexBuildOptions) -> Option<IndexStats> {
+        let index = BucketIndex::build(&self.packed, active_backend(), options)?;
+        let stats = index.stats();
+        self.index = Some(Arc::new(index));
+        Some(stats)
+    }
+
+    /// Attaches an already-built index (the snapshot warm-restart
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the index does not
+    /// cover exactly this memory's rows (row count and width must both
+    /// match).
+    pub fn attach_index(&mut self, index: Arc<BucketIndex>) -> Result<(), HdcError> {
+        if index.rows() != self.packed.len()
+            || index.centroids().words_per_row() != self.packed.words_per_row()
+        {
+            return Err(HdcError::DimensionMismatch {
+                left: self.packed.len(),
+                right: index.rows(),
+            });
+        }
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// The attached bucket index, if any.
+    pub fn index(&self) -> Option<&BucketIndex> {
+        self.index.as_deref()
+    }
+
+    /// Shared handle to the attached index (what snapshots serialize).
+    pub fn index_handle(&self) -> Option<Arc<BucketIndex>> {
+        self.index.clone()
+    }
+
+    /// Detaches the index; searches fall back to the linear scan.
+    pub fn drop_index(&mut self) {
+        self.index = None;
+    }
+
+    /// The one kernel entry point every search in this memory routes
+    /// through: strategy resolution, index, and telemetry in one place.
+    fn scan(
+        &self,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        counters: Option<&mut ScanCounters>,
+    ) -> Option<Min2> {
+        self.packed.scan_min2_planned(
+            active_backend(),
+            self.strategy,
+            self.index.as_deref(),
+            query,
+            mask,
+            0..self.packed.len(),
+            counters,
+        )
     }
 
     /// The learned hypervector of a class, if stored.
@@ -163,6 +267,9 @@ impl AssociativeMemory {
             Some(slot) => {
                 self.packed.replace(class.0, hv.as_bitvec().as_words());
                 *slot = hv;
+                if let Some(index) = self.index.as_mut() {
+                    Arc::make_mut(index).assign_row(&self.packed, active_backend(), class.0);
+                }
                 Ok(())
             }
             None => Err(HdcError::UnknownClass {
@@ -214,10 +321,29 @@ impl AssociativeMemory {
     pub fn search(&self, query: &Hypervector) -> Result<SearchResult, HdcError> {
         self.check_query(query)?;
         let hit = self
-            .packed
-            .scan_min2(query.as_bitvec().as_words())
+            .scan(query.as_bitvec().as_words(), None, None)
             .expect("checked non-empty");
         Ok(Self::from_min2(hit))
+    }
+
+    /// [`search`](Self::search) that also reports how much scan work
+    /// the query cost ([`ScanCounters`]): rows handed to the distance
+    /// backend vs. rows the bucket index proved prunable. The result is
+    /// identical to [`search`](Self::search).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`distances`](Self::distances).
+    pub fn search_counted(
+        &self,
+        query: &Hypervector,
+    ) -> Result<(SearchResult, ScanCounters), HdcError> {
+        self.check_query(query)?;
+        let mut counters = ScanCounters::default();
+        let hit = self
+            .scan(query.as_bitvec().as_words(), None, Some(&mut counters))
+            .expect("checked non-empty");
+        Ok((Self::from_min2(hit), counters))
     }
 
     /// Classifies a whole batch of queries, sharding them across
@@ -256,7 +382,7 @@ impl AssociativeMemory {
                 scope.spawn(move || {
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         let words = queries[base + offset].as_bitvec().as_words();
-                        let hit = self.packed.scan_min2(words).expect("checked non-empty");
+                        let hit = self.scan(words, None, None).expect("checked non-empty");
                         *slot = Some(Self::from_min2(hit));
                     }
                 });
@@ -331,8 +457,11 @@ impl AssociativeMemory {
             });
         }
         let hit = self
-            .packed
-            .scan_min2_masked(query.as_bitvec().as_words(), mask.as_bitvec().as_words())
+            .scan(
+                query.as_bitvec().as_words(),
+                Some(mask.as_bitvec().as_words()),
+                None,
+            )
             .expect("checked non-empty");
         Ok(Self::from_min2(hit))
     }
@@ -393,9 +522,17 @@ impl AssociativeMemory {
         k: usize,
     ) -> Result<Vec<(ClassId, Distance)>, HdcError> {
         self.check_query(query)?;
-        let ranked = self
-            .packed
-            .top_k_range(query.as_bitvec().as_words(), 0..self.packed.len(), k);
+        let mut ranked = Vec::new();
+        self.packed.top_k_planned(
+            active_backend(),
+            self.strategy,
+            self.index.as_deref(),
+            query.as_bitvec().as_words(),
+            0..self.packed.len(),
+            k,
+            &mut ranked,
+            None,
+        );
         Ok(ranked
             .into_iter()
             .map(|(row, distance)| (ClassId(row), Distance::new(distance)))
@@ -665,6 +802,93 @@ mod tests {
         let (am, rows) = memory_with(100, 2);
         let mask = SampleMask::keep_first(dim(50), 10).unwrap();
         assert!(am.search_sampled(&rows[0], &mask).is_err());
+    }
+
+    #[test]
+    fn indexed_memory_searches_bit_identically() {
+        let (mut am, rows) = memory_with(2_048, 24);
+        let plain = am.clone();
+        let stats = am.build_index(IndexBuildOptions::default()).unwrap();
+        assert_eq!(stats.rows, 24);
+        assert!(am.index().is_some());
+        let mut rng = StdRng::seed_from_u64(9);
+        for strategy in [
+            ScanStrategy::Auto,
+            ScanStrategy::Indexed,
+            ScanStrategy::Probe { nprobe: usize::MAX },
+        ] {
+            am.set_scan_strategy(strategy);
+            for (i, row) in rows.iter().enumerate() {
+                let q = row.with_flipped_bits(300, &mut rng);
+                assert_eq!(am.search(&q).unwrap(), plain.search(&q).unwrap());
+                assert_eq!(
+                    am.search_top_k(&q, 5).unwrap(),
+                    plain.search_top_k(&q, 5).unwrap(),
+                    "top-k {strategy:?} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_counted_reports_work_and_matches_search() {
+        let (mut am, rows) = memory_with(1_024, 16);
+        let (hit, counters) = am.search_counted(&rows[3]).unwrap();
+        assert_eq!(hit, am.search(&rows[3]).unwrap());
+        // Without an index the direct scan touches every row.
+        assert_eq!(counters.rows_scanned, 16);
+        assert_eq!(counters.buckets_probed, 0);
+        am.build_index(IndexBuildOptions::default()).unwrap();
+        am.set_scan_strategy(ScanStrategy::Indexed);
+        let (indexed_hit, counters) = am.search_counted(&rows[3]).unwrap();
+        assert_eq!(indexed_hit, hit);
+        assert_eq!(counters.rows_scanned + counters.rows_pruned, 16);
+        assert!(counters.buckets_probed >= 1);
+    }
+
+    #[test]
+    fn index_follows_inserts_and_replacements() {
+        let (mut am, _) = memory_with(512, 10);
+        am.build_index(IndexBuildOptions::default()).unwrap();
+        am.set_scan_strategy(ScanStrategy::Indexed);
+        let new = Hypervector::random(dim(512), 77);
+        am.insert("late", new.clone()).unwrap();
+        assert_eq!(am.index().unwrap().rows(), 11);
+        assert_eq!(am.index().unwrap().dirty(), 1);
+        assert_eq!(am.search(&new).unwrap().class, ClassId(10));
+        let swapped = Hypervector::random(dim(512), 88);
+        am.replace_row(ClassId(4), swapped.clone()).unwrap();
+        assert_eq!(am.search(&swapped).unwrap().class, ClassId(4));
+        // A clone that mutates must not disturb the original's index
+        // (the COW epoch-publish contract).
+        let frozen = am.clone();
+        let mut publishing = am.clone();
+        publishing
+            .insert("next", Hypervector::random(dim(512), 99))
+            .unwrap();
+        assert_eq!(frozen.index().unwrap().rows(), 11);
+        assert_eq!(publishing.index().unwrap().rows(), 12);
+        assert_eq!(am.index().unwrap().rows(), 11);
+    }
+
+    #[test]
+    fn attach_index_validates_coverage() {
+        let (mut am, _) = memory_with(512, 10);
+        let (other, _) = memory_with(512, 9);
+        let index = Arc::new(
+            crate::kernel::BucketIndex::build(
+                other.packed_rows(),
+                crate::kernel::active_backend(),
+                IndexBuildOptions::default(),
+            )
+            .unwrap(),
+        );
+        assert!(am.attach_index(index.clone()).is_err());
+        let (mut right, _) = memory_with(512, 9);
+        right.attach_index(index).unwrap();
+        assert!(right.index().is_some());
+        right.drop_index();
+        assert!(right.index().is_none());
     }
 }
 

@@ -46,6 +46,7 @@
 //! to the scalar full scan.
 
 pub mod backend;
+pub mod index;
 
 mod avx2;
 mod avx512;
@@ -53,6 +54,7 @@ mod neon;
 mod scalar;
 
 pub use backend::{active_backend, active_backend_name, enabled_backends, DistanceBackend};
+pub use index::{BucketIndex, IndexBuildOptions, IndexStats, ScanCounters};
 
 use std::cell::RefCell;
 
@@ -160,24 +162,71 @@ impl Min2 {
 
 /// How a [`PackedRows`] scan traverses its rows.
 ///
-/// Every strategy returns bit-identical results; they differ only in how
-/// much distance work they can skip.
+/// Every strategy except [`Probe`](Self::Probe) returns bit-identical
+/// results; they differ only in how much distance work they can skip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScanStrategy {
-    /// Let the library pick. Currently always the direct scan: measured
-    /// on uniform random arrays (the associative-memory common case) the
-    /// cascade's extra per-row backend calls and its sampled sort cost
-    /// more than its pruning saves, while on clustered arrays the direct
-    /// scan's own early abandonment already prunes well. Callers whose
-    /// workload plants near-duplicates next to the query can opt into
-    /// [`ScanStrategy::Cascade`] explicitly (see the `cascade` section of
-    /// `BENCH_search.json` for both shapes).
+    /// Let the library pick, from the stats of the attached
+    /// [`BucketIndex`] when one is present (decision rule in DESIGN.md
+    /// §12): [`Indexed`](Self::Indexed) when the stored shape is
+    /// [`pruning_friendly`](IndexStats::pruning_friendly) (bucket
+    /// separation clearly exceeds bucket diameters, so the radius bound
+    /// actually fires), [`Cascade`](Self::Cascade) when radii are tiny
+    /// but buckets unseparated (the planted-near-duplicate shape where
+    /// the sampled prefilter wins ~1.2–1.5×, `BENCH_search.json`
+    /// `cascade`), and otherwise [`Direct`](Self::Direct) — on uniform
+    /// random rows both pruners lose to the plain fused scan.
+    /// Without an index it is always the direct scan.
     #[default]
     Auto,
     /// One bounded-distance pass per row in index order.
     Direct,
     /// Sampled prefilter + best-first complement rescore (exact).
     Cascade,
+    /// Exact bucket-pruned walk through an attached [`BucketIndex`]
+    /// (the `index` argument of [`PackedRows::scan_min2_planned`]);
+    /// falls back to [`Direct`](Self::Direct) when no index is given.
+    Indexed,
+    /// Approximate: visit only the `nprobe` buckets whose centroids
+    /// are closest to the query (clamped to ≥ 1; values ≥ the bucket
+    /// count degenerate to the exact [`Indexed`](Self::Indexed) walk).
+    /// The only strategy allowed to miss the true winner — recall is
+    /// measured in `BENCH_search.json` `index_scaling`. Falls back to
+    /// [`Direct`](Self::Direct) (exact) when no index is given.
+    Probe {
+        /// How many closest buckets to scan.
+        nprobe: usize,
+    },
+}
+
+/// A [`ScanStrategy`] resolved against the presence (and stats) of a
+/// [`BucketIndex`] — the one place the `Auto` decision rule lives.
+enum ResolvedScan {
+    Direct,
+    Cascade,
+    Indexed { nprobe: Option<usize> },
+}
+
+fn resolve_scan(strategy: ScanStrategy, index: Option<&BucketIndex>, dim: usize) -> ResolvedScan {
+    match strategy {
+        ScanStrategy::Direct => ResolvedScan::Direct,
+        ScanStrategy::Cascade => ResolvedScan::Cascade,
+        ScanStrategy::Indexed => match index {
+            Some(_) => ResolvedScan::Indexed { nprobe: None },
+            None => ResolvedScan::Direct,
+        },
+        ScanStrategy::Probe { nprobe } => match index {
+            Some(_) => ResolvedScan::Indexed {
+                nprobe: Some(nprobe.max(1)),
+            },
+            None => ResolvedScan::Direct,
+        },
+        ScanStrategy::Auto => match index {
+            Some(ix) if ix.stats().pruning_friendly(dim) => ResolvedScan::Indexed { nprobe: None },
+            Some(ix) if ix.stats().cascade_friendly(dim) => ResolvedScan::Cascade,
+            _ => ResolvedScan::Direct,
+        },
+    }
 }
 
 /// Sampled window target: `words_per_row / 4`, at least 16 words.
@@ -504,6 +553,37 @@ impl PackedRows {
         mask: Option<&[u64]>,
         range: std::ops::Range<usize>,
     ) -> Option<Min2> {
+        self.scan_min2_planned(backend, strategy, None, query, mask, range, None)
+    }
+
+    /// The index-aware scan every search path routes through: resolves
+    /// `strategy` against the (optional) [`BucketIndex`] — the one
+    /// place the [`ScanStrategy::Auto`] decision rule lives — and
+    /// accumulates pruning telemetry into `counters` when given.
+    ///
+    /// `index` must have been built over exactly this matrix (same row
+    /// count and width); it is ignored by the non-indexed strategies.
+    /// Results are bit-identical to [`scan_min2`](Self::scan_min2) for
+    /// every strategy except [`ScanStrategy::Probe`].
+    ///
+    /// Returns `None` when the range is empty, or in probe mode when
+    /// no probed bucket intersects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` or `mask` has the wrong word count, `range`
+    /// exceeds the stored rows, or `index` does not cover this matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_min2_planned(
+        &self,
+        backend: &dyn DistanceBackend,
+        strategy: ScanStrategy,
+        index: Option<&BucketIndex>,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: std::ops::Range<usize>,
+        mut counters: Option<&mut ScanCounters>,
+    ) -> Option<Min2> {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
         if let Some(mask) = mask {
             assert_eq!(mask.len(), self.words_per_row, "mask word count mismatch");
@@ -512,11 +592,61 @@ impl PackedRows {
         if range.is_empty() {
             return None;
         }
-        let cascade = matches!(strategy, ScanStrategy::Cascade);
-        if cascade {
-            self.scan_min2_cascade(backend, query, mask, range)
-        } else {
-            self.scan_min2_direct(backend, query, mask, range)
+        match resolve_scan(strategy, index, self.dim) {
+            ResolvedScan::Direct => {
+                if let Some(counters) = counters.as_deref_mut() {
+                    counters.rows_scanned += range.len() as u64;
+                }
+                self.scan_min2_direct(backend, query, mask, range)
+            }
+            ResolvedScan::Cascade => {
+                if let Some(counters) = counters.as_deref_mut() {
+                    counters.rows_scanned += range.len() as u64;
+                }
+                self.scan_min2_cascade(backend, query, mask, range)
+            }
+            ResolvedScan::Indexed { nprobe } => index
+                .expect("resolved Indexed implies an index")
+                .scan_min2(self, backend, query, mask, range, nprobe, counters),
+        }
+    }
+
+    /// Index-aware ranked scan, the [`scan_min2_planned`] analogue of
+    /// [`top_k_range_into`](Self::top_k_range_into): identical output
+    /// for every strategy except [`ScanStrategy::Probe`] (the cascade
+    /// has no ranked form and resolves to the direct ranking, which is
+    /// exact).
+    ///
+    /// [`scan_min2_planned`]: Self::scan_min2_planned
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`scan_min2_planned`](Self::scan_min2_planned).
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_k_planned(
+        &self,
+        backend: &dyn DistanceBackend,
+        strategy: ScanStrategy,
+        index: Option<&BucketIndex>,
+        query: &[u64],
+        range: std::ops::Range<usize>,
+        k: usize,
+        ranked: &mut Vec<(usize, usize)>,
+        counters: Option<&mut ScanCounters>,
+    ) {
+        match resolve_scan(strategy, index, self.dim) {
+            ResolvedScan::Indexed { nprobe } => {
+                let index = index.expect("resolved Indexed implies an index");
+                index.top_k_into(self, backend, query, range, k, nprobe, counters, ranked);
+            }
+            ResolvedScan::Direct | ResolvedScan::Cascade => {
+                if k > 0 && !range.is_empty() {
+                    if let Some(counters) = counters {
+                        counters.rows_scanned += range.len() as u64;
+                    }
+                }
+                self.top_k_range_into(query, range, k, ranked);
+            }
         }
     }
 
@@ -1072,6 +1202,11 @@ mod tests {
                 ScanStrategy::Auto,
                 ScanStrategy::Direct,
                 ScanStrategy::Cascade,
+                // Without an index these resolve to the direct scan;
+                // the indexed equivalence lives in `index.rs` and
+                // `crates/core/tests/index_equivalence.rs`.
+                ScanStrategy::Indexed,
+                ScanStrategy::Probe { nprobe: 1 },
             ] {
                 let name = backend.name();
                 assert_eq!(

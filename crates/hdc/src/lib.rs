@@ -45,8 +45,10 @@
 //! * [`kernel`] — the software search engine: contiguous row-major packed
 //!   storage, runtime-dispatched SIMD distance backends (AVX-512
 //!   `VPOPCNTDQ`, AVX2, NEON, portable scalar — forceable via
-//!   `HAM_KERNEL_BACKEND`), and fused, early-abandoning Hamming scan
-//!   kernels with an exact sampled-prefilter cascade.
+//!   `HAM_KERNEL_BACKEND`), fused, early-abandoning Hamming scan
+//!   kernels with an exact sampled-prefilter cascade, and a two-level
+//!   bundled-centroid bucket index whose triangle-inequality pruning
+//!   keeps results bit-identical to the linear scan.
 //! * [`am`] — exact software associative memory (the functional reference
 //!   that the hardware designs in `ham-core` are validated against); its
 //!   search paths run on the [`kernel`] engine.
@@ -90,8 +92,8 @@ pub use crate::error::HdcError;
 pub use crate::hypervector::{Dimension, Distance, Hypervector};
 pub use crate::item_memory::ItemMemory;
 pub use crate::kernel::{
-    active_backend, active_backend_name, enabled_backends, DistanceBackend, Min2, PackedRows,
-    ScanStrategy,
+    active_backend, active_backend_name, enabled_backends, BucketIndex, DistanceBackend,
+    IndexBuildOptions, IndexStats, Min2, PackedRows, ScanCounters, ScanStrategy,
 };
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
@@ -108,7 +110,7 @@ pub mod prelude {
     pub use crate::error::HdcError;
     pub use crate::hypervector::{Dimension, Distance, Hypervector};
     pub use crate::item_memory::ItemMemory;
-    pub use crate::kernel::{Min2, PackedRows};
+    pub use crate::kernel::{Min2, PackedRows, ScanCounters, ScanStrategy};
     pub use crate::level::{LevelEncoder, RecordEncoder};
     pub use crate::ops::{Bundler, TieBreak};
     pub use crate::parallel::{available_threads, default_threads};

@@ -34,7 +34,7 @@ use ham_core::resilience::{
     DegradationPolicy, HealthState, QueryBudget, ResilientOptions, ResilientServer, Scrubber,
     ServeReport, PRIORITY_HIGH,
 };
-use ham_core::{HamError, VersionedMemory};
+use ham_core::{ensure_indexed, HamError, IndexPolicy, VersionedMemory};
 use hdc::prelude::*;
 
 /// A tenant's hard request-rate cap: a token bucket holding up to
@@ -260,7 +260,7 @@ impl TenantState {
         options: ResilientOptions,
         snapshot_dir: Option<&Path>,
     ) -> Result<Self, HamError> {
-        let (memory, boot) = match snapshot_dir.map(|dir| spec.snapshot_path(dir)) {
+        let (mut memory, boot) = match snapshot_dir.map(|dir| spec.snapshot_path(dir)) {
             Some(path) if path.exists() => match load_snapshot(&path) {
                 Ok(load) => {
                     let mut memory = load.memory;
@@ -285,6 +285,13 @@ impl TenantState {
             },
             _ => (spec.memory.clone(), BootSource::Fresh),
         };
+        // Attach (or rebuild) the bucket index before the memory fans
+        // out to the versioned cell and the engine: large tenants get
+        // the triangle-bound pruned scan transparently, small ones stay
+        // on the fused linear kernel, and a v2 snapshot's persisted
+        // index is reused when it came back clean. Results are
+        // identical either way.
+        ensure_indexed(&mut memory, &IndexPolicy::default());
         let versioned = Arc::new(VersionedMemory::new(memory.clone()));
         let engine = Engine {
             epoch: versioned.current_epoch(),
@@ -411,7 +418,11 @@ impl TenantState {
         let mut engine = lock_unpoisoned(&self.engine);
         let current = self.versioned.current_epoch();
         if current != engine.epoch {
-            let memory = self.versioned.load().memory().clone();
+            let mut memory = self.versioned.load().memory().clone();
+            // Publishers without an index policy still get the pruned
+            // scan on the rebuilt engine; a coherent published index is
+            // reused as-is.
+            ensure_indexed(&mut memory, &IndexPolicy::default());
             engine.server = build_engine(&self.spec, memory, self.options)?;
             engine.epoch = current;
         }
