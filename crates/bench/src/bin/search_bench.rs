@@ -19,9 +19,12 @@
 //!    batch;
 //! 5. the sharded scatter-gather engine: single-query throughput of
 //!    `K ∈ {1, 2, 4, 8}` shard workers vs the serial scan on a large
-//!    array (`K = 1` prices the pure scatter/gather overhead), and the
+//!    array (`K = 1` prices the pure scatter/gather overhead), the
 //!    copy-on-write publish latency of one online row update vs one
-//!    steady-state sharded query;
+//!    steady-state sharded query, and the chunk-granular delta publish
+//!    vs the whole-memory COW publish at `C = 1000` with
+//!    {1, 1%, 10%, 100%} of the rows changed per publish — the "publish
+//!    cost ∝ rows changed" claim of DESIGN.md §15;
 //! 6. the kernel backends: every enabled SIMD datapath × scan strategy
 //!    against the scalar fused early-abandoning scan at `C = 1000`,
 //!    `D = 10,000` (one query, uniform rows);
@@ -45,7 +48,7 @@ use ham_core::resilience::{
     classify_batch_resilient, load_snapshot_repaired, run_batch_resilient, save_snapshot,
     DegradationController, DegradationPolicy, ResilientOptions, Scrubber,
 };
-use ham_core::shard::{OnlineUpdater, ShardedMemory};
+use ham_core::shard::{OnlineUpdater, ShardedMemory, VersionedMemory};
 use hdc::prelude::*;
 use hdc::{active_backend, enabled_backends, BucketIndex, IndexBuildOptions, ScanStrategy};
 use rand::rngs::StdRng;
@@ -107,6 +110,9 @@ struct Snapshot {
     resilience: Vec<Comparison>,
     shard_scaling: Vec<Comparison>,
     online_update: Comparison,
+    /// Whole-memory COW publish vs chunk-granular delta publish as the
+    /// number of rows changed per publish grows.
+    delta_publish: Vec<Comparison>,
     /// Backend × strategy sweep against the scalar fused scan.
     backends: Vec<Comparison>,
     /// Direct vs cascade on the planted near-duplicate shape.
@@ -435,7 +441,7 @@ fn main() {
         800,
         "sharded_query",
         || sharded.search(&query).unwrap(),
-        "cow_publish_rethreshold",
+        "delta_publish_rethreshold",
         || {
             updater
                 .rethreshold_row(ClassId(0), replacement.clone())
@@ -446,6 +452,52 @@ fn main() {
         "online update: query {:.0} ns vs publish {:.0} ns ({:.2}x)",
         online_update.baseline.ns_per_op, online_update.contender.ns_per_op, online_update.speedup
     );
+
+    // Delta publish: replacing k of C = 1000 rows through the
+    // whole-memory copy-on-write publish (every row cloned and
+    // re-chunked, O(C·D) regardless of k) vs one chunk-granular delta
+    // publish (only the chunks holding changed rows copied). Separate
+    // cells so each side pays only its own path's costs.
+    let full_cell = VersionedMemory::new(big.clone());
+    let delta_updater = OnlineUpdater::new(std::sync::Arc::new(VersionedMemory::new(big.clone())));
+    let mut delta_publish = Vec::new();
+    for rows_changed in [1usize, 10, 100, 1_000] {
+        let replacements: Vec<(ClassId, Hypervector)> = (0..rows_changed)
+            .map(|i| {
+                (
+                    ClassId((i * 997) % 1_000),
+                    Hypervector::random(big.dim(), 5_000 + i as u64),
+                )
+            })
+            .collect();
+        let cmp = compare(
+            1_000,
+            10_000,
+            800,
+            &format!("full_cow_publish_{rows_changed}rows"),
+            || {
+                full_cell
+                    .update(|memory| {
+                        for (class, hv) in &replacements {
+                            memory.replace_row(*class, hv.clone())?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+            },
+            &format!("delta_publish_{rows_changed}rows"),
+            || {
+                delta_updater
+                    .rethreshold_rows(replacements.clone())
+                    .unwrap()
+            },
+        );
+        println!(
+            "delta publish k={rows_changed}: full COW {:.0} ns vs delta {:.0} ns ({:.2}x)",
+            cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+        );
+        delta_publish.push(cmp);
+    }
 
     // 6. Kernel backends: every enabled datapath × strategy vs the scalar
     // fused early-abandoning scan at C = 1000, D = 10,000. The baseline
@@ -713,6 +765,7 @@ fn main() {
         resilience,
         shard_scaling,
         online_update,
+        delta_publish,
         backends,
         cascade,
         index_scaling,

@@ -54,14 +54,22 @@ impl IndexPolicy {
     /// `true` when `memory`'s index (or lack of one) violates this
     /// policy and [`ensure_indexed`] would act.
     pub fn wants_rebuild(&self, memory: &AssociativeMemory) -> bool {
-        if memory.len() < self.min_rows {
+        self.wants_rebuild_parts(memory.len(), memory.index())
+    }
+
+    /// [`wants_rebuild`](Self::wants_rebuild) over a (row count, index)
+    /// pair, for storage layouts that don't materialize an
+    /// [`AssociativeMemory`] — the delta-publish path in
+    /// [`OnlineUpdater`](crate::shard::OnlineUpdater) asks this about
+    /// its chunked working copy.
+    pub fn wants_rebuild_parts(&self, rows: usize, index: Option<&hdc::BucketIndex>) -> bool {
+        if rows < self.min_rows {
             return false;
         }
-        match memory.index() {
+        match index {
             None => true,
             Some(index) => {
-                index.rows() != memory.len()
-                    || index.dirty() * 100 > self.max_dirty_percent * memory.len()
+                index.rows() != rows || index.dirty() * 100 > self.max_dirty_percent * rows
             }
         }
     }

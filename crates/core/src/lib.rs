@@ -80,9 +80,14 @@ pub use crate::index::{ensure_indexed, IndexPolicy};
 pub use crate::model::{
     CostMetrics, HamDesign, HamError, HamSearchResult, MarginSearchResult, SharedDesign,
 };
+pub use crate::resilience::{
+    recover, CrashAction, CrashInjector, CrashOnce, CrashPoint, Recovered, Wal, WalError,
+    WalOptions, WalRecord,
+};
 pub use crate::rham::RHam;
 pub use crate::shard::{
-    MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, VersionedMemory,
+    MemoryChunk, MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, UpdateOp,
+    VersionedMemory, CHUNK_ROWS,
 };
 pub use crate::tech::TechnologyModel;
 pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};
@@ -105,7 +110,8 @@ pub mod prelude {
     };
     pub use crate::rham::RHam;
     pub use crate::shard::{
-        MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, VersionedMemory,
+        MemoryVersion, OnlineUpdater, ShardPlan, ShardSupervisor, ShardedMemory, UpdateOp,
+        VersionedMemory,
     };
     pub use crate::tech::TechnologyModel;
     pub use crate::units::{EnergyDelay, Nanoseconds, Picojoules, SquareMillimeters};

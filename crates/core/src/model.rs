@@ -72,6 +72,13 @@ pub enum HamError {
     /// The server is draining (graceful shutdown): in-flight work is
     /// finished, but nothing new is admitted.
     Draining,
+    /// A durability operation (write-ahead log append, checkpoint, or
+    /// snapshot write) failed; the in-memory state is unchanged but the
+    /// mutation was **not** made crash-durable and was not published.
+    Durability {
+        /// Human-readable description of the underlying I/O failure.
+        detail: String,
+    },
 }
 
 impl HamError {
@@ -140,6 +147,9 @@ impl std::fmt::Display for HamError {
                 write!(f, "tenant {tenant} exceeded its request quota")
             }
             HamError::Draining => write!(f, "server is draining; request not admitted"),
+            HamError::Durability { detail } => {
+                write!(f, "durability failure (update not published): {detail}")
+            }
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod health;
 pub mod scrub;
 pub mod serve;
 pub mod snapshot;
+pub mod wal;
 
 pub use degrade::{
     Confidence, DegradationController, DegradationPolicy, EngineStage, QueryOutcome,
@@ -57,5 +58,10 @@ pub use serve::{
 };
 pub use snapshot::{
     load_golden, load_snapshot, load_snapshot_repaired, load_snapshot_rows, save_golden,
-    save_snapshot, RepairedLoad, SnapshotError, SnapshotLoad, SnapshotSlice,
+    save_snapshot, save_snapshot_with_lsn, RepairedLoad, SnapshotError, SnapshotLoad,
+    SnapshotSlice,
+};
+pub use wal::{
+    recover, strike, CrashAction, CrashInjector, CrashOnce, CrashPoint, Recovered, ReplaySummary,
+    Wal, WalError, WalOptions, WalRecord,
 };

@@ -42,6 +42,12 @@
 //!   unindexed load for the serving layer to rebuild, never a failed
 //!   one. Row decoding (full, slice, and repair paths) is untouched:
 //!   the section sits past every fixed-stride record offset.
+//!
+//! Checkpoint-written snapshots ([`save_snapshot_with_lsn`], used by
+//! [`Wal::checkpoint`](crate::resilience::wal::Wal::checkpoint)) append
+//! one 16-byte CRC-framed trailer binding the write-ahead log LSN the
+//! snapshot covers; plain [`save_snapshot`] files stay byte-identical to
+//! before and load with [`SnapshotLoad::wal_lsn`] `None`.
 
 use std::fmt;
 use std::fs;
@@ -69,6 +75,10 @@ const LABEL_FIELD: usize = 48;
 pub const MAX_LABEL_BYTES: usize = LABEL_FIELD - 1;
 /// Header bytes before its CRC: magic + version + dim + classes.
 const HEADER_BODY: usize = 8 + 4 + 8 + 8;
+/// Magic of the optional WAL-LSN trailer a checkpoint appends.
+const LSN_TRAILER_MAGIC: [u8; 4] = *b"WMET";
+/// Trailer bytes: magic + LSN + CRC-32 over both.
+const LSN_TRAILER: usize = 4 + 8 + 4;
 
 /// Errors of the snapshot path. Only *structural* damage (I/O, header
 /// corruption) is an error — row corruption is data, not failure.
@@ -164,6 +174,12 @@ pub struct SnapshotLoad {
     pub memory: AssociativeMemory,
     /// Rows that failed their CRC, in class order.
     pub corrupted: Vec<ClassId>,
+    /// The write-ahead-log LSN this snapshot covers (records below it
+    /// are inside the file), when the snapshot was written by a
+    /// checkpoint via [`save_snapshot_with_lsn`]. `None` for plain
+    /// snapshots and for a missing or corrupt trailer — recovery then
+    /// conservatively replays the whole log.
+    pub wal_lsn: Option<u64>,
 }
 
 impl SnapshotLoad {
@@ -250,7 +266,7 @@ fn decode_record(body: &[u8], class: usize, start: usize, dim: usize) -> (String
     }
 }
 
-fn words_to_hv(words: &[u64], dim: usize) -> Hypervector {
+pub(crate) fn words_to_hv(words: &[u64], dim: usize) -> Hypervector {
     let bits = BitVec::from_bits((0..dim).map(|i| (words[i / 64] >> (i % 64)) & 1 == 1));
     Hypervector::from_bitvec(bits).expect("dim ≥ 1 checked by the header")
 }
@@ -373,7 +389,52 @@ fn decode_index_section(section: &[u8], dim: usize, classes: usize) -> Option<hd
 ///
 /// Propagates filesystem errors.
 pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), SnapshotError> {
-    let bytes = encode(memory);
+    publish_bytes(&encode(memory), path)
+}
+
+/// [`save_snapshot`] plus the WAL-LSN trailer: the snapshot additionally
+/// records — atomically, inside the same rename — that every write-ahead
+/// log record with LSN below `wal_lsn` is contained in it, so recovery
+/// replays only the log's tail. This is the checkpoint save path; plain
+/// [`save_snapshot`] files stay byte-identical to previous versions.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_snapshot_with_lsn(
+    memory: &AssociativeMemory,
+    path: &Path,
+    wal_lsn: u64,
+) -> Result<(), SnapshotError> {
+    let mut bytes = encode(memory);
+    let trailer_start = bytes.len();
+    bytes.extend_from_slice(&LSN_TRAILER_MAGIC);
+    bytes.extend_from_slice(&wal_lsn.to_le_bytes());
+    let trailer_crc = crc32(&bytes[trailer_start..]);
+    bytes.extend_from_slice(&trailer_crc.to_le_bytes());
+    publish_bytes(&bytes, path)
+}
+
+/// Decodes the optional WAL-LSN trailer off the end of a snapshot.
+/// Anything short, unmagic, or failing its CRC is simply "no trailer":
+/// the trailer is an optimization (replay less), never a load gate.
+fn decode_lsn_trailer(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < HEADER_BODY + 4 + LSN_TRAILER {
+        return None;
+    }
+    let trailer = &bytes[bytes.len() - LSN_TRAILER..];
+    if trailer[..4] != LSN_TRAILER_MAGIC {
+        return None;
+    }
+    if crc32(&trailer[..LSN_TRAILER - 4]) != le_u32(&trailer[LSN_TRAILER - 4..]) {
+        return None;
+    }
+    Some(le_u64(&trailer[4..]))
+}
+
+/// Writes `bytes` to `path` atomically (temp + fsync + rename + parent
+/// fsync) — the shared publish discipline of every snapshot save.
+fn publish_bytes(bytes: &[u8], path: &Path) -> Result<(), SnapshotError> {
     let mut tmp_name = path
         .file_name()
         .map(|n| n.to_os_string())
@@ -382,7 +443,7 @@ pub fn save_snapshot(memory: &AssociativeMemory, path: &Path) -> Result<(), Snap
     let tmp = path.with_file_name(tmp_name);
     {
         let mut file = fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
+        file.write_all(bytes)?;
         file.sync_all()?;
     }
     if let Err(e) = fs::rename(&tmp, path) {
@@ -455,7 +516,11 @@ pub fn load_snapshot(path: &Path) -> Result<SnapshotLoad, SnapshotError> {
             let _ = memory.attach_index(std::sync::Arc::new(index));
         }
     }
-    Ok(SnapshotLoad { memory, corrupted })
+    Ok(SnapshotLoad {
+        memory,
+        corrupted,
+        wal_lsn: decode_lsn_trailer(&bytes),
+    })
 }
 
 /// A contiguous row range decoded out of a snapshot — the unit a
@@ -894,6 +959,67 @@ mod tests {
         let load = load_snapshot(&path).unwrap();
         assert_eq!(load.corrupted, vec![ClassId(7)]);
         assert!(load.memory.index().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rows_and_index_both_damaged_still_serve_the_surviving_rows() {
+        // The §14 combination matrix's last cell: row damage *and*
+        // section damage in one file. The load must still hand back
+        // every clean row (scrub repairs the rest from the golden
+        // copy), report exactly the damaged rows, and drop the index —
+        // never trust a radius bound over rows it cannot verify.
+        let mut memory = random_memory(16, 256, 29);
+        memory
+            .build_index(hdc::IndexBuildOptions::default())
+            .unwrap();
+        let path = temp_path("v2bothbad");
+        save_snapshot(&memory, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let rows_end = HEADER_BODY + 4 + 16 * row_stride(256);
+        bytes[HEADER_BODY + 4 + 3 * row_stride(256) + LABEL_FIELD + 1] ^= 0x40;
+        bytes[rows_end + 12] ^= 0x77;
+        fs::write(&path, &bytes).unwrap();
+
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.corrupted, vec![ClassId(3)]);
+        assert!(load.memory.index().is_none());
+        for (class, label, row) in memory.iter() {
+            if class != ClassId(3) {
+                assert_eq!(load.memory.label(class), Some(label));
+                assert_eq!(load.memory.row(class), Some(row));
+            }
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn lsn_trailer_round_trips_and_corruption_means_no_trailer() {
+        let mut memory = random_memory(16, 256, 31);
+        memory
+            .build_index(hdc::IndexBuildOptions::default())
+            .unwrap();
+        let path = temp_path("lsntrailer");
+
+        // A plain save carries no trailer.
+        save_snapshot(&memory, &path).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().wal_lsn, None);
+
+        // A checkpoint save binds the LSN and stays a clean v2 load.
+        save_snapshot_with_lsn(&memory, &path, 0xDEAD_BEEF).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.wal_lsn, Some(0xDEAD_BEEF));
+        assert!(load.is_clean());
+        assert_eq!(load.memory.index(), memory.index());
+
+        // A damaged trailer is "no trailer", never a failed load.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let load = load_snapshot(&path).unwrap();
+        assert_eq!(load.wal_lsn, None);
+        assert!(load.is_clean());
         cleanup(&path);
     }
 

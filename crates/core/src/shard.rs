@@ -73,20 +73,22 @@
 //! ```
 
 use std::ops::Range;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError, RwLock, Weak};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 use std::thread::JoinHandle;
 
 use hdc::prelude::*;
+use hdc::{active_backend, BucketIndex, IndexBuildOptions};
 
 use crate::batch::lock_unpoisoned;
-use crate::index::{ensure_indexed, IndexPolicy};
+use crate::index::IndexPolicy;
 use crate::model::{HamError, MarginSearchResult};
 use crate::resilience::degrade::{Confidence, DegradationPolicy, EngineStage, QueryOutcome};
 use crate::resilience::health::{HealthMonitor, HealthPolicy, HealthState};
 use crate::resilience::scrub::{ScrubReport, Scrubber};
 use crate::resilience::snapshot::{load_snapshot_rows, save_snapshot, SnapshotError};
+use crate::resilience::wal::{strike, CrashInjector, CrashPoint, Wal, WalRecord};
 
 /// The contiguous partition of `rows` rows into `shards` shards.
 ///
@@ -146,15 +148,401 @@ impl ShardPlan {
     }
 }
 
+/// Rows per storage chunk of a [`MemoryVersion`] — the delta-publish
+/// granularity. A power of two so row → (chunk, offset) is two shifts.
+///
+/// Publishing an update copies only the chunks whose rows changed (each
+/// copy is `CHUNK_ROWS · D` bits) plus one `Arc` pointer per chunk, so
+/// publish cost is proportional to rows changed instead of `C · D`.
+/// Smaller chunks copy less per changed row but add per-chunk scan
+/// dispatch; 16 keeps the dispatch under a few percent of a
+/// 10k-bit-row scan while making a single-row publish ~60× cheaper
+/// than a full copy at `C = 1000`.
+pub const CHUNK_ROWS: usize = 16;
+
+/// One immutable, `Arc`-shared slice of up to [`CHUNK_ROWS`] consecutive
+/// rows: the packed scan matrix plus the hypervectors and labels those
+/// rows were inserted with. Chunks are the unit of sharing between
+/// versions — an update clones the chunk `Arc` vector and replaces only
+/// the chunks it touches.
+#[derive(Debug, Clone)]
+pub struct MemoryChunk {
+    packed: PackedRows,
+    rows: Vec<Hypervector>,
+    labels: Vec<String>,
+}
+
+impl MemoryChunk {
+    fn new(dim: Dimension) -> Self {
+        MemoryChunk {
+            packed: PackedRows::with_capacity(dim.get(), CHUNK_ROWS),
+            rows: Vec::with_capacity(CHUNK_ROWS),
+            labels: Vec::with_capacity(CHUNK_ROWS),
+        }
+    }
+
+    fn push(&mut self, label: String, hv: Hypervector) {
+        self.packed.push(hv.as_bitvec().as_words());
+        self.rows.push(hv);
+        self.labels.push(label);
+    }
+
+    /// Rows stored in this chunk (≤ [`CHUNK_ROWS`]; only the last chunk
+    /// of a version may be partial).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// [`RowSource`] view over a version's chunk list, presenting the
+/// chunked storage as one row space for the [`BucketIndex`] walks
+/// (bucket members are global row ids; each lookup is two shifts plus
+/// the chunk-local slice).
+struct ChunkedRowsView<'a> {
+    chunks: &'a [Arc<MemoryChunk>],
+    rows: usize,
+    words_per_row: usize,
+}
+
+impl RowSource for ChunkedRowsView<'_> {
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    fn row_words(&self, row: usize) -> &[u64] {
+        self.chunks[row / CHUNK_ROWS]
+            .packed
+            .row_words(row % CHUNK_ROWS)
+    }
+}
+
+/// One mutation applied by a delta publish
+/// ([`VersionedMemory::update_delta`]); the in-memory twin of a
+/// [`WalRecord`].
+#[derive(Debug, Clone)]
+pub enum UpdateOp {
+    /// Append a class row (the [`OnlineUpdater::add_class`] path).
+    Add {
+        /// Label of the new class.
+        label: String,
+        /// Its learned hypervector.
+        hv: Hypervector,
+    },
+    /// Replace one class's stored row in place (re-threshold).
+    Replace {
+        /// The class whose row changes.
+        class: ClassId,
+        /// The replacement hypervector.
+        hv: Hypervector,
+    },
+    /// Remove a class; rows past it shift down by one.
+    Retire {
+        /// The class to remove.
+        class: ClassId,
+    },
+}
+
+/// The chunked row storage behind a [`MemoryVersion`]: `Arc`-shared
+/// chunks plus the version's bucket index and scan strategy. Cloning is
+/// cheap (one `Arc` per chunk); mutation goes through
+/// [`apply`](Self::apply), which copies only the touched chunks.
+#[derive(Debug, Clone)]
+struct DeltaMemory {
+    dim: Dimension,
+    rows: usize,
+    chunks: Vec<Arc<MemoryChunk>>,
+    index: Option<Arc<BucketIndex>>,
+    strategy: ScanStrategy,
+}
+
+impl DeltaMemory {
+    fn from_memory(memory: &AssociativeMemory) -> Self {
+        let dim = memory.dim();
+        let mut chunks: Vec<Arc<MemoryChunk>> =
+            Vec::with_capacity(memory.len().div_ceil(CHUNK_ROWS.max(1)));
+        let mut open = MemoryChunk::new(dim);
+        for (_, label, hv) in memory.iter() {
+            open.push(label.to_string(), hv.clone());
+            if open.len() == CHUNK_ROWS {
+                chunks.push(Arc::new(std::mem::replace(
+                    &mut open,
+                    MemoryChunk::new(dim),
+                )));
+            }
+        }
+        if !open.is_empty() {
+            chunks.push(Arc::new(open));
+        }
+        DeltaMemory {
+            dim,
+            rows: memory.len(),
+            chunks,
+            index: memory.index_handle(),
+            strategy: memory.scan_strategy(),
+        }
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.dim.get().div_ceil(64)
+    }
+
+    fn view(&self) -> ChunkedRowsView<'_> {
+        ChunkedRowsView {
+            chunks: &self.chunks,
+            rows: self.rows,
+            words_per_row: self.words_per_row(),
+        }
+    }
+
+    /// Rebuilds the full [`AssociativeMemory`] — the cold path behind
+    /// [`MemoryVersion::memory`] (snapshots, scrubs, engine rebuilds).
+    /// Produces exactly what the legacy whole-copy update path would
+    /// have published: same rows, labels, index `Arc`, and strategy.
+    fn materialize(&self) -> AssociativeMemory {
+        let mut memory = AssociativeMemory::new(self.dim);
+        for chunk in &self.chunks {
+            for (label, hv) in chunk.labels.iter().zip(&chunk.rows) {
+                memory
+                    .insert(label.clone(), hv.clone())
+                    .expect("chunk rows share the version's space");
+            }
+        }
+        if let Some(index) = &self.index {
+            memory
+                .attach_index(Arc::clone(index))
+                .expect("delta index covers exactly the stored rows");
+        }
+        memory.set_scan_strategy(self.strategy);
+        memory
+    }
+
+    /// The contiguous packed matrix of all rows — built on demand for
+    /// index rebuilds, which sample rows densely enough that copying
+    /// beats chunk-indirect access.
+    fn contiguous_rows(&self) -> PackedRows {
+        let mut packed = PackedRows::with_capacity(self.dim.get(), self.rows);
+        for chunk in &self.chunks {
+            for row in chunk.packed.iter_rows() {
+                packed.push(row);
+            }
+        }
+        packed
+    }
+
+    /// Re-assigns `row` in the (cloned, now-private) bucket index after
+    /// its words changed — the delta twin of what
+    /// [`AssociativeMemory::insert`]/`replace_row` do, so a
+    /// materialized delta is bit-identical to the legacy COW path.
+    fn assign_index_row(&mut self, row: usize) {
+        if let Some(mut index) = self.index.take() {
+            let view = ChunkedRowsView {
+                chunks: &self.chunks,
+                rows: self.rows,
+                words_per_row: self.words_per_row(),
+            };
+            Arc::make_mut(&mut index).assign_row(&view, active_backend(), row);
+            self.index = Some(index);
+        }
+    }
+
+    /// Applies one op, copying only the chunks it touches. Validation
+    /// errors leave `self` unchanged.
+    fn apply(&mut self, op: &UpdateOp) -> Result<(), HamError> {
+        match op {
+            UpdateOp::Add { label, hv } => {
+                self.check_space(hv)?;
+                let row = self.rows;
+                if row / CHUNK_ROWS == self.chunks.len() {
+                    let mut chunk = MemoryChunk::new(self.dim);
+                    chunk.push(label.clone(), hv.clone());
+                    self.chunks.push(Arc::new(chunk));
+                } else {
+                    let chunk = Arc::make_mut(self.chunks.last_mut().expect("partial tail chunk"));
+                    chunk.push(label.clone(), hv.clone());
+                }
+                self.rows += 1;
+                self.assign_index_row(row);
+                Ok(())
+            }
+            UpdateOp::Replace { class, hv } => {
+                self.check_space(hv)?;
+                if class.0 >= self.rows {
+                    return Err(HamError::Hdc(HdcError::UnknownClass {
+                        class: class.0,
+                        stored: self.rows,
+                    }));
+                }
+                let chunk = Arc::make_mut(&mut self.chunks[class.0 / CHUNK_ROWS]);
+                let local = class.0 % CHUNK_ROWS;
+                chunk.packed.replace(local, hv.as_bitvec().as_words());
+                chunk.rows[local] = hv.clone();
+                self.assign_index_row(class.0);
+                Ok(())
+            }
+            UpdateOp::Retire { class } => {
+                if class.0 >= self.rows {
+                    return Err(HamError::Hdc(HdcError::UnknownClass {
+                        class: class.0,
+                        stored: self.rows,
+                    }));
+                }
+                if self.rows == 1 {
+                    return Err(HamError::NoClasses);
+                }
+                // Retirement renumbers every row past the gap, so all
+                // chunks are rebuilt and the index is dropped (exactly
+                // like the legacy survivor rebuild); the index policy
+                // re-indexes inside the same publish when configured.
+                let mut survivor = DeltaMemory {
+                    dim: self.dim,
+                    rows: 0,
+                    chunks: Vec::with_capacity(self.chunks.len()),
+                    index: None,
+                    strategy: self.strategy,
+                };
+                let mut open = MemoryChunk::new(self.dim);
+                for (row, chunk) in self
+                    .chunks
+                    .iter()
+                    .flat_map(|c| c.labels.iter().zip(&c.rows))
+                    .enumerate()
+                {
+                    if row == class.0 {
+                        continue;
+                    }
+                    let (label, hv) = chunk;
+                    open.push(label.clone(), hv.clone());
+                    survivor.rows += 1;
+                    if open.len() == CHUNK_ROWS {
+                        survivor.chunks.push(Arc::new(std::mem::replace(
+                            &mut open,
+                            MemoryChunk::new(self.dim),
+                        )));
+                    }
+                }
+                if !open.is_empty() {
+                    survivor.chunks.push(Arc::new(open));
+                }
+                *self = survivor;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_space(&self, hv: &Hypervector) -> Result<(), HamError> {
+        if hv.dim() != self.dim {
+            return Err(HamError::Hdc(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the bucket index from the current rows with `options`
+    /// (dropping it for an empty matrix) — deterministic, so a WAL
+    /// replay that re-runs the same build lands on the same index.
+    fn rebuild_index(&mut self, options: IndexBuildOptions) {
+        self.index =
+            BucketIndex::build(&self.contiguous_rows(), active_backend(), options).map(Arc::new);
+    }
+
+    /// Splits `range` into per-chunk segments and merges the chunk-local
+    /// winner/runner-up scans — exact by the same disjoint-partition
+    /// argument as the shard gather ([`Min2::merge`]).
+    fn scan_min2_range(
+        &self,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: Range<usize>,
+    ) -> Option<Min2> {
+        let parts = self.chunk_segments(range).map(|(base, chunk, local)| {
+            let part = match mask {
+                None => chunk.packed.scan_min2_range(query, local),
+                Some(mask) => chunk.packed.scan_min2_masked_range(query, mask, local),
+            };
+            part.map(|mut hit| {
+                hit.best += base;
+                hit
+            })
+        });
+        Min2::merge(parts.flatten())
+    }
+
+    /// Per-chunk ranked scans merged under the shared `(distance, row)`
+    /// tie-break — bit-identical to the contiguous
+    /// [`PackedRows::top_k_range_into`].
+    fn top_k_range_into(
+        &self,
+        query: &[u64],
+        range: Range<usize>,
+        k: usize,
+        ranked: &mut Vec<(usize, usize)>,
+    ) {
+        ranked.clear();
+        if k == 0 {
+            return;
+        }
+        let mut scratch = Vec::new();
+        for (base, chunk, local) in self.chunk_segments(range) {
+            chunk.packed.top_k_range_into(query, local, k, &mut scratch);
+            ranked.extend(scratch.iter().map(|&(row, d)| (row + base, d)));
+        }
+        ranked.sort_by_key(|&(row, distance)| (distance, row));
+        ranked.truncate(k);
+    }
+
+    /// The chunks overlapping global `range`, as `(chunk base row,
+    /// chunk, chunk-local subrange)`.
+    fn chunk_segments(
+        &self,
+        range: Range<usize>,
+    ) -> impl Iterator<Item = (usize, &MemoryChunk, Range<usize>)> {
+        let range = range.start.min(self.rows)..range.end.min(self.rows);
+        let first = range.start / CHUNK_ROWS;
+        let last = range.end.div_ceil(CHUNK_ROWS).min(self.chunks.len());
+        self.chunks[first.min(self.chunks.len())..last]
+            .iter()
+            .enumerate()
+            .map(move |(offset, chunk)| {
+                let base = (first + offset) * CHUNK_ROWS;
+                let lo = range.start.max(base) - base;
+                let hi = (range.end.min(base + chunk.len())).saturating_sub(base);
+                (base, chunk.as_ref(), lo..hi.max(lo))
+            })
+            .filter(|(_, _, local)| !local.is_empty())
+    }
+}
+
 /// One immutable, epoch-stamped snapshot of the associative memory.
 ///
 /// Readers hold a version through an `Arc` and search it without any
 /// lock; the version (and its row storage) is freed when the last reader
 /// drops it, which is what retires its epoch.
+///
+/// Row storage is chunked ([`CHUNK_ROWS`] rows per `Arc`-shared
+/// [`MemoryChunk`]): a delta publish shares every untouched chunk with
+/// its predecessor, and [`chunk_epochs`](Self::chunk_epochs) records,
+/// per chunk, the epoch that last replaced it — epochs compose per
+/// chunk. The flat [`AssociativeMemory`] view is materialized lazily on
+/// first [`memory`](Self::memory) call (cold paths only: snapshots,
+/// scrub repairs, engine rebuilds); the scan paths read the chunks
+/// directly and never pay for materialization.
 #[derive(Debug)]
 pub struct MemoryVersion {
     epoch: u64,
-    memory: AssociativeMemory,
+    delta: DeltaMemory,
+    chunk_epochs: Vec<u64>,
+    full: OnceLock<AssociativeMemory>,
 }
 
 impl MemoryVersion {
@@ -163,9 +551,84 @@ impl MemoryVersion {
         self.epoch
     }
 
-    /// The memory this version snapshots.
+    /// The memory this version snapshots, materialized from the chunks
+    /// on first call (and cached for the version's lifetime). Scans
+    /// never call this; keep it off latency-critical paths.
     pub fn memory(&self) -> &AssociativeMemory {
-        &self.memory
+        self.full.get_or_init(|| self.delta.materialize())
+    }
+
+    /// Number of stored classes, `C`, without materializing.
+    pub fn rows(&self) -> usize {
+        self.delta.rows
+    }
+
+    /// The row space's dimensionality, without materializing.
+    pub fn dim(&self) -> Dimension {
+        self.delta.dim
+    }
+
+    /// The version's bucket index, if any, without materializing.
+    pub fn index(&self) -> Option<&BucketIndex> {
+        self.delta.index.as_deref()
+    }
+
+    /// The `Arc`-shared storage chunks, for sharing inspection
+    /// (`Arc::ptr_eq` across versions tells which chunks a publish
+    /// copied).
+    pub fn chunks(&self) -> &[Arc<MemoryChunk>] {
+        &self.delta.chunks
+    }
+
+    /// Per-chunk last-modified epochs, parallel to
+    /// [`chunks`](Self::chunks): entry `i` is the epoch whose publish
+    /// last replaced chunk `i`'s `Arc`.
+    pub fn chunk_epochs(&self) -> &[u64] {
+        &self.chunk_epochs
+    }
+
+    fn scan_min2_range(
+        &self,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: Range<usize>,
+    ) -> Option<Min2> {
+        self.delta.scan_min2_range(query, mask, range)
+    }
+
+    fn scan_min2_buckets(
+        &self,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        bucket_range: Range<usize>,
+        counters: &mut ScanCounters,
+    ) -> Option<Min2> {
+        let index = self
+            .delta
+            .index
+            .as_deref()
+            .expect("bucket slice implies an indexed version");
+        if self.delta.rows == 0 {
+            return None;
+        }
+        index.scan_min2_buckets(
+            &self.delta.view(),
+            active_backend(),
+            query,
+            mask,
+            bucket_range,
+            Some(counters),
+        )
+    }
+
+    fn top_k_range_into(
+        &self,
+        query: &[u64],
+        range: Range<usize>,
+        k: usize,
+        ranked: &mut Vec<(usize, usize)>,
+    ) {
+        self.delta.top_k_range_into(query, range, k, ranked)
     }
 }
 
@@ -203,9 +666,24 @@ impl VersionedMemory {
     /// Wraps `memory` as epoch 0.
     pub fn new(memory: AssociativeMemory) -> Self {
         VersionedMemory {
-            current: RwLock::new(Arc::new(MemoryVersion { epoch: 0, memory })),
+            current: RwLock::new(Arc::new(Self::version_of(0, memory))),
             updates: Mutex::new(()),
             retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A version wrapping a full memory: chunked for the scan paths,
+    /// with the materialized view pre-seeded (it already exists).
+    fn version_of(epoch: u64, memory: AssociativeMemory) -> MemoryVersion {
+        let delta = DeltaMemory::from_memory(&memory);
+        let chunk_epochs = vec![epoch; delta.chunks.len()];
+        let full = OnceLock::new();
+        let _ = full.set(memory);
+        MemoryVersion {
+            epoch,
+            delta,
+            chunk_epochs,
+            full,
         }
     }
 
@@ -224,10 +702,23 @@ impl VersionedMemory {
     /// Atomically installs `memory` as the next version and returns its
     /// epoch. The superseded version moves into the retirement log,
     /// where it lives exactly as long as some reader still pins it.
+    ///
+    /// This is the *full* publish: every chunk is rebuilt from `memory`
+    /// (cost `O(C · D)`), which is what the whole-copy
+    /// [`update`](Self::update) path pays. Delta publishes go through
+    /// [`update_delta`](Self::update_delta) instead.
     pub fn publish(&self, memory: AssociativeMemory) -> u64 {
+        self.install(|epoch, _| Self::version_of(epoch, memory))
+    }
+
+    /// Swap in the version `make(next_epoch, old_version)` builds,
+    /// pushing the superseded version into the retirement log and
+    /// pruning fully-drained entries — the pruning is what keeps the
+    /// `Weak` log bounded by the number of actually-pinned epochs.
+    fn install(&self, make: impl FnOnce(u64, &MemoryVersion) -> MemoryVersion) -> u64 {
         let mut current = write_unpoisoned(&self.current);
         let epoch = current.epoch + 1;
-        let next = Arc::new(MemoryVersion { epoch, memory });
+        let next = Arc::new(make(epoch, &current));
         let old = std::mem::replace(&mut *current, next);
         drop(current);
         let mut retired = lock_unpoisoned(&self.retired);
@@ -237,9 +728,40 @@ impl VersionedMemory {
         epoch
     }
 
+    /// Installs an already-built delta, stamping per-chunk epochs: a
+    /// chunk whose `Arc` is shared with the superseded version keeps
+    /// that version's stamp, every replaced or appended chunk gets the
+    /// new epoch.
+    fn publish_delta(&self, delta: DeltaMemory) -> u64 {
+        self.install(|epoch, old| {
+            let chunk_epochs = delta
+                .chunks
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| match old.delta.chunks.get(i) {
+                    Some(prev) if Arc::ptr_eq(prev, chunk) => old.chunk_epochs[i],
+                    _ => epoch,
+                })
+                .collect();
+            MemoryVersion {
+                epoch,
+                delta,
+                chunk_epochs,
+                full: OnceLock::new(),
+            }
+        })
+    }
+
     /// Serialized copy-on-write update: clones the current memory, lets
     /// `mutate` edit the clone, and publishes the result. Readers keep
     /// serving the old version until the publish instant.
+    ///
+    /// This is the whole-memory copy path — every row is cloned and
+    /// re-chunked no matter how little `mutate` touched. It remains the
+    /// right tool for bulk rewrites (scrub repairs, snapshot restores)
+    /// and is the baseline the delta-publish bench compares against;
+    /// row-granular updates should use
+    /// [`update_delta`](Self::update_delta).
     ///
     /// # Errors
     ///
@@ -249,9 +771,32 @@ impl VersionedMemory {
         F: FnOnce(&mut AssociativeMemory) -> Result<(), HamError>,
     {
         let _guard = lock_unpoisoned(&self.updates);
-        let mut memory = self.load().memory.clone();
+        let mut memory = self.load().memory().clone();
         mutate(&mut memory)?;
         Ok(self.publish(memory))
+    }
+
+    /// Serialized delta update: applies `ops` to a chunk-shared clone of
+    /// the current version and publishes it. Only chunks holding changed
+    /// rows are copied — publish cost is proportional to rows changed,
+    /// not `C` — and the bucket index is kept coherent exactly as the
+    /// whole-copy path would (incremental re-assignment per changed
+    /// row). Readers keep serving the old version until the publish
+    /// instant; the pinning guarantee is unchanged because untouched
+    /// chunks are *shared*, never mutated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing op's error without publishing
+    /// anything (the partially-applied delta is discarded).
+    pub fn update_delta(&self, ops: &[UpdateOp]) -> Result<u64, HamError> {
+        let _guard = lock_unpoisoned(&self.updates);
+        let current = self.load();
+        let mut delta = current.delta.clone();
+        for op in ops {
+            delta.apply(op)?;
+        }
+        Ok(self.publish_delta(delta))
     }
 
     /// The superseded epochs still pinned by at least one reader, in
@@ -261,6 +806,14 @@ impl VersionedMemory {
         let mut retired = lock_unpoisoned(&self.retired);
         retired.retain(|(_, weak)| weak.strong_count() > 0);
         retired.iter().map(|&(epoch, _)| epoch).collect()
+    }
+
+    /// Raw length of the retired-epoch `Weak` log, *without* pruning —
+    /// the observability hook for the bound regression test: after any
+    /// publish the log holds only entries whose version some reader
+    /// still pins, so a long-lived updater cannot grow it unboundedly.
+    pub fn retired_log_len(&self) -> usize {
+        lock_unpoisoned(&self.retired).len()
     }
 }
 
@@ -344,31 +897,22 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
             } => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     trip_chaos(&mut chaos_panics);
-                    let memory = version.memory();
-                    let packed = memory.packed_rows();
+                    // Workers scan the version's chunks directly —
+                    // never `memory()`, which would materialize the
+                    // flat copy delta publishes exist to avoid.
                     let mask_words = mask.as_deref().map(Vec::as_slice);
                     let mut counters = ScanCounters::default();
                     let hit = match &slice {
                         ShardSlice::Rows(range) => {
                             counters.rows_scanned += range.len() as u64;
-                            match mask_words {
-                                None => packed.scan_min2_range(&query, range.clone()),
-                                Some(mask) => {
-                                    packed.scan_min2_masked_range(&query, mask, range.clone())
-                                }
-                            }
+                            version.scan_min2_range(&query, mask_words, range.clone())
                         }
-                        ShardSlice::Buckets(range) => memory
-                            .index()
-                            .expect("bucket slice implies an indexed version")
-                            .scan_min2_buckets(
-                                packed,
-                                hdc::active_backend(),
-                                &query,
-                                mask_words,
-                                range.clone(),
-                                Some(&mut counters),
-                            ),
+                        ShardSlice::Buckets(range) => version.scan_min2_buckets(
+                            &query,
+                            mask_words,
+                            range.clone(),
+                            &mut counters,
+                        ),
                     };
                     (hit, counters)
                 }));
@@ -387,10 +931,7 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
             } => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     trip_chaos(&mut chaos_panics);
-                    version
-                        .memory()
-                        .packed_rows()
-                        .top_k_range_into(&query, range, k, &mut ranked);
+                    version.top_k_range_into(&query, range, k, &mut ranked);
                     ranked.clone()
                 }));
                 let finding = match outcome {
@@ -464,18 +1005,18 @@ impl ShardedMemory {
 
     /// The row partition for the current version.
     pub fn plan(&self) -> ShardPlan {
-        ShardPlan::new(self.shards(), self.versioned.load().memory().len())
+        ShardPlan::new(self.shards(), self.versioned.load().rows())
     }
 
     fn check_query(version: &MemoryVersion, dim: Dimension) -> Result<(), HamError> {
-        let expected = version.memory().dim();
+        let expected = version.dim();
         if dim != expected {
             return Err(HamError::DimensionMismatch {
                 expected: expected.get(),
                 actual: dim.get(),
             });
         }
-        if version.memory().is_empty() {
+        if version.rows() == 0 {
             return Err(HamError::NoClasses);
         }
         Ok(())
@@ -484,11 +1025,11 @@ impl ShardedMemory {
     /// The min2 scatter partition for `version`: over buckets when the
     /// memory carries an index (with `true`), over raw rows otherwise.
     fn min2_plan(&self, version: &MemoryVersion) -> (ShardPlan, bool) {
-        match version.memory().index() {
+        match version.index() {
             Some(index) if index.buckets() > 0 => {
                 (ShardPlan::new(self.shards(), index.buckets()), true)
             }
-            _ => (ShardPlan::new(self.shards(), version.memory().len()), false),
+            _ => (ShardPlan::new(self.shards(), version.rows()), false),
         }
     }
 
@@ -564,9 +1105,9 @@ impl ShardedMemory {
     ) -> Result<(Min2, ScanCounters), HamError> {
         Self::check_query(version, query.dim())?;
         if let Some(mask) = mask {
-            if mask.dim() != version.memory().dim() {
+            if mask.dim() != version.dim() {
                 return Err(HamError::DimensionMismatch {
-                    expected: version.memory().dim().get(),
+                    expected: version.dim().get(),
                     actual: mask.dim().get(),
                 });
             }
@@ -731,7 +1272,7 @@ impl ShardedMemory {
         // `(distance, row)` tie-break regardless of how rows were
         // sliced, and the k-th-distance pruning bound is weakest when
         // split per shard, so bucket-gather buys little here.
-        let plan = ShardPlan::new(self.shards(), version.memory().len());
+        let plan = ShardPlan::new(self.shards(), version.rows());
         let findings = self.scatter(plan, |range, reply| ShardRequest::TopK {
             version: Arc::clone(&version),
             range,
@@ -775,30 +1316,44 @@ fn to_search_result(hit: Min2) -> SearchResult {
 }
 
 /// Live mutations against a [`VersionedMemory`], each published as one
-/// new copy-on-write version while readers keep serving the old one.
+/// new delta version (only touched chunks copied) while readers keep
+/// serving the old one.
 ///
 /// All mutations serialize through the cell's update mutex, so several
 /// updaters can share one cell without lost updates.
 ///
 /// With [`with_index_policy`](Self::with_index_policy), every mutation
-/// also runs [`ensure_indexed`] inside its copy-on-write closure, so a
-/// bucket-index (re)build publishes atomically with the epoch that made
-/// it necessary — readers either see the old version with the old index
+/// re-checks the bucket index inside the same publish (incremental
+/// re-assignment per changed row, full rebuild past the dirtiness
+/// threshold), so readers either see the old version with the old index
 /// or the new version with a coherent one, never a torn mix.
+///
+/// With [`with_wal`](Self::with_wal), every mutation is appended to the
+/// write-ahead log (and fsynced, under the log's options) *before* the
+/// version swap: a crash after the append replays to the post-op state,
+/// a crash before it leaves the pre-op state, and an update that has
+/// returned — an *acknowledged* update — is always recoverable. Index
+/// rebuilds log an [`IndexRebuilt`](WalRecord::IndexRebuilt) marker so
+/// replay rebuilds the same index deterministically.
 #[derive(Debug, Clone)]
 pub struct OnlineUpdater {
     versioned: Arc<VersionedMemory>,
     index_policy: Option<IndexPolicy>,
+    wal: Option<Arc<Wal>>,
+    injector: Option<Arc<dyn CrashInjector>>,
 }
 
 impl OnlineUpdater {
     /// An updater over `versioned` (clone the `Arc` from
     /// [`ShardedMemory::versioned`]). No index maintenance until
-    /// [`with_index_policy`](Self::with_index_policy).
+    /// [`with_index_policy`](Self::with_index_policy), no durability
+    /// until [`with_wal`](Self::with_wal).
     pub fn new(versioned: Arc<VersionedMemory>) -> Self {
         OnlineUpdater {
             versioned,
             index_policy: None,
+            wal: None,
+            injector: None,
         }
     }
 
@@ -810,16 +1365,63 @@ impl OnlineUpdater {
         self
     }
 
+    /// Logs every mutation to `wal` (append + fsync) before its publish,
+    /// making acknowledged updates crash-durable;
+    /// [`checkpoint`](Self::checkpoint) fuses the log into a snapshot.
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Arms test-only crash injection around the publish instant
+    /// ([`CrashPoint::PublishPre`]/[`CrashPoint::PublishPost`]); the
+    /// write-path points fire from the [`Wal`]'s own injector.
+    pub fn with_crash_injector(mut self, injector: Arc<dyn CrashInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
     /// The cell this updater publishes to.
     pub fn versioned(&self) -> &Arc<VersionedMemory> {
         &self.versioned
     }
 
-    /// Re-checks the index policy after a mutation edited the clone.
-    fn maintain_index(&self, memory: &mut AssociativeMemory) {
-        if let Some(policy) = &self.index_policy {
-            ensure_indexed(memory, policy);
+    /// The durable delta-publish pipeline every mutation runs: under the
+    /// update mutex, validate and apply `ops` to a chunk-shared delta,
+    /// re-check the index policy, append the op records (plus any
+    /// rebuild marker) to the WAL, and only then swap the version in.
+    /// An error at any stage publishes nothing; a WAL append that
+    /// errored after reaching disk may still replay (the op becomes
+    /// durable without being acknowledged — the safe direction).
+    fn publish_ops(
+        &self,
+        prepare: impl FnOnce(&MemoryVersion) -> Result<Vec<UpdateOp>, HamError>,
+    ) -> Result<u64, HamError> {
+        let _guard = lock_unpoisoned(&self.versioned.updates);
+        let current = self.versioned.load();
+        let ops = prepare(&current)?;
+        let mut delta = current.delta.clone();
+        for op in &ops {
+            delta.apply(op)?;
         }
+        let mut records: Vec<WalRecord> = ops.iter().map(WalRecord::from_op).collect();
+        if let Some(policy) = &self.index_policy {
+            if policy.wants_rebuild_parts(delta.rows, delta.index.as_deref()) {
+                delta.rebuild_index(policy.build);
+                records.push(WalRecord::IndexRebuilt {
+                    options: policy.build,
+                });
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&records).map_err(|error| HamError::Durability {
+                detail: error.to_string(),
+            })?;
+        }
+        strike(self.injector.as_deref(), CrashPoint::PublishPre);
+        let epoch = self.versioned.publish_delta(delta);
+        strike(self.injector.as_deref(), CrashPoint::PublishPost);
+        Ok(epoch)
     }
 
     /// Adds a class — e.g. a row binarized from `langid`'s per-class
@@ -828,7 +1430,8 @@ impl OnlineUpdater {
     ///
     /// # Errors
     ///
-    /// [`HamError::Hdc`] when the hypervector belongs to another space.
+    /// [`HamError::Hdc`] when the hypervector belongs to another space;
+    /// [`HamError::Durability`] when the WAL append failed.
     pub fn add_class(
         &self,
         label: impl Into<String>,
@@ -836,10 +1439,9 @@ impl OnlineUpdater {
     ) -> Result<(ClassId, u64), HamError> {
         let label = label.into();
         let mut added = ClassId(0);
-        let epoch = self.versioned.update(|memory| {
-            added = memory.insert(label, hv).map_err(HamError::Hdc)?;
-            self.maintain_index(memory);
-            Ok(())
+        let epoch = self.publish_ops(|current| {
+            added = ClassId(current.rows());
+            Ok(vec![UpdateOp::Add { label, hv }])
         })?;
         Ok((added, epoch))
     }
@@ -852,32 +1454,11 @@ impl OnlineUpdater {
     /// # Errors
     ///
     /// [`HamError::Hdc`] ([`HdcError::UnknownClass`]) when the class is
-    /// not stored and [`HamError::NoClasses`] when retiring the last
-    /// remaining class — an empty memory cannot serve.
+    /// not stored, [`HamError::NoClasses`] when retiring the last
+    /// remaining class — an empty memory cannot serve — and
+    /// [`HamError::Durability`] when the WAL append failed.
     pub fn retire_class(&self, class: ClassId) -> Result<u64, HamError> {
-        self.versioned.update(|memory| {
-            let stored = memory.len();
-            if class.0 >= stored {
-                return Err(HamError::Hdc(HdcError::UnknownClass {
-                    class: class.0,
-                    stored,
-                }));
-            }
-            if stored == 1 {
-                return Err(HamError::NoClasses);
-            }
-            let mut survivor = AssociativeMemory::new(memory.dim());
-            for (id, label, hv) in memory.iter() {
-                if id != class {
-                    survivor
-                        .insert(label, hv.clone())
-                        .expect("surviving rows share the space");
-                }
-            }
-            *memory = survivor;
-            self.maintain_index(memory);
-            Ok(())
-        })
+        self.publish_ops(|_| Ok(vec![UpdateOp::Retire { class }]))
     }
 
     /// Replaces one class's stored row — the "re-threshold" path after
@@ -887,13 +1468,58 @@ impl OnlineUpdater {
     /// # Errors
     ///
     /// [`HamError::Hdc`] for an unknown class or a row from another
-    /// space.
+    /// space; [`HamError::Durability`] when the WAL append failed.
     pub fn rethreshold_row(&self, class: ClassId, hv: Hypervector) -> Result<u64, HamError> {
-        self.versioned.update(|memory| {
-            memory.replace_row(class, hv).map_err(HamError::Hdc)?;
-            self.maintain_index(memory);
-            Ok(())
+        self.publish_ops(|_| Ok(vec![UpdateOp::Replace { class, hv }]))
+    }
+
+    /// Re-thresholds several rows in **one** published epoch — one delta
+    /// publish and one WAL append batch for the whole set, so the cost
+    /// scales with the chunks the set touches, not with `C` per row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`rethreshold_row`](Self::rethreshold_row);
+    /// the first failing row aborts the whole batch unpublished.
+    pub fn rethreshold_rows(&self, updates: Vec<(ClassId, Hypervector)>) -> Result<u64, HamError> {
+        self.publish_ops(|_| {
+            Ok(updates
+                .into_iter()
+                .map(|(class, hv)| UpdateOp::Replace { class, hv })
+                .collect())
         })
+    }
+
+    /// Fuses the WAL into a snapshot: writes the current version (with
+    /// the log's high-water LSN bound atomically into the file) and
+    /// truncates every log segment. After a checkpoint, recovery needs
+    /// only the snapshot plus whatever the log accumulates afterwards.
+    /// Without a configured WAL this is a plain atomic snapshot save.
+    /// Returns the checkpointed epoch.
+    ///
+    /// Serialized against mutations: an op published before the
+    /// checkpoint is inside the snapshot, one published after is in the
+    /// fresh log — never neither.
+    ///
+    /// # Errors
+    ///
+    /// [`HamError::Durability`] for snapshot or log I/O failures.
+    pub fn checkpoint(&self, snapshot_path: &Path) -> Result<u64, HamError> {
+        let _guard = lock_unpoisoned(&self.versioned.updates);
+        let version = self.versioned.load();
+        let memory = version.memory();
+        match &self.wal {
+            Some(wal) => {
+                wal.checkpoint(memory, snapshot_path)
+                    .map_err(|error| HamError::Durability {
+                        detail: error.to_string(),
+                    })?
+            }
+            None => save_snapshot(memory, snapshot_path).map_err(|error| HamError::Durability {
+                detail: error.to_string(),
+            })?,
+        }
+        Ok(version.epoch())
     }
 }
 
@@ -1031,7 +1657,7 @@ impl ShardSupervisor {
         // winning row's *bucket*, not its raw row range.
         let (plan, indexed) = self.sharded.min2_plan(&version);
         let shard = if indexed {
-            let index = version.memory().index().expect("indexed plan");
+            let index = version.index().expect("indexed plan");
             plan.shard_of_row(index.bucket_of(result.class.0))
         } else {
             plan.shard_of_row(result.class.0)
@@ -1131,7 +1757,7 @@ impl ShardSupervisor {
         // configured and readable), golden copies otherwise.
         let range = {
             let version = self.sharded.versioned().load();
-            ShardPlan::new(self.sharded.shards(), version.memory().len()).range(shard)
+            ShardPlan::new(self.sharded.shards(), version.rows()).range(shard)
         };
         let snapshot_rows = if state == HealthState::Quarantined {
             self.snapshot_path

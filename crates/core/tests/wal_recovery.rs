@@ -1,0 +1,616 @@
+//! Crashpoint-recovery chaos suite for the durable online-update path.
+//!
+//! The contract under test (DESIGN.md §15): after a crash at **any**
+//! point in the append → fsync → publish → checkpoint pipeline,
+//! restart via snapshot + WAL replay reconstructs a memory
+//! bit-identical to either the pre-op or the post-op state — never a
+//! hybrid — and an operation that was *acknowledged* (its updater call
+//! returned `Ok`) is never lost.
+//!
+//! "Bit-identical" is checked by fingerprint: both memories are
+//! serialized through the deterministic snapshot encoder (rows, labels,
+//! index geometry *and* the index's incremental dirty counter) and the
+//! bytes compared.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use hdc::prelude::*;
+use hdc::IndexBuildOptions;
+
+use ham_core::prelude::*;
+use ham_core::resilience::{load_snapshot, save_snapshot};
+use ham_core::{
+    recover, CrashAction, CrashOnce, CrashPoint, UpdateOp, Wal, WalError, WalOptions, WalRecord,
+    CHUNK_ROWS,
+};
+
+const DIM: usize = 256;
+const CLASSES: usize = 24;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hdham-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An index policy aggressive enough that the 24-row chaos memories
+/// rebuild their bucket index on nearly every mutation, so
+/// `IndexRebuilt` records are part of every scenario's replay.
+fn chaos_policy() -> IndexPolicy {
+    IndexPolicy {
+        min_rows: 8,
+        max_dirty_percent: 5,
+        build: IndexBuildOptions {
+            buckets: 4,
+            seed: 9,
+            refine_passes: 1,
+            sample_per_bucket: 8,
+        },
+    }
+}
+
+/// Serializes `memory` through the deterministic snapshot encoder and
+/// returns the bytes — equal fingerprints ⇔ bit-identical memories
+/// (rows, labels, index, dirty counter).
+fn fingerprint(memory: &AssociativeMemory, dir: &Path, tag: &str) -> Vec<u8> {
+    let path = dir.join(format!("fp-{tag}.ham"));
+    save_snapshot(memory, &path).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    bytes
+}
+
+fn hv(seed: u64) -> Hypervector {
+    Hypervector::random(Dimension::new(DIM).unwrap(), seed)
+}
+
+/// The mutations the chaos matrix drives through the durable updater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Add,
+    Retire,
+    Rethreshold,
+    /// A multi-record batch — the case the frame-level batch-commit
+    /// flag exists for: a short write landing a prefix of the batch
+    /// must roll the whole batch back, not replay half of it.
+    Batch,
+    Checkpoint,
+}
+
+fn apply_op(updater: &OnlineUpdater, op: Op, seed: u64, snapshot: &Path) -> Result<u64, HamError> {
+    match op {
+        Op::Add => updater
+            .add_class(format!("chaos-{seed}"), hv(seed))
+            .map(|(_, epoch)| epoch),
+        Op::Retire => updater.retire_class(ClassId(seed as usize % CLASSES)),
+        Op::Rethreshold => updater.rethreshold_row(ClassId(seed as usize % CLASSES), hv(seed)),
+        Op::Batch => updater.rethreshold_rows(vec![
+            (ClassId(1), hv(seed)),
+            (ClassId(CLASSES - 1), hv(seed + 1)),
+            (ClassId(CLASSES / 2), hv(seed + 2)),
+        ]),
+        Op::Checkpoint => updater.checkpoint(snapshot),
+    }
+}
+
+/// The post-op truth: the same op run through an identically configured
+/// updater with no WAL and no injector (mutations are deterministic).
+fn expected_after(pre: &AssociativeMemory, op: Op, seed: u64, scratch: &Path) -> AssociativeMemory {
+    let versioned = Arc::new(VersionedMemory::new(pre.clone()));
+    let updater = OnlineUpdater::new(Arc::clone(&versioned)).with_index_policy(chaos_policy());
+    apply_op(&updater, op, seed, &scratch.join("shadow.ham")).expect("shadow op succeeds");
+    versioned.load().memory().clone()
+}
+
+/// Runs one crash scenario end to end and asserts the recovery
+/// contract. Returns whether the recovered state equals post-op (vs
+/// pre-op), so callers can assert stronger per-point expectations.
+fn run_scenario(point: CrashPoint, action: CrashAction, op: Op, seed: u64) -> bool {
+    let tag = format!("{point:?}-{action:?}-{op:?}-{seed}");
+    let dir = temp_dir(&tag);
+    let snapshot = dir.join("state.ham");
+    let wal_dir = dir.join("wal");
+    let dim = Dimension::new(DIM).unwrap();
+
+    // A WAL small enough that the primed log's next batch rotates, so
+    // the WalRotate scenarios actually reach their crashpoint.
+    let options = WalOptions {
+        segment_bytes: if point == CrashPoint::WalRotate {
+            64
+        } else {
+            1 << 20
+        },
+        fsync: true,
+    };
+
+    // Setup + priming on an un-injected log: checkpoint a base state,
+    // then two acknowledged durable ops so the log is non-empty and the
+    // pre-op state differs from the snapshot.
+    let versioned = Arc::new(VersionedMemory::new(ham_core::explore::random_memory(
+        CLASSES, DIM, seed,
+    )));
+    {
+        let wal = Arc::new(Wal::open(&wal_dir, dim, options).unwrap());
+        let updater = OnlineUpdater::new(Arc::clone(&versioned))
+            .with_index_policy(chaos_policy())
+            .with_wal(wal);
+        updater.checkpoint(&snapshot).unwrap();
+        updater.rethreshold_row(ClassId(3), hv(seed + 100)).unwrap();
+        updater
+            .add_class(format!("primed-{seed}"), hv(seed + 101))
+            .unwrap();
+    }
+
+    let pre = versioned.load().memory().clone();
+    let pre_fp = fingerprint(&pre, &dir, "pre");
+    let post = expected_after(&pre, op, seed, &dir);
+    let post_fp = fingerprint(&post, &dir, "post");
+
+    // The armed run: reopen the same log with the scripted injector.
+    let injector = CrashOnce::new(point, action);
+    let acked = {
+        let wal = Arc::new(
+            Wal::open(&wal_dir, dim, options)
+                .unwrap()
+                .with_injector(injector.clone()),
+        );
+        let updater = OnlineUpdater::new(Arc::clone(&versioned))
+            .with_index_policy(chaos_policy())
+            .with_wal(wal)
+            .with_crash_injector(injector.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| apply_op(&updater, op, seed, &snapshot)));
+        matches!(outcome, Ok(Ok(_)))
+    };
+    assert!(
+        injector.fired(),
+        "{tag}: the scripted crash never struck — the scenario is vacuous"
+    );
+
+    // Process death; restart from disk only.
+    let recovered = recover(&snapshot, &wal_dir).unwrap_or_else(|e| {
+        panic!("{tag}: recovery failed: {e}");
+    });
+    let rec_fp = fingerprint(&recovered.memory, &dir, "rec");
+    let is_post = rec_fp == post_fp;
+    assert!(
+        is_post || rec_fp == pre_fp,
+        "{tag}: recovered a hybrid state (neither pre-op nor post-op)"
+    );
+    if acked {
+        assert!(
+            is_post,
+            "{tag}: acknowledged update lost — op returned Ok but recovery is pre-op"
+        );
+    }
+
+    // The repaired log must keep serving: reopen, append, recover again.
+    {
+        let wal = Wal::open(&wal_dir, dim, options).unwrap();
+        wal.append(&[WalRecord::ReplaceRow {
+            row: 0,
+            words: hv(seed + 200).as_bitvec().as_words().to_vec(),
+        }])
+        .unwrap();
+    }
+    recover(&snapshot, &wal_dir).unwrap_or_else(|e| {
+        panic!("{tag}: post-repair recovery failed: {e}");
+    });
+
+    let _ = fs::remove_dir_all(&dir);
+    is_post
+}
+
+#[test]
+fn every_crashpoint_recovers_pre_or_post_never_hybrid() {
+    let mutations = [Op::Add, Op::Retire, Op::Rethreshold, Op::Batch];
+    for seed in [11, 42] {
+        for (i, point) in [
+            CrashPoint::WalAppend,
+            CrashPoint::WalFsync,
+            CrashPoint::WalRotate,
+            CrashPoint::PublishPre,
+            CrashPoint::PublishPost,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for (j, op) in mutations.into_iter().enumerate() {
+                let is_post =
+                    run_scenario(point, CrashAction::Panic, op, seed + (i * 4 + j) as u64);
+                match point {
+                    // Nothing reached the log: the op never happened.
+                    CrashPoint::WalAppend | CrashPoint::WalRotate => assert!(!is_post),
+                    // Appended (and, for the fsync point, written before
+                    // the crash): the durable direction is post-op.
+                    CrashPoint::WalFsync | CrashPoint::PublishPre | CrashPoint::PublishPost => {
+                        assert!(is_post)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn short_writes_tear_the_tail_back_to_the_pre_op_state() {
+    // Cuts inside the frame prefix, inside the first record's payload,
+    // and — the batch-atomicity case — *between* complete frames of a
+    // multi-record batch, where replaying the landed prefix would be a
+    // hybrid (half an operation).
+    for (op, cut, seed) in [
+        (Op::Rethreshold, 5, 7),
+        (Op::Rethreshold, 40, 8),
+        (Op::Batch, 60, 9),
+        (Op::Batch, 120, 10),
+        (Op::Add, 30, 11),
+    ] {
+        let is_post = run_scenario(
+            CrashPoint::WalAppend,
+            CrashAction::ShortWrite(cut),
+            op,
+            seed,
+        );
+        assert!(!is_post, "a torn batch must roll back whole");
+    }
+}
+
+#[test]
+fn checkpoint_crashpoints_lose_nothing() {
+    for (point, seed) in [
+        (CrashPoint::CheckpointSnapshot, 21),
+        (CrashPoint::CheckpointTruncate, 22),
+    ] {
+        // A checkpoint mutates nothing: pre-op == post-op, and recovery
+        // must land there whether the crash hit before the snapshot
+        // rename (old snapshot + full log) or after it (new snapshot,
+        // stale segments skipped by LSN).
+        run_scenario(point, CrashAction::Panic, Op::Checkpoint, seed);
+    }
+}
+
+#[test]
+fn checkpoint_fuses_the_log_and_later_ops_land_in_the_fresh_segment() {
+    let dir = temp_dir("checkpoint-fuse");
+    let snapshot = dir.join("state.ham");
+    let wal_dir = dir.join("wal");
+    let dim = Dimension::new(DIM).unwrap();
+
+    let versioned = Arc::new(VersionedMemory::new(ham_core::explore::random_memory(
+        CLASSES, DIM, 3,
+    )));
+    let wal = Arc::new(
+        Wal::open(
+            &wal_dir,
+            dim,
+            WalOptions {
+                segment_bytes: 150,
+                fsync: false,
+            },
+        )
+        .unwrap(),
+    );
+    let updater = OnlineUpdater::new(Arc::clone(&versioned))
+        .with_index_policy(chaos_policy())
+        .with_wal(Arc::clone(&wal));
+
+    for s in 0..6 {
+        updater.rethreshold_row(ClassId(s as usize), hv(s)).unwrap();
+    }
+    assert!(wal.segment_count() > 1, "tiny segments must have rotated");
+
+    updater.checkpoint(&snapshot).unwrap();
+    assert_eq!(wal.segment_count(), 1, "checkpoint deletes fused segments");
+    let covered = wal.next_lsn();
+    assert_eq!(
+        ham_core::resilience::wal::oldest_segment_lsn(&wal_dir).unwrap(),
+        Some(covered)
+    );
+    assert_eq!(load_snapshot(&snapshot).unwrap().wal_lsn, Some(covered));
+
+    // Recovery right after the checkpoint replays nothing…
+    let recovered = recover(&snapshot, &wal_dir).unwrap();
+    assert_eq!(recovered.replayed, 0);
+    let live_fp = fingerprint(versioned.load().memory(), &dir, "live");
+    assert_eq!(fingerprint(&recovered.memory, &dir, "rec"), live_fp);
+
+    // …and ops after it land in the fresh segment and replay on top.
+    updater.add_class("after-checkpoint", hv(99)).unwrap();
+    let recovered = recover(&snapshot, &wal_dir).unwrap();
+    assert!(recovered.replayed > 0);
+    assert_eq!(
+        fingerprint(&recovered.memory, &dir, "rec2"),
+        fingerprint(versioned.load().memory(), &dir, "live2")
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_appended_to_the_last_segment_is_a_torn_tail() {
+    let dir = temp_dir("garbage-tail");
+    let wal_dir = dir.join("wal");
+    let dim = Dimension::new(DIM).unwrap();
+    let wal = Wal::open(&wal_dir, dim, WalOptions::default()).unwrap();
+    wal.append(&[WalRecord::AddClass {
+        label: "good".into(),
+        words: hv(1).as_bitvec().as_words().to_vec(),
+    }])
+    .unwrap();
+    drop(wal);
+
+    let segment = fs::read_dir(&wal_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "seg"))
+        .unwrap();
+    let clean_len = fs::metadata(&segment).unwrap().len();
+    let mut bytes = fs::read(&segment).unwrap();
+    bytes.extend_from_slice(&[0xAB; 37]);
+    fs::write(&segment, &bytes).unwrap();
+
+    let mut memory = AssociativeMemory::new(dim);
+    let summary = Wal::replay_into(&wal_dir, &mut memory, 0).unwrap();
+    assert_eq!(summary.replayed, 1);
+    assert!(summary.torn_tail);
+    assert_eq!(memory.len(), 1);
+
+    // Reopening physically truncates the tail back to the good frame.
+    let wal = Wal::open(&wal_dir, dim, WalOptions::default()).unwrap();
+    assert_eq!(fs::metadata(&segment).unwrap().len(), clean_len);
+    assert_eq!(wal.next_lsn(), 1);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damage_before_the_tail_is_typed_corruption_not_data_loss() {
+    let dir = temp_dir("mid-log");
+    let wal_dir = dir.join("wal");
+    let dim = Dimension::new(DIM).unwrap();
+    let wal = Wal::open(
+        &wal_dir,
+        dim,
+        WalOptions {
+            segment_bytes: 120,
+            fsync: false,
+        },
+    )
+    .unwrap();
+    for s in 0..4 {
+        wal.append(&[WalRecord::AddClass {
+            label: format!("c{s}"),
+            words: hv(s).as_bitvec().as_words().to_vec(),
+        }])
+        .unwrap();
+    }
+    assert!(wal.segment_count() > 1);
+    drop(wal);
+
+    // Flip one payload byte in the *first* segment: acknowledged
+    // history is damaged, and replay must refuse rather than silently
+    // truncate acknowledged updates away.
+    let mut segments: Vec<PathBuf> = fs::read_dir(&wal_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let first = &segments[0];
+    let mut bytes = fs::read(first).unwrap();
+    let victim = bytes.len() - 3;
+    bytes[victim] ^= 0xFF;
+    fs::write(first, &bytes).unwrap();
+
+    let mut memory = AssociativeMemory::new(dim);
+    match Wal::replay_into(&wal_dir, &mut memory, 0) {
+        Err(WalError::Corrupt { segment, .. }) => assert_eq!(&segment, first),
+        other => panic!("expected WalError::Corrupt, got {other:?}"),
+    }
+    // Wal::open refuses too — it scans the last segment leniently but
+    // the corruption here is in an earlier one… which open validates by
+    // header only; replay is the integrity gate, and it held above.
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_without_snapshot_cold_starts_from_the_log() {
+    let dir = temp_dir("cold-start");
+    let wal_dir = dir.join("wal");
+    let dim = Dimension::new(DIM).unwrap();
+    let wal = Wal::open(&wal_dir, dim, WalOptions::default()).unwrap();
+    for s in 0..3 {
+        wal.append(&[WalRecord::AddClass {
+            label: format!("cold-{s}"),
+            words: hv(s).as_bitvec().as_words().to_vec(),
+        }])
+        .unwrap();
+    }
+    drop(wal);
+
+    let recovered = recover(&dir.join("absent.ham"), &wal_dir).unwrap();
+    assert_eq!(recovered.memory.len(), 3);
+    assert_eq!(recovered.memory.dim().get(), DIM);
+    assert_eq!(recovered.replayed, 3);
+
+    assert!(matches!(
+        recover(&dir.join("absent.ham"), &dir.join("no-wal")),
+        Err(WalError::NothingToRecover)
+    ));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Delta publish semantics: equivalence with the whole-copy path, chunk
+// sharing, epoch composition, and the retired-log bound.
+// ---------------------------------------------------------------------
+
+/// Applies `op` to a flat memory exactly the way the live update paths
+/// do — the reference the delta path is compared against.
+fn apply_flat(memory: &mut AssociativeMemory, op: &UpdateOp) -> Result<(), HamError> {
+    match op {
+        UpdateOp::Add { label, hv } => {
+            memory.insert(label.clone(), hv.clone())?;
+        }
+        UpdateOp::Replace { class, hv } => memory.replace_row(*class, hv.clone())?,
+        UpdateOp::Retire { class } => {
+            let mut survivor = AssociativeMemory::new(memory.dim());
+            for (id, label, row) in memory.iter() {
+                if id != *class {
+                    survivor.insert(label, row.clone())?;
+                }
+            }
+            *memory = survivor;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn delta_publishes_match_the_whole_copy_path_over_random_op_sequences() {
+    let dir = temp_dir("equivalence");
+    for seed in 0..6u64 {
+        let base = ham_core::explore::random_memory(CLASSES, DIM, 900 + seed);
+        let versioned = Arc::new(VersionedMemory::new(base.clone()));
+        let mut flat = base;
+
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        for step in 0..30 {
+            let rows = versioned.load().rows();
+            let op = match next() % 3 {
+                0 => UpdateOp::Add {
+                    label: format!("eq-{seed}-{step}"),
+                    hv: hv(next()),
+                },
+                1 if rows > 1 => UpdateOp::Retire {
+                    class: ClassId(next() as usize % rows),
+                },
+                _ => UpdateOp::Replace {
+                    class: ClassId(next() as usize % rows),
+                    hv: hv(next()),
+                },
+            };
+            versioned.update_delta(std::slice::from_ref(&op)).unwrap();
+            apply_flat(&mut flat, &op).unwrap();
+            assert_eq!(
+                fingerprint(versioned.load().memory(), &dir, "delta"),
+                fingerprint(&flat, &dir, "flat"),
+                "divergence at seed {seed} step {step}"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_publish_shares_untouched_chunks_and_composes_epochs() {
+    let rows = 4 * CHUNK_ROWS; // exactly 4 chunks
+    let versioned = Arc::new(VersionedMemory::new(ham_core::explore::random_memory(
+        rows, DIM, 5,
+    )));
+    let v0 = versioned.load();
+    assert_eq!(v0.chunks().len(), 4);
+    assert_eq!(v0.chunk_epochs(), &[0, 0, 0, 0]);
+
+    // Replace one row in chunk 1: exactly that chunk's Arc is new.
+    versioned
+        .update_delta(&[UpdateOp::Replace {
+            class: ClassId(CHUNK_ROWS + 1),
+            hv: hv(50),
+        }])
+        .unwrap();
+    let v1 = versioned.load();
+    for i in 0..4 {
+        assert_eq!(
+            Arc::ptr_eq(&v0.chunks()[i], &v1.chunks()[i]),
+            i != 1,
+            "only chunk 1 may be copied"
+        );
+    }
+    assert_eq!(v1.chunk_epochs(), &[0, 1, 0, 0]);
+
+    // Append a class: a fifth chunk appears, the four others stay
+    // shared, and the epoch stamps compose across both publishes.
+    versioned
+        .update_delta(&[UpdateOp::Add {
+            label: "growth".into(),
+            hv: hv(51),
+        }])
+        .unwrap();
+    let v2 = versioned.load();
+    assert_eq!(v2.chunks().len(), 5);
+    for i in 0..4 {
+        assert!(Arc::ptr_eq(&v1.chunks()[i], &v2.chunks()[i]));
+    }
+    assert_eq!(v2.chunk_epochs(), &[0, 1, 0, 0, 2]);
+
+    // Readers pinned to the old version still see its bits: the shared
+    // chunks were never mutated in place.
+    assert_eq!(v0.rows(), rows);
+    assert_ne!(
+        v0.memory()
+            .row(ClassId(CHUNK_ROWS + 1))
+            .unwrap()
+            .as_bitvec(),
+        v1.memory()
+            .row(ClassId(CHUNK_ROWS + 1))
+            .unwrap()
+            .as_bitvec()
+    );
+}
+
+#[test]
+fn retired_epoch_log_stays_bounded_by_pinned_readers() {
+    let versioned = Arc::new(VersionedMemory::new(ham_core::explore::random_memory(
+        CLASSES, DIM, 13,
+    )));
+
+    // A long-lived updater with no readers: every superseded epoch
+    // drains immediately, the Weak log never grows.
+    for s in 0..100 {
+        versioned
+            .update_delta(&[UpdateOp::Replace {
+                class: ClassId(s % CLASSES),
+                hv: hv(s as u64),
+            }])
+            .unwrap();
+        assert!(
+            versioned.retired_log_len() <= 1,
+            "unpinned epochs must be pruned at publish"
+        );
+    }
+    assert!(versioned.pinned_epochs().is_empty());
+    assert_eq!(versioned.retired_log_len(), 0);
+
+    // One pinned reader: exactly its epoch survives, no matter how many
+    // publishes retire on top of it.
+    let pinned = versioned.load();
+    for s in 0..50 {
+        versioned
+            .update_delta(&[UpdateOp::Replace {
+                class: ClassId(s % CLASSES),
+                hv: hv(1_000 + s as u64),
+            }])
+            .unwrap();
+    }
+    assert_eq!(versioned.pinned_epochs(), vec![pinned.epoch()]);
+    assert_eq!(versioned.retired_log_len(), 1);
+    drop(pinned);
+    assert_eq!(versioned.pinned_epochs(), Vec::<u64>::new());
+    assert_eq!(versioned.retired_log_len(), 0);
+}

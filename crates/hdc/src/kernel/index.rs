@@ -35,7 +35,7 @@ use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::ops::Range;
 
-use super::{splitmix64, DistanceBackend, Min2, PackedRows};
+use super::{splitmix64, DistanceBackend, Min2, PackedRows, RowSource};
 
 /// Seed for the deterministic medoid initialization and majority
 /// tie-breaks (arbitrary constant; fixed so index builds are
@@ -457,7 +457,12 @@ impl BucketIndex {
     ///
     /// Panics if `row` is out of range, skips ahead of the indexed
     /// rows, or `packed` has a different row width.
-    pub fn assign_row(&mut self, packed: &PackedRows, backend: &dyn DistanceBackend, row: usize) {
+    pub fn assign_row(
+        &mut self,
+        packed: &dyn RowSource,
+        backend: &dyn DistanceBackend,
+        row: usize,
+    ) {
         assert!(row < packed.len(), "row {row} out of range");
         assert!(
             row <= self.assignments.len(),
@@ -517,7 +522,7 @@ impl BucketIndex {
     #[allow(clippy::too_many_arguments)]
     pub fn scan_min2(
         &self,
-        packed: &PackedRows,
+        packed: &dyn RowSource,
         backend: &dyn DistanceBackend,
         query: &[u64],
         mask: Option<&[u64]>,
@@ -547,7 +552,7 @@ impl BucketIndex {
     /// Returns `None` when no bucket in the range has members.
     pub fn scan_min2_buckets(
         &self,
-        packed: &PackedRows,
+        packed: &dyn RowSource,
         backend: &dyn DistanceBackend,
         query: &[u64],
         mask: Option<&[u64]>,
@@ -586,7 +591,7 @@ impl BucketIndex {
     #[allow(clippy::too_many_arguments)]
     fn scan_min2_in(
         &self,
-        packed: &PackedRows,
+        packed: &dyn RowSource,
         backend: &dyn DistanceBackend,
         query: &[u64],
         mask: Option<&[u64]>,
@@ -668,7 +673,7 @@ impl BucketIndex {
     #[allow(clippy::too_many_arguments)]
     pub fn top_k_into(
         &self,
-        packed: &PackedRows,
+        packed: &dyn RowSource,
         backend: &dyn DistanceBackend,
         query: &[u64],
         range: Range<usize>,
@@ -778,7 +783,7 @@ impl BucketIndex {
     /// Common scan-entry validation.
     fn check_scan(
         &self,
-        packed: &PackedRows,
+        packed: &dyn RowSource,
         query: &[u64],
         mask: Option<&[u64]>,
         range: &Range<usize>,

@@ -251,6 +251,49 @@ thread_local! {
     static CASCADE_SCRATCH: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Read-only access to a matrix of packed rows, by global row index.
+///
+/// [`PackedRows`] is the canonical contiguous implementation; callers
+/// that keep rows in several non-contiguous allocations (e.g. the
+/// chunked delta storage behind ham-core's versioned memory) implement
+/// this instead, so the [`BucketIndex`] walks — which touch rows one
+/// member at a time anyway — can scan them without a copy. Rows must be
+/// packed exactly like [`PackedRows`] rows: `words_per_row` little-
+/// endian `u64` words with tail bits beyond the dimension zero.
+pub trait RowSource {
+    /// Number of stored rows, `C`.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when no row is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Words per stored row, `⌈dim / 64⌉`.
+    fn words_per_row(&self) -> usize;
+
+    /// Borrow of the packed words of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    fn row_words(&self, row: usize) -> &[u64];
+}
+
+impl RowSource for PackedRows {
+    fn len(&self) -> usize {
+        PackedRows::len(self)
+    }
+
+    fn words_per_row(&self) -> usize {
+        PackedRows::words_per_row(self)
+    }
+
+    fn row_words(&self, row: usize) -> &[u64] {
+        PackedRows::row_words(self, row)
+    }
+}
+
 /// A contiguous, row-major matrix of packed `u64` rows — the software
 /// analogue of the paper's `C × D` storage array.
 ///

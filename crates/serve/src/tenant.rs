@@ -29,12 +29,13 @@ use std::time::Instant;
 
 use ham_core::explore::DesignKind;
 use ham_core::lock_unpoisoned;
-use ham_core::resilience::snapshot::{load_snapshot, SnapshotError};
+use ham_core::resilience::snapshot::{load_snapshot, save_snapshot, SnapshotError};
+use ham_core::resilience::wal::{Wal, WalOptions};
 use ham_core::resilience::{
     DegradationPolicy, HealthState, QueryBudget, ResilientOptions, ResilientServer, Scrubber,
     ServeReport, PRIORITY_HIGH,
 };
-use ham_core::{ensure_indexed, HamError, IndexPolicy, VersionedMemory};
+use ham_core::{ensure_indexed, HamError, IndexPolicy, OnlineUpdater, VersionedMemory};
 use hdc::prelude::*;
 
 /// A tenant's hard request-rate cap: a token bucket holding up to
@@ -164,6 +165,12 @@ impl TenantSpec {
     pub fn snapshot_path(&self, dir: &Path) -> PathBuf {
         dir.join(format!("tenant-{}.ham", self.tenant))
     }
+
+    /// The write-ahead-log directory this tenant's online updates are
+    /// made durable in, inside a snapshot directory.
+    pub fn wal_dir(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("tenant-{}.wal", self.tenant))
+    }
 }
 
 /// Monotonic per-tenant counters, readable while serving.
@@ -205,13 +212,21 @@ pub struct TenantStats {
 /// How a tenant's memory came up at boot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BootSource {
-    /// No usable snapshot: serving the spec's memory as given.
+    /// No usable snapshot and no complete write-ahead log: serving the
+    /// spec's memory as given.
     Fresh,
-    /// Warm restart: the latest snapshot was replayed.
+    /// Warm restart: the latest snapshot (and/or the write-ahead log of
+    /// updates since it) was replayed.
     WarmRestart {
         /// Rows whose on-disk records failed their CRC and were
         /// re-seeded from the spec's golden rows instead.
         corrupted_rows_repaired: usize,
+        /// Write-ahead-log records replayed on top of the snapshot —
+        /// online updates a crash prevented from reaching a checkpoint.
+        wal_records_replayed: usize,
+        /// Whether the log ended in a torn (never-acknowledged) record
+        /// that was discarded, as the durability contract allows.
+        wal_torn_tail: bool,
     },
 }
 
@@ -222,6 +237,7 @@ pub struct TenantState {
     spec: TenantSpec,
     options: ResilientOptions,
     versioned: Arc<VersionedMemory>,
+    wal: Option<Arc<Wal>>,
     engine: Mutex<Engine>,
     bucket: Mutex<TokenBucket>,
     inflight: AtomicUsize,
@@ -254,14 +270,21 @@ impl TenantState {
     /// snapshot for this tenant id, the served memory is warm-restarted
     /// from it: rows corrupted on disk fall back to the spec's golden
     /// rows (the [`Scrubber`] fallback), everything else replays exactly
-    /// as flushed.
+    /// as flushed. Write-ahead-log records past the snapshot's covered
+    /// LSN — online updates a crash kept from reaching a checkpoint —
+    /// replay on top; with no snapshot at all, a complete log (oldest
+    /// segment at LSN 0) replays onto the spec memory.
     pub fn provision(
         spec: TenantSpec,
         options: ResilientOptions,
         snapshot_dir: Option<&Path>,
     ) -> Result<Self, HamError> {
-        let (mut memory, boot) = match snapshot_dir.map(|dir| spec.snapshot_path(dir)) {
-            Some(path) if path.exists() => match load_snapshot(&path) {
+        let paths = snapshot_dir.map(|dir| (spec.snapshot_path(dir), spec.wal_dir(dir)));
+        // replay_from = the log LSN updates resume from; None = the log
+        // is not replayable over this base.
+        let mut replay_from = None;
+        let (mut memory, mut boot) = match &paths {
+            Some((path, _)) if path.exists() => match load_snapshot(path) {
                 Ok(load) => {
                     let mut memory = load.memory;
                     let mut repaired = 0;
@@ -272,10 +295,17 @@ impl TenantState {
                             }
                         }
                     }
+                    // Only a checkpoint-written snapshot knows which log
+                    // prefix it already contains; an LSN-less snapshot
+                    // next to a non-empty log is ambiguous (a replay
+                    // could double-apply), so it serves as flushed.
+                    replay_from = load.wal_lsn;
                     (
                         memory,
                         BootSource::WarmRestart {
                             corrupted_rows_repaired: repaired,
+                            wal_records_replayed: 0,
+                            wal_torn_tail: false,
                         },
                     )
                 }
@@ -285,6 +315,45 @@ impl TenantState {
             },
             _ => (spec.memory.clone(), BootSource::Fresh),
         };
+        // Crash before the first checkpoint: no (usable) snapshot, but a
+        // log whose oldest segment starts at LSN 0 is the complete
+        // update history since provisioning and replays onto the spec
+        // memory — acknowledged updates survive even snapshot loss.
+        if replay_from.is_none() && matches!(boot, BootSource::Fresh) {
+            if let Some((_, wal_dir)) = &paths {
+                if ham_core::resilience::wal::oldest_segment_lsn(wal_dir)
+                    .ok()
+                    .flatten()
+                    == Some(0)
+                {
+                    replay_from = Some(0);
+                }
+            }
+        }
+        if let (Some(from), Some((_, wal_dir))) = (replay_from, &paths) {
+            let mut caught_up = memory.clone();
+            // A replay error means damaged acknowledged history
+            // (mid-log corruption): discard the partial replay and
+            // serve the snapshot state rather than a prefix we cannot
+            // bound.
+            if let Ok(summary) = Wal::replay_into(wal_dir, &mut caught_up, from) {
+                let repaired = match boot {
+                    BootSource::WarmRestart {
+                        corrupted_rows_repaired,
+                        ..
+                    } => corrupted_rows_repaired,
+                    BootSource::Fresh => 0,
+                };
+                if summary.replayed > 0 || !matches!(boot, BootSource::Fresh) {
+                    memory = caught_up;
+                    boot = BootSource::WarmRestart {
+                        corrupted_rows_repaired: repaired,
+                        wal_records_replayed: summary.replayed,
+                        wal_torn_tail: summary.torn_tail,
+                    };
+                }
+            }
+        }
         // Attach (or rebuild) the bucket index before the memory fans
         // out to the versioned cell and the engine: large tenants get
         // the triangle-bound pruned scan transparently, small ones stay
@@ -292,6 +361,20 @@ impl TenantState {
         // index is reused when it came back clean. Results are
         // identical either way.
         ensure_indexed(&mut memory, &IndexPolicy::default());
+        // Open (creating or tail-repairing) the tenant's log last, so
+        // its torn-tail truncation never races the read-only replay
+        // above. From here on, updates published through `updater()`
+        // are appended before every version swap.
+        let wal = match &paths {
+            Some((_, wal_dir)) => Some(Arc::new(
+                Wal::open(wal_dir, memory.dim(), WalOptions::default()).map_err(|error| {
+                    HamError::Durability {
+                        detail: error.to_string(),
+                    }
+                })?,
+            )),
+            None => None,
+        };
         let versioned = Arc::new(VersionedMemory::new(memory.clone()));
         let engine = Engine {
             epoch: versioned.current_epoch(),
@@ -302,6 +385,7 @@ impl TenantState {
             spec,
             options,
             versioned,
+            wal,
             engine: Mutex::new(engine),
             bucket,
             inflight: AtomicUsize::new(0),
@@ -431,16 +515,43 @@ impl TenantState {
             .serve_with_budget(queries, priority, wire_budget))
     }
 
-    /// Flushes the *currently served* memory (including online updates)
-    /// to this tenant's snapshot file in `dir` — the drain-time flush a
-    /// warm restart replays.
+    /// Flushes the tenant's *current published* memory — including
+    /// online updates, even ones no request has compiled into the
+    /// serving engine yet — to its snapshot file in `dir`. With a
+    /// write-ahead log configured this is a checkpoint (snapshot bound
+    /// to the log's covered LSN, segments truncated), so a drain
+    /// immediately after an online update is never lossy.
     pub fn flush_snapshot(&self, dir: &Path) -> Result<PathBuf, SnapshotError> {
         let path = self.spec.snapshot_path(dir);
-        // Serve from the engine's view: it holds whatever epoch was
-        // last rebuilt into it, which is what clients were answered
-        // from.
-        lock_unpoisoned(&self.engine).server.flush_snapshot(&path)?;
+        match &self.wal {
+            Some(_) => {
+                // Through the updater: its update mutex orders the
+                // checkpoint against concurrent durable publishes.
+                self.updater()
+                    .checkpoint(&path)
+                    .map_err(SnapshotError::Repair)?;
+            }
+            None => save_snapshot(self.versioned.load().memory(), &path)?,
+        }
         Ok(path)
+    }
+
+    /// An updater publishing to this tenant's versioned memory with the
+    /// default index policy, wired to the tenant's write-ahead log when
+    /// a snapshot directory was configured — updates published through
+    /// it survive a crash even before the next drain.
+    pub fn updater(&self) -> OnlineUpdater {
+        let updater = OnlineUpdater::new(Arc::clone(&self.versioned))
+            .with_index_policy(IndexPolicy::default());
+        match &self.wal {
+            Some(wal) => updater.with_wal(Arc::clone(wal)),
+            None => updater,
+        }
+    }
+
+    /// The tenant's write-ahead log, when one is configured.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// A borrow of the memory currently compiled into the serving
@@ -614,7 +725,9 @@ mod tests {
         assert_eq!(
             restarted.boot_source(),
             &BootSource::WarmRestart {
-                corrupted_rows_repaired: 0
+                corrupted_rows_repaired: 0,
+                wal_records_replayed: 0,
+                wal_torn_tail: false,
             }
         );
         let replayed = restarted.served_memory();

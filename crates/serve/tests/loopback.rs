@@ -310,7 +310,9 @@ fn warm_restart_replays_the_drained_snapshot_bit_identically() {
     assert_eq!(
         tenant.boot_source(),
         &BootSource::WarmRestart {
-            corrupted_rows_repaired: 0
+            corrupted_rows_repaired: 0,
+            wal_records_replayed: 0,
+            wal_torn_tail: false,
         }
     );
     let replayed = tenant.served_memory();
@@ -319,6 +321,113 @@ fn warm_restart_replays_the_drained_snapshot_bit_identically() {
         assert_eq!(replayed.row(class), Some(row), "row {class:?} differs");
     }
     assert_eq!(replayed.row(ClassId(0)), updated.row(ClassId(0)));
+    restarted.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_right_after_an_online_update_is_never_lossy() {
+    let dir = std::env::temp_dir().join(format!("ham-serve-drainupd-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = || ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    let server = Server::start(config(), vec![spec(9, 8, 1_024, 59)]).unwrap();
+    let tenant = server.tenants().get(9).unwrap();
+    let dim = tenant.served_memory().dim();
+    // Publish durable updates through the tenant's WAL-wired updater and
+    // drain IMMEDIATELY — no request ever compiles the new epoch into
+    // the serving engine, which is exactly the state the old
+    // engine-view flush lost.
+    let updater = tenant.updater();
+    let replacement = Hypervector::random(dim, 4_242);
+    updater
+        .rethreshold_row(ClassId(1), replacement.clone())
+        .unwrap();
+    let (added, _) = updater
+        .add_class("late-arrival", Hypervector::random(dim, 4_343))
+        .unwrap();
+    let expected = tenant.versioned().load().memory().clone();
+    let report = server.drain();
+    assert_eq!(report.snapshots_flushed, 1);
+    assert!(report.flush_failures.is_empty());
+
+    // Restart: every acknowledged update is there, bit for bit.
+    let restarted = Server::start(config(), vec![spec(9, 8, 1_024, 59)]).unwrap();
+    let tenant = restarted.tenants().get(9).unwrap();
+    let replayed = tenant.served_memory();
+    assert_eq!(replayed.len(), expected.len());
+    for (class, label, row) in expected.iter() {
+        assert_eq!(replayed.label(class), Some(label), "{class:?}");
+        assert_eq!(replayed.row(class), Some(row), "{class:?}");
+    }
+    assert_eq!(replayed.row(ClassId(1)), Some(&replacement));
+    assert_eq!(replayed.label(added), Some("late-arrival"));
+    restarted.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_without_drain_recovers_acknowledged_updates_from_the_wal() {
+    let dir = std::env::temp_dir().join(format!("ham-serve-crashwal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = || ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    // Boot a tenant (no TCP side needed for the crash path), update
+    // durably, then "crash": drop the state WITHOUT draining, so no
+    // snapshot is ever flushed — the WAL alone must carry the updates.
+    let tenant = ham_serve::TenantState::provision(
+        spec(10, 8, 1_024, 60),
+        ResilientOptions::serial(),
+        Some(&dir),
+    )
+    .unwrap();
+    let dim = tenant.served_memory().dim();
+    let updater = tenant.updater();
+    let replacement = Hypervector::random(dim, 5_151);
+    updater
+        .rethreshold_row(ClassId(3), replacement.clone())
+        .unwrap();
+    updater
+        .add_class("survivor", Hypervector::random(dim, 5_252))
+        .unwrap();
+    let expected = tenant.versioned().load().memory().clone();
+    drop(tenant);
+    assert!(
+        !dir.join("tenant-10.ham").exists(),
+        "no snapshot was flushed — this is the crash path"
+    );
+
+    // A full server restart over the same directory picks the WAL up.
+    let restarted = Server::start(config(), vec![spec(10, 8, 1_024, 60)]).unwrap();
+    let tenant = restarted.tenants().get(10).unwrap();
+    match tenant.boot_source() {
+        BootSource::WarmRestart {
+            wal_records_replayed,
+            wal_torn_tail,
+            ..
+        } => {
+            assert_eq!(
+                *wal_records_replayed, 2,
+                "both acknowledged updates replayed"
+            );
+            assert!(!wal_torn_tail);
+        }
+        other => panic!("expected WAL warm restart, got {other:?}"),
+    }
+    let replayed = tenant.served_memory();
+    assert_eq!(replayed.len(), expected.len());
+    for (class, label, row) in expected.iter() {
+        assert_eq!(replayed.label(class), Some(label), "{class:?}");
+        assert_eq!(replayed.row(class), Some(row), "{class:?}");
+    }
     restarted.drain();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -349,6 +458,7 @@ fn corrupted_snapshot_rows_fall_back_to_golden_on_warm_restart() {
     match tenant.boot_source() {
         BootSource::WarmRestart {
             corrupted_rows_repaired,
+            ..
         } => assert!(
             *corrupted_rows_repaired >= 1,
             "the damaged row was repaired from golden"
