@@ -62,6 +62,6 @@ pub use snapshot::{
     SnapshotSlice,
 };
 pub use wal::{
-    recover, strike, CrashAction, CrashInjector, CrashOnce, CrashPoint, Recovered, ReplaySummary,
-    Wal, WalError, WalOptions, WalRecord,
+    oldest_segment_lsn, recover, replay_floor, strike, CrashAction, CrashInjector, CrashOnce,
+    CrashPoint, Recovered, ReplaySummary, Wal, WalError, WalOptions, WalRecord,
 };

@@ -178,7 +178,9 @@ pub struct SnapshotLoad {
     /// are inside the file), when the snapshot was written by a
     /// checkpoint via [`save_snapshot_with_lsn`]. `None` for plain
     /// snapshots and for a missing or corrupt trailer — recovery then
-    /// conservatively replays the whole log.
+    /// falls back to the checkpoint watermark in the segment headers
+    /// ([`replay_floor`](super::wal::replay_floor)), and refuses to
+    /// guess when no watermark survives.
     pub wal_lsn: Option<u64>,
 }
 

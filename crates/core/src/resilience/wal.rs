@@ -17,7 +17,8 @@
 //! Every segment starts with a CRC-checked header:
 //!
 //! ```text
-//! magic "HAMWAL01" (8) | version u32 | start_lsn u64 | dim u64 | crc u32
+//! magic "HAMWAL01" (8) | version u32 | start_lsn u64 | dim u64
+//! | flags u32 | crc u32
 //! ```
 //!
 //! followed by length-prefixed, CRC-framed records:
@@ -44,7 +45,19 @@
 //! tail before appending again. A bad frame anywhere *else* (a non-last
 //! segment, or followed by good frames that are now unreachable) means
 //! acknowledged history was damaged, and replay fails with the typed
-//! [`WalError::Corrupt`] instead of silently dropping updates.
+//! [`WalError::Corrupt`] instead of silently dropping updates; a dense
+//! LSN walk carried *across* segments likewise turns a missing middle
+//! segment into [`WalError::LsnGap`], never a silent skip.
+//!
+//! An append that **errors** (rather than crashes) — a short
+//! `write_all` on a full disk, a failed fsync — is rolled back on the
+//! spot: the file is truncated to its pre-batch length and the LSN
+//! cursor rewound, so a later successful append never lands behind
+//! unreadable bytes where the torn-tail scan would discard it. If the
+//! rollback itself fails the log is *poisoned* ([`WalError::Poisoned`])
+//! and refuses every further append until a checkpoint discards the
+//! damaged segment — acknowledged-then-lost is the one outcome that is
+//! never allowed.
 //!
 //! # Checkpoints
 //!
@@ -53,6 +66,11 @@
 //! the file atomically, inside the snapshot's own rename) and only then
 //! deletes the old segments. A crash between the two steps merely
 //! leaves stale segments whose records the next recovery skips by LSN.
+//! The fresh segment a checkpoint starts is flagged in its header: its
+//! start LSN is a redundant on-disk record of the covered LSN, so even
+//! a snapshot whose LSN trailer is later damaged can still bound its
+//! replay (see [`replay_floor`]) instead of double-applying records it
+//! already contains or silently skipping acknowledged ones.
 //!
 //! # Crashpoints
 //!
@@ -66,7 +84,7 @@
 
 use std::fmt;
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -85,8 +103,12 @@ use crate::shard::UpdateOp;
 pub const WAL_MAGIC: [u8; 8] = *b"HAMWAL01";
 /// Current segment format version.
 const WAL_VERSION: u32 = 1;
-/// Segment header bytes: magic + version + start LSN + dim + CRC.
-const SEG_HEADER: usize = 8 + 4 + 8 + 8 + 4;
+/// Segment header bytes: magic + version + start LSN + dim + flags +
+/// CRC.
+const SEG_HEADER: usize = 8 + 4 + 8 + 8 + 4 + 4;
+/// Header flag: this segment was started by a checkpoint, so a snapshot
+/// containing every record below its start LSN was durably published.
+const SEG_FLAG_CHECKPOINT: u32 = 1;
 /// Frame prefix bytes: payload length + payload CRC.
 const FRAME_PREFIX: usize = 4 + 4;
 /// High bit of the payload's kind byte: this record commits its append
@@ -126,6 +148,30 @@ pub enum WalError {
         /// Byte offset of the first bad frame in that segment.
         offset: u64,
     },
+    /// Replay found a hole in the dense LSN sequence: the next
+    /// available record skips past the one expected, so acknowledged
+    /// history is missing (e.g. a deleted middle segment). Replaying
+    /// around the hole would produce a silent hybrid, so it is a hard
+    /// error.
+    LsnGap {
+        /// The segment whose records resume past the hole.
+        segment: PathBuf,
+        /// The LSN replay expected next.
+        expected: u64,
+        /// The LSN actually found.
+        found: u64,
+    },
+    /// A failed append could not be rolled back (the rewind after the
+    /// write error itself failed), so the current segment may end in
+    /// unreadable bytes. Every further append is refused — acknowledged
+    /// records must never land where replay cannot reach them — until a
+    /// checkpoint discards the damaged segment.
+    Poisoned,
+    /// A snapshot with no readable covered-LSN trailer sits next to a
+    /// log truncated by a checkpoint whose flagged segment is gone: no
+    /// replay bound is safe (any choice risks double-applying records
+    /// the snapshot already contains, or skipping acknowledged ones).
+    UnboundedReplay,
     /// A structurally valid record could not be applied to the memory
     /// being recovered (e.g. a replace of a row that does not exist) —
     /// the log and the snapshot disagree.
@@ -159,6 +205,32 @@ impl fmt::Display for WalError {
                     f,
                     "wal segment {} corrupt at offset {offset} (not a torn tail)",
                     segment.display()
+                )
+            }
+            WalError::LsnGap {
+                segment,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "wal segment {} resumes at lsn {found} where {expected} was expected \
+                     (acknowledged records missing)",
+                    segment.display()
+                )
+            }
+            WalError::Poisoned => {
+                write!(
+                    f,
+                    "wal poisoned: a failed append could not be rolled back; \
+                     checkpoint to start a fresh segment"
+                )
+            }
+            WalError::UnboundedReplay => {
+                write!(
+                    f,
+                    "snapshot has no readable covered-LSN trailer and the log has no \
+                     checkpoint watermark: replay cannot be bounded safely"
                 )
             }
             WalError::Replay { lsn, detail } => {
@@ -309,6 +381,12 @@ pub enum CrashAction {
     /// [`CrashPoint::WalAppend`]; elsewhere it panics like
     /// [`Panic`](CrashAction::Panic).
     ShortWrite(usize),
+    /// Write only the first `n` bytes of the pending buffer, then
+    /// *report an I/O error* without crashing — a full-disk/EIO append
+    /// the process survives, exercising the rollback path. Only
+    /// meaningful at [`CrashPoint::WalAppend`]; elsewhere it panics
+    /// like [`Panic`](CrashAction::Panic).
+    WriteError(usize),
 }
 
 /// A test-only fault plan consulted at every [`CrashPoint`]. Production
@@ -325,7 +403,7 @@ pub fn strike(injector: Option<&dyn CrashInjector>, point: CrashPoint) {
     if let Some(injector) = injector {
         match injector.strike(point) {
             CrashAction::Proceed => {}
-            CrashAction::Panic | CrashAction::ShortWrite(_) => {
+            CrashAction::Panic | CrashAction::ShortWrite(_) | CrashAction::WriteError(_) => {
                 panic!("injected crash at {point:?}")
             }
         }
@@ -424,6 +502,10 @@ struct WalState {
     segment: PathBuf,
     segment_bytes: u64,
     next_lsn: u64,
+    /// A failed append could not be rolled back: the segment may end in
+    /// unreadable bytes, so appends are refused until a checkpoint
+    /// starts a fresh segment (see [`WalError::Poisoned`]).
+    poisoned: bool,
 }
 
 impl fmt::Debug for WalState {
@@ -432,6 +514,7 @@ impl fmt::Debug for WalState {
             .field("segment", &self.segment)
             .field("segment_bytes", &self.segment_bytes)
             .field("next_lsn", &self.next_lsn)
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
@@ -467,13 +550,14 @@ impl Wal {
         let state = match segments.last() {
             None => {
                 let segment = segment_path(dir, 0);
-                let file = create_segment(&segment, 0, dim)?;
+                let file = create_segment(&segment, 0, dim, false)?;
                 sync_dir(dir)?;
                 WalState {
                     file,
                     segment,
                     segment_bytes: SEG_HEADER as u64,
                     next_lsn: 0,
+                    poisoned: false,
                 }
             }
             Some((_, last)) => {
@@ -481,8 +565,7 @@ impl Wal {
                 // log whose history is unreadable should fail on open,
                 // not at the 3 a.m. recovery that needed it.
                 for (_, segment) in &segments {
-                    let bytes = fs::read(segment)?;
-                    let (_, seg_dim) = parse_segment_header(&bytes, segment)?;
+                    let (_, seg_dim, _) = read_segment_header(segment)?;
                     if seg_dim != dim.get() {
                         return Err(WalError::DimensionMismatch {
                             expected: dim.get(),
@@ -491,7 +574,7 @@ impl Wal {
                     }
                 }
                 let bytes = fs::read(last)?;
-                let (start_lsn, _) = parse_segment_header(&bytes, last)?;
+                let (start_lsn, _, _) = parse_segment_header(&bytes, last)?;
                 let scan = scan_segment(&bytes, start_lsn, last, true)?;
                 if scan.torn {
                     let file = fs::OpenOptions::new().write(true).open(last)?;
@@ -504,6 +587,7 @@ impl Wal {
                     segment: last.clone(),
                     segment_bytes: scan.end_offset,
                     next_lsn: start_lsn + scan.records.len() as u64,
+                    poisoned: false,
                 }
             }
         };
@@ -548,15 +632,24 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures; on error nothing is acknowledged and a
-    /// partially written batch is a torn tail the next open repairs.
+    /// Propagates I/O failures; on error nothing is acknowledged, the
+    /// failed batch is rolled back (file truncated to its pre-batch
+    /// length, LSN cursor rewound) so the next successful append still
+    /// extends contiguous acknowledged history, and when even that
+    /// rollback fails the log poisons itself ([`WalError::Poisoned`]):
+    /// all later appends are refused until [`checkpoint`](Self::checkpoint)
+    /// discards the damaged segment. A batch interrupted by a *crash*
+    /// (no error to observe) is a torn tail the next open repairs.
     pub fn append(&self, records: &[WalRecord]) -> Result<Range<u64>, WalError> {
         let mut state = lock_unpoisoned(&self.state);
+        if state.poisoned {
+            return Err(WalError::Poisoned);
+        }
         if state.segment_bytes >= self.options.segment_bytes {
             strike(self.injector.as_deref(), CrashPoint::WalRotate);
             state.file.sync_all()?;
             let segment = segment_path(&self.dir, state.next_lsn);
-            let file = create_segment(&segment, state.next_lsn, self.dim)?;
+            let file = create_segment(&segment, state.next_lsn, self.dim, false)?;
             sync_dir(&self.dir)?;
             state.file = file;
             state.segment = segment;
@@ -568,26 +661,55 @@ impl Wal {
             encode_frame(&mut buf, state.next_lsn, record, i + 1 == records.len());
             state.next_lsn += 1;
         }
-        match self
+        let action = self
             .injector
             .as_deref()
             .map(|i| i.strike(CrashPoint::WalAppend))
-            .unwrap_or(CrashAction::Proceed)
-        {
-            CrashAction::Proceed => state.file.write_all(&buf)?,
-            CrashAction::Panic => panic!("injected crash at WalAppend"),
-            CrashAction::ShortWrite(n) => {
-                // Land exactly n bytes on disk, then die: the torn
-                // frame the tail-repair path exists for.
-                let n = n.min(buf.len());
-                let _ = state.file.write_all(&buf[..n]);
-                let _ = state.file.sync_all();
-                panic!("injected short write at WalAppend");
+            .unwrap_or(CrashAction::Proceed);
+        let written: Result<(), io::Error> = (|| {
+            match action {
+                CrashAction::Proceed => state.file.write_all(&buf)?,
+                CrashAction::Panic => panic!("injected crash at WalAppend"),
+                CrashAction::ShortWrite(n) => {
+                    // Land exactly n bytes on disk, then die: the torn
+                    // frame the tail-repair path exists for.
+                    let n = n.min(buf.len());
+                    let _ = state.file.write_all(&buf[..n]);
+                    let _ = state.file.sync_all();
+                    panic!("injected short write at WalAppend");
+                }
+                CrashAction::WriteError(n) => {
+                    // Land n bytes, then fail like a full disk would —
+                    // the process survives and must roll back.
+                    let n = n.min(buf.len());
+                    let _ = state.file.write_all(&buf[..n]);
+                    return Err(io::Error::other("injected write error at WalAppend"));
+                }
             }
-        }
-        strike(self.injector.as_deref(), CrashPoint::WalFsync);
-        if self.options.fsync {
-            state.file.sync_data()?;
+            strike(self.injector.as_deref(), CrashPoint::WalFsync);
+            if self.options.fsync {
+                state.file.sync_data()?;
+            }
+            Ok(())
+        })();
+        if let Err(error) = written {
+            // Roll the failed batch back: restore the LSN cursor and
+            // cut the segment to its pre-batch length (the handle is
+            // append-mode, so the next write lands at the new end).
+            // Otherwise torn bytes would sit mid-segment and the
+            // lenient tail scan would silently discard every later —
+            // acknowledged — batch behind them. If the rollback itself
+            // fails the torn bytes stay, so the log poisons itself and
+            // refuses appends until a checkpoint discards the segment.
+            state.next_lsn = first;
+            let rewound = state
+                .file
+                .set_len(state.segment_bytes)
+                .and_then(|()| state.file.sync_all());
+            if rewound.is_err() {
+                state.poisoned = true;
+            }
+            return Err(error.into());
         }
         state.segment_bytes += buf.len() as u64;
         Ok(first..state.next_lsn)
@@ -601,7 +723,13 @@ impl Wal {
     ///
     /// Crash-safe at every point: before the snapshot rename the old
     /// snapshot + full log still recover; after it, stale segments'
-    /// records are skipped by LSN.
+    /// records are skipped by LSN. The fresh segment carries the
+    /// checkpoint flag in its header — the covered LSN recorded
+    /// redundantly on disk, so recovery stays bounded even if the
+    /// snapshot's own LSN trailer is later damaged. A successful
+    /// checkpoint also un-poisons a log whose last segment was left
+    /// unreadable by a failed append rollback: that segment is deleted
+    /// here.
     ///
     /// # Errors
     ///
@@ -617,7 +745,7 @@ impl Wal {
         save_snapshot_with_lsn(memory, snapshot_path, covered)?;
         strike(self.injector.as_deref(), CrashPoint::CheckpointTruncate);
         let segment = segment_path(&self.dir, covered);
-        let file = create_segment(&segment, covered, self.dim)?;
+        let file = create_segment(&segment, covered, self.dim, true)?;
         for (_, old) in list_segments(&self.dir)? {
             if old != segment {
                 fs::remove_file(&old)?;
@@ -627,6 +755,7 @@ impl Wal {
         state.file = file;
         state.segment = segment;
         state.segment_bytes = SEG_HEADER as u64;
+        state.poisoned = false;
         Ok(())
     }
 
@@ -640,9 +769,18 @@ impl Wal {
     /// labels, index geometry, even the index's incremental dirty
     /// counter — is bit-identical to the state that logged it.
     ///
+    /// Applied LSNs are verified dense starting at `from_lsn`, across
+    /// segment boundaries: a hole in the sequence — a deleted middle
+    /// segment, or a log truncated past `from_lsn` — is acknowledged
+    /// history replay cannot reach, surfaced as [`WalError::LsnGap`]
+    /// rather than silently skipped. Records below `from_lsn` (stale
+    /// segments an interrupted checkpoint truncation left behind) are
+    /// skipped by design.
+    ///
     /// # Errors
     ///
     /// I/O failures, [`WalError::Corrupt`] for damage before the tail,
+    /// [`WalError::LsnGap`] for missing acknowledged records,
     /// [`WalError::DimensionMismatch`] against `memory`, and
     /// [`WalError::Replay`] when a record contradicts the snapshot.
     pub fn replay_into(
@@ -660,10 +798,11 @@ impl Wal {
             torn_tail: false,
             last_lsn: None,
         };
+        let mut next_to_apply = from_lsn;
         let last_index = segments.len().wrapping_sub(1);
         for (i, (_, segment)) in segments.iter().enumerate() {
             let bytes = fs::read(segment)?;
-            let (start_lsn, seg_dim) = parse_segment_header(&bytes, segment)?;
+            let (start_lsn, seg_dim, _) = parse_segment_header(&bytes, segment)?;
             if seg_dim != memory.dim().get() {
                 return Err(WalError::DimensionMismatch {
                     expected: memory.dim().get(),
@@ -673,10 +812,18 @@ impl Wal {
             let scan = scan_segment(&bytes, start_lsn, segment, i == last_index)?;
             summary.torn_tail |= scan.torn;
             for (lsn, record) in scan.records {
-                if lsn < from_lsn {
+                if lsn < next_to_apply {
                     continue;
                 }
+                if lsn > next_to_apply {
+                    return Err(WalError::LsnGap {
+                        segment: segment.clone(),
+                        expected: next_to_apply,
+                        found: lsn,
+                    });
+                }
                 apply_record(memory, lsn, &record)?;
+                next_to_apply = lsn + 1;
                 summary.replayed += 1;
                 summary.last_lsn = Some(lsn);
             }
@@ -687,18 +834,28 @@ impl Wal {
 
 /// Restart-time recovery: loads the snapshot at `snapshot_path` (when
 /// present), then replays the log at `wal_dir` from the snapshot's
-/// covered LSN. With no snapshot, cold-starts from an empty memory of
-/// the log's recorded dimensionality.
+/// covered LSN. A snapshot whose covered-LSN trailer is missing or
+/// damaged falls back to [`replay_floor`] — the checkpoint watermark
+/// recorded redundantly in the segment headers — so post-checkpoint
+/// acknowledged updates still replay instead of being silently dropped
+/// (and records the snapshot already contains are never double-applied).
+/// With no snapshot, cold-starts from an empty memory of the log's
+/// recorded dimensionality.
 ///
 /// # Errors
 ///
 /// Snapshot structural damage, the replay errors of
-/// [`Wal::replay_into`], and [`WalError::NothingToRecover`] when
-/// neither a snapshot nor any segment exists.
+/// [`Wal::replay_into`], [`WalError::UnboundedReplay`] when a
+/// trailer-less snapshot's replay cannot be bounded, and
+/// [`WalError::NothingToRecover`] when neither a snapshot nor any
+/// segment exists.
 pub fn recover(snapshot_path: &Path, wal_dir: &Path) -> Result<Recovered, WalError> {
     let (mut memory, from_lsn) = if snapshot_path.is_file() {
         let load = load_snapshot(snapshot_path)?;
-        let from = load.wal_lsn.unwrap_or(0);
+        let from = match load.wal_lsn {
+            Some(lsn) => lsn,
+            None => replay_floor(wal_dir)?,
+        };
         (load.memory, from)
     } else {
         let segments = if wal_dir.is_dir() {
@@ -709,8 +866,7 @@ pub fn recover(snapshot_path: &Path, wal_dir: &Path) -> Result<Recovered, WalErr
         let Some((_, first)) = segments.first() else {
             return Err(WalError::NothingToRecover);
         };
-        let bytes = fs::read(first)?;
-        let (_, dim) = parse_segment_header(&bytes, first)?;
+        let (_, dim, _) = read_segment_header(first)?;
         let dimension = Dimension::new(dim).map_err(|_| WalError::BadSegmentHeader {
             segment: first.clone(),
         })?;
@@ -723,6 +879,42 @@ pub fn recover(snapshot_path: &Path, wal_dir: &Path) -> Result<Recovered, WalErr
         torn_tail: summary.torn_tail,
         last_lsn: summary.last_lsn,
     })
+}
+
+/// The LSN a snapshot with no readable covered-LSN trailer can safely
+/// replay the log at `dir` from: the newest checkpoint-flagged
+/// segment's start LSN — every checkpoint records its covered LSN
+/// redundantly in the header of the segment it starts, and the snapshot
+/// on disk is that checkpoint's (or a later one's), so it contains
+/// every record below the flag. For a never-checkpointed log whose
+/// oldest segment still starts at LSN 0, the floor is 0: the log is the
+/// complete history since it was created over the snapshot state. An
+/// empty or missing log floors at 0 trivially (nothing to replay).
+///
+/// # Errors
+///
+/// I/O and header errors, and [`WalError::UnboundedReplay`] when the
+/// log was truncated by a checkpoint whose flagged segment is gone —
+/// the snapshot's covered LSN is then unknowable and any replay bound
+/// would risk double-applying records it already contains.
+pub fn replay_floor(dir: &Path) -> Result<u64, WalError> {
+    if !dir.is_dir() {
+        return Ok(0);
+    }
+    let segments = list_segments(dir)?;
+    let mut floor = None;
+    for (start_lsn, segment) in &segments {
+        let (_, _, checkpoint) = read_segment_header(segment)?;
+        if checkpoint {
+            floor = Some(*start_lsn);
+        }
+    }
+    match (floor, segments.first()) {
+        (Some(lsn), _) => Ok(lsn),
+        (None, None) => Ok(0),
+        (None, Some((0, _))) => Ok(0),
+        (None, Some(_)) => Err(WalError::UnboundedReplay),
+    }
 }
 
 /// The start LSN of the oldest segment at `dir` (`None` when the
@@ -762,18 +954,30 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
     Ok(segments)
 }
 
-fn create_segment(path: &Path, start_lsn: u64, dim: Dimension) -> Result<fs::File, WalError> {
+fn create_segment(
+    path: &Path,
+    start_lsn: u64,
+    dim: Dimension,
+    checkpoint: bool,
+) -> Result<fs::File, WalError> {
     let mut header = Vec::with_capacity(SEG_HEADER);
     header.extend_from_slice(&WAL_MAGIC);
     header.extend_from_slice(&WAL_VERSION.to_le_bytes());
     header.extend_from_slice(&start_lsn.to_le_bytes());
     header.extend_from_slice(&(dim.get() as u64).to_le_bytes());
+    header.extend_from_slice(&if checkpoint { SEG_FLAG_CHECKPOINT } else { 0 }.to_le_bytes());
     let crc = crc32(&header);
     header.extend_from_slice(&crc.to_le_bytes());
-    let mut file = fs::File::create(path)?;
-    file.write_all(&header)?;
-    file.sync_all()?;
-    Ok(file)
+    {
+        let mut file = fs::File::create(path)?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+    }
+    // Hand back an append-mode handle: every write then lands at the
+    // current end of file, so a failed append batch can be rolled back
+    // with a bare set_len — no write cursor left past the truncation
+    // point to punch a hole of zero bytes into the next frame.
+    Ok(fs::OpenOptions::new().append(true).open(path)?)
 }
 
 fn sync_dir(dir: &Path) -> Result<(), WalError> {
@@ -783,8 +987,9 @@ fn sync_dir(dir: &Path) -> Result<(), WalError> {
     Ok(())
 }
 
-/// Validates a segment's header and returns `(start_lsn, dim)`.
-fn parse_segment_header(bytes: &[u8], segment: &Path) -> Result<(u64, usize), WalError> {
+/// Validates a segment's header and returns `(start_lsn, dim,
+/// is_checkpoint_segment)`.
+fn parse_segment_header(bytes: &[u8], segment: &Path) -> Result<(u64, usize, bool), WalError> {
     let bad = || WalError::BadSegmentHeader {
         segment: segment.to_path_buf(),
     };
@@ -801,7 +1006,19 @@ fn parse_segment_header(bytes: &[u8], segment: &Path) -> Result<(u64, usize), Wa
     }
     let start_lsn = le_u64(&bytes[12..]);
     let dim = le_u64(&bytes[20..]) as usize;
-    Ok((start_lsn, dim))
+    let flags = le_u32(&bytes[28..]);
+    Ok((start_lsn, dim, flags & SEG_FLAG_CHECKPOINT != 0))
+}
+
+/// [`parse_segment_header`] off the first bytes of the file — header
+/// checks without pulling a whole (up to segment-sized) file into
+/// memory.
+fn read_segment_header(segment: &Path) -> Result<(u64, usize, bool), WalError> {
+    let mut bytes = Vec::with_capacity(SEG_HEADER);
+    fs::File::open(segment)?
+        .take(SEG_HEADER as u64)
+        .read_to_end(&mut bytes)?;
+    parse_segment_header(&bytes, segment)
 }
 
 /// Walks a segment's frames up to the last *committed* batch. In the
@@ -1186,6 +1403,13 @@ mod tests {
                 segment: "b.seg".into(),
                 offset: 40,
             },
+            WalError::LsnGap {
+                segment: "c.seg".into(),
+                expected: 3,
+                found: 9,
+            },
+            WalError::Poisoned,
+            WalError::UnboundedReplay,
             WalError::Replay {
                 lsn: 7,
                 detail: "x".into(),
@@ -1194,5 +1418,188 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// The high-severity review scenario: an append fails mid-write
+    /// (full disk, EIO) but the process lives on. The failed batch must
+    /// be rolled back — LSN cursor and file length — so the next
+    /// acknowledged append never lands behind torn bytes the lenient
+    /// tail scan would discard it for.
+    #[test]
+    fn failed_append_rolls_back_and_later_appends_stay_recoverable() {
+        let dir = temp_dir("rollback");
+        let injector = CrashOnce::nth(CrashPoint::WalAppend, CrashAction::WriteError(7), 1);
+        let wal = Wal::open(&dir, dim(), WalOptions::default())
+            .unwrap()
+            .with_injector(injector.clone());
+        wal.append(&[record(1)]).unwrap();
+        let lsn_before = wal.next_lsn();
+        let segment = segment_path(&dir, 0);
+        let len_before = fs::metadata(&segment).unwrap().len();
+
+        assert!(matches!(wal.append(&[record(2)]), Err(WalError::Io(_))));
+        assert!(injector.fired(), "the scripted write error must fire");
+        assert_eq!(wal.next_lsn(), lsn_before, "LSN cursor rewound");
+        assert_eq!(
+            fs::metadata(&segment).unwrap().len(),
+            len_before,
+            "torn bytes truncated away"
+        );
+
+        // The retried append is acknowledged — replay must surface it,
+        // with a dense LSN run and no torn tail.
+        assert_eq!(wal.append(&[record(3)]).unwrap(), 1..2);
+        let mut memory = AssociativeMemory::new(dim());
+        let summary = Wal::replay_into(&dir, &mut memory, 0).unwrap();
+        assert_eq!(summary.replayed, 2);
+        assert!(!summary.torn_tail);
+        assert_eq!(summary.last_lsn, Some(1));
+        assert_eq!(memory.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_typed_gap_not_a_silent_skip() {
+        let dir = temp_dir("gap");
+        let wal = Wal::open(
+            &dir,
+            dim(),
+            WalOptions {
+                segment_bytes: 200,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        for seed in 0..9 {
+            wal.append(&[record(seed)]).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need a middle segment to delete");
+        fs::remove_file(&segments[1].1).unwrap();
+
+        let mut memory = AssociativeMemory::new(dim());
+        match Wal::replay_into(&dir, &mut memory, 0) {
+            Err(WalError::LsnGap {
+                expected, found, ..
+            }) => assert!(expected < found),
+            other => panic!("expected WalError::LsnGap, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The checkpoint watermark (flagged segment header) bounds
+    /// recovery when the snapshot's LSN trailer is damaged — even with
+    /// stale segments from an interrupted truncation still on disk,
+    /// nothing is double-applied and post-checkpoint acknowledged
+    /// records still replay.
+    #[test]
+    fn damaged_trailer_recovers_from_the_checkpoint_watermark() {
+        let dir = temp_dir("floor");
+        let wal_dir = dir.join("wal");
+        let snapshot = dir.join("snap.ham");
+        let wal = Wal::open(
+            &wal_dir,
+            dim(),
+            WalOptions {
+                segment_bytes: 200,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        let mut memory = AssociativeMemory::new(dim());
+        let insert = |memory: &mut AssociativeMemory, seed: u64| {
+            memory
+                .insert(format!("class-{seed}"), Hypervector::random(dim(), seed))
+                .unwrap();
+        };
+        for seed in 0..5 {
+            wal.append(&[record(seed)]).unwrap();
+            insert(&mut memory, seed);
+        }
+        // Keep copies of the pre-checkpoint segments, then restore them
+        // after the checkpoint — the on-disk state of a truncation that
+        // crashed before deleting the fused segments.
+        let stale: Vec<(PathBuf, Vec<u8>)> = list_segments(&wal_dir)
+            .unwrap()
+            .into_iter()
+            .map(|(_, p)| (p.clone(), fs::read(&p).unwrap()))
+            .collect();
+        wal.checkpoint(&memory, &snapshot).unwrap();
+        assert_eq!(replay_floor(&wal_dir).unwrap(), 5);
+        for seed in 10..12 {
+            wal.append(&[record(seed)]).unwrap();
+            insert(&mut memory, seed);
+        }
+        for (path, bytes) in &stale {
+            if !path.exists() {
+                fs::write(path, bytes).unwrap();
+            }
+        }
+        // Damage the snapshot's trailer CRC: recovery must fall back to
+        // the watermark, skip the stale records, and replay exactly the
+        // two post-checkpoint ones.
+        let mut bytes = fs::read(&snapshot).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&snapshot, &bytes).unwrap();
+
+        let recovered = recover(&snapshot, &wal_dir).unwrap();
+        assert_eq!(recovered.replayed, 2);
+        assert_eq!(recovered.memory.len(), memory.len());
+        for (class, label, row) in memory.iter() {
+            assert_eq!(recovered.memory.label(class), Some(label));
+            assert_eq!(recovered.memory.row(class), Some(row));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// With the checkpoint-flagged segment gone *and* no complete
+    /// history, a trailer-less snapshot's replay cannot be bounded —
+    /// recovery must refuse rather than guess.
+    #[test]
+    fn unbounded_replay_is_refused_not_guessed() {
+        let dir = temp_dir("unbounded");
+        let wal_dir = dir.join("wal");
+        let snapshot = dir.join("snap.ham");
+        let wal = Wal::open(
+            &wal_dir,
+            dim(),
+            WalOptions {
+                segment_bytes: 200,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        let mut memory = AssociativeMemory::new(dim());
+        for seed in 0..2 {
+            wal.append(&[record(seed)]).unwrap();
+            memory
+                .insert(format!("class-{seed}"), Hypervector::random(dim(), seed))
+                .unwrap();
+        }
+        wal.checkpoint(&memory, &snapshot).unwrap();
+        for seed in 10..16 {
+            wal.append(&[record(seed)]).unwrap();
+        }
+        // Delete the flagged segment (the watermark) — later rotated
+        // segments remain, starting past LSN 0.
+        let segments = list_segments(&wal_dir).unwrap();
+        assert!(segments.len() > 1, "appends must have rotated");
+        fs::remove_file(&segments[0].1).unwrap();
+        // And damage the trailer, so the floor is the only bound left.
+        let mut bytes = fs::read(&snapshot).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&snapshot, &bytes).unwrap();
+
+        assert!(matches!(
+            replay_floor(&wal_dir),
+            Err(WalError::UnboundedReplay)
+        ));
+        assert!(matches!(
+            recover(&snapshot, &wal_dir),
+            Err(WalError::UnboundedReplay)
+        ));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

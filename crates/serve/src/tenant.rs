@@ -272,8 +272,10 @@ impl TenantState {
     /// rows (the [`Scrubber`] fallback), everything else replays exactly
     /// as flushed. Write-ahead-log records past the snapshot's covered
     /// LSN — online updates a crash kept from reaching a checkpoint —
-    /// replay on top; with no snapshot at all, a complete log (oldest
-    /// segment at LSN 0) replays onto the spec memory.
+    /// replay on top (a damaged LSN trailer falls back to the
+    /// checkpoint watermark in the segment headers, never to silently
+    /// skipping the log); with no snapshot at all, a complete log
+    /// (oldest segment at LSN 0) replays onto the spec memory.
     pub fn provision(
         spec: TenantSpec,
         options: ResilientOptions,
@@ -295,10 +297,11 @@ impl TenantState {
                             }
                         }
                     }
-                    // Only a checkpoint-written snapshot knows which log
-                    // prefix it already contains; an LSN-less snapshot
-                    // next to a non-empty log is ambiguous (a replay
-                    // could double-apply), so it serves as flushed.
+                    // A checkpoint-written snapshot records which log
+                    // prefix it already contains in its LSN trailer;
+                    // when the trailer is damaged, the checkpoint
+                    // watermark in the segment headers bounds the
+                    // replay instead (below).
                     replay_from = load.wal_lsn;
                     (
                         memory,
@@ -328,6 +331,22 @@ impl TenantState {
                 {
                     replay_from = Some(0);
                 }
+            }
+        }
+        // A warm restart whose snapshot lost its covered-LSN trailer
+        // still bounds its replay: every checkpoint records the covered
+        // LSN redundantly in the header of the segment it starts, so
+        // acknowledged post-checkpoint updates replay instead of being
+        // silently dropped. When even that watermark is gone and the
+        // log is not complete history, no bound is safe — provision
+        // fails loudly rather than silently serving stale state.
+        if replay_from.is_none() && !matches!(boot, BootSource::Fresh) {
+            if let Some((_, wal_dir)) = &paths {
+                replay_from = Some(ham_core::resilience::wal::replay_floor(wal_dir).map_err(
+                    |error| HamError::Durability {
+                        detail: error.to_string(),
+                    },
+                )?);
             }
         }
         if let (Some(from), Some((_, wal_dir))) = (replay_from, &paths) {

@@ -433,6 +433,77 @@ fn crash_without_drain_recovers_acknowledged_updates_from_the_wal() {
 }
 
 #[test]
+fn damaged_snapshot_trailer_still_replays_acknowledged_updates() {
+    let dir = std::env::temp_dir().join(format!("ham-serve-trailer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Checkpoint once (the snapshot gets its covered-LSN trailer), then
+    // land two more acknowledged updates that only the WAL holds.
+    let tenant = ham_serve::TenantState::provision(
+        spec(12, 8, 1_024, 62),
+        ResilientOptions::serial(),
+        Some(&dir),
+    )
+    .unwrap();
+    let dim = tenant.served_memory().dim();
+    let updater = tenant.updater();
+    updater
+        .rethreshold_row(ClassId(2), Hypervector::random(dim, 6_161))
+        .unwrap();
+    tenant.flush_snapshot(&dir).unwrap();
+    let replacement = Hypervector::random(dim, 6_262);
+    updater
+        .rethreshold_row(ClassId(4), replacement.clone())
+        .unwrap();
+    updater
+        .add_class("post-checkpoint", Hypervector::random(dim, 6_363))
+        .unwrap();
+    let expected = tenant.versioned().load().memory().clone();
+    drop(updater);
+    drop(tenant);
+
+    // Damage the snapshot's trailer CRC. The warm restart must fall
+    // back to the checkpoint watermark in the WAL segment headers and
+    // still replay the acknowledged post-checkpoint updates — not
+    // silently serve the stale checkpoint state.
+    let path = dir.join("tenant-12.ham");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let restarted = ham_serve::TenantState::provision(
+        spec(12, 8, 1_024, 62),
+        ResilientOptions::serial(),
+        Some(&dir),
+    )
+    .unwrap();
+    match restarted.boot_source() {
+        BootSource::WarmRestart {
+            wal_records_replayed,
+            wal_torn_tail,
+            ..
+        } => {
+            assert_eq!(
+                *wal_records_replayed, 2,
+                "post-checkpoint updates replayed despite the damaged trailer"
+            );
+            assert!(!wal_torn_tail);
+        }
+        other => panic!("expected WAL warm restart, got {other:?}"),
+    }
+    let replayed = restarted.served_memory();
+    assert_eq!(replayed.len(), expected.len());
+    for (class, label, row) in expected.iter() {
+        assert_eq!(replayed.label(class), Some(label), "{class:?}");
+        assert_eq!(replayed.row(class), Some(row), "{class:?}");
+    }
+    assert_eq!(replayed.row(ClassId(4)), Some(&replacement));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupted_snapshot_rows_fall_back_to_golden_on_warm_restart() {
     let dir = std::env::temp_dir().join(format!("ham-serve-corrupt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
