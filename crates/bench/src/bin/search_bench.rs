@@ -49,6 +49,7 @@ use ham_core::resilience::{
     DegradationController, DegradationPolicy, ResilientOptions, Scrubber,
 };
 use ham_core::shard::{OnlineUpdater, ShardedMemory, VersionedMemory};
+use ham_workloads::synth;
 use hdc::prelude::*;
 use hdc::{active_backend, enabled_backends, BucketIndex, IndexBuildOptions, ScanStrategy};
 use rand::rngs::StdRng;
@@ -549,17 +550,16 @@ fn main() {
     // row to its first bound check.
     let dim = Dimension::new(10_000).unwrap();
     let base = Hypervector::random(dim, 31);
-    let mut rng = StdRng::seed_from_u64(33);
     let mut clustered = PackedRows::with_capacity(10_000, 1_000);
     for i in 0..1_000u64 {
         let row = if i == 137 || i == 612 {
-            base.with_flipped_bits(40 + i as usize % 7, &mut rng)
+            synth::noisy_copy(&base, 40 + i as usize % 7, 33 ^ i)
         } else {
             Hypervector::random(dim, 1_000 + i)
         };
         clustered.push(row.as_bitvec().as_words());
     }
-    let probe = base.with_flipped_bits(25, &mut rng);
+    let probe = synth::noisy_copy(&base, 25, 34);
     let probe_words = probe.as_bitvec().as_words();
     let mut cascade = Vec::new();
     let mut cascade_backends = vec![scalar];
@@ -616,17 +616,19 @@ fn main() {
             } else {
                 "uniform"
             };
-            let mut rng = StdRng::seed_from_u64(classes as u64 ^ 0x1DE7);
-            let anchors: Vec<Hypervector> = (0..32)
-                .map(|a| Hypervector::random(dimension, 0x7000 + a))
-                .collect();
+            // Both shapes come from the shared seeded generators the
+            // workload harness builds from (ham_workloads::synth).
+            let anchors = synth::anchors(dimension, 32, 0x7000);
+            let rows: Vec<Hypervector> = if clustered_shape {
+                synth::planted_cluster_rows(&anchors, classes, dim / 50, classes as u64 ^ 0x1DE7)
+                    .into_iter()
+                    .map(|(_, row)| row)
+                    .collect()
+            } else {
+                synth::anchors(dimension, classes, 0x9000 ^ classes as u64)
+            };
             let mut packed = PackedRows::with_capacity(dim, classes);
-            for i in 0..classes as u64 {
-                let row = if clustered_shape {
-                    anchors[i as usize % anchors.len()].with_flipped_bits(dim / 50, &mut rng)
-                } else {
-                    Hypervector::random(dimension, 0x9000 + i)
-                };
+            for row in &rows {
                 packed.push(row.as_bitvec().as_words());
             }
             let index = BucketIndex::build(&packed, backend, IndexBuildOptions::default())
@@ -634,16 +636,19 @@ fn main() {
             let stats = index.stats();
             let auto_picks_index = stats.pruning_friendly(dim);
             let nprobe = (index.buckets() / 8).max(1);
-            let queries: Vec<Vec<u64>> = (0..32u64)
-                .map(|q| {
-                    let near = if clustered_shape {
-                        anchors[q as usize % anchors.len()].with_flipped_bits(dim / 40, &mut rng)
-                    } else {
-                        Hypervector::random(dimension, 0xB000 + q)
-                    };
-                    near.as_bitvec().as_words().to_vec()
-                })
-                .collect();
+            let queries: Vec<Vec<u64>> = if clustered_shape {
+                let sources: Vec<(usize, Hypervector)> =
+                    anchors.iter().cloned().enumerate().collect();
+                synth::planted_queries(&sources, dim / 40, classes as u64 ^ 0xBEE7)
+                    .into_iter()
+                    .map(|(_, near)| near.as_bitvec().as_words().to_vec())
+                    .collect()
+            } else {
+                synth::anchors(dimension, 32, 0xB000 ^ classes as u64)
+                    .into_iter()
+                    .map(|near| near.as_bitvec().as_words().to_vec())
+                    .collect()
+            };
 
             // Probe-mode recall + per-mode counters over the query set.
             let mut probe_hits = 0usize;

@@ -1,6 +1,11 @@
 //! Shared experiment workload: the trained language classifier and the
 //! encoded test queries, built once and reused by every accuracy
 //! experiment.
+//!
+//! World construction itself lives in [`ham_workloads::synth`] — the
+//! shared seeded generator the workload harness and this experiment
+//! context both build from, so the bench experiments and the `Workload`
+//! trait score the *same* trained world for the same seed.
 
 use hdc::prelude::*;
 use langid::prelude::*;
@@ -75,18 +80,16 @@ impl Workload {
     ///
     /// Panics if training fails (cannot happen for valid dimensions).
     pub fn build_with(scale: WorkloadScale, seed: u64, dim: usize) -> Self {
-        let spec = CorpusSpec::new(seed)
-            .train_chars(scale.train_chars())
-            .test_sentences(scale.test_sentences());
-        let config = ClassifierConfig::new(dim).expect("nonzero dimension");
-        let (classifier, accumulators) =
-            LanguageClassifier::train_with_accumulators(&config, &spec.training_set())
-                .expect("training succeeds");
-        let queries = langid::eval::encode_corpus(&classifier, &spec.test_set());
+        let world = ham_workloads::synth::langid_world(
+            dim,
+            scale.train_chars(),
+            scale.test_sentences(),
+            seed,
+        );
         Workload {
-            classifier,
-            accumulators,
-            queries,
+            classifier: world.classifier,
+            accumulators: world.accumulators,
+            queries: world.queries,
             scale,
             seed,
         }

@@ -14,8 +14,8 @@ use crate::distortion::{DistanceDistorter, SampleMask};
 use crate::error::HdcError;
 use crate::hypervector::{Dimension, Distance, Hypervector};
 use crate::kernel::{
-    active_backend, BucketIndex, IndexBuildOptions, IndexStats, Min2, PackedRows, ScanCounters,
-    ScanStrategy,
+    active_backend, BucketIndex, IndexBuildOptions, IndexStats, Min2, PackedRows, ResolvedScan,
+    ScanCounters, ScanStrategy,
 };
 use crate::parallel::default_threads;
 
@@ -537,6 +537,48 @@ impl AssociativeMemory {
             .into_iter()
             .map(|(row, distance)| (ClassId(row), Distance::new(distance)))
             .collect())
+    }
+
+    /// [`search_top_k`](Self::search_top_k) that also reports how much
+    /// scan work the ranking cost ([`ScanCounters`]) — what workload
+    /// scorers aggregate into per-scenario telemetry. The ranking is
+    /// identical to [`search_top_k`](Self::search_top_k).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_top_k`](Self::search_top_k).
+    pub fn search_top_k_counted(
+        &self,
+        query: &Hypervector,
+        k: usize,
+    ) -> Result<(Vec<(ClassId, Distance)>, ScanCounters), HdcError> {
+        self.check_query(query)?;
+        let mut ranked = Vec::new();
+        let mut counters = ScanCounters::default();
+        self.packed.top_k_planned(
+            active_backend(),
+            self.strategy,
+            self.index.as_deref(),
+            query.as_bitvec().as_words(),
+            0..self.packed.len(),
+            k,
+            &mut ranked,
+            Some(&mut counters),
+        );
+        Ok((
+            ranked
+                .into_iter()
+                .map(|(row, distance)| (ClassId(row), Distance::new(distance)))
+                .collect(),
+            counters,
+        ))
+    }
+
+    /// The concrete traversal ([`ResolvedScan`]) this memory's current
+    /// [`ScanStrategy`] resolves to against its attached index — how
+    /// telemetry observes which engine [`ScanStrategy::Auto`] picked.
+    pub fn resolved_strategy(&self) -> ResolvedScan {
+        self.strategy.resolve(self.index.as_deref(), self.dim.get())
     }
 
     fn check_query(&self, query: &Hypervector) -> Result<(), HdcError> {

@@ -91,9 +91,11 @@ pub use crate::encoder::NGramEncoder;
 pub use crate::error::HdcError;
 pub use crate::hypervector::{Dimension, Distance, Hypervector};
 pub use crate::item_memory::ItemMemory;
+pub use crate::kernel::weighted::MultiBitRows;
 pub use crate::kernel::{
     active_backend, active_backend_name, enabled_backends, BucketIndex, DistanceBackend,
-    IndexBuildOptions, IndexStats, Min2, PackedRows, RowSource, ScanCounters, ScanStrategy,
+    IndexBuildOptions, IndexStats, Min2, PackedRows, ResolvedScan, RowSource, ScanCounters,
+    ScanStrategy,
 };
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
@@ -110,7 +112,10 @@ pub mod prelude {
     pub use crate::error::HdcError;
     pub use crate::hypervector::{Dimension, Distance, Hypervector};
     pub use crate::item_memory::ItemMemory;
-    pub use crate::kernel::{Min2, PackedRows, RowSource, ScanCounters, ScanStrategy};
+    pub use crate::kernel::weighted::MultiBitRows;
+    pub use crate::kernel::{
+        Min2, PackedRows, ResolvedScan, RowSource, ScanCounters, ScanStrategy,
+    };
     pub use crate::level::{LevelEncoder, RecordEncoder};
     pub use crate::ops::{Bundler, TieBreak};
     pub use crate::parallel::{available_threads, default_threads};
