@@ -35,7 +35,16 @@
 //!    adversarial-uniform rows × {exact indexed, probe, auto} against
 //!    the fused linear scan, with measured recall for the probe mode —
 //!    the exactness-preserving speedup (and the Auto fallback's "never
-//!    much slower than linear" floor) quoted in DESIGN.md §14.
+//!    much slower than linear" floor) quoted in DESIGN.md §14;
+//! 9. the bit-sliced transpose: `C ∈ {1k, 10k, 100k}` × near-duplicate
+//!    cluster-major / adversarial-uniform rows × {exact indexed,
+//!    bit-sliced, auto} against the row-major direct scan, with the
+//!    per-mode scanned/pruned/group-pruned counters — the columnwise
+//!    group-bound speedup and the Auto row floor quoted in DESIGN.md
+//!    §17;
+//! 10. query rematerialization on the langid workload: the encoder's
+//!     resident item-vector caches vs the fixed seed-only
+//!     [`Rematerializer`] view, amortized per stored class.
 //!
 //! Usage: `ham-search-bench [--out FILE] [--quick]`.
 
@@ -49,9 +58,11 @@ use ham_core::resilience::{
     DegradationController, DegradationPolicy, ResilientOptions, Scrubber,
 };
 use ham_core::shard::{OnlineUpdater, ShardedMemory, VersionedMemory};
-use ham_workloads::synth;
+use ham_workloads::{synth, LangidWorkload, Workload};
 use hdc::prelude::*;
-use hdc::{active_backend, enabled_backends, BucketIndex, IndexBuildOptions, ScanStrategy};
+use hdc::{
+    active_backend, enabled_backends, BitSlicedRows, BucketIndex, IndexBuildOptions, ScanStrategy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -99,6 +110,50 @@ struct IndexScaling {
     comparison: Comparison,
 }
 
+/// One bit-sliced operating point: a row shape × class count × scan
+/// mode against the row-major direct scan.
+#[derive(Debug, Serialize)]
+struct BitSlicedScaling {
+    /// `"neardup"` (32 tight cluster-major clusters around one base —
+    /// the shape the 64-row group bound was built for) or `"uniform"`
+    /// (independent rows: the group bound can never fire).
+    shape: &'static str,
+    /// `"indexed"`, `"bitsliced"`, or `"auto"`.
+    mode: &'static str,
+    /// What `ScanStrategy::Auto` resolves to on this shape with both
+    /// the bucket index and the transpose mirror attached.
+    auto_resolves_to: String,
+    /// Footprint of the dim-major mirror (an additive cost next to the
+    /// row-major store).
+    sliced_resident_bytes: usize,
+    /// Mean per-query counters in this mode: rows reaching the distance
+    /// kernel, rows pruned by the bucket triangle bound, and rows
+    /// dropped 64 at a time by the columnwise group bound.
+    rows_scanned_per_query: f64,
+    rows_pruned_per_query: f64,
+    rows_group_pruned_per_query: f64,
+    comparison: Comparison,
+}
+
+/// The measured query-rematerialization trade on the langid workload:
+/// dense resident item-vector caches vs the fixed seed-only view that
+/// regenerates every symbol bit-identically on demand.
+#[derive(Debug, Serialize)]
+struct Rematerialization {
+    workload: &'static str,
+    classes: usize,
+    dim: usize,
+    /// Bytes the encoder keeps resident (dense alphabet table plus the
+    /// rotated n-gram caches).
+    dense_item_bytes: usize,
+    /// Bytes of the seed-only [`Rematerializer`] handle.
+    rematerializer_bytes: usize,
+    dense_bytes_per_class: f64,
+    rematerialized_bytes_per_class: f64,
+    /// `dense_item_bytes / rematerializer_bytes`.
+    reduction_factor: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Snapshot {
     host_threads: usize,
@@ -120,6 +175,11 @@ struct Snapshot {
     cascade: Vec<Comparison>,
     /// Bucket-index sweep: shape × C × mode vs the linear scan.
     index_scaling: Vec<IndexScaling>,
+    /// Bit-sliced transpose sweep: shape × C × mode vs the row-major
+    /// direct scan.
+    bitsliced_scaling: Vec<BitSlicedScaling>,
+    /// Dense item-vector caches vs the seed-only rematerializer.
+    rematerialization: Rematerialization,
 }
 
 /// Times `op` for at least `budget` of wall clock and adds the elapsed
@@ -761,6 +821,167 @@ fn main() {
         }
     }
 
+    // 9. The bit-sliced transpose: near-duplicate cluster-major rows
+    // (tight clusters around one base, members contiguous so 64-row
+    // groups are cluster-homogeneous — the shape the group bound was
+    // built for) and adversarial uniform rows, swept across C at
+    // D = 10,000 against the row-major direct scan. The exact indexed
+    // walk runs alongside so the numbers say which traversal Auto
+    // should pick where; every mode here is bit-identical to the
+    // direct scan by construction.
+    let mut bitsliced_scaling = Vec::new();
+    for &classes in sweep {
+        for neardup_shape in [true, false] {
+            let shape = if neardup_shape { "neardup" } else { "uniform" };
+            // 32 anchors a few percent of D apart (noisy copies of one
+            // base), members a small fraction of that separation from
+            // their anchor: tight nearest-bucket spacing keeps the
+            // shape cascade-friendly, never pruning-friendly.
+            let base = Hypervector::random(dimension, 0x51CE ^ classes as u64);
+            let anchors: Vec<Hypervector> = (0..32u64)
+                .map(|i| synth::noisy_copy(&base, dim / 32, 0x6A00 ^ classes as u64 ^ i))
+                .collect();
+            let rows: Vec<Hypervector> = if neardup_shape {
+                synth::cluster_major_rows(
+                    &anchors,
+                    classes,
+                    classes.div_ceil(32),
+                    dim / 1_024,
+                    classes as u64 ^ 0x5EED,
+                )
+                .into_iter()
+                .map(|(_, row)| row)
+                .collect()
+            } else {
+                synth::anchors(dimension, classes, 0xC000 ^ classes as u64)
+            };
+            let mut packed = PackedRows::with_capacity(dim, classes);
+            for row in &rows {
+                packed.push(row.as_bitvec().as_words());
+            }
+            let sliced = BitSlicedRows::from_packed(&packed);
+            let index = BucketIndex::build(&packed, backend, IndexBuildOptions::default())
+                .expect("non-empty matrix builds");
+            let auto_resolved = ScanStrategy::Auto.resolve_full(Some(&index), Some(&sliced), dim);
+            let queries: Vec<Vec<u64>> = if neardup_shape {
+                let sources: Vec<(usize, Hypervector)> =
+                    anchors.iter().cloned().enumerate().collect();
+                synth::planted_queries(&sources, dim / 1_024, classes as u64 ^ 0xD00D)
+                    .into_iter()
+                    .map(|(_, near)| near.as_bitvec().as_words().to_vec())
+                    .collect()
+            } else {
+                synth::anchors(dimension, 32, 0xE000 ^ classes as u64)
+                    .into_iter()
+                    .map(|near| near.as_bitvec().as_words().to_vec())
+                    .collect()
+            };
+
+            for (mode, strategy) in [
+                ("indexed", ScanStrategy::Indexed),
+                ("bitsliced", ScanStrategy::BitSliced),
+                ("auto", ScanStrategy::Auto),
+            ] {
+                let mut counters = ScanCounters::default();
+                for words in &queries {
+                    packed.scan_min2_planned_sliced(
+                        backend,
+                        strategy,
+                        Some(&index),
+                        Some(&sliced),
+                        words,
+                        None,
+                        0..classes,
+                        Some(&mut counters),
+                        None,
+                    );
+                }
+                let per_query = |n: u64| n as f64 / queries.len() as f64;
+                let mut base_at = 0usize;
+                let mut cont_at = 0usize;
+                let cmp = compare(
+                    classes,
+                    dim,
+                    600,
+                    "rowmajor_direct",
+                    || {
+                        let words = &queries[base_at % queries.len()];
+                        base_at += 1;
+                        packed
+                            .scan_min2_planned_sliced(
+                                backend,
+                                ScanStrategy::Direct,
+                                None,
+                                None,
+                                words,
+                                None,
+                                0..classes,
+                                None,
+                                None,
+                            )
+                            .unwrap()
+                    },
+                    mode,
+                    || {
+                        let words = &queries[cont_at % queries.len()];
+                        cont_at += 1;
+                        packed
+                            .scan_min2_planned_sliced(
+                                backend,
+                                strategy,
+                                Some(&index),
+                                Some(&sliced),
+                                words,
+                                None,
+                                0..classes,
+                                None,
+                                None,
+                            )
+                            .unwrap()
+                    },
+                );
+                println!(
+                    "bitsliced {shape} C={classes} {mode}: direct {:.0} ns vs {mode} {:.0} ns ({:.2}x, auto→{auto_resolved:?})",
+                    cmp.baseline.ns_per_op, cmp.contender.ns_per_op, cmp.speedup
+                );
+                bitsliced_scaling.push(BitSlicedScaling {
+                    shape,
+                    mode,
+                    auto_resolves_to: format!("{auto_resolved:?}"),
+                    sliced_resident_bytes: sliced.resident_bytes(),
+                    rows_scanned_per_query: per_query(counters.rows_scanned),
+                    rows_pruned_per_query: per_query(counters.rows_pruned),
+                    rows_group_pruned_per_query: per_query(counters.rows_group_pruned),
+                    comparison: cmp,
+                });
+            }
+        }
+    }
+
+    // 10. Query rematerialization at the langid paper scale: the item
+    // vectors the encoder caches densely (alphabet table + rotated
+    // n-gram caches) all regenerate bit-identically from the fixed
+    // ~16-byte seed view, so the dense bytes are a pure speed/space
+    // trade, amortized here over the stored classes.
+    let langid = LangidWorkload::build(10_000, 20_000, 2, LangidWorkload::DEFAULT_SEED);
+    let langid_classes = langid.memory().len();
+    let dense_item_bytes = langid.resident_item_bytes();
+    let rematerializer_bytes = langid.item_rematerializer().resident_bytes();
+    let rematerialization = Rematerialization {
+        workload: "langid",
+        classes: langid_classes,
+        dim: 10_000,
+        dense_item_bytes,
+        rematerializer_bytes,
+        dense_bytes_per_class: dense_item_bytes as f64 / langid_classes as f64,
+        rematerialized_bytes_per_class: rematerializer_bytes as f64 / langid_classes as f64,
+        reduction_factor: dense_item_bytes as f64 / rematerializer_bytes as f64,
+    };
+    println!(
+        "rematerialization langid C={langid_classes} D=10k: dense {dense_item_bytes} B vs seed view {rematerializer_bytes} B ({:.0}x)",
+        rematerialization.reduction_factor
+    );
+
     let snapshot = Snapshot {
         host_threads,
         kernel_backend: hdc::active_backend_name(),
@@ -774,6 +995,8 @@ fn main() {
         backends,
         cascade,
         index_scaling,
+        bitsliced_scaling,
+        rematerialization,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| {

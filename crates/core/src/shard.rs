@@ -261,6 +261,12 @@ struct DeltaMemory {
     rows: usize,
     chunks: Vec<Arc<MemoryChunk>>,
     index: Option<Arc<BucketIndex>>,
+    /// Dim-major mirror of the rows ([`BitSlicedRows`]), carried under
+    /// the same copy-on-write discipline as the chunks: a delta publish
+    /// shares every untouched 64-row group `Arc` with its predecessor
+    /// and retransposes only the groups an op dirtied (a group spans
+    /// exactly `64 / CHUNK_ROWS` chunks).
+    sliced: Option<Arc<BitSlicedRows>>,
     strategy: ScanStrategy,
 }
 
@@ -287,6 +293,7 @@ impl DeltaMemory {
             rows: memory.len(),
             chunks,
             index: memory.index_handle(),
+            sliced: memory.sliced_handle(),
             strategy: memory.scan_strategy(),
         }
     }
@@ -320,6 +327,11 @@ impl DeltaMemory {
             memory
                 .attach_index(Arc::clone(index))
                 .expect("delta index covers exactly the stored rows");
+        }
+        if let Some(sliced) = &self.sliced {
+            memory
+                .attach_sliced(Arc::clone(sliced))
+                .expect("delta mirror covers exactly the stored rows");
         }
         memory.set_scan_strategy(self.strategy);
         memory
@@ -371,6 +383,10 @@ impl DeltaMemory {
                 }
                 self.rows += 1;
                 self.assign_index_row(row);
+                if let Some(sliced) = self.sliced.as_mut() {
+                    let chunk = &self.chunks[row / CHUNK_ROWS];
+                    Arc::make_mut(sliced).push_row(chunk.packed.row_words(row % CHUNK_ROWS));
+                }
                 Ok(())
             }
             UpdateOp::Replace { class, hv } => {
@@ -386,6 +402,11 @@ impl DeltaMemory {
                 chunk.packed.replace(local, hv.as_bitvec().as_words());
                 chunk.rows[local] = hv.clone();
                 self.assign_index_row(class.0);
+                if let Some(sliced) = self.sliced.as_mut() {
+                    // Copy-on-write inside the mirror: `update_row`
+                    // clones only the touched 64-row group.
+                    Arc::make_mut(sliced).update_row(class.0, hv.as_bitvec().as_words());
+                }
                 Ok(())
             }
             UpdateOp::Retire { class } => {
@@ -407,6 +428,7 @@ impl DeltaMemory {
                     rows: 0,
                     chunks: Vec::with_capacity(self.chunks.len()),
                     index: None,
+                    sliced: None,
                     strategy: self.strategy,
                 };
                 let mut open = MemoryChunk::new(self.dim);
@@ -431,6 +453,15 @@ impl DeltaMemory {
                 }
                 if !open.is_empty() {
                     survivor.chunks.push(Arc::new(open));
+                }
+                // Retirement renumbers rows, so every mirror group past
+                // the gap shifts — rebuild the transpose wholesale,
+                // matching the chunk rebuild above.
+                if self.sliced.is_some() {
+                    survivor.sliced = Some(Arc::new(BitSlicedRows::from_source(
+                        &survivor.view(),
+                        survivor.dim.get(),
+                    )));
                 }
                 *self = survivor;
                 Ok(())
@@ -459,16 +490,37 @@ impl DeltaMemory {
     /// Splits `range` into per-chunk segments and merges the chunk-local
     /// winner/runner-up scans — exact by the same disjoint-partition
     /// argument as the shard gather ([`Min2::merge`]).
+    ///
+    /// With a `shared` bound the chunk scans prune against (and
+    /// tighten) the scatter-wide runner-up; a chunk whose rows were all
+    /// proven irrelevant contributes no part, and when *every* chunk is
+    /// proven away the whole range returns `None` — sound because the
+    /// merged best and runner-up can never be pruned by a bound that is
+    /// itself an upper bound on the merged runner-up distance.
     fn scan_min2_range(
         &self,
         query: &[u64],
         mask: Option<&[u64]>,
         range: Range<usize>,
+        shared: Option<&SharedBound>,
     ) -> Option<Min2> {
         let parts = self.chunk_segments(range).map(|(base, chunk, local)| {
-            let part = match mask {
-                None => chunk.packed.scan_min2_range(query, local),
-                Some(mask) => chunk.packed.scan_min2_masked_range(query, mask, local),
+            let part = match shared {
+                None => match mask {
+                    None => chunk.packed.scan_min2_range(query, local),
+                    Some(mask) => chunk.packed.scan_min2_masked_range(query, mask, local),
+                },
+                Some(shared) => chunk.packed.scan_min2_planned_sliced(
+                    active_backend(),
+                    ScanStrategy::Direct,
+                    None,
+                    None,
+                    query,
+                    mask,
+                    local,
+                    None,
+                    Some(shared),
+                ),
             };
             part.map(|mut hit| {
                 hit.best += base;
@@ -573,6 +625,24 @@ impl MemoryVersion {
         self.delta.index.as_deref()
     }
 
+    /// The version's bit-sliced dim-major mirror, if any, without
+    /// materializing.
+    pub fn sliced(&self) -> Option<&BitSlicedRows> {
+        self.delta.sliced.as_deref()
+    }
+
+    /// The concrete traversal this version's strategy resolves to —
+    /// the same decision [`AssociativeMemory::resolved_strategy`] makes
+    /// for the unsharded memory, so scatter planning and telemetry
+    /// agree with single-threaded serving.
+    pub fn resolved_strategy(&self) -> ResolvedScan {
+        self.delta.strategy.resolve_full(
+            self.delta.index.as_deref(),
+            self.delta.sliced.as_deref(),
+            self.delta.dim.get(),
+        )
+    }
+
     /// The `Arc`-shared storage chunks, for sharing inspection
     /// (`Arc::ptr_eq` across versions tells which chunks a publish
     /// copied).
@@ -587,13 +657,39 @@ impl MemoryVersion {
         &self.chunk_epochs
     }
 
-    fn scan_min2_range(
+    /// Min2 over a raw row slice. When the version's strategy resolves
+    /// to the bit-sliced traversal, the slice scans column-major through
+    /// the mirror (whole-group pruning, `rows_group_pruned` telemetry);
+    /// otherwise it runs the per-chunk row-major kernel. Either way the
+    /// worker consults and tightens `shared`, the scatter-wide
+    /// runner-up bound, so one shard's tight cluster prunes every other
+    /// shard's slice — and a slice whose rows were all proven
+    /// irrelevant to the merged result returns `None`.
+    fn scan_min2_rows(
         &self,
         query: &[u64],
         mask: Option<&[u64]>,
         range: Range<usize>,
+        counters: &mut ScanCounters,
+        shared: &SharedBound,
     ) -> Option<Min2> {
-        self.delta.scan_min2_range(query, mask, range)
+        if self.resolved_strategy() == ResolvedScan::BitSliced {
+            let sliced = self
+                .delta
+                .sliced
+                .as_deref()
+                .expect("BitSliced resolution implies a mirror");
+            return sliced.scan_min2(
+                active_backend(),
+                query,
+                mask,
+                range,
+                Some(counters),
+                Some(shared),
+            );
+        }
+        counters.rows_scanned += range.len() as u64;
+        self.delta.scan_min2_range(query, mask, range, Some(shared))
     }
 
     fn scan_min2_buckets(
@@ -847,6 +943,10 @@ enum ShardRequest {
         slice: ShardSlice,
         query: Arc<Vec<u64>>,
         mask: Option<Arc<Vec<u64>>>,
+        /// The scatter-wide runner-up bound every worker of one query
+        /// consults and tightens ([`SharedBound`], min2 scans only —
+        /// a best-so-far pair bound is unsound for `k ≥ 3`).
+        shared: Arc<SharedBound>,
         reply: Sender<(usize, ShardFinding)>,
     },
     TopK {
@@ -893,6 +993,7 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
                 slice,
                 query,
                 mask,
+                shared,
                 reply,
             } => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -903,10 +1004,13 @@ fn worker_loop(shard: usize, inbox: Receiver<ShardRequest>) {
                     let mask_words = mask.as_deref().map(Vec::as_slice);
                     let mut counters = ScanCounters::default();
                     let hit = match &slice {
-                        ShardSlice::Rows(range) => {
-                            counters.rows_scanned += range.len() as u64;
-                            version.scan_min2_range(&query, mask_words, range.clone())
-                        }
+                        ShardSlice::Rows(range) => version.scan_min2_rows(
+                            &query,
+                            mask_words,
+                            range.clone(),
+                            &mut counters,
+                            &shared,
+                        ),
                         ShardSlice::Buckets(range) => version.scan_min2_buckets(
                             &query,
                             mask_words,
@@ -1024,9 +1128,14 @@ impl ShardedMemory {
 
     /// The min2 scatter partition for `version`: over buckets when the
     /// memory carries an index (with `true`), over raw rows otherwise.
+    /// A version whose strategy resolves to the bit-sliced traversal
+    /// partitions rows even when an index is attached — row ranges are
+    /// exactly what the mirror's 64-row groups slice along, and the
+    /// columnwise group bound is that strategy's pruning engine.
     fn min2_plan(&self, version: &MemoryVersion) -> (ShardPlan, bool) {
+        let bitsliced = version.resolved_strategy() == ResolvedScan::BitSliced;
         match version.index() {
-            Some(index) if index.buckets() > 0 => {
+            Some(index) if index.buckets() > 0 && !bitsliced => {
                 (ShardPlan::new(self.shards(), index.buckets()), true)
             }
             _ => (ShardPlan::new(self.shards(), version.rows()), false),
@@ -1115,6 +1224,11 @@ impl ShardedMemory {
         let query = Arc::new(query.as_bitvec().as_words().to_vec());
         let mask = mask.map(|m| Arc::new(m.as_bitvec().as_words().to_vec()));
         let (plan, indexed) = self.min2_plan(version);
+        // One shared runner-up bound per scatter: every worker of this
+        // query tightens it with its own runner-up observations and
+        // prunes against everyone else's (relaxed atomic — any stale
+        // read is merely a looser, still-sound bound).
+        let shared = Arc::new(SharedBound::unbounded());
         let findings = self.scatter(plan, |range, reply| ShardRequest::Scan {
             version: Arc::clone(version),
             slice: if indexed {
@@ -1124,6 +1238,7 @@ impl ShardedMemory {
             },
             query: Arc::clone(&query),
             mask: mask.clone(),
+            shared: Arc::clone(&shared),
             reply,
         })?;
         let mut scan = ScanCounters::default();

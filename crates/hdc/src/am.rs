@@ -14,8 +14,8 @@ use crate::distortion::{DistanceDistorter, SampleMask};
 use crate::error::HdcError;
 use crate::hypervector::{Dimension, Distance, Hypervector};
 use crate::kernel::{
-    active_backend, BucketIndex, IndexBuildOptions, IndexStats, Min2, PackedRows, ResolvedScan,
-    ScanCounters, ScanStrategy,
+    active_backend, BitSlicedRows, BucketIndex, IndexBuildOptions, IndexStats, Min2, PackedRows,
+    ResolvedScan, ScanCounters, ScanStrategy,
 };
 use crate::parallel::default_threads;
 
@@ -91,6 +91,13 @@ pub struct AssociativeMemory {
     /// `Arc::make_mut`, so a clone never mutates the index a published
     /// version is still scanning.
     index: Option<Arc<BucketIndex>>,
+    /// Optional dim-major mirror of `packed`
+    /// ([`build_sliced`](Self::build_sliced)) routing the
+    /// [`ScanStrategy::BitSliced`] family. Kept coherent by
+    /// `insert`/`replace_row` through `Arc::make_mut` under the same
+    /// COW discipline as the index: a published clone never sees a
+    /// half-updated mirror.
+    sliced: Option<Arc<BitSlicedRows>>,
     /// How searches traverse `packed`; [`ScanStrategy::Auto`] resolves
     /// against the index stats on every scan.
     strategy: ScanStrategy,
@@ -105,6 +112,7 @@ impl AssociativeMemory {
             rows: Vec::new(),
             labels: Vec::new(),
             index: None,
+            sliced: None,
             strategy: ScanStrategy::Auto,
         }
     }
@@ -147,6 +155,9 @@ impl AssociativeMemory {
         self.labels.push(label.into());
         if let Some(index) = self.index.as_mut() {
             Arc::make_mut(index).assign_row(&self.packed, active_backend(), id.0);
+        }
+        if let Some(sliced) = self.sliced.as_mut() {
+            Arc::make_mut(sliced).push_row(self.packed.row_words(id.0));
         }
         Ok(id)
     }
@@ -222,6 +233,53 @@ impl AssociativeMemory {
         self.index = None;
     }
 
+    /// Builds (or rebuilds) the dim-major bit-sliced mirror over the
+    /// current rows and attaches it, enabling the
+    /// [`ScanStrategy::BitSliced`] traversal (and letting
+    /// [`ScanStrategy::Auto`] choose it on cascade-friendly geometry at
+    /// scale). Exact search results are unchanged by construction.
+    pub fn build_sliced(&mut self) -> &BitSlicedRows {
+        self.sliced = Some(Arc::new(BitSlicedRows::from_packed(&self.packed)));
+        self.sliced.as_deref().expect("just attached")
+    }
+
+    /// Attaches an already-built mirror (the snapshot warm-restart path
+    /// rebuilds and re-attaches here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when the mirror does not
+    /// cover exactly this memory's rows (row count and width must both
+    /// match).
+    pub fn attach_sliced(&mut self, sliced: Arc<BitSlicedRows>) -> Result<(), HdcError> {
+        if sliced.len() != self.packed.len()
+            || sliced.words_per_row() != self.packed.words_per_row()
+        {
+            return Err(HdcError::DimensionMismatch {
+                left: self.packed.len(),
+                right: sliced.len(),
+            });
+        }
+        self.sliced = Some(sliced);
+        Ok(())
+    }
+
+    /// The attached bit-sliced mirror, if any.
+    pub fn sliced(&self) -> Option<&BitSlicedRows> {
+        self.sliced.as_deref()
+    }
+
+    /// Shared handle to the attached mirror.
+    pub fn sliced_handle(&self) -> Option<Arc<BitSlicedRows>> {
+        self.sliced.clone()
+    }
+
+    /// Detaches the mirror; the `BitSliced` strategy falls back to the
+    /// direct scan.
+    pub fn drop_sliced(&mut self) {
+        self.sliced = None;
+    }
+
     /// The one kernel entry point every search in this memory routes
     /// through: strategy resolution, index, and telemetry in one place.
     fn scan(
@@ -230,14 +288,16 @@ impl AssociativeMemory {
         mask: Option<&[u64]>,
         counters: Option<&mut ScanCounters>,
     ) -> Option<Min2> {
-        self.packed.scan_min2_planned(
+        self.packed.scan_min2_planned_sliced(
             active_backend(),
             self.strategy,
             self.index.as_deref(),
+            self.sliced.as_deref(),
             query,
             mask,
             0..self.packed.len(),
             counters,
+            None,
         )
     }
 
@@ -269,6 +329,9 @@ impl AssociativeMemory {
                 *slot = hv;
                 if let Some(index) = self.index.as_mut() {
                     Arc::make_mut(index).assign_row(&self.packed, active_backend(), class.0);
+                }
+                if let Some(sliced) = self.sliced.as_mut() {
+                    Arc::make_mut(sliced).update_row(class.0, self.packed.row_words(class.0));
                 }
                 Ok(())
             }
@@ -523,10 +586,11 @@ impl AssociativeMemory {
     ) -> Result<Vec<(ClassId, Distance)>, HdcError> {
         self.check_query(query)?;
         let mut ranked = Vec::new();
-        self.packed.top_k_planned(
+        self.packed.top_k_planned_sliced(
             active_backend(),
             self.strategy,
             self.index.as_deref(),
+            self.sliced.as_deref(),
             query.as_bitvec().as_words(),
             0..self.packed.len(),
             k,
@@ -555,10 +619,11 @@ impl AssociativeMemory {
         self.check_query(query)?;
         let mut ranked = Vec::new();
         let mut counters = ScanCounters::default();
-        self.packed.top_k_planned(
+        self.packed.top_k_planned_sliced(
             active_backend(),
             self.strategy,
             self.index.as_deref(),
+            self.sliced.as_deref(),
             query.as_bitvec().as_words(),
             0..self.packed.len(),
             k,
@@ -578,7 +643,11 @@ impl AssociativeMemory {
     /// [`ScanStrategy`] resolves to against its attached index — how
     /// telemetry observes which engine [`ScanStrategy::Auto`] picked.
     pub fn resolved_strategy(&self) -> ResolvedScan {
-        self.strategy.resolve(self.index.as_deref(), self.dim.get())
+        self.strategy.resolve_full(
+            self.index.as_deref(),
+            self.sliced.as_deref(),
+            self.dim.get(),
+        )
     }
 
     fn check_query(&self, query: &Hypervector) -> Result<(), HdcError> {
@@ -911,6 +980,58 @@ mod tests {
         assert_eq!(frozen.index().unwrap().rows(), 11);
         assert_eq!(publishing.index().unwrap().rows(), 12);
         assert_eq!(am.index().unwrap().rows(), 11);
+    }
+
+    #[test]
+    fn bitsliced_memory_searches_bit_identically_and_follows_writes() {
+        let (mut am, rows) = memory_with(2_048, 100);
+        let plain = am.clone();
+        am.build_sliced();
+        am.set_scan_strategy(ScanStrategy::BitSliced);
+        assert_eq!(am.resolved_strategy(), ResolvedScan::BitSliced);
+        let mut rng = StdRng::seed_from_u64(11);
+        for row in rows.iter().step_by(7) {
+            let q = row.with_flipped_bits(300, &mut rng);
+            assert_eq!(am.search(&q).unwrap(), plain.search(&q).unwrap());
+            assert_eq!(
+                am.search_top_k(&q, 5).unwrap(),
+                plain.search_top_k(&q, 5).unwrap()
+            );
+        }
+        // Writes keep the mirror coherent: the new rows win their own
+        // patterns through the bit-sliced traversal.
+        let late = Hypervector::random(dim(2_048), 777);
+        am.insert("late", late.clone()).unwrap();
+        assert_eq!(am.sliced().unwrap().len(), 101);
+        assert_eq!(am.search(&late).unwrap().class, ClassId(100));
+        let swapped = Hypervector::random(dim(2_048), 888);
+        am.replace_row(ClassId(42), swapped.clone()).unwrap();
+        assert_eq!(am.search(&swapped).unwrap().class, ClassId(42));
+        // COW: a frozen clone keeps scanning the pre-mutation mirror.
+        let frozen = am.clone();
+        let mut publishing = am.clone();
+        publishing
+            .insert("next", Hypervector::random(dim(2_048), 999))
+            .unwrap();
+        assert_eq!(frozen.sliced().unwrap().len(), 101);
+        assert_eq!(publishing.sliced().unwrap().len(), 102);
+        // Dropping the mirror falls the explicit strategy back to Direct.
+        publishing.drop_sliced();
+        assert_eq!(publishing.resolved_strategy(), ResolvedScan::Direct);
+    }
+
+    #[test]
+    fn attach_sliced_validates_coverage() {
+        let (mut am, _) = memory_with(512, 10);
+        let (other, _) = memory_with(512, 9);
+        let mirror = Arc::new(crate::kernel::BitSlicedRows::from_packed(
+            other.packed_rows(),
+        ));
+        assert!(am.attach_sliced(mirror.clone()).is_err());
+        let (mut right, _) = memory_with(512, 9);
+        right.attach_sliced(mirror).unwrap();
+        assert!(right.sliced().is_some());
+        assert!(right.sliced_handle().is_some());
     }
 
     #[test]

@@ -123,6 +123,18 @@ impl NGramEncoder {
         &self.item_memory
     }
 
+    /// Bytes of item-vector payload this encoder keeps resident: the
+    /// dense item table plus the `27 × n` rotated-letter cache. Every
+    /// one of those vectors is a pure function of `(dim, seed, letter,
+    /// rotation)`, so a seed-only holder
+    /// ([`ItemMemory::rematerializer`]) can regenerate any of them on
+    /// the fly — this accessor measures what that trade saves.
+    pub fn resident_item_bytes(&self) -> usize {
+        let row = self.dim().get().div_ceil(64) * 8;
+        let rotated: usize = self.rotated.iter().map(|map| map.len() * (row + 4)).sum();
+        self.item_memory.resident_bytes() + rotated
+    }
+
     fn rotated_letter(&self, ch: char, k: usize) -> &Hypervector {
         self.rotated[k]
             .get(&ch)
@@ -307,5 +319,28 @@ mod tests {
         let enc = encoder(128, 4);
         assert_eq!(enc.n(), 4);
         assert_eq!(enc.dim().get(), 128);
+    }
+
+    #[test]
+    fn cached_letters_rematerialize_from_the_seed() {
+        let enc = encoder(1_024, 3);
+        let lean = enc.item_memory().rematerializer();
+        for ch in ['a', 'q', 'z', ' '] {
+            let mut buf = [0u8; 4];
+            let key = ch.encode_utf8(&mut buf);
+            let derived = lean.get(key);
+            assert_eq!(enc.item_memory().get(key).unwrap(), &derived);
+            for k in 0..3 {
+                assert_eq!(
+                    permute(&derived, k),
+                    *enc.rotated_letter(ch, k),
+                    "rotation {k} of {ch:?} regenerates from the seed"
+                );
+            }
+        }
+        // The measured trade: the dense caches cost ⌈D/64⌉·8 bytes per
+        // vector across table + rotations; the seed view is ~16 bytes.
+        assert!(enc.resident_item_bytes() > 27 * 4 * (1_024 / 64) * 8);
+        assert!(lean.resident_bytes() <= 16);
     }
 }

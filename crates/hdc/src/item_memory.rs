@@ -108,6 +108,28 @@ impl ItemMemory {
         self.items.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Bytes of hypervector payload this memory keeps resident: one
+    /// packed row (`⌈D/64⌉ × 8` bytes) plus the key string per assigned
+    /// symbol. The comparison figure for
+    /// [`rematerializer`](Self::rematerializer), which replaces the
+    /// whole table with a fixed-size seed.
+    pub fn resident_bytes(&self) -> usize {
+        let row = self.dim.get().div_ceil(64) * 8;
+        self.items.keys().map(|k| k.len() + row).sum()
+    }
+
+    /// A seed-only view that *rematerializes* any symbol's hypervector
+    /// on demand instead of keeping the dense table resident — the
+    /// assignment is a pure function of `(dim, seed, key)`
+    /// ([`derive`](Self::derive)), so the view answers bit-identically
+    /// to this memory for every key, at a fixed ~16-byte footprint.
+    pub fn rematerializer(&self) -> Rematerializer {
+        Rematerializer {
+            dim: self.dim,
+            seed: self.seed,
+        }
+    }
+
     /// Pre-assigns hypervectors for all symbols of an alphabet in one pass.
     ///
     /// # Examples
@@ -126,6 +148,67 @@ impl ItemMemory {
             let mut buf = [0u8; 4];
             self.get_or_insert(ch.encode_utf8(&mut buf));
         }
+    }
+}
+
+/// The seed-only twin of an [`ItemMemory`]: keeps nothing resident but
+/// `(dim, seed)` and regenerates any symbol's hypervector on demand.
+///
+/// Because the assignment is a pure function of `(dim, seed, key)`, a
+/// rematerializer and the dense memory it came from agree bit-for-bit
+/// on every key — the dense table is a cache, not the source of truth.
+/// Workloads whose item vectors are only touched at encode time can
+/// trade the `symbols × ⌈D/64⌉ × 8`-byte table for this fixed ~16-byte
+/// handle; [`ItemMemory::resident_bytes`] measures what the trade
+/// saves.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{Dimension, ItemMemory};
+///
+/// let d = Dimension::new(1_000)?;
+/// let mut dense = ItemMemory::new(d, 42);
+/// let lean = dense.rematerializer();
+/// assert_eq!(dense.get_or_insert("q"), &lean.get("q"));
+/// assert!(lean.resident_bytes() < dense.resident_bytes());
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rematerializer {
+    dim: Dimension,
+    seed: u64,
+}
+
+impl Rematerializer {
+    /// A rematerializer for the `(dim, seed)` assignment — the same
+    /// view [`ItemMemory::rematerializer`] returns, without building
+    /// the dense memory first.
+    pub fn new(dim: Dimension, seed: u64) -> Self {
+        Rematerializer { dim, seed }
+    }
+
+    /// The dimensionality of the derived hypervectors.
+    pub fn dim(&self) -> Dimension {
+        self.dim
+    }
+
+    /// The master seed of the assignment.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rematerializes the hypervector `key` is assigned — bit-identical
+    /// to what the dense [`ItemMemory`] stores for it, computed fresh
+    /// on every call.
+    pub fn get(&self, key: &str) -> Hypervector {
+        ItemMemory::derive(self.dim, self.seed, key)
+    }
+
+    /// The fixed resident footprint of this view (the whole point:
+    /// independent of how many symbols are ever derived).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
     }
 }
 
@@ -205,5 +288,31 @@ mod tests {
         let im = ItemMemory::new(dim(64), 12);
         assert_eq!(im.dim().get(), 64);
         assert_eq!(im.seed(), 12);
+    }
+
+    #[test]
+    fn rematerializer_agrees_with_the_dense_table() {
+        let d = dim(1_024);
+        let mut dense = ItemMemory::new(d, 77);
+        let lean = dense.rematerializer();
+        assert_eq!(lean, Rematerializer::new(d, 77));
+        assert_eq!(lean.dim(), d);
+        assert_eq!(lean.seed(), 77);
+        for key in ["a", "b", " ", "class-12345", ""] {
+            assert_eq!(dense.get_or_insert(key), &lean.get(key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn rematerializer_footprint_is_fixed_while_the_table_grows() {
+        let d = dim(4_096);
+        let mut dense = ItemMemory::new(d, 5);
+        let lean = dense.rematerializer();
+        assert_eq!(dense.resident_bytes(), 0, "empty table holds nothing");
+        dense.populate("abcdefghijklmnopqrstuvwxyz ".chars());
+        // 27 symbols × (1 key byte + 64 words × 8 bytes).
+        assert_eq!(dense.resident_bytes(), 27 * (1 + 4_096 / 64 * 8));
+        assert_eq!(lean.resident_bytes(), std::mem::size_of::<Rematerializer>());
+        assert!(lean.resident_bytes() <= 16);
     }
 }

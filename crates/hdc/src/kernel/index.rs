@@ -70,6 +70,12 @@ pub struct ScanCounters {
     ///
     /// [`Probe`]: super::ScanStrategy::Probe
     pub rows_pruned: u64,
+    /// Rows dropped wholesale by the bit-sliced columnwise group bound
+    /// ([`BitSlicedRows`]) — kept distinct from `rows_pruned` so
+    /// telemetry can tell columnwise pruning from bucket pruning.
+    ///
+    /// [`BitSlicedRows`]: super::bitsliced::BitSlicedRows
+    pub rows_group_pruned: u64,
 }
 
 impl ScanCounters {
@@ -79,6 +85,9 @@ impl ScanCounters {
         self.buckets_probed = self.buckets_probed.saturating_add(other.buckets_probed);
         self.rows_scanned = self.rows_scanned.saturating_add(other.rows_scanned);
         self.rows_pruned = self.rows_pruned.saturating_add(other.rows_pruned);
+        self.rows_group_pruned = self
+            .rows_group_pruned
+            .saturating_add(other.rows_group_pruned);
     }
 }
 

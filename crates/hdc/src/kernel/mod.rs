@@ -46,6 +46,7 @@
 //! to the scalar full scan.
 
 pub mod backend;
+pub mod bitsliced;
 pub mod index;
 pub mod weighted;
 
@@ -55,6 +56,7 @@ mod neon;
 mod scalar;
 
 pub use backend::{active_backend, active_backend_name, enabled_backends, DistanceBackend};
+pub use bitsliced::{BitSlicedRows, GroupAccumulator, SharedBound, GROUP_ROWS};
 pub use index::{BucketIndex, IndexBuildOptions, IndexStats, ScanCounters};
 
 use std::cell::RefCell;
@@ -184,6 +186,11 @@ pub enum ScanStrategy {
     Direct,
     /// Sampled prefilter + best-first complement rescore (exact).
     Cascade,
+    /// Columnwise dim-major scan with whole-group pruning through an
+    /// attached [`BitSlicedRows`] mirror (exact; the `sliced` argument
+    /// of [`PackedRows::scan_min2_planned_sliced`]); falls back to
+    /// [`Direct`](Self::Direct) when no mirror is given.
+    BitSliced,
     /// Exact bucket-pruned walk through an attached [`BucketIndex`]
     /// (the `index` argument of [`PackedRows::scan_min2_planned`]);
     /// falls back to [`Direct`](Self::Direct) when no index is given.
@@ -213,6 +220,9 @@ pub enum ResolvedScan {
     Direct,
     /// Sampled prefilter + best-first complement rescore (exact).
     Cascade,
+    /// Columnwise group-pruned scan through the attached
+    /// [`BitSlicedRows`] mirror.
+    BitSliced,
     /// Bucket walk through the attached [`BucketIndex`].
     Indexed {
         /// `Some(n)` caps the walk at the `n` closest buckets
@@ -231,9 +241,31 @@ impl ScanStrategy {
     /// [`cascade_friendly`](IndexStats::cascade_friendly), and
     /// [`ResolvedScan::Direct`] otherwise.
     pub fn resolve(self, index: Option<&BucketIndex>, dim: usize) -> ResolvedScan {
+        self.resolve_full(index, None, dim)
+    }
+
+    /// [`resolve`](Self::resolve) made aware of an attached
+    /// [`BitSlicedRows`] mirror. [`BitSliced`](Self::BitSliced) without
+    /// a mirror falls back to the direct scan (like `Indexed` without
+    /// an index), and `Auto` extends its rule (DESIGN.md §17): on
+    /// cascade-friendly geometry with a mirror attached and at least
+    /// [`BITSLICED_MIN_ROWS`] rows, the columnwise group bound prunes
+    /// whole near-duplicate clusters after a handful of word-columns
+    /// and overtakes the sampled cascade; below the row floor the
+    /// per-group fixed costs do not amortize.
+    pub fn resolve_full(
+        self,
+        index: Option<&BucketIndex>,
+        sliced: Option<&BitSlicedRows>,
+        dim: usize,
+    ) -> ResolvedScan {
         match self {
             ScanStrategy::Direct => ResolvedScan::Direct,
             ScanStrategy::Cascade => ResolvedScan::Cascade,
+            ScanStrategy::BitSliced => match sliced {
+                Some(_) => ResolvedScan::BitSliced,
+                None => ResolvedScan::Direct,
+            },
             ScanStrategy::Indexed => match index {
                 Some(_) => ResolvedScan::Indexed { nprobe: None },
                 None => ResolvedScan::Direct,
@@ -248,15 +280,43 @@ impl ScanStrategy {
                 Some(ix) if ix.stats().pruning_friendly(dim) => {
                     ResolvedScan::Indexed { nprobe: None }
                 }
-                Some(ix) if ix.stats().cascade_friendly(dim) => ResolvedScan::Cascade,
+                Some(ix) if ix.stats().cascade_friendly(dim) => match sliced {
+                    Some(sliced) if sliced.len() >= BITSLICED_MIN_ROWS => ResolvedScan::BitSliced,
+                    _ => ResolvedScan::Cascade,
+                },
                 _ => ResolvedScan::Direct,
             },
         }
     }
 }
 
-fn resolve_scan(strategy: ScanStrategy, index: Option<&BucketIndex>, dim: usize) -> ResolvedScan {
-    strategy.resolve(index, dim)
+/// Row floor under which [`ScanStrategy::Auto`] will not pick the
+/// bit-sliced scan: with few rows the per-group accumulator and
+/// extraction overheads dominate whatever the group bound prunes
+/// (measured crossover in `BENCH_search.json` `bitsliced_scaling`).
+pub const BITSLICED_MIN_ROWS: usize = 4_096;
+
+/// Rows the bit-sliced planned scan samples row-major to seed the
+/// group-pruning bound before the columnwise pass. Without a seed the
+/// runner-up stays loose until the scan reaches the query's own
+/// cluster, so on average half the groups cannot prune; the exact
+/// distances of a sparse sample give a second-smallest that is ≥ the
+/// scan's final runner-up (a subset's second-smallest is ≥ the
+/// union's — the [`SharedBound`] soundness argument), so pruning with
+/// it stays bit-identical while firing from the very first group.
+const BITSLICED_PILOT_SAMPLES: usize = 256;
+
+/// Range floor for the pilot: below this the sample would be a large
+/// fraction of the rows and the seed cannot pay for itself.
+const BITSLICED_PILOT_MIN_ROWS: usize = 2_048;
+
+fn resolve_scan(
+    strategy: ScanStrategy,
+    index: Option<&BucketIndex>,
+    sliced: Option<&BitSlicedRows>,
+    dim: usize,
+) -> ResolvedScan {
+    strategy.resolve_full(index, sliced, dim)
 }
 
 /// Sampled window target: `words_per_row / 4`, at least 16 words.
@@ -655,7 +715,39 @@ impl PackedRows {
         query: &[u64],
         mask: Option<&[u64]>,
         range: std::ops::Range<usize>,
+        counters: Option<&mut ScanCounters>,
+    ) -> Option<Min2> {
+        self.scan_min2_planned_sliced(
+            backend, strategy, index, None, query, mask, range, counters, None,
+        )
+    }
+
+    /// [`scan_min2_planned`](Self::scan_min2_planned) made aware of an
+    /// optional [`BitSlicedRows`] mirror (routing the
+    /// [`ScanStrategy::BitSliced`] family) and an optional
+    /// [`SharedBound`] that scatter-gather workers use to exchange
+    /// runner-up observations. The shared bound is consulted by the
+    /// direct and bit-sliced traversals; with one present a scan may
+    /// return `None` even over a non-empty range — every row was
+    /// proven irrelevant to the *merged* result.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`scan_min2_planned`](Self::scan_min2_planned),
+    /// plus: `sliced` must mirror exactly this matrix (same row count
+    /// and width).
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_min2_planned_sliced(
+        &self,
+        backend: &dyn DistanceBackend,
+        strategy: ScanStrategy,
+        index: Option<&BucketIndex>,
+        sliced: Option<&BitSlicedRows>,
+        query: &[u64],
+        mask: Option<&[u64]>,
+        range: std::ops::Range<usize>,
         mut counters: Option<&mut ScanCounters>,
+        shared: Option<&SharedBound>,
     ) -> Option<Min2> {
         assert_eq!(query.len(), self.words_per_row, "query word count mismatch");
         if let Some(mask) = mask {
@@ -665,18 +757,75 @@ impl PackedRows {
         if range.is_empty() {
             return None;
         }
-        match resolve_scan(strategy, index, self.dim) {
+        if let Some(sliced) = sliced {
+            assert_eq!(sliced.len(), self.rows, "bit-sliced mirror row mismatch");
+            assert_eq!(
+                sliced.words_per_row(),
+                self.words_per_row,
+                "bit-sliced mirror width mismatch"
+            );
+        }
+        match resolve_scan(strategy, index, sliced, self.dim) {
             ResolvedScan::Direct => {
                 if let Some(counters) = counters.as_deref_mut() {
                     counters.rows_scanned += range.len() as u64;
                 }
-                self.scan_min2_direct(backend, query, mask, range)
+                self.scan_min2_direct(backend, query, mask, range, shared)
             }
             ResolvedScan::Cascade => {
                 if let Some(counters) = counters.as_deref_mut() {
                     counters.rows_scanned += range.len() as u64;
                 }
                 self.scan_min2_cascade(backend, query, mask, range)
+            }
+            ResolvedScan::BitSliced => {
+                let sliced = sliced.expect("resolved BitSliced implies a mirror");
+                // Seed the group-pruning bound from a sparse row-major
+                // pilot sample (see [`BITSLICED_PILOT_SAMPLES`]): the
+                // sample's second-smallest exact distance is ≥ the
+                // final runner-up, so the columnwise pass prunes from
+                // the first group without its result changing by a
+                // bit. Pilot rows are bound-seeding overhead, not part
+                // of the traversal, so the counters still partition
+                // the range into scanned vs group-pruned.
+                let local;
+                let bound = match shared {
+                    Some(shared) => shared,
+                    None => {
+                        local = SharedBound::unbounded();
+                        &local
+                    }
+                };
+                if range.len() >= BITSLICED_PILOT_MIN_ROWS {
+                    let stride = range.len() / BITSLICED_PILOT_SAMPLES;
+                    let mut smallest = usize::MAX;
+                    let mut second = usize::MAX;
+                    let mut at = range.start + stride / 2;
+                    while at < range.end {
+                        // Abandon a sample once it cannot tighten the
+                        // seed: a dropped sample only loosens (never
+                        // unsounds) the resulting bound.
+                        let cap = second.min(bound.get()).saturating_sub(1);
+                        let row = self.row_words(at);
+                        let distance = match mask {
+                            Some(mask) => backend.bounded_distance_masked(row, query, mask, cap),
+                            None => backend.bounded_distance(row, query, cap),
+                        };
+                        if let Some(distance) = distance {
+                            if distance < smallest {
+                                second = smallest;
+                                smallest = distance;
+                            } else if distance < second {
+                                second = distance;
+                            }
+                        }
+                        at += stride;
+                    }
+                    if second != usize::MAX {
+                        bound.tighten(second);
+                    }
+                }
+                sliced.scan_min2(backend, query, mask, range, counters, Some(bound))
             }
             ResolvedScan::Indexed { nprobe } => index
                 .expect("resolved Indexed implies an index")
@@ -707,10 +856,51 @@ impl PackedRows {
         ranked: &mut Vec<(usize, usize)>,
         counters: Option<&mut ScanCounters>,
     ) {
-        match resolve_scan(strategy, index, self.dim) {
+        self.top_k_planned_sliced(
+            backend, strategy, index, None, query, range, k, ranked, counters,
+        )
+    }
+
+    /// [`top_k_planned`](Self::top_k_planned) made aware of an optional
+    /// [`BitSlicedRows`] mirror, routing the
+    /// [`ScanStrategy::BitSliced`] family through the columnwise
+    /// ranked scan. (No shared bound: a runner-up bound is only sound
+    /// for min-2 scans.)
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`scan_min2_planned_sliced`].
+    ///
+    /// [`scan_min2_planned_sliced`]: Self::scan_min2_planned_sliced
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_k_planned_sliced(
+        &self,
+        backend: &dyn DistanceBackend,
+        strategy: ScanStrategy,
+        index: Option<&BucketIndex>,
+        sliced: Option<&BitSlicedRows>,
+        query: &[u64],
+        range: std::ops::Range<usize>,
+        k: usize,
+        ranked: &mut Vec<(usize, usize)>,
+        counters: Option<&mut ScanCounters>,
+    ) {
+        if let Some(sliced) = sliced {
+            assert_eq!(sliced.len(), self.rows, "bit-sliced mirror row mismatch");
+            assert_eq!(
+                sliced.words_per_row(),
+                self.words_per_row,
+                "bit-sliced mirror width mismatch"
+            );
+        }
+        match resolve_scan(strategy, index, sliced, self.dim) {
             ResolvedScan::Indexed { nprobe } => {
                 let index = index.expect("resolved Indexed implies an index");
                 index.top_k_into(self, backend, query, range, k, nprobe, counters, ranked);
+            }
+            ResolvedScan::BitSliced => {
+                let sliced = sliced.expect("resolved BitSliced implies a mirror");
+                sliced.top_k_into(backend, query, range, k, counters, ranked);
             }
             ResolvedScan::Direct | ResolvedScan::Cascade => {
                 if k > 0 && !range.is_empty() {
@@ -788,13 +978,19 @@ impl PackedRows {
         ranked.truncate(k);
     }
 
-    /// Direct strategy: one bounded pass per row in index order.
+    /// Direct strategy: one bounded pass per row in index order. A
+    /// [`SharedBound`], when given, tightens the abandonment bound
+    /// with other workers' runner-up observations and receives this
+    /// scan's own — rows abandoned under it provably cannot affect the
+    /// *merged* result (see [`SharedBound`]); if every row falls to it
+    /// the scan returns `None`.
     fn scan_min2_direct(
         &self,
         backend: &dyn DistanceBackend,
         query: &[u64],
         mask: Option<&[u64]>,
         range: std::ops::Range<usize>,
+        shared: Option<&SharedBound>,
     ) -> Option<Min2> {
         let start = range.start;
         let rows = self.words[start * self.words_per_row..range.end * self.words_per_row]
@@ -808,7 +1004,10 @@ impl PackedRows {
             // affect the result, so the kernel may stop counting it as
             // soon as that is provable (and `None`/larger distances fall
             // through the update below without effect).
-            let bound = runner_up;
+            let bound = match shared {
+                Some(shared) => runner_up.min(shared.get()),
+                None => runner_up,
+            };
             let distance = match mask {
                 None => backend.bounded_distance(row, query, bound),
                 Some(mask) => backend.bounded_distance_masked(row, query, mask, bound),
@@ -820,6 +1019,14 @@ impl PackedRows {
                 best_distance = distance;
             } else if distance < runner_up {
                 runner_up = distance;
+            }
+        }
+        if let Some(shared) = shared {
+            shared.tighten(runner_up);
+            if best_distance == usize::MAX {
+                // Every row fell to the shared bound: nothing here can
+                // influence the merged result.
+                return None;
             }
         }
         Some(Min2 {
@@ -1331,9 +1538,11 @@ mod tests {
                 ScanStrategy::Auto,
                 ScanStrategy::Direct,
                 ScanStrategy::Cascade,
-                // Without an index these resolve to the direct scan;
-                // the indexed equivalence lives in `index.rs` and
-                // `crates/core/tests/index_equivalence.rs`.
+                // Without an index (or bit-sliced mirror) these resolve
+                // to the direct scan; the indexed equivalence lives in
+                // `index.rs` and `crates/core/tests/index_equivalence.rs`,
+                // the bit-sliced one in `tests/bitsliced_equivalence.rs`.
+                ScanStrategy::BitSliced,
                 ScanStrategy::Indexed,
                 ScanStrategy::Probe { nprobe: 1 },
             ] {
@@ -1356,6 +1565,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn planned_sliced_routes_and_falls_back() {
+        let d = 900;
+        let rows: Vec<BitVec> = (0..150).map(|i| pseudo_bits(d, i * 7 + 3)).collect();
+        let packed = packed_from(&rows);
+        let sliced = BitSlicedRows::from_packed(&packed);
+        let query = pseudo_bits(d, 321);
+        let expected = reference_min2(&packed.distances(query.as_words()));
+        // With the mirror attached, BitSliced resolves and agrees with
+        // the reference; counters land in scanned/group-pruned.
+        let mut counters = ScanCounters::default();
+        let got = packed.scan_min2_planned_sliced(
+            &scalar::Scalar,
+            ScanStrategy::BitSliced,
+            None,
+            Some(&sliced),
+            query.as_words(),
+            None,
+            0..150,
+            Some(&mut counters),
+            None,
+        );
+        assert_eq!(got, Some(expected));
+        assert_eq!(
+            counters.rows_scanned + counters.rows_group_pruned,
+            150,
+            "{counters:?}"
+        );
+        // Resolution is observable, and without a mirror it falls back.
+        assert_eq!(
+            ScanStrategy::BitSliced.resolve_full(None, Some(&sliced), d),
+            ResolvedScan::BitSliced
+        );
+        assert_eq!(
+            ScanStrategy::BitSliced.resolve(None, d),
+            ResolvedScan::Direct
+        );
+        // Ranked form matches the row-major ranking.
+        let mut ranked = Vec::new();
+        packed.top_k_planned_sliced(
+            &scalar::Scalar,
+            ScanStrategy::BitSliced,
+            None,
+            Some(&sliced),
+            query.as_words(),
+            0..150,
+            7,
+            &mut ranked,
+            None,
+        );
+        assert_eq!(ranked, packed.top_k_range(query.as_words(), 0..150, 7));
+    }
+
+    #[test]
+    fn auto_picks_bitsliced_only_with_mirror_rows_and_geometry() {
+        // A real cascade-friendly world at the row floor: tight planted
+        // clusters (radius ~1 bit) whose centers sit well inside the
+        // triangle bound's dim/16 margin. The Auto cascade branch must
+        // upgrade to BitSliced only when a mirror is attached AND the
+        // row floor is met.
+        let d = 1_024;
+        let base = pseudo_bits(d, 1);
+        let mut rows: Vec<BitVec> = Vec::with_capacity(BITSLICED_MIN_ROWS);
+        for i in 0..BITSLICED_MIN_ROWS {
+            let cluster = i % 61;
+            let mut row = base.clone();
+            for f in 0..24 {
+                row.flip((cluster * 97 + f * 41) % d);
+            }
+            row.flip((i * 31) % d);
+            rows.push(row);
+        }
+        let packed = packed_from(&rows);
+        let index =
+            BucketIndex::build(&packed, &scalar::Scalar, IndexBuildOptions::default()).unwrap();
+        let stats = index.stats();
+        assert!(
+            stats.cascade_friendly(d) && !stats.pruning_friendly(d),
+            "stats = {stats:?}"
+        );
+        let mirror = BitSlicedRows::from_packed(&packed);
+        let small = packed_from(&rows[..64]);
+        let small_mirror = BitSlicedRows::from_packed(&small);
+        assert_eq!(
+            ScanStrategy::Auto.resolve_full(Some(&index), Some(&mirror), d),
+            ResolvedScan::BitSliced
+        );
+        assert_eq!(
+            ScanStrategy::Auto.resolve_full(Some(&index), None, d),
+            ResolvedScan::Cascade,
+            "no mirror: the cascade keeps the cascade-friendly branch"
+        );
+        assert_eq!(
+            ScanStrategy::Auto.resolve_full(Some(&index), Some(&small_mirror), d),
+            ResolvedScan::Cascade,
+            "row floor: small mirrors do not amortize the group costs"
+        );
     }
 
     #[test]

@@ -90,12 +90,12 @@ pub use crate::distortion::{DistanceDistorter, SampleMask};
 pub use crate::encoder::NGramEncoder;
 pub use crate::error::HdcError;
 pub use crate::hypervector::{Dimension, Distance, Hypervector};
-pub use crate::item_memory::ItemMemory;
+pub use crate::item_memory::{ItemMemory, Rematerializer};
 pub use crate::kernel::weighted::MultiBitRows;
 pub use crate::kernel::{
-    active_backend, active_backend_name, enabled_backends, BucketIndex, DistanceBackend,
-    IndexBuildOptions, IndexStats, Min2, PackedRows, ResolvedScan, RowSource, ScanCounters,
-    ScanStrategy,
+    active_backend, active_backend_name, enabled_backends, BitSlicedRows, BucketIndex,
+    DistanceBackend, IndexBuildOptions, IndexStats, Min2, PackedRows, ResolvedScan, RowSource,
+    ScanCounters, ScanStrategy, SharedBound,
 };
 pub use crate::level::{LevelEncoder, RecordEncoder};
 pub use crate::ops::{Bundler, TieBreak};
@@ -111,10 +111,11 @@ pub mod prelude {
     pub use crate::encoder::NGramEncoder;
     pub use crate::error::HdcError;
     pub use crate::hypervector::{Dimension, Distance, Hypervector};
-    pub use crate::item_memory::ItemMemory;
+    pub use crate::item_memory::{ItemMemory, Rematerializer};
     pub use crate::kernel::weighted::MultiBitRows;
     pub use crate::kernel::{
-        Min2, PackedRows, ResolvedScan, RowSource, ScanCounters, ScanStrategy,
+        BitSlicedRows, Min2, PackedRows, ResolvedScan, RowSource, ScanCounters, ScanStrategy,
+        SharedBound,
     };
     pub use crate::level::{LevelEncoder, RecordEncoder};
     pub use crate::ops::{Bundler, TieBreak};

@@ -380,6 +380,17 @@ impl TenantState {
         // index is reused when it came back clean. Results are
         // identical either way.
         ensure_indexed(&mut memory, &IndexPolicy::default());
+        // Snapshots persist rows and the bucket index only; the scan
+        // strategy and the bit-sliced dim-major mirror are
+        // provisioning-time state carried by the spec. A warm restart
+        // re-applies the spec's strategy and rebuilds the mirror from
+        // the restored rows (rebuild-on-load — no snapshot format
+        // change), so a tenant provisioned to serve the bit-sliced
+        // traversal still serves it after recovery.
+        memory.set_scan_strategy(spec.memory.scan_strategy());
+        if spec.memory.sliced().is_some() && memory.sliced().is_none() {
+            memory.build_sliced();
+        }
         // Open (creating or tail-repairing) the tenant's log last, so
         // its torn-tail truncation never races the read-only replay
         // above. From here on, updates published through `updater()`

@@ -54,6 +54,50 @@ pub fn planted_cluster_rows(
         .collect()
 }
 
+/// Row `index` of the *cluster-major* planted world, generated on the
+/// fly: rows `[c·per_cluster, (c+1)·per_cluster)` all belong to cluster
+/// `c`, and each row derives from `(seed, index)` alone — no sequential
+/// RNG state — so any single row (or query planted on it) can be
+/// *rematerialized* without holding the dense row set resident.
+///
+/// Two layouts, two purposes: [`planted_cluster_rows`] deals clusters
+/// round-robin (interleaved — the adversarial layout for any scheme
+/// that prunes contiguous row blocks), while this cluster-major deal
+/// keeps each cluster contiguous, the layout under which the bit-sliced
+/// scan's 64-row group bound can drop whole clusters at once.
+///
+/// # Panics
+///
+/// Panics if `anchors` is empty or `per_cluster` is zero.
+pub fn cluster_major_row_at(
+    anchors: &[Hypervector],
+    index: usize,
+    per_cluster: usize,
+    flips: usize,
+    seed: u64,
+) -> (usize, Hypervector) {
+    assert!(!anchors.is_empty(), "planted clusters need anchors");
+    assert!(per_cluster > 0, "clusters need at least one row");
+    let cluster = (index / per_cluster) % anchors.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (cluster, anchors[cluster].with_flipped_bits(flips, &mut rng))
+}
+
+/// All `rows` cluster-major planted rows — [`cluster_major_row_at`]
+/// materialized densely, for building the stored memory (the queries
+/// stay rematerializable row by row).
+pub fn cluster_major_rows(
+    anchors: &[Hypervector],
+    rows: usize,
+    per_cluster: usize,
+    flips: usize,
+    seed: u64,
+) -> Vec<(usize, Hypervector)> {
+    (0..rows)
+        .map(|i| cluster_major_row_at(anchors, i, per_cluster, flips, seed))
+        .collect()
+}
+
 /// One noisy query per entry of `sources`, each flipping `flips` bits of
 /// the row it is planted from — the `(truth, query)` stream shape every
 /// similarity workload scores.
@@ -138,6 +182,26 @@ mod tests {
         for ((truth, q), (source, row)) in queries.iter().zip(&rows) {
             assert_eq!(truth, source);
             assert_eq!(q.hamming(row).as_usize(), 2);
+        }
+    }
+
+    #[test]
+    fn cluster_major_rows_are_contiguous_and_rematerialize_per_index() {
+        let dim = Dimension::new(512).unwrap();
+        let a = anchors(dim, 4, 3);
+        let rows = cluster_major_rows(&a, 22, 5, 8, 17);
+        assert_eq!(rows.len(), 22);
+        for (i, (cluster, row)) in rows.iter().enumerate() {
+            // Cluster-major: five consecutive rows per cluster, wrapping.
+            assert_eq!(*cluster, (i / 5) % 4);
+            assert_eq!(row.hamming(&a[*cluster]).as_usize(), 8);
+            // Any single row regenerates from (seed, index) alone — the
+            // rematerialization contract the bench's bytes-per-class
+            // comparison rests on.
+            assert_eq!(
+                (*cluster, row.clone()),
+                cluster_major_row_at(&a, i, 5, 8, 17)
+            );
         }
     }
 
